@@ -1,0 +1,115 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index). Each benchmark runs
+// the corresponding experiment through a shared, caching Runner with Quick
+// settings, so `go test -bench=.` reproduces the full evaluation at reduced
+// budgets; the cmd/experiments CLI runs the same experiments at paper
+// fidelity.
+package datamime_test
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"datamime"
+)
+
+var (
+	benchOnce   sync.Once
+	benchRunner *datamime.Runner
+)
+
+// runner returns the shared experiment runner; searches and profiles are
+// computed once and cached across benchmarks.
+func runner() *datamime.Runner {
+	benchOnce.Do(func() {
+		benchRunner = datamime.NewRunner(datamime.QuickSettings())
+	})
+	return benchRunner
+}
+
+// runExperiment drives one experiment b.N times (cached after the first).
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	r := runner()
+	for i := 0; i < b.N; i++ {
+		if err := datamime.RunExperiment(r, id, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Figure 1: mem-fb IPC and ICache MPKI across schemes (Broadwell + Zen 2).
+func BenchmarkFigure1(b *testing.B) { runExperiment(b, "fig1") }
+
+// Figure 3: IPC of all schemes across the three machines, five workloads.
+func BenchmarkFigure3(b *testing.B) { runExperiment(b, "fig3") }
+
+// Figure 4: mem-fb CPU-utilization and memory-bandwidth eCDFs.
+func BenchmarkFigure4(b *testing.B) { runExperiment(b, "fig4") }
+
+// Table I: profiler metric registry.
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1") }
+
+// Table II: simulated machine specifications.
+func BenchmarkTable2(b *testing.B) { runExperiment(b, "table2") }
+
+// Table III: dataset-generator parameter spaces.
+func BenchmarkTable3(b *testing.B) { runExperiment(b, "table3") }
+
+// Figure 6: per-metric averages normalized to the target, five workloads,
+// and the headline IPC MAPE summary.
+func BenchmarkFigure6(b *testing.B) {
+	runExperiment(b, "fig6")
+	dm, pp, err := benchIPCSummary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(100*dm, "datamime-ipc-mape-%")
+	b.ReportMetric(100*pp, "perfprox-ipc-mape-%")
+}
+
+// benchIPCSummary recomputes the headline errors from the cached profiles.
+func benchIPCSummary() (dm, pp float64, err error) {
+	return runner().IPCErrorSummary()
+}
+
+// Figure 7: IPC and LLC MPKI cache-sensitivity curves, five workloads.
+func BenchmarkFigure7(b *testing.B) { runExperiment(b, "fig7") }
+
+// Figure 8: eCDFs of six key metrics for every workload.
+func BenchmarkFigure8(b *testing.B) { runExperiment(b, "fig8") }
+
+// Figure 9: case-study sensitivity curves (masstree via memcached, img-dnn
+// via dnn).
+func BenchmarkFigure9(b *testing.B) { runExperiment(b, "fig9") }
+
+// Table IV: all metrics for the case-study targets.
+func BenchmarkTable4(b *testing.B) { runExperiment(b, "table4") }
+
+// Figure 10: minimum observed total EMD vs. search iteration.
+func BenchmarkFigure10(b *testing.B) { runExperiment(b, "fig10") }
+
+// Figure 11: achievable IPC and LLC MPKI ranges per generator.
+func BenchmarkFigure11(b *testing.B) { runExperiment(b, "fig11") }
+
+// Figure 12: networked mem-fb key metrics.
+func BenchmarkFigure12(b *testing.B) { runExperiment(b, "fig12") }
+
+// Figure 13: networked mem-fb sensitivity curves.
+func BenchmarkFigure13(b *testing.B) { runExperiment(b, "fig13") }
+
+// Ablation: Bayesian optimization vs. random search vs. annealing.
+func BenchmarkAblationOptimizers(b *testing.B) { runExperiment(b, "ablation-optimizers") }
+
+// Ablation: distribution-matching EMD vs. mean-only error model.
+func BenchmarkAblationAverageOnlyError(b *testing.B) { runExperiment(b, "ablation-error-model") }
+
+// Ablation: metric weighting (the §V-C img-dnn trade-off).
+func BenchmarkAblationWeights(b *testing.B) { runExperiment(b, "ablation-weights") }
+
+// Ablation: EMD vs Kolmogorov–Smirnov distribution distance.
+func BenchmarkAblationDistance(b *testing.B) { runExperiment(b, "ablation-distance") }
+
+// Extension (§III-D future work): compression-aware dataset generation.
+func BenchmarkExtCompression(b *testing.B) { runExperiment(b, "ext-compression") }

@@ -1,0 +1,122 @@
+// Command datamime runs a full Datamime search for one evaluation workload:
+// it profiles the hidden target, searches the workload's dataset-generator
+// parameter space with Bayesian optimization, and reports the best dataset
+// parameters and the resulting benchmark's profile.
+//
+// Usage:
+//
+//	datamime -workload mem-fb -iterations 200
+//	datamime -workload silo -iterations 60 -seed 7 -quiet
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"datamime"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "mem-fb", "target workload: "+strings.Join(workloadNames(), ", "))
+		iterations   = flag.Int("iterations", 200, "search iterations (the paper uses 200)")
+		seed         = flag.Uint64("seed", 1, "seed for all stochastic streams")
+		quiet        = flag.Bool("quiet", false, "suppress per-iteration progress")
+		quick        = flag.Bool("quick", false, "use reduced profiling budgets (faster, noisier)")
+		parallel     = flag.Int("parallel", 4, "concurrent candidate evaluations per batch (1 = the paper's serial loop)")
+		targetFile   = flag.String("target-profile", "", "load the target profile from a JSON file (as produced by cmd/profiler) instead of profiling the workload — the paper's share-profiles-not-data workflow")
+	)
+	flag.Parse()
+
+	if err := run(*workloadName, *iterations, *seed, *quiet, *quick, *parallel, *targetFile); err != nil {
+		fmt.Fprintln(os.Stderr, "datamime:", err)
+		os.Exit(1)
+	}
+}
+
+func workloadNames() []string {
+	var names []string
+	for _, w := range datamime.Workloads() {
+		names = append(names, w.Name)
+	}
+	for _, w := range datamime.CaseStudyWorkloads() {
+		names = append(names, w.Name)
+	}
+	return names
+}
+
+func run(name string, iterations int, seed uint64, quiet, quick bool, parallel int, targetFile string) error {
+	w, err := datamime.WorkloadByName(name)
+	if err != nil {
+		return err
+	}
+	st := datamime.FullSettings()
+	if quick {
+		st = datamime.QuickSettings()
+	}
+
+	profiler := datamime.NewProfiler(datamime.Broadwell())
+	profiler.WindowCycles = st.WindowCycles
+	profiler.Windows = st.Windows
+	profiler.WarmupWindows = st.WarmupWindows
+	profiler.CurveWindows = st.CurveWindows
+	profiler.CurvePoints = st.CurvePoints
+
+	var target *datamime.Profile
+	if targetFile != "" {
+		data, err := os.ReadFile(targetFile)
+		if err != nil {
+			return err
+		}
+		target, err = datamime.DecodeProfile(data)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded target profile %q (%s, measured on %s)\n",
+			targetFile, target.Benchmark, target.Machine)
+	} else {
+		fmt.Printf("profiling target %s on broadwell...\n", w.Name)
+		var err error
+		target, err = profiler.Profile(w.Target, seed)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("target: IPC %.2f, LLC MPKI %.2f, CPU util %.2f\n",
+		target.Mean(datamime.MetricIPC), target.Mean(datamime.MetricLLC),
+		target.Mean(datamime.MetricCPUUtil))
+
+	var log io.Writer
+	if !quiet {
+		log = os.Stdout
+	}
+	fmt.Printf("searching %s's %d-parameter space for %d iterations...\n",
+		w.Generator.Name, w.Generator.Space.Dim(), iterations)
+	res, err := datamime.Search(datamime.SearchConfig{
+		Generator:  w.Generator,
+		Objective:  datamime.ProfileObjective{Target: target, Model: datamime.NewErrorModel()},
+		Profiler:   profiler,
+		Iterations: iterations,
+		Seed:       seed,
+		Log:        log,
+		Parallel:   parallel,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\nbest dataset parameters (total EMD %.4f):\n  %s\n",
+		res.BestError, w.Generator.Space.Values(res.BestParams))
+	fmt.Printf("benchmark vs target (broadwell means):\n")
+	for _, m := range []datamime.MetricID{
+		datamime.MetricIPC, datamime.MetricLLC, datamime.MetricICache,
+		datamime.MetricBranch, datamime.MetricCPUUtil, datamime.MetricMemBW,
+	} {
+		fmt.Printf("  %-12s target %8.3f   datamime %8.3f\n",
+			m, target.Mean(m), res.BestProfile.Mean(m))
+	}
+	return nil
+}

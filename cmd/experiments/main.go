@@ -1,0 +1,92 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures. Each experiment prints the numeric series behind the
+// corresponding figure (see DESIGN.md's per-experiment index).
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig1,fig6 -quick
+//	experiments -run all              # full evaluation (hours)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"datamime"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		run    = flag.String("run", "", "comma-separated experiment ids, or 'all'")
+		quick  = flag.Bool("quick", false, "reduced budgets (~minutes instead of hours)")
+		seed   = flag.Uint64("seed", 1, "seed for all stochastic streams")
+		quiet  = flag.Bool("quiet", false, "suppress progress logging")
+		outdir = flag.String("outdir", "", "also write each experiment's output to <outdir>/<id>.txt")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range datamime.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *run == "" {
+		fmt.Fprintln(os.Stderr, "experiments: nothing to do; use -run <ids> or -list")
+		os.Exit(2)
+	}
+
+	st := datamime.FullSettings()
+	if *quick {
+		st = datamime.QuickSettings()
+	}
+	st.Seed = *seed
+	if !*quiet {
+		st.Log = os.Stderr
+	}
+	r := datamime.NewRunner(st)
+
+	ids := strings.Split(*run, ",")
+	if *run == "all" {
+		ids = datamime.ExperimentIDs()
+	}
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		out := io.Writer(os.Stdout)
+		var f *os.File
+		if *outdir != "" {
+			var err error
+			f, err = os.Create(filepath.Join(*outdir, id+".txt"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			out = io.MultiWriter(os.Stdout, f)
+		}
+		err := datamime.RunExperiment(r, id, out)
+		if f != nil {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "[%s done in %.1fs]\n", id, time.Since(start).Seconds())
+		}
+	}
+}

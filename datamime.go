@@ -1,0 +1,218 @@
+// Package datamime is a full reproduction of Datamime (Lee & Sanchez,
+// MICRO 2022): a profile-guided system that generates representative
+// benchmarks by automatically synthesizing datasets.
+//
+// Datamime takes three inputs — performance profiles of a target workload,
+// a program (the same as, or similar to, the target's), and a parameterized
+// dataset generator — and searches the generator's parameter space with
+// Bayesian optimization so that the program running the synthesized dataset
+// reproduces the target's performance-profile *distributions* (Earth
+// Mover's Distance over the ten Table I metrics, including cache-
+// sensitivity curves).
+//
+// Because this reproduction runs without hardware counters or production
+// data, workloads execute on a deterministic trace-driven microarchitecture
+// simulator with three machine models (Broadwell, Zen 2, Silvermont) and
+// application substrates implemented in this module (an in-memory KV store,
+// an OLTP database, a search engine, a CNN inference engine). See DESIGN.md
+// for the substitution inventory.
+//
+// The typical flow:
+//
+//	target := datamime.MemFB()                    // a hidden target workload
+//	prof, _ := datamime.NewProfiler(datamime.Broadwell()).Profile(target, 1)
+//	gen := datamime.MemcachedGenerator()          // Table III parameter space
+//	res, _ := datamime.Search(datamime.SearchConfig{
+//	    Generator:  gen,
+//	    Objective:  datamime.ProfileObjective{Target: prof, Model: datamime.NewErrorModel()},
+//	    Profiler:   datamime.NewProfiler(datamime.Broadwell()),
+//	    Iterations: 200,
+//	})
+//	bench := gen.Benchmark(res.BestParams)        // the representative benchmark
+package datamime
+
+import (
+	"io"
+
+	"datamime/internal/cloning"
+	"datamime/internal/core"
+	"datamime/internal/datagen"
+	"datamime/internal/harness"
+	"datamime/internal/opt"
+	"datamime/internal/profile"
+	"datamime/internal/sim"
+	"datamime/internal/workload"
+)
+
+// Core types, re-exported from the implementation packages.
+type (
+	// Profile is a complete performance profile: per-metric sample
+	// distributions plus cache-sensitivity curves.
+	Profile = profile.Profile
+	// MetricID names one profiled metric.
+	MetricID = profile.MetricID
+	// CurvePoint is one cache-allocation measurement.
+	CurvePoint = profile.CurvePoint
+	// Profiler collects profiles on a simulated machine.
+	Profiler = profile.Profiler
+	// Benchmark couples a server factory with its offered load.
+	Benchmark = workload.Benchmark
+	// Server is a request-driven application.
+	Server = workload.Server
+	// RunResult summarizes one driver run.
+	RunResult = workload.RunResult
+	// Generator is a dataset generator: a parameter space plus a factory.
+	Generator = datagen.Generator
+	// Param is one bounded generator parameter.
+	Param = opt.Param
+	// Space is a searchable parameter domain.
+	Space = opt.Space
+	// Optimizer proposes parameters and learns from observations.
+	Optimizer = opt.Optimizer
+	// SearchConfig drives one Datamime search.
+	SearchConfig = core.SearchConfig
+	// Result is a search outcome.
+	Result = core.Result
+	// IterationRecord is one step of a search trace.
+	IterationRecord = core.IterationRecord
+	// ErrorModel is the Eq. 1 profile error model.
+	ErrorModel = core.ErrorModel
+	// Component names one of the ten error components.
+	Component = core.Component
+	// Objective scores candidate profiles.
+	Objective = core.Objective
+	// ProfileObjective matches a full target profile.
+	ProfileObjective = core.ProfileObjective
+	// MetricObjective targets a single metric value.
+	MetricObjective = core.MetricObjective
+	// MachineConfig describes a simulated evaluation platform.
+	MachineConfig = sim.MachineConfig
+	// Workload is an evaluation target bundle (target + public dataset +
+	// generator).
+	Workload = harness.Workload
+	// Runner executes and caches evaluation experiments.
+	Runner = harness.Runner
+	// Settings controls experiment budgets.
+	Settings = harness.Settings
+)
+
+// Profiled metric identifiers (Table I).
+const (
+	MetricIPC     = profile.MetricIPC
+	MetricL1D     = profile.MetricL1D
+	MetricL2      = profile.MetricL2
+	MetricLLC     = profile.MetricLLC
+	MetricICache  = profile.MetricICache
+	MetricITLB    = profile.MetricITLB
+	MetricDTLB    = profile.MetricDTLB
+	MetricBranch  = profile.MetricBranch
+	MetricCPUUtil = profile.MetricCPUUtil
+	MetricMemBW   = profile.MetricMemBW
+	// MetricCompress is the optional snapshot-compression-ratio metric
+	// (the §III-D extension).
+	MetricCompress = profile.MetricCompress
+)
+
+// CompCompression is the optional error-model component matching snapshot
+// compression ratios; weight it in with ErrorModel.WithWeight.
+const CompCompression = core.CompCompression
+
+// DistanceKind selects the distribution-distance statistic of the error
+// model: DistEMD (the paper's choice) or DistKS (the Kolmogorov–Smirnov
+// alternative it cites).
+type DistanceKind = core.DistanceKind
+
+// Distribution-distance statistics.
+const (
+	DistEMD = core.DistEMD
+	DistKS  = core.DistKS
+)
+
+// Machine configurations mirroring Table II.
+var (
+	Broadwell  = sim.Broadwell
+	Zen2       = sim.Zen2
+	Silvermont = sim.Silvermont
+	Machines   = sim.Machines
+)
+
+// NewProfiler returns a profiler with the evaluation defaults for the
+// given machine.
+func NewProfiler(m MachineConfig) *Profiler { return profile.New(m) }
+
+// DecodeProfile parses a profile serialized with Profile.EncodeJSON — the
+// artifact a service operator shares with a benchmark designer in the
+// paper's workflow (profiles reveal counters, never data).
+func DecodeProfile(data []byte) (*Profile, error) { return profile.DecodeJSON(data) }
+
+// Search runs Datamime's optimization loop (Eq. 2).
+func Search(cfg SearchConfig) (*Result, error) { return core.Search(cfg) }
+
+// NewErrorModel returns the default equal-weight Eq. 1 error model.
+func NewErrorModel() *ErrorModel { return core.NewErrorModel() }
+
+// NewBayesOpt builds the paper's Bayesian optimizer over a space.
+func NewBayesOpt(space *Space, seed uint64) Optimizer {
+	return opt.NewBayesOpt(space, opt.BayesOptConfig{Seed: seed})
+}
+
+// NewRandomSearch builds the random-search baseline optimizer.
+func NewRandomSearch(space *Space, seed uint64) Optimizer {
+	return opt.NewRandomSearch(space, seed)
+}
+
+// NewSpace builds a validated parameter space.
+func NewSpace(params ...Param) (*Space, error) { return opt.NewSpace(params...) }
+
+// Dataset generators (Table III).
+var (
+	MemcachedGenerator             = datagen.Memcached
+	MemcachedCompressibleGenerator = datagen.MemcachedCompressible
+	SiloGenerator                  = datagen.Silo
+	XapianGenerator                = datagen.Xapian
+	DNNGenerator                   = datagen.DNN
+	Generators                     = datagen.All
+	GeneratorByName                = datagen.ByName
+)
+
+// Evaluation workloads and case studies.
+var (
+	Workloads          = harness.Workloads
+	CaseStudyWorkloads = harness.CaseStudyWorkloads
+	WorkloadByName     = harness.WorkloadByName
+)
+
+// Experiment settings presets.
+var (
+	FullSettings  = harness.Full
+	QuickSettings = harness.Quick
+)
+
+// NewRunner builds an experiment runner.
+func NewRunner(st Settings) *Runner { return harness.NewRunner(st) }
+
+// CloneBaseline generates a PerfProx-style black-box clone benchmark from a
+// target profile (the comparison baseline of the paper).
+func CloneBaseline(target *Profile, name string) Benchmark {
+	return cloning.Clone(target, name)
+}
+
+// MemFB returns the mem-fb target benchmark (memcached with a Facebook-
+// production-like dataset) — the running example of the paper.
+func MemFB() Benchmark {
+	w, err := harness.WorkloadByName("mem-fb")
+	if err != nil {
+		panic(err) // static registry; cannot fail
+	}
+	return w.Target
+}
+
+// RunExperiment regenerates one paper table/figure by id ("fig1", "fig3",
+// "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+// "fig13", "table1", "table2", "table3", "table4") into out.
+func RunExperiment(r *Runner, id string, out io.Writer) error {
+	return harness.RunExperiment(r, id, out)
+}
+
+// ExperimentIDs lists every regenerable table and figure id.
+func ExperimentIDs() []string { return harness.ExperimentIDs() }

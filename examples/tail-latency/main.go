@@ -1,0 +1,77 @@
+// Time-varying behavior: why matching distributions matters.
+//
+// Black-box clones only match *average* statistics, so they cannot be used
+// to study tail behavior: their activity is static over time (§II-B,
+// Figs. 4 and 8). This example profiles the mem-fb target, a PerfProx-style
+// clone, and a Datamime-generated benchmark, and compares the full
+// *distributions* of CPU utilization and memory bandwidth — the metrics
+// whose bursts shape tail latency.
+//
+// Run with:
+//
+//	go run ./examples/tail-latency
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"datamime"
+)
+
+func main() {
+	st := datamime.QuickSettings()
+	st.Iterations = 40
+	runner := datamime.NewRunner(st)
+
+	w, err := datamime.WorkloadByName("mem-fb")
+	if err != nil {
+		log.Fatal(err)
+	}
+	machine := datamime.Broadwell()
+	target, err := runner.TargetProfile(w, machine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clone, err := runner.CloneProfile(w, machine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dm, err := runner.DatamimeProfile(w, machine)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, metric := range []struct {
+		id    datamime.MetricID
+		label string
+	}{
+		{datamime.MetricCPUUtil, "CPU utilization"},
+		{datamime.MetricMemBW, "memory bandwidth (GB/s)"},
+	} {
+		fmt.Printf("%s distribution:\n", metric.label)
+		fmt.Printf("%-10s %8s %8s %8s %8s %8s %14s\n",
+			"scheme", "p10", "p50", "p90", "p99", "max", "EMD vs target")
+		tgtSamples := target.Samples[metric.id]
+		for _, s := range []struct {
+			name    string
+			profile *datamime.Profile
+		}{
+			{"target", target}, {"perfprox", clone}, {"datamime", dm},
+		} {
+			e := s.profile.ECDF(metric.id)
+			emd := "-"
+			if s.name != "target" {
+				emd = fmt.Sprintf("%.3f", datamime.NormalizedEMD(tgtSamples, s.profile.Samples[metric.id]))
+			}
+			fmt.Printf("%-10s %8.3f %8.3f %8.3f %8.3f %8.3f %14s\n",
+				s.name, e.Quantile(0.10), e.Quantile(0.50), e.Quantile(0.90),
+				e.Quantile(0.99), e.Max(), emd)
+		}
+		fmt.Println()
+	}
+	fmt.Println("The clone's distributions collapse to a point (static activity,")
+	fmt.Println("utilization pegged at 1.0); Datamime reproduces the target's")
+	fmt.Println("spread — the property that makes it usable for tail-latency and")
+	fmt.Println("OS-interaction studies.")
+}

@@ -1,0 +1,3 @@
+module datamime
+
+go 1.22

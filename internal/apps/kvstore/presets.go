@@ -1,0 +1,68 @@
+package kvstore
+
+import "datamime/internal/stats"
+
+// The preset configurations below define the paper's memcached target
+// workloads and the alternative public dataset. Targets are *hidden* from
+// the search: Datamime only ever sees their performance profiles.
+
+// FacebookTarget models the mem-fb target: a dataset representative of
+// Facebook's production environment (Atikoglu et al.). Small keys, a
+// generalized-Pareto value-size distribution, a GET-dominated mix, strong
+// popularity skew, and background churn.
+func FacebookTarget() Config {
+	return Config{
+		NumKeys:        110_000,
+		KeySize:        stats.Normal{Mu: 31, Sigma: 9, Min: 8},
+		ValueSize:      stats.GPareto{Loc: 16, Scale: 220, Shape: 0.25},
+		GetRatio:       0.97,
+		PopularitySkew: 1.05,
+		ChurnProb:      0.15,
+		CrawlEvery:     600,
+		CrawlItems:     400,
+		// Social-graph payloads compress well (~2.3x snapshot ratio).
+		ValueEntropy: 3.2,
+	}
+}
+
+// FacebookQPS is the offered load of the mem-fb target.
+const FacebookQPS = 160_000
+
+// TwitterTarget models the mem-twtr target: an anonymized Twemcache-like
+// trace (Yang et al., OSDI'20). Twemcache clusters skew toward smaller
+// objects, higher write ratios, and moderate popularity skew.
+func TwitterTarget() Config {
+	return Config{
+		NumKeys:        160_000,
+		KeySize:        stats.LogNormal{Mu: 3.4, Sigma: 0.5}, // median ~30 B
+		ValueSize:      stats.LogNormal{Mu: 4.6, Sigma: 0.9}, // median ~100 B
+		GetRatio:       0.82,
+		PopularitySkew: 0.85,
+		ChurnProb:      0.25,
+		CrawlEvery:     900,
+		CrawlItems:     300,
+	}
+}
+
+// TwitterQPS is the offered load of the mem-twtr target.
+const TwitterQPS = 200_000
+
+// TailbenchDefault models the public dataset the paper contrasts against in
+// Figs. 1 and 3: Tailbench's default YCSB-style driver — uniform key
+// popularity, fixed-ish small keys, large uniform values, and a 50/50
+// read/write mix. Running memcached with this dataset behaves very
+// differently from the production targets.
+func TailbenchDefault() Config {
+	return Config{
+		NumKeys:        40_000,
+		KeySize:        stats.Normal{Mu: 23, Sigma: 2, Min: 16},
+		ValueSize:      stats.Normal{Mu: 1100, Sigma: 80, Min: 512},
+		GetRatio:       0.5,
+		PopularitySkew: 0, // uniform
+		ChurnProb:      0,
+		CrawlEvery:     0,
+	}
+}
+
+// TailbenchQPS is the offered load used with the public dataset.
+const TailbenchQPS = 60_000

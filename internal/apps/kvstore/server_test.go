@@ -1,0 +1,219 @@
+package kvstore
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"datamime/internal/stats"
+	"datamime/internal/trace"
+)
+
+func smallConfig() Config {
+	return Config{
+		NumKeys:        2000,
+		KeySize:        stats.Normal{Mu: 24, Sigma: 4, Min: 8},
+		ValueSize:      stats.Normal{Mu: 128, Sigma: 32, Min: 16},
+		GetRatio:       0.9,
+		PopularitySkew: 0.9,
+		ChurnProb:      0.05,
+		CrawlEvery:     100,
+	}
+}
+
+func TestServerPopulation(t *testing.T) {
+	s := New(smallConfig(), trace.NewCodeLayout(), 1)
+	if s.Store().Len() != 2000 {
+		t.Fatalf("populated %d keys", s.Store().Len())
+	}
+	if s.Store().LiveBytes() == 0 {
+		t.Fatal("no simulated footprint")
+	}
+}
+
+func TestServerDeterministicGivenSeed(t *testing.T) {
+	mk := func() (int, int, int) {
+		s := New(smallConfig(), trace.NewCodeLayout(), 7)
+		rng := stats.NewRNG(99)
+		rec := trace.NewRecorder()
+		for i := 0; i < 500; i++ {
+			s.Handle(rec, rng)
+		}
+		g, st, h := s.Stats()
+		_ = rec
+		return g, st, h
+	}
+	g1, s1, h1 := mk()
+	g2, s2, h2 := mk()
+	if g1 != g2 || s1 != s2 || h1 != h2 {
+		t.Fatalf("same-seed runs diverged: (%d,%d,%d) vs (%d,%d,%d)", g1, s1, h1, g2, s2, h2)
+	}
+}
+
+func TestServerGetRatioHonored(t *testing.T) {
+	cfg := smallConfig()
+	cfg.GetRatio = 0.7
+	cfg.ChurnProb = 0
+	s := New(cfg, trace.NewCodeLayout(), 2)
+	rng := stats.NewRNG(5)
+	var null trace.Null
+	const n = 20000
+	for i := 0; i < n; i++ {
+		s.Handle(null, rng)
+	}
+	gets, sets, _ := s.Stats()
+	frac := float64(gets) / float64(gets+sets)
+	if math.Abs(frac-0.7) > 0.02 {
+		t.Fatalf("GET fraction = %.3f, want ~0.7", frac)
+	}
+}
+
+func TestServerHitRateHighWithoutChurn(t *testing.T) {
+	cfg := smallConfig()
+	cfg.ChurnProb = 0
+	s := New(cfg, trace.NewCodeLayout(), 3)
+	rng := stats.NewRNG(6)
+	var null trace.Null
+	for i := 0; i < 5000; i++ {
+		s.Handle(null, rng)
+	}
+	if hr := s.HitRate(); hr < 0.999 {
+		t.Fatalf("hit rate without churn = %g, want ~1", hr)
+	}
+}
+
+func TestServerChurnCausesEvictionsAndMisses(t *testing.T) {
+	cfg := smallConfig()
+	cfg.ChurnProb = 0.5
+	cfg.GetRatio = 0.5
+	s := New(cfg, trace.NewCodeLayout(), 4)
+	rng := stats.NewRNG(7)
+	var null trace.Null
+	for i := 0; i < 30000; i++ {
+		s.Handle(null, rng)
+	}
+	if hr := s.HitRate(); hr >= 0.999 {
+		t.Fatalf("hit rate with heavy churn = %g, want < 1", hr)
+	}
+	// The budget must have held the footprint near its initial level.
+	if s.Store().LiveBytes() > s.budget {
+		t.Fatalf("footprint %d exceeds budget %d", s.Store().LiveBytes(), s.budget)
+	}
+}
+
+func TestServerMessageSizesTrackRequests(t *testing.T) {
+	s := New(smallConfig(), trace.NewCodeLayout(), 8)
+	rng := stats.NewRNG(9)
+	var null trace.Null
+	for i := 0; i < 50; i++ {
+		s.Handle(null, rng)
+		req, resp := s.LastMessageSizes()
+		if req <= 0 || resp <= 0 {
+			t.Fatalf("non-positive message sizes: %d/%d", req, resp)
+		}
+	}
+}
+
+func TestValueSizeDrivesTraffic(t *testing.T) {
+	// Per-request data traffic must grow with value size — a core lever of
+	// the dataset generator.
+	traffic := func(valMean float64) float64 {
+		cfg := smallConfig()
+		cfg.ValueSize = stats.Normal{Mu: valMean, Sigma: valMean / 10, Min: 16}
+		cfg.ChurnProb = 0
+		s := New(cfg, trace.NewCodeLayout(), 11)
+		rng := stats.NewRNG(12)
+		rec := trace.NewRecorder()
+		for i := 0; i < 2000; i++ {
+			s.Handle(rec, rng)
+		}
+		return float64(rec.LoadBytes+rec.StoreBytes) / 2000
+	}
+	small := traffic(64)
+	big := traffic(2048)
+	if big < small*4 {
+		t.Fatalf("traffic should scale with value size: %.0f vs %.0f bytes/req", small, big)
+	}
+}
+
+func TestSkewConcentratesAccesses(t *testing.T) {
+	// With high skew, a small fraction of keys should absorb most GETs,
+	// which is what makes skewed datasets cache-friendly.
+	cfg := smallConfig()
+	cfg.PopularitySkew = 1.2
+	cfg.ChurnProb = 0
+	cfg.GetRatio = 1.0
+	s := New(cfg, trace.NewCodeLayout(), 13)
+	rng := stats.NewRNG(14)
+	counts := make(map[uint64]int)
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		id, _ := s.pickKey(rng)
+		counts[id]++
+	}
+	// The hottest 20 keys (1% of the key space) should absorb a large
+	// fraction of the accesses under skew 1.2.
+	top := make([]int, 0, len(counts))
+	for _, c := range counts {
+		top = append(top, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(top)))
+	hot := 0
+	for i := 0; i < 20 && i < len(top); i++ {
+		hot += top[i]
+	}
+	if frac := float64(hot) / draws; frac < 0.3 {
+		t.Fatalf("top-20 keys absorbed only %.2f of accesses under skew 1.2", frac)
+	}
+}
+
+func TestServerAccessors(t *testing.T) {
+	s := New(smallConfig(), trace.NewCodeLayout(), 30)
+	if s.Name() != "memcached" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+	if s.Heap() == nil || s.Heap().LiveBytes() == 0 {
+		t.Fatal("heap accessor broken")
+	}
+	if s.HitRate() != 0 {
+		t.Fatal("hit rate before any GET must be 0")
+	}
+}
+
+func TestCompressionRatioTracksEntropy(t *testing.T) {
+	mk := func(entropy float64) *Server {
+		cfg := smallConfig()
+		cfg.ValueEntropy = entropy
+		return New(cfg, trace.NewCodeLayout(), 31)
+	}
+	random := mk(8).CompressionRatio()
+	tight := mk(1.5).CompressionRatio()
+	if tight <= random || random < 1 {
+		t.Fatalf("compression ratios: entropy8=%g entropy1.5=%g", random, tight)
+	}
+	kb, vb, hb := mk(8).Store().FootprintBreakdown()
+	if kb == 0 || vb == 0 || hb == 0 {
+		t.Fatalf("footprint breakdown %d/%d/%d", kb, vb, hb)
+	}
+}
+
+func TestConfigRejectsBadEntropy(t *testing.T) {
+	cfg := smallConfig()
+	cfg.ValueEntropy = 9
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("entropy > 8 validated")
+	}
+	cfg.ValueEntropy = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative entropy validated")
+	}
+}
+
+func TestServerPanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with invalid config did not panic")
+		}
+	}()
+	New(Config{}, trace.NewCodeLayout(), 0)
+}

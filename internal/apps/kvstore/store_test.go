@@ -1,0 +1,214 @@
+package kvstore
+
+import (
+	"testing"
+
+	"datamime/internal/stats"
+	"datamime/internal/trace"
+)
+
+func newTestStore() *Store {
+	return NewStore(1024, trace.NewCodeLayout())
+}
+
+func TestSetGetRoundTrip(t *testing.T) {
+	s := newTestStore()
+	var null trace.Null
+	s.Set(null, 42, 16, 100, 0xdead, 0)
+	size, fp, ok := s.Get(null, 42)
+	if !ok || size != 100 || fp != 0xdead {
+		t.Fatalf("Get = (%d, %#x, %v)", size, fp, ok)
+	}
+	if _, _, ok := s.Get(null, 43); ok {
+		t.Fatal("Get of absent key succeeded")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestSetReplace(t *testing.T) {
+	s := newTestStore()
+	var null trace.Null
+	s.Set(null, 7, 16, 100, 1, 0)
+	before := s.LiveBytes()
+	s.Set(null, 7, 16, 200, 2, 0)
+	if s.Len() != 1 {
+		t.Fatalf("replace changed Len to %d", s.Len())
+	}
+	size, fp, ok := s.Get(null, 7)
+	if !ok || size != 200 || fp != 2 {
+		t.Fatalf("after replace: (%d, %d, %v)", size, fp, ok)
+	}
+	if s.LiveBytes() <= before {
+		t.Fatal("larger value did not grow footprint")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := newTestStore()
+	var null trace.Null
+	for i := uint64(0); i < 100; i++ {
+		s.Set(null, i, 16, 64, i, 0)
+	}
+	if !s.Delete(null, 50) {
+		t.Fatal("Delete of present key failed")
+	}
+	if s.Delete(null, 50) {
+		t.Fatal("double Delete succeeded")
+	}
+	if _, _, ok := s.Get(null, 50); ok {
+		t.Fatal("deleted key still present")
+	}
+	if s.Len() != 99 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	// Other keys unaffected.
+	for i := uint64(0); i < 100; i++ {
+		if i == 50 {
+			continue
+		}
+		if _, _, ok := s.Get(null, i); !ok {
+			t.Fatalf("key %d lost after unrelated delete", i)
+		}
+	}
+}
+
+func TestEvictionRespectsBudget(t *testing.T) {
+	s := newTestStore()
+	var null trace.Null
+	// Populate without budget, then insert with a tight budget.
+	for i := uint64(0); i < 500; i++ {
+		s.Set(null, i, 16, 128, i, 0)
+	}
+	budget := s.LiveBytes() // exactly full
+	for i := uint64(500); i < 600; i++ {
+		s.Set(null, i, 16, 128, i, budget)
+		if s.LiveBytes() > budget {
+			t.Fatalf("budget exceeded: %d > %d", s.LiveBytes(), budget)
+		}
+	}
+	if s.Len() >= 600 {
+		t.Fatal("no evictions happened")
+	}
+	// The most recently inserted keys must be present (LRU evicts old).
+	for i := uint64(590); i < 600; i++ {
+		if _, _, ok := s.Get(null, i); !ok {
+			t.Fatalf("recently inserted key %d was evicted", i)
+		}
+	}
+}
+
+func TestLRUOrderEviction(t *testing.T) {
+	s := newTestStore()
+	var null trace.Null
+	for i := uint64(0); i < 10; i++ {
+		s.Set(null, i, 16, 64, i, 0)
+	}
+	// Touch key 0 so it becomes MRU; key 1 is now LRU.
+	s.Get(null, 0)
+	budget := s.LiveBytes()
+	s.Set(null, 100, 16, 64, 100, budget)
+	if _, _, ok := s.Get(null, 0); !ok {
+		t.Fatal("MRU key was evicted")
+	}
+	if _, _, ok := s.Get(null, 1); ok {
+		t.Fatal("LRU key survived eviction")
+	}
+}
+
+func TestEntrySlotReuse(t *testing.T) {
+	s := newTestStore()
+	var null trace.Null
+	for i := uint64(0); i < 100; i++ {
+		s.Set(null, i, 16, 64, i, 0)
+	}
+	slots := len(s.entries)
+	for i := uint64(0); i < 50; i++ {
+		s.Delete(null, i)
+	}
+	for i := uint64(200); i < 250; i++ {
+		s.Set(null, i, 16, 64, i, 0)
+	}
+	if len(s.entries) != slots {
+		t.Fatalf("entry slots grew from %d to %d despite free list", slots, len(s.entries))
+	}
+}
+
+func TestStoreEmitsTraffic(t *testing.T) {
+	s := newTestStore()
+	rec := trace.NewRecorder()
+	s.Set(rec, 1, 32, 4096, 9, 0)
+	if rec.Stores == 0 || rec.StoreBytes < 4096 {
+		t.Fatalf("Set emitted %d stores / %d bytes", rec.Stores, rec.StoreBytes)
+	}
+	rec2 := trace.NewRecorder()
+	s.Get(rec2, 1)
+	if rec2.LoadBytes < 4096 {
+		t.Fatalf("Get of 4KB value loaded only %d bytes", rec2.LoadBytes)
+	}
+	if rec2.Branches == 0 {
+		t.Fatal("Get emitted no branches")
+	}
+	if !rec2.DistinctRegions["kv.process_get"] {
+		t.Fatal("Get did not execute the get path")
+	}
+}
+
+func TestCrawlScansTail(t *testing.T) {
+	s := newTestStore()
+	var null trace.Null
+	for i := uint64(0); i < 50; i++ {
+		s.Set(null, i, 16, 64, i, 0)
+	}
+	rec := trace.NewRecorder()
+	s.Crawl(rec, 30)
+	if rec.Loads < 30 {
+		t.Fatalf("Crawl(30) loaded %d entries", rec.Loads)
+	}
+	if !rec.DistinctRegions["kv.lru_crawler"] {
+		t.Fatal("Crawl did not execute the crawler region")
+	}
+}
+
+func TestStorePanicsOnBadBuckets(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewStore(0) did not panic")
+		}
+	}()
+	NewStore(0, trace.NewCodeLayout())
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{
+		NumKeys:   10,
+		KeySize:   stats.Constant{V: 16},
+		ValueSize: stats.Constant{V: 64},
+		GetRatio:  0.9,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{NumKeys: 0, KeySize: good.KeySize, ValueSize: good.ValueSize},
+		{NumKeys: 10, ValueSize: good.ValueSize},
+		{NumKeys: 10, KeySize: good.KeySize},
+		{NumKeys: 10, KeySize: good.KeySize, ValueSize: good.ValueSize, GetRatio: 1.5},
+		{NumKeys: 10, KeySize: good.KeySize, ValueSize: good.ValueSize, ChurnProb: -0.1},
+		{NumKeys: 10, KeySize: good.KeySize, ValueSize: good.ValueSize, PopularitySkew: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad config %d validated", i)
+		}
+	}
+}
+
+func TestPresetsValid(t *testing.T) {
+	for _, c := range []Config{FacebookTarget(), TwitterTarget(), TailbenchDefault()} {
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

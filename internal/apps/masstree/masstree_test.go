@@ -1,0 +1,167 @@
+package masstree
+
+import (
+	"testing"
+
+	"datamime/internal/memsim"
+	"datamime/internal/stats"
+	"datamime/internal/trace"
+)
+
+func newTestTree() *Tree {
+	layout := trace.NewCodeLayout()
+	return NewTree(memsim.NewHeap(), layout.Region("mt", 4096))
+}
+
+func TestTreePutGet(t *testing.T) {
+	tr := newTestTree()
+	var null trace.Null
+	const n = 5000
+	for i := uint64(0); i < n; i++ {
+		tr.Put(null, scatter(i), i)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := uint64(0); i < n; i++ {
+		v, ok := tr.Get(null, scatter(i))
+		if !ok || v != i {
+			t.Fatalf("Get(%d) = (%d, %v)", i, v, ok)
+		}
+	}
+	if _, ok := tr.Get(null, scatter(n+1)); ok {
+		t.Fatal("absent key found")
+	}
+}
+
+func TestTreeReplace(t *testing.T) {
+	tr := newTestTree()
+	var null trace.Null
+	tr.Put(null, 99, 1)
+	tr.Put(null, 99, 2)
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after replace", tr.Len())
+	}
+	if v, _ := tr.Get(null, 99); v != 2 {
+		t.Fatalf("Get = %d", v)
+	}
+}
+
+func TestTreeEmitsNodeLoads(t *testing.T) {
+	tr := newTestTree()
+	var null trace.Null
+	for i := uint64(0); i < 10000; i++ {
+		tr.Put(null, scatter(i), i)
+	}
+	rec := trace.NewRecorder()
+	tr.Get(rec, scatter(1234))
+	if rec.Loads < 3 {
+		t.Fatalf("lookup of deep tree emitted %d node loads", rec.Loads)
+	}
+	if rec.Branches < 6 {
+		t.Fatalf("binary search emitted only %d branches", rec.Branches)
+	}
+}
+
+func TestScatterIsInjectiveOnRange(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := uint64(0); i < 100000; i++ {
+		k := scatter(i)
+		if seen[k] {
+			t.Fatalf("scatter collision at %d", i)
+		}
+		seen[k] = true
+	}
+}
+
+func smallConfig() Config {
+	return Config{
+		NumKeys:        3000,
+		ValueSize:      stats.Normal{Mu: 110, Sigma: 15, Min: 32},
+		GetRatio:       0.5,
+		PopularitySkew: 0.4,
+	}
+}
+
+func TestServerBasics(t *testing.T) {
+	s := New(smallConfig(), trace.NewCodeLayout(), 1)
+	if s.Tree().Len() != 3000 {
+		t.Fatalf("populated %d keys", s.Tree().Len())
+	}
+	rng := stats.NewRNG(2)
+	rec := trace.NewRecorder()
+	for i := 0; i < 2000; i++ {
+		s.Handle(rec, rng)
+	}
+	gets, puts := s.Stats()
+	if gets+puts != 2000 {
+		t.Fatalf("requests = %d", gets+puts)
+	}
+	if gets < 800 || puts < 800 {
+		t.Fatalf("50/50 mix skewed: %d/%d", gets, puts)
+	}
+	req, resp := s.LastMessageSizes()
+	if req <= 0 || resp <= 0 {
+		t.Fatalf("message sizes %d/%d", req, resp)
+	}
+}
+
+func TestServerCodeFootprintSmallerThanKVStore(t *testing.T) {
+	// The defining property of the case study: masstree's code footprint is
+	// much smaller than memcached's (Table IV: ICache MPKI 1.20 vs 16.3).
+	layout := trace.NewCodeLayout()
+	New(smallConfig(), layout, 3)
+	rec := trace.NewRecorder()
+	s2 := New(smallConfig(), trace.NewCodeLayout(), 3)
+	rng := stats.NewRNG(4)
+	for i := 0; i < 100; i++ {
+		s2.Handle(rec, rng)
+	}
+	if len(rec.DistinctRegions) > 5 {
+		t.Fatalf("masstree touched %d code regions; expected a compact hot path", len(rec.DistinctRegions))
+	}
+}
+
+func TestServerDeterministic(t *testing.T) {
+	run := func() int {
+		s := New(smallConfig(), trace.NewCodeLayout(), 7)
+		rng := stats.NewRNG(8)
+		rec := trace.NewRecorder()
+		for i := 0; i < 300; i++ {
+			s.Handle(rec, rng)
+		}
+		return rec.Instrs
+	}
+	if run() != run() {
+		t.Fatal("same-seed runs diverged")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := smallConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := YCSBTarget().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{NumKeys: 0, ValueSize: stats.Constant{V: 10}},
+		{NumKeys: 10},
+		{NumKeys: 10, ValueSize: stats.Constant{V: 10}, GetRatio: 2},
+		{NumKeys: 10, ValueSize: stats.Constant{V: 10}, PopularitySkew: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad config %d validated", i)
+		}
+	}
+}
+
+func TestServerPanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config did not panic")
+		}
+	}()
+	New(Config{}, trace.NewCodeLayout(), 0)
+}

@@ -1,0 +1,282 @@
+package nn
+
+import (
+	"fmt"
+
+	"datamime/internal/stats"
+	"datamime/internal/trace"
+)
+
+// LayerKind enumerates the four building-block layer types of the paper's
+// dnn dataset generator (§IV): 3×3 convolution, 3×3 strided convolution,
+// 2×2 max-pooling, and fully-connected.
+type LayerKind int
+
+const (
+	// Conv3x3 is a stride-1, pad-1 3×3 convolution followed by ReLU.
+	Conv3x3 LayerKind = iota
+	// StridedConv3x3 is a stride-2, pad-1 3×3 convolution followed by ReLU
+	// (halves the spatial resolution).
+	StridedConv3x3
+	// MaxPool2x2 is a stride-2 2×2 max-pooling layer.
+	MaxPool2x2
+	// FC is a fully-connected layer over the flattened input; hidden FC
+	// layers apply ReLU, the final one is linear (logits).
+	FC
+)
+
+func (k LayerKind) String() string {
+	switch k {
+	case Conv3x3:
+		return "conv3x3"
+	case StridedConv3x3:
+		return "strided_conv3x3"
+	case MaxPool2x2:
+		return "maxpool2x2"
+	case FC:
+		return "fc"
+	default:
+		return fmt.Sprintf("LayerKind(%d)", int(k))
+	}
+}
+
+// macsPerInstr converts multiply-accumulates to simulated instructions
+// (SIMD FMA retires several MACs per instruction).
+const macsPerInstr = 4
+
+// weightChunk is the granularity of streamed weight loads.
+const weightChunk = 4096
+
+// sampleThreshold is the MAC count above which a convolution computes a
+// sampled subset of output channels (replicating the rest) to bound host
+// time. The emitted trace always reflects the full layer; only the host
+// float work is subsampled. See DESIGN.md.
+const sampleThreshold = 1 << 21
+
+// layer is one network stage with real parameters and simulated storage.
+type layer struct {
+	kind    LayerKind
+	inC     int
+	outC    int
+	weights []float32 // conv: outC*inC*9; fc: outC*inC
+	bias    []float32
+	wAddr   uint64
+	wBytes  int
+	code    *trace.CodeRegion
+}
+
+// forward runs the layer on in, emitting its work into col. relu applies
+// the activation (disabled for the final FC). inAddr/outAddr are the
+// simulated activation buffers this layer reads and writes (the model
+// ping-pongs between two arenas, so consecutive layers genuinely reuse the
+// same buffer). Returns the output tensor.
+func (l *layer) forward(col trace.Collector, in *Tensor, relu bool, inAddr, outAddr uint64) *Tensor {
+	switch l.kind {
+	case Conv3x3, StridedConv3x3:
+		return l.conv(col, in, inAddr, outAddr)
+	case MaxPool2x2:
+		return l.pool(col, in, inAddr, outAddr)
+	case FC:
+		return l.fc(col, in, relu, inAddr, outAddr)
+	default:
+		panic(fmt.Sprintf("nn: unknown layer kind %d", l.kind))
+	}
+}
+
+// emitWeights streams the layer's full weight footprint.
+func (l *layer) emitWeights(col trace.Collector) {
+	for off := 0; off < l.wBytes; off += weightChunk {
+		chunk := l.wBytes - off
+		if chunk > weightChunk {
+			chunk = weightChunk
+		}
+		col.Load(l.wAddr+uint64(off), chunk)
+	}
+}
+
+// conv computes the (possibly strided) 3×3 convolution with ReLU.
+func (l *layer) conv(col trace.Collector, in *Tensor, inAddr, outAddr uint64) *Tensor {
+	stride := 1
+	if l.kind == StridedConv3x3 {
+		stride = 2
+	}
+	outH := (in.H + stride - 1) / stride
+	outW := (in.W + stride - 1) / stride
+	out := NewTensor(l.outC, outH, outW)
+
+	macs := l.outC * in.C * 9 * outH * outW
+	// Host-compute sampling: compute every step-th output channel exactly
+	// and replicate for the skipped ones.
+	step := 1
+	if macs > sampleThreshold {
+		step = (macs + sampleThreshold - 1) / sampleThreshold
+		if step > l.outC {
+			step = l.outC
+		}
+	}
+	var positive int
+	for oc := 0; oc < l.outC; oc++ {
+		if oc%step != 0 {
+			// Replicate the most recent computed channel.
+			src := oc - oc%step
+			copy(out.Data[oc*outH*outW:(oc+1)*outH*outW], out.Data[src*outH*outW:(src+1)*outH*outW])
+			continue
+		}
+		wBase := oc * in.C * 9
+		for oy := 0; oy < outH; oy++ {
+			iy0 := oy*stride - 1
+			for ox := 0; ox < outW; ox++ {
+				ix0 := ox*stride - 1
+				acc := l.bias[oc]
+				for ic := 0; ic < in.C; ic++ {
+					wOff := wBase + ic*9
+					icBase := ic * in.H * in.W
+					for ky := 0; ky < 3; ky++ {
+						y := iy0 + ky
+						if y < 0 || y >= in.H {
+							continue
+						}
+						row := icBase + y*in.W
+						for kx := 0; kx < 3; kx++ {
+							x := ix0 + kx
+							if x < 0 || x >= in.W {
+								continue
+							}
+							acc += l.weights[wOff+ky*3+kx] * in.Data[row+x]
+						}
+					}
+				}
+				if acc > 0 {
+					positive++
+				} else {
+					acc = 0 // ReLU
+				}
+				out.Set(oc, oy, ox, acc)
+			}
+		}
+	}
+
+	// Trace emission for the FULL layer.
+	col.Exec(l.code, 300)
+	l.emitWeights(col)
+	col.Load(inAddr, in.Bytes())
+	col.Store(outAddr, out.Bytes())
+	col.Ops(macs / macsPerInstr)
+	// Sparse data-dependent branches: activation-statistics checks
+	// (inference code is loop-dominated and branch-light).
+	dense := positive*2 > out.Len()
+	col.Branch(l.code.Base, dense)
+	col.Branch(l.code.Base+1, true) // loop exit, well predicted
+	return out
+}
+
+// pool computes 2×2 max-pooling with stride 2.
+func (l *layer) pool(col trace.Collector, in *Tensor, inAddr, outAddr uint64) *Tensor {
+	outH := in.H / 2
+	outW := in.W / 2
+	if outH < 1 {
+		outH = 1
+	}
+	if outW < 1 {
+		outW = 1
+	}
+	out := NewTensor(in.C, outH, outW)
+	for c := 0; c < in.C; c++ {
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				m := in.At(c, oy*2, ox*2)
+				if y, x := oy*2, ox*2+1; x < in.W {
+					if v := in.At(c, y, x); v > m {
+						m = v
+					}
+				}
+				if y, x := oy*2+1, ox*2; y < in.H {
+					if v := in.At(c, y, x); v > m {
+						m = v
+					}
+				}
+				if y, x := oy*2+1, ox*2+1; y < in.H && x < in.W {
+					if v := in.At(c, y, x); v > m {
+						m = v
+					}
+				}
+				out.Set(c, oy, ox, m)
+			}
+		}
+	}
+	col.Exec(l.code, 120)
+	col.Load(inAddr, in.Bytes())
+	col.Store(outAddr, out.Bytes())
+	col.Ops(out.Len() * 3 / macsPerInstr)
+	col.Branch(l.code.Base, true)
+	return out
+}
+
+// fc computes the fully-connected layer over the flattened input.
+func (l *layer) fc(col trace.Collector, in *Tensor, relu bool, inAddr, outAddr uint64) *Tensor {
+	n := in.Len()
+	if n != l.inC {
+		panic(fmt.Sprintf("nn: fc expects %d inputs, got %d", l.inC, n))
+	}
+	out := NewTensor(l.outC, 1, 1)
+	macs := l.outC * n
+	step := 1
+	if macs > sampleThreshold {
+		step = (macs + sampleThreshold - 1) / sampleThreshold
+		if step > l.outC {
+			step = l.outC
+		}
+	}
+	var positive int
+	for o := 0; o < l.outC; o++ {
+		if o%step != 0 {
+			out.Data[o] = out.Data[o-o%step]
+			continue
+		}
+		acc := l.bias[o]
+		wBase := o * n
+		for i := 0; i < n; i++ {
+			acc += l.weights[wBase+i] * in.Data[i]
+		}
+		if relu {
+			if acc > 0 {
+				positive++
+			} else {
+				acc = 0
+			}
+		}
+		out.Data[o] = acc
+	}
+	col.Exec(l.code, 200)
+	l.emitWeights(col)
+	col.Load(inAddr, in.Bytes())
+	col.Store(outAddr, out.Bytes())
+	col.Ops(macs / macsPerInstr)
+	col.Branch(l.code.Base, positive*2 > l.outC)
+	col.Branch(l.code.Base+1, true)
+	return out
+}
+
+// initWeights fills the layer's parameters with scaled random values
+// (He-style initialization keeps activations in range through deep stacks).
+func (l *layer) initWeights(rng *stats.RNG, fanIn int) {
+	scale := float32(1.7) / float32(sqrtInt(fanIn))
+	for i := range l.weights {
+		l.weights[i] = float32(rng.Range(-1, 1)) * scale
+	}
+	for i := range l.bias {
+		l.bias[i] = float32(rng.Range(-0.05, 0.05))
+	}
+}
+
+func sqrtInt(n int) float64 {
+	if n < 1 {
+		return 1
+	}
+	x := float64(n)
+	guess := x / 2
+	for i := 0; i < 20; i++ {
+		guess = (guess + x/guess) / 2
+	}
+	return guess
+}

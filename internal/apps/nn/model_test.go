@@ -1,0 +1,338 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"datamime/internal/stats"
+	"datamime/internal/trace"
+)
+
+func tinySpec() NetSpec {
+	return NetSpec{
+		InputC:  3,
+		InputHW: 8,
+		Layers: []LayerSpec{
+			{Kind: Conv3x3, OutChannels: 8},
+			{Kind: MaxPool2x2},
+			{Kind: StridedConv3x3, OutChannels: 16},
+			{Kind: FC, OutChannels: 32},
+			{Kind: FC},
+		},
+		Classes: 10,
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := tinySpec().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []NetSpec{
+		{InputC: 0, InputHW: 8, Classes: 10},
+		{InputC: 3, InputHW: 8, Classes: 0},
+		{InputC: 3, InputHW: 8, Classes: 10,
+			Layers: []LayerSpec{{Kind: Conv3x3, OutChannels: 0}}},
+		{InputC: 3, InputHW: 8, Classes: 10,
+			Layers: []LayerSpec{{Kind: FC}, {Kind: Conv3x3, OutChannels: 4}}}, // conv after fc
+		{InputC: 3, InputHW: 8, Classes: 10,
+			Layers: []LayerSpec{{Kind: LayerKind(9)}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("bad spec %d validated", i)
+		}
+	}
+}
+
+func TestBuildAndInfer(t *testing.T) {
+	m := Build(tinySpec(), trace.NewCodeLayout(), 1)
+	if m.NumLayers() != 5 {
+		t.Fatalf("layers = %d", m.NumLayers())
+	}
+	if m.WeightBytes() == 0 {
+		t.Fatal("no weights")
+	}
+	in := NewTensor(3, 8, 8)
+	rng := stats.NewRNG(2)
+	in.FillRandom(rng)
+	var null trace.Null
+	logits := m.Infer(null, in)
+	if len(logits) != 10 {
+		t.Fatalf("logits = %d", len(logits))
+	}
+	for _, v := range logits {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatalf("non-finite logit %g", v)
+		}
+	}
+	if m.Inferences() != 1 {
+		t.Fatalf("Inferences = %d", m.Inferences())
+	}
+}
+
+func TestInferenceDeterministic(t *testing.T) {
+	run := func() []float32 {
+		m := Build(tinySpec(), trace.NewCodeLayout(), 7)
+		in := NewTensor(3, 8, 8)
+		rng := stats.NewRNG(8)
+		in.FillRandom(rng)
+		var null trace.Null
+		return m.Infer(null, in)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same-seed inference diverged")
+		}
+	}
+}
+
+func TestDifferentInputsDifferentLogits(t *testing.T) {
+	m := Build(tinySpec(), trace.NewCodeLayout(), 3)
+	rng := stats.NewRNG(4)
+	var null trace.Null
+	in1 := NewTensor(3, 8, 8)
+	in1.FillRandom(rng)
+	in2 := NewTensor(3, 8, 8)
+	in2.FillRandom(rng)
+	l1 := m.Infer(null, in1)
+	l2 := m.Infer(null, in2)
+	same := true
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different inputs produced identical logits")
+	}
+}
+
+func TestConvReLUNonNegative(t *testing.T) {
+	layout := trace.NewCodeLayout()
+	l := layer{kind: Conv3x3, inC: 2, outC: 4, code: layout.Region("c", 1024)}
+	l.weights = make([]float32, 4*2*9)
+	l.bias = make([]float32, 4)
+	rng := stats.NewRNG(5)
+	l.initWeights(rng, 18)
+	in := NewTensor(2, 6, 6)
+	in.FillRandom(rng)
+	var null trace.Null
+	out := l.forward(null, in, true, 0x1000, 0x2000)
+	if out.C != 4 || out.H != 6 || out.W != 6 {
+		t.Fatalf("conv output dims %dx%dx%d", out.C, out.H, out.W)
+	}
+	for _, v := range out.Data {
+		if v < 0 {
+			t.Fatalf("ReLU output negative: %g", v)
+		}
+	}
+}
+
+func TestStridedConvHalves(t *testing.T) {
+	layout := trace.NewCodeLayout()
+	l := layer{kind: StridedConv3x3, inC: 1, outC: 2, code: layout.Region("c", 1024)}
+	l.weights = make([]float32, 2*1*9)
+	l.bias = make([]float32, 2)
+	in := NewTensor(1, 8, 8)
+	var null trace.Null
+	out := l.forward(null, in, true, 0, 0)
+	if out.H != 4 || out.W != 4 {
+		t.Fatalf("strided conv output %dx%d, want 4x4", out.H, out.W)
+	}
+}
+
+func TestMaxPoolCorrectness(t *testing.T) {
+	layout := trace.NewCodeLayout()
+	l := layer{kind: MaxPool2x2, inC: 1, outC: 1, code: layout.Region("p", 512)}
+	in := NewTensor(1, 4, 4)
+	for i := range in.Data {
+		in.Data[i] = float32(i)
+	}
+	var null trace.Null
+	out := l.forward(null, in, true, 0, 0)
+	if out.H != 2 || out.W != 2 {
+		t.Fatalf("pool dims %dx%d", out.H, out.W)
+	}
+	// Max of each 2x2 block of 0..15 row-major: 5, 7, 13, 15.
+	want := []float32{5, 7, 13, 15}
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Fatalf("pool[%d] = %g, want %g", i, out.Data[i], w)
+		}
+	}
+}
+
+func TestFCKnownValues(t *testing.T) {
+	layout := trace.NewCodeLayout()
+	l := layer{kind: FC, inC: 3, outC: 2, code: layout.Region("f", 512)}
+	l.weights = []float32{1, 2, 3, 0, -1, 1} // rows: [1 2 3], [0 -1 1]
+	l.bias = []float32{0.5, 0}
+	in := &Tensor{C: 3, H: 1, W: 1, Data: []float32{1, 1, 2}}
+	var null trace.Null
+	out := l.forward(null, in, false, 0, 0)
+	if out.Data[0] != 9.5 || out.Data[1] != 1 {
+		t.Fatalf("fc = %v, want [9.5 1]", out.Data)
+	}
+}
+
+func TestInferEmitsWeightTraffic(t *testing.T) {
+	m := Build(tinySpec(), trace.NewCodeLayout(), 9)
+	in := NewTensor(3, 8, 8)
+	rng := stats.NewRNG(10)
+	in.FillRandom(rng)
+	rec := trace.NewRecorder()
+	m.Infer(rec, in)
+	if rec.LoadBytes < m.WeightBytes() {
+		t.Fatalf("weight streaming incomplete: %d loaded vs %d weights", rec.LoadBytes, m.WeightBytes())
+	}
+	if !rec.DistinctRegions["nn.conv3x3_kernel"] || !rec.DistinctRegions["nn.gemm_kernel"] {
+		t.Fatalf("missing kernel regions: %v", rec.DistinctRegions)
+	}
+}
+
+func TestSynthesizeStructure(t *testing.T) {
+	spec := Synthesize(SynthParams{
+		Conv: 6, StridedConv: 2, MaxPool: 1, FC: 2, FirstChan: 16, InputHW: 16, Classes: 50,
+	})
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[LayerKind]int{}
+	lastConvIdx, firstFCIdx := -1, -1
+	for i, l := range spec.Layers {
+		counts[l.Kind]++
+		if l.Kind != FC {
+			lastConvIdx = i
+		} else if firstFCIdx < 0 {
+			firstFCIdx = i
+		}
+	}
+	if counts[Conv3x3] != 6 || counts[StridedConv3x3] != 2 || counts[MaxPool2x2] != 1 || counts[FC] != 2 {
+		t.Fatalf("layer counts %v", counts)
+	}
+	if firstFCIdx < lastConvIdx {
+		t.Fatal("FC layers not at the end")
+	}
+	if spec.Layers[0].OutChannels != 16 {
+		t.Fatalf("first channels = %d", spec.Layers[0].OutChannels)
+	}
+}
+
+func TestSynthesizeChannelDoubling(t *testing.T) {
+	spec := Synthesize(SynthParams{
+		Conv: 4, StridedConv: 2, FC: 1, FirstChan: 8, InputHW: 32,
+	})
+	maxC := 0
+	for _, l := range spec.Layers {
+		if l.OutChannels > maxC {
+			maxC = l.OutChannels
+		}
+	}
+	if maxC < 16 {
+		t.Fatalf("channels never doubled: max %d", maxC)
+	}
+}
+
+func TestSynthesizeDropsExcessDownsamples(t *testing.T) {
+	// A tiny input cannot absorb many downsamples; Synthesize must not
+	// produce sub-1x1 spatial stages.
+	spec := Synthesize(SynthParams{
+		Conv: 2, StridedConv: 8, MaxPool: 8, FC: 1, FirstChan: 4, InputHW: 8,
+	})
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := Build(spec, trace.NewCodeLayout(), 11)
+	in := NewTensor(3, 8, 8)
+	var null trace.Null
+	if got := m.Infer(null, in); len(got) != 100 {
+		t.Fatalf("logits = %d", len(got))
+	}
+}
+
+func TestWeightBytesScalesWithChannels(t *testing.T) {
+	w := func(firstChan int) int {
+		spec := Synthesize(SynthParams{Conv: 6, StridedConv: 1, FC: 1, FirstChan: firstChan, InputHW: 16})
+		return Build(spec, trace.NewCodeLayout(), 12).WeightBytes()
+	}
+	if w(64) < 8*w(8) {
+		t.Fatalf("weight footprint lever too weak: %d vs %d", w(8), w(64))
+	}
+}
+
+func TestPresetsBuildAndRun(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		spec NetSpec
+	}{
+		{"resnet50", ResNet50Target()},
+		{"shufflenet", ShuffleNetDefault()},
+		{"autoencoder", AutoencoderTarget()},
+	} {
+		if err := tc.spec.Validate(); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		m := Build(tc.spec, trace.NewCodeLayout(), 13)
+		in := NewTensor(tc.spec.InputC, tc.spec.InputHW, tc.spec.InputHW)
+		rng := stats.NewRNG(14)
+		in.FillRandom(rng)
+		var null trace.Null
+		if logits := m.Infer(null, in); len(logits) != tc.spec.Classes {
+			t.Fatalf("%s: %d logits", tc.name, len(logits))
+		}
+	}
+}
+
+func TestServerHandle(t *testing.T) {
+	s := New(tinySpec(), trace.NewCodeLayout(), 15)
+	rng := stats.NewRNG(16)
+	rec := trace.NewRecorder()
+	for i := 0; i < 5; i++ {
+		s.Handle(rec, rng)
+	}
+	if s.Model().Inferences() != 5 {
+		t.Fatalf("inferences = %d", s.Model().Inferences())
+	}
+	req, resp := s.LastMessageSizes()
+	if req <= 0 || resp <= 0 {
+		t.Fatalf("message sizes %d/%d", req, resp)
+	}
+	if s.Name() != "dnn" {
+		t.Fatalf("name = %q", s.Name())
+	}
+	ae := NewAutoencoderServer(trace.NewCodeLayout(), 17)
+	if ae.Name() != "img-dnn" {
+		t.Fatalf("autoencoder name = %q", ae.Name())
+	}
+	ae.Handle(trace.NewRecorder(), rng)
+}
+
+func TestTensorHelpers(t *testing.T) {
+	ten := NewTensor(2, 3, 4)
+	ten.Set(1, 2, 3, 5)
+	if ten.At(1, 2, 3) != 5 {
+		t.Fatal("At/Set broken")
+	}
+	if ten.Len() != 24 || ten.Bytes() != 96 {
+		t.Fatalf("Len/Bytes = %d/%d", ten.Len(), ten.Bytes())
+	}
+	if argmax([]float32{1, 5, 3}) != 1 {
+		t.Fatal("argmax broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTensor(0,1,1) did not panic")
+		}
+	}()
+	NewTensor(0, 1, 1)
+}
+
+func TestLayerKindString(t *testing.T) {
+	for _, k := range []LayerKind{Conv3x3, StridedConv3x3, MaxPool2x2, FC, LayerKind(42)} {
+		if k.String() == "" {
+			t.Fatalf("empty string for kind %d", int(k))
+		}
+	}
+}

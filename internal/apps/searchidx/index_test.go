@@ -1,0 +1,251 @@
+package searchidx
+
+import (
+	"math"
+	"testing"
+
+	"datamime/internal/stats"
+	"datamime/internal/trace"
+)
+
+func tinyCorpus() CorpusConfig {
+	return CorpusConfig{
+		NumDocs:   2000,
+		NumTerms:  800,
+		DocLength: stats.Normal{Mu: 800, Sigma: 100, Min: 64},
+		DFSkew:    0.9,
+		MaxDF:     0.2,
+	}
+}
+
+func TestBuildCorpusShape(t *testing.T) {
+	ix, err := BuildCorpus(tinyCorpus(), trace.NewCodeLayout(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumDocs() != 2000 || ix.NumTerms() != 800 {
+		t.Fatalf("corpus %d docs / %d terms", ix.NumDocs(), ix.NumTerms())
+	}
+	// DF must decay with term rank and respect the cap.
+	cap := int(0.2 * 2000)
+	if df := ix.DocFreq(0); df > cap {
+		t.Fatalf("rank-0 DF %d exceeds cap %d", df, cap)
+	}
+	if ix.DocFreq(0) <= ix.DocFreq(700) {
+		t.Fatalf("DF does not decay: rank0=%d rank700=%d", ix.DocFreq(0), ix.DocFreq(700))
+	}
+	// Every term has at least one posting.
+	for r := 0; r < 800; r++ {
+		if ix.DocFreq(uint32(r)) < 1 {
+			t.Fatalf("term %d has empty posting list", r)
+		}
+	}
+}
+
+func TestSearchReturnsRelevantDocs(t *testing.T) {
+	ix := NewIndex(trace.NewCodeLayout())
+	for i := 0; i < 10; i++ {
+		ix.AddDocument(500)
+	}
+	t0 := ix.AddTerm()
+	t1 := ix.AddTerm()
+	ix.AddPosting(t0, 3, 5)
+	ix.AddPosting(t0, 7, 1)
+	ix.AddPosting(t1, 7, 2)
+	ix.Finalize()
+
+	var null trace.Null
+	res := ix.Search(null, []uint32{t0}, 5)
+	if len(res) != 2 {
+		t.Fatalf("got %d results", len(res))
+	}
+	if res[0].DocID != 3 {
+		t.Fatalf("top hit = doc %d, want 3 (higher tf)", res[0].DocID)
+	}
+	if res[0].Score <= res[1].Score {
+		t.Fatal("results not sorted by score")
+	}
+	// Multi-term union: doc 7 matches both terms and must win.
+	res = ix.Search(null, []uint32{t0, t1}, 5)
+	if res[0].DocID != 7 {
+		t.Fatalf("multi-term top hit = doc %d, want 7", res[0].DocID)
+	}
+}
+
+func TestSearchTopKBound(t *testing.T) {
+	ix, _ := BuildCorpus(tinyCorpus(), trace.NewCodeLayout(), 2)
+	var null trace.Null
+	res := ix.Search(null, []uint32{0}, 5) // rank-0 term has many postings
+	if len(res) != 5 {
+		t.Fatalf("topk returned %d", len(res))
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Score > res[i-1].Score {
+			t.Fatal("results not in descending score order")
+		}
+	}
+	// Unknown terms are ignored gracefully.
+	if out := ix.Search(null, []uint32{99999}, 5); len(out) != 0 {
+		t.Fatalf("unknown term returned %d results", len(out))
+	}
+}
+
+func TestBM25PrefersShorterDocsAtEqualTF(t *testing.T) {
+	ix := NewIndex(trace.NewCodeLayout())
+	short := ix.AddDocument(100)
+	long := ix.AddDocument(5000)
+	term := ix.AddTerm()
+	ix.AddPosting(term, short, 3)
+	ix.AddPosting(term, long, 3)
+	ix.Finalize()
+	var null trace.Null
+	res := ix.Search(null, []uint32{term}, 2)
+	if res[0].DocID != short {
+		t.Fatal("BM25 length normalization missing: long doc ranked first")
+	}
+}
+
+func TestSearchEmitsPostingTraffic(t *testing.T) {
+	ix, _ := BuildCorpus(tinyCorpus(), trace.NewCodeLayout(), 3)
+	rec := trace.NewRecorder()
+	ix.Search(rec, []uint32{0, 1}, 8)
+	df := ix.DocFreq(0) + ix.DocFreq(1)
+	if rec.LoadBytes < df*postingBytes {
+		t.Fatalf("posting loads %d bytes < %d postings worth", rec.LoadBytes, df)
+	}
+	if !rec.DistinctRegions["xap.bm25_scorer"] || !rec.DistinctRegions["xap.snippet_gen"] {
+		t.Fatalf("missing code regions: %v", rec.DistinctRegions)
+	}
+	if rec.Branches == 0 {
+		t.Fatal("no top-k branches")
+	}
+}
+
+func TestCorpusValidate(t *testing.T) {
+	good := tinyCorpus()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []CorpusConfig{
+		{NumDocs: 0, NumTerms: 10, DocLength: good.DocLength, MaxDF: 0.1},
+		{NumDocs: 10, NumTerms: 0, DocLength: good.DocLength, MaxDF: 0.1},
+		{NumDocs: 10, NumTerms: 10, MaxDF: 0.1},
+		{NumDocs: 10, NumTerms: 10, DocLength: good.DocLength, MaxDF: 0},
+		{NumDocs: 10, NumTerms: 10, DocLength: good.DocLength, MaxDF: 2},
+		{NumDocs: 10, NumTerms: 10, DocLength: good.DocLength, MaxDF: 0.5, DFSkew: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad corpus %d validated", i)
+		}
+	}
+}
+
+func serverConfig() Config {
+	return Config{
+		Corpus:        tinyCorpus(),
+		QuerySkew:     0.9,
+		QueryMaxDF:    0.1,
+		TermsPerQuery: 2,
+		TopK:          6,
+	}
+}
+
+func TestServerQueries(t *testing.T) {
+	s := New(serverConfig(), trace.NewCodeLayout(), 4)
+	rng := stats.NewRNG(5)
+	var null trace.Null
+	for i := 0; i < 300; i++ {
+		s.Handle(null, rng)
+	}
+	q, nonEmpty := s.Stats()
+	if q != 300 {
+		t.Fatalf("queries = %d", q)
+	}
+	if nonEmpty < 250 {
+		t.Fatalf("only %d/300 queries returned results", nonEmpty)
+	}
+	req, resp := s.LastMessageSizes()
+	if req <= 0 || resp <= 0 {
+		t.Fatalf("message sizes %d/%d", req, resp)
+	}
+}
+
+func TestQueryMaxDFRestrictsTerms(t *testing.T) {
+	loose := New(serverConfig(), trace.NewCodeLayout(), 6)
+	tight := serverConfig()
+	tight.QueryMaxDF = 0.005
+	restricted := New(tight, trace.NewCodeLayout(), 6)
+	if restricted.EligibleTerms() >= loose.EligibleTerms() {
+		t.Fatalf("tighter DF cap did not shrink eligible terms: %d vs %d",
+			restricted.EligibleTerms(), loose.EligibleTerms())
+	}
+	if restricted.EligibleTerms() == 0 {
+		t.Fatal("no eligible terms")
+	}
+}
+
+func TestDocLengthDrivesSnippetTraffic(t *testing.T) {
+	traffic := func(mu float64) float64 {
+		cfg := serverConfig()
+		cfg.Corpus.DocLength = stats.Normal{Mu: mu, Sigma: mu / 20, Min: 64}
+		s := New(cfg, trace.NewCodeLayout(), 7)
+		rng := stats.NewRNG(8)
+		rec := trace.NewRecorder()
+		for i := 0; i < 100; i++ {
+			s.Handle(rec, rng)
+		}
+		return float64(rec.LoadBytes) / 100
+	}
+	small := traffic(300)
+	big := traffic(6000)
+	if big < small*3 {
+		t.Fatalf("doc length lever too weak: %.0f vs %.0f bytes/query", small, big)
+	}
+}
+
+func TestServerDeterministic(t *testing.T) {
+	run := func() int {
+		s := New(serverConfig(), trace.NewCodeLayout(), 9)
+		rng := stats.NewRNG(10)
+		rec := trace.NewRecorder()
+		for i := 0; i < 100; i++ {
+			s.Handle(rec, rng)
+		}
+		return rec.Instrs
+	}
+	if run() != run() {
+		t.Fatal("same-seed runs diverged")
+	}
+}
+
+func TestPresetsValid(t *testing.T) {
+	for _, c := range []Config{WikipediaTarget(), StackOverflowDefault()} {
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestServerPanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config did not panic")
+		}
+	}()
+	New(Config{}, trace.NewCodeLayout(), 0)
+}
+
+func TestAvgDocLengthTracked(t *testing.T) {
+	ix := NewIndex(trace.NewCodeLayout())
+	ix.AddDocument(100)
+	ix.AddDocument(300)
+	if math.Abs(ix.avgDocLn-200) > 1e-9 {
+		t.Fatalf("avg doc length = %g", ix.avgDocLn)
+	}
+	// Degenerate length clamps to 1.
+	ix.AddDocument(0)
+	if ix.docs[2].length != 1 {
+		t.Fatal("zero-length doc not clamped")
+	}
+}

@@ -1,0 +1,177 @@
+package searchidx
+
+import (
+	"fmt"
+
+	"datamime/internal/stats"
+	"datamime/internal/trace"
+)
+
+// Config is a searchidx dataset configuration: the corpus shape plus the
+// query distribution — mirroring Table III's xapian parameters (Zipfian
+// skew, term frequency limit, average document length; QPS lives on the
+// workload.Benchmark).
+type Config struct {
+	Corpus CorpusConfig
+	// QuerySkew is the Zipf skew of query-term popularity.
+	QuerySkew float64
+	// QueryMaxDF restricts query terms to those whose document frequency is
+	// at most this fraction of the corpus — the paper's "upper limit of the
+	// term frequency" knob, which directly controls posting-list lengths.
+	QueryMaxDF float64
+	// TermsPerQuery is how many terms each query carries.
+	TermsPerQuery int
+	// TopK is the number of results (and snippets) per query.
+	TopK int
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Corpus.Validate(); err != nil {
+		return err
+	}
+	if c.QuerySkew < 0 {
+		return fmt.Errorf("searchidx: QuerySkew %g must be >= 0", c.QuerySkew)
+	}
+	if c.QueryMaxDF <= 0 || c.QueryMaxDF > 1 {
+		return fmt.Errorf("searchidx: QueryMaxDF %g out of (0, 1]", c.QueryMaxDF)
+	}
+	if c.TermsPerQuery <= 0 {
+		return fmt.Errorf("searchidx: TermsPerQuery must be positive, got %d", c.TermsPerQuery)
+	}
+	if c.TopK <= 0 {
+		return fmt.Errorf("searchidx: TopK must be positive, got %d", c.TopK)
+	}
+	return nil
+}
+
+// Server is the search engine plus its query generator.
+type Server struct {
+	cfg      Config
+	index    *Index
+	eligible []uint32 // query-eligible terms, by popularity rank
+	zipf     *stats.Zipf
+
+	queries  int
+	hits     int
+	lastReq  int
+	lastResp int
+}
+
+// New builds the corpus and the query model deterministically from seed.
+// It panics on an invalid config.
+func New(cfg Config, layout *trace.CodeLayout, seed uint64) *Server {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	ix, err := BuildCorpus(cfg.Corpus, layout, seed)
+	if err != nil {
+		panic(err)
+	}
+	s := &Server{cfg: cfg, index: ix}
+	// Query-eligible terms: document frequency at most QueryMaxDF.
+	cap := int(cfg.QueryMaxDF * float64(ix.NumDocs()))
+	if cap < 1 {
+		cap = 1
+	}
+	for t := 0; t < ix.NumTerms(); t++ {
+		if ix.DocFreq(uint32(t)) <= cap {
+			s.eligible = append(s.eligible, uint32(t))
+		}
+	}
+	if len(s.eligible) == 0 {
+		// Degenerate cap: fall back to the rarest term so queries still run.
+		s.eligible = append(s.eligible, uint32(ix.NumTerms()-1))
+	}
+	if cfg.QuerySkew > 0 {
+		s.zipf = stats.NewZipf(len(s.eligible), cfg.QuerySkew)
+	}
+	return s
+}
+
+// Name implements workload.Server.
+func (s *Server) Name() string { return "xapian" }
+
+// Index exposes the underlying index (tests and examples).
+func (s *Server) Index() *Index { return s.index }
+
+// EligibleTerms returns how many terms the query generator may draw.
+func (s *Server) EligibleTerms() int { return len(s.eligible) }
+
+// Handle services one search query.
+func (s *Server) Handle(col trace.Collector, rng *stats.RNG) {
+	s.queries++
+	terms := make([]uint32, s.cfg.TermsPerQuery)
+	for i := range terms {
+		var rank int
+		if s.zipf != nil {
+			rank = s.zipf.Sample(rng)
+		} else {
+			rank = rng.IntN(len(s.eligible))
+		}
+		terms[i] = s.eligible[rank]
+	}
+	s.lastReq = 40 + 12*len(terms)
+	results := s.index.Search(col, terms, s.cfg.TopK)
+	if len(results) > 0 {
+		s.hits++
+	}
+	respBytes := 64
+	for _, r := range results {
+		respBytes += 48 + s.index.docs[r.DocID].length/16 // snippet excerpt
+	}
+	s.lastResp = respBytes
+}
+
+// WarmDataset implements workload.Warmable.
+func (s *Server) WarmDataset(col trace.Collector) { s.index.WarmScan(col) }
+
+// LastMessageSizes implements workload.Sizer.
+func (s *Server) LastMessageSizes() (req, resp int) { return s.lastReq, s.lastResp }
+
+// Stats returns query counters.
+func (s *Server) Stats() (queries, nonEmpty int) { return s.queries, s.hits }
+
+// WikipediaTarget models the paper's xapian target: Tailbench's default
+// input, an index of the 2013 English Wikipedia dump with a Zipfian query
+// distribution — long, heavy-tailed documents and a moderately skewed
+// query mix.
+func WikipediaTarget() Config {
+	return Config{
+		Corpus: CorpusConfig{
+			NumDocs:   50_000,
+			NumTerms:  24_000,
+			DocLength: stats.LogNormal{Mu: 7.9, Sigma: 0.8}, // median ~2.7 KB
+			DFSkew:    0.85,
+			MaxDF:     0.20,
+		},
+		QuerySkew:     0.9,
+		QueryMaxDF:    0.08,
+		TermsPerQuery: 2,
+		TopK:          8,
+	}
+}
+
+// WikipediaQPS is the offered load of the xapian target.
+const WikipediaQPS = 4_000
+
+// StackOverflowDefault models the alternative public dataset (a
+// StackOverflow dump subset): shorter documents and a flatter query mix.
+func StackOverflowDefault() Config {
+	return Config{
+		Corpus: CorpusConfig{
+			NumDocs:   25_000,
+			NumTerms:  16_000,
+			DocLength: stats.LogNormal{Mu: 6.4, Sigma: 0.6}, // median ~600 B
+			DFSkew:    0.9,
+			MaxDF:     0.15,
+		},
+		QuerySkew:     0.5,
+		QueryMaxDF:    0.12,
+		TermsPerQuery: 3,
+		TopK:          8,
+	}
+}
+
+// StackOverflowQPS is the offered load used with the public dataset.
+const StackOverflowQPS = 6_000

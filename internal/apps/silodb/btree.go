@@ -1,0 +1,288 @@
+// Package silodb implements the silo-like in-memory transactional database
+// used by the silo workload: B+-tree indexes over simulated-address rows,
+// TPC-C-style tables and transactions (new order, payment, delivery, order
+// status, stock level), the synthetic bidding workload the paper uses as
+// silo's target dataset, an OCC-style commit with a redo log, and full
+// trace emission for every index traversal, row access, and data-dependent
+// branch.
+package silodb
+
+import (
+	"fmt"
+
+	"datamime/internal/memsim"
+	"datamime/internal/trace"
+)
+
+// btreeOrder is the fan-out of the B+ tree. 16 keys per 128-byte-ish node
+// mirrors cache-conscious main-memory trees.
+const btreeOrder = 16
+
+// nodeBytes is the simulated size of one tree node (keys + pointers).
+const nodeBytes = 2 * trace.LineSize
+
+// bnode is a B+-tree node. Leaves hold values; interior nodes hold
+// children. keys is kept sorted.
+type bnode struct {
+	addr     uint64
+	keys     []uint64
+	values   []uint64 // leaf payloads (row ids)
+	children []*bnode
+	next     *bnode // leaf chain for range scans
+	leaf     bool
+}
+
+// BTree is a B+ tree keyed by uint64 with uint64 payloads, emitting a
+// Load per visited node and a branch per search decision.
+type BTree struct {
+	heap *memsim.Heap
+	root *bnode
+	code *trace.CodeRegion
+	size int
+}
+
+// NewBTree builds an empty tree whose node traversal code lives in the
+// given region.
+func NewBTree(heap *memsim.Heap, code *trace.CodeRegion) *BTree {
+	t := &BTree{heap: heap, code: code}
+	t.root = t.newNode(true)
+	return t
+}
+
+func (t *BTree) newNode(leaf bool) *bnode {
+	return &bnode{
+		addr: t.heap.Alloc(nodeBytes),
+		leaf: leaf,
+	}
+}
+
+// Len returns the number of stored keys.
+func (t *BTree) Len() int { return t.size }
+
+// visit emits the traversal work for one node: the node load plus the
+// binary-search branches, whose outcomes depend on the actual keys.
+func (t *BTree) visit(col trace.Collector, n *bnode, key uint64) int {
+	col.Load(n.addr, nodeBytes)
+	// Binary search over the sorted keys.
+	lo, hi := 0, len(n.keys)
+	steps := 0
+	for lo < hi {
+		mid := (lo + hi) / 2
+		goRight := n.keys[mid] <= key
+		col.Branch(t.code.Base+uint64(steps%5), goRight)
+		if goRight {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+		steps++
+	}
+	col.Ops(4 + steps)
+	return lo
+}
+
+// Lookup finds key, returning its payload.
+func (t *BTree) Lookup(col trace.Collector, key uint64) (uint64, bool) {
+	col.Exec(t.code, 220)
+	n := t.root
+	for !n.leaf {
+		i := t.visit(col, n, key)
+		n = n.children[i]
+	}
+	i := t.visit(col, n, key)
+	if i > 0 && n.keys[i-1] == key {
+		return n.values[i-1], true
+	}
+	return 0, false
+}
+
+// Insert adds or replaces key with the payload.
+func (t *BTree) Insert(col trace.Collector, key, value uint64) {
+	col.Exec(t.code, 320)
+	root := t.root
+	if len(root.keys) >= btreeOrder {
+		newRoot := t.newNode(false)
+		newRoot.children = append(newRoot.children, root)
+		t.splitChild(col, newRoot, 0)
+		t.root = newRoot
+	}
+	t.insertNonFull(col, t.root, key, value)
+}
+
+func (t *BTree) insertNonFull(col trace.Collector, n *bnode, key, value uint64) {
+	for {
+		i := t.visit(col, n, key)
+		if n.leaf {
+			if i > 0 && n.keys[i-1] == key {
+				n.values[i-1] = value
+				col.Store(n.addr, 16)
+				return
+			}
+			n.keys = append(n.keys, 0)
+			n.values = append(n.values, 0)
+			copy(n.keys[i+1:], n.keys[i:])
+			copy(n.values[i+1:], n.values[i:])
+			n.keys[i] = key
+			n.values[i] = value
+			col.Store(n.addr, nodeBytes/2)
+			t.size++
+			return
+		}
+		child := n.children[i]
+		if len(child.keys) >= btreeOrder {
+			t.splitChild(col, n, i)
+			if key >= n.keys[i] {
+				i++
+			}
+			child = n.children[i]
+		}
+		n = child
+	}
+}
+
+// splitChild splits the full i-th child of parent.
+func (t *BTree) splitChild(col trace.Collector, parent *bnode, i int) {
+	child := parent.children[i]
+	mid := len(child.keys) / 2
+	right := t.newNode(child.leaf)
+
+	if child.leaf {
+		right.keys = append(right.keys, child.keys[mid:]...)
+		right.values = append(right.values, child.values[mid:]...)
+		child.keys = child.keys[:mid]
+		child.values = child.values[:mid]
+		right.next = child.next
+		child.next = right
+		// Separator is the first key of the right leaf.
+		parent.keys = insertU64(parent.keys, i, right.keys[0])
+	} else {
+		sep := child.keys[mid]
+		right.keys = append(right.keys, child.keys[mid+1:]...)
+		right.children = append(right.children, child.children[mid+1:]...)
+		child.keys = child.keys[:mid]
+		child.children = child.children[:mid+1]
+		parent.keys = insertU64(parent.keys, i, sep)
+	}
+	parent.children = insertNode(parent.children, i+1, right)
+	col.Store(parent.addr, nodeBytes)
+	col.Store(right.addr, nodeBytes)
+	col.Store(child.addr, nodeBytes/2)
+}
+
+// Delete removes a key, reporting whether it was present. Underflowed nodes
+// are not rebalanced (deletes are rare in the modeled workloads; lookups
+// remain correct).
+func (t *BTree) Delete(col trace.Collector, key uint64) bool {
+	col.Exec(t.code, 280)
+	n := t.root
+	for !n.leaf {
+		i := t.visit(col, n, key)
+		n = n.children[i]
+	}
+	i := t.visit(col, n, key)
+	if i == 0 || n.keys[i-1] != key {
+		return false
+	}
+	n.keys = append(n.keys[:i-1], n.keys[i:]...)
+	n.values = append(n.values[:i-1], n.values[i:]...)
+	col.Store(n.addr, nodeBytes/2)
+	t.size--
+	return true
+}
+
+// Scan visits up to limit entries with key >= from in key order, calling fn
+// for each; fn returns false to stop early. Returns the number visited.
+func (t *BTree) Scan(col trace.Collector, from uint64, limit int, fn func(key, value uint64) bool) int {
+	col.Exec(t.code, 260)
+	n := t.root
+	for !n.leaf {
+		i := t.visit(col, n, from)
+		n = n.children[i]
+	}
+	i := t.visit(col, n, from)
+	if i > 0 && n.keys[i-1] == from {
+		i--
+	}
+	visited := 0
+	for n != nil && visited < limit {
+		for ; i < len(n.keys) && visited < limit; i++ {
+			col.Branch(t.code.Base+7, true)
+			visited++
+			if !fn(n.keys[i], n.values[i]) {
+				return visited
+			}
+		}
+		n = n.next
+		if n != nil {
+			col.Load(n.addr, nodeBytes)
+		}
+		i = 0
+	}
+	return visited
+}
+
+// Min returns the smallest key, or ok=false when empty.
+func (t *BTree) Min(col trace.Collector) (key, value uint64, ok bool) {
+	n := t.root
+	col.Exec(t.code, 150)
+	for !n.leaf {
+		col.Load(n.addr, nodeBytes)
+		n = n.children[0]
+	}
+	col.Load(n.addr, nodeBytes)
+	if len(n.keys) == 0 {
+		return 0, 0, false
+	}
+	return n.keys[0], n.values[0], true
+}
+
+// check validates tree invariants (tests only).
+func (t *BTree) check() error {
+	var prev uint64
+	first := true
+	count := 0
+	var walk func(n *bnode) error
+	walk = func(n *bnode) error {
+		if n.leaf {
+			for j, k := range n.keys {
+				if !first && k <= prev {
+					return fmt.Errorf("silodb: keys out of order: %d after %d", k, prev)
+				}
+				prev, first = k, false
+				count++
+				_ = j
+			}
+			return nil
+		}
+		if len(n.children) != len(n.keys)+1 {
+			return fmt.Errorf("silodb: interior node with %d keys, %d children", len(n.keys), len(n.children))
+		}
+		for _, c := range n.children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("silodb: size %d but %d keys reachable", t.size, count)
+	}
+	return nil
+}
+
+func insertU64(s []uint64, i int, v uint64) []uint64 {
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func insertNode(s []*bnode, i int, v *bnode) []*bnode {
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}

@@ -1,0 +1,155 @@
+package silodb
+
+import (
+	"testing"
+
+	"datamime/internal/stats"
+	"datamime/internal/trace"
+)
+
+// TestPaymentConservesMoney: warehouse YTD gains exactly what customer
+// balances lose across any run of payment transactions.
+func TestPaymentConservesMoney(t *testing.T) {
+	cfg := tpccConfig(2)
+	cfg.TxMix = [5]float64{0, 1, 0, 0, 0} // payments only
+	s := New(cfg, trace.NewCodeLayout(), 41)
+	rng := stats.NewRNG(42)
+	var null trace.Null
+
+	sumWarehouse := func() int64 {
+		var total int64
+		for w := 0; w < cfg.Warehouses; w++ {
+			f1, _, ok := s.warehouse.Read(null, uint64(w))
+			if !ok {
+				t.Fatalf("warehouse %d missing", w)
+			}
+			total += f1
+		}
+		return total
+	}
+	sumCustomers := func() int64 {
+		var total int64
+		for w := 0; w < cfg.Warehouses; w++ {
+			for d := 0; d < districtsPerWarehouse; d++ {
+				for c := 0; c < customersPerDistrict; c++ {
+					f1, _, ok := s.customer.Read(null, wdKey(w, d, uint64(c)))
+					if !ok {
+						t.Fatal("customer missing")
+					}
+					total += f1
+				}
+			}
+		}
+		return total
+	}
+
+	w0, c0 := sumWarehouse(), sumCustomers()
+	for i := 0; i < 500; i++ {
+		s.Handle(null, rng)
+	}
+	wGain := sumWarehouse() - w0
+	cLoss := c0 - sumCustomers()
+	if wGain <= 0 {
+		t.Fatal("payments moved no money")
+	}
+	if wGain != cLoss {
+		t.Fatalf("money not conserved: warehouses +%d, customers -%d", wGain, cLoss)
+	}
+	if s.history.Len() != 500 {
+		t.Fatalf("history rows = %d, want 500", s.history.Len())
+	}
+}
+
+// TestNewOrderConsistency: after N new-order transactions, order and
+// order-line growth are consistent (5–15 lines per order) and new_order
+// rows accumulate.
+func TestNewOrderConsistency(t *testing.T) {
+	cfg := tpccConfig(1)
+	cfg.TxMix = [5]float64{1, 0, 0, 0, 0}
+	s := New(cfg, trace.NewCodeLayout(), 43)
+	rng := stats.NewRNG(44)
+	var null trace.Null
+	ordersBefore := s.orders.Len()
+	linesBefore := s.orderLines.Len()
+	pendingBefore := s.newOrders.Len()
+	const n = 300
+	for i := 0; i < n; i++ {
+		s.Handle(null, rng)
+	}
+	dOrders := s.orders.Len() - ordersBefore
+	dLines := s.orderLines.Len() - linesBefore
+	if dOrders != n {
+		t.Fatalf("orders grew %d, want %d", dOrders, n)
+	}
+	if dLines < 5*n || dLines > 15*n {
+		t.Fatalf("order lines grew %d for %d orders", dLines, n)
+	}
+	if s.newOrders.Len()-pendingBefore != n {
+		t.Fatal("new_order rows do not track new orders")
+	}
+}
+
+// TestStockLevelIsReadOnly: stock-level transactions must not modify any
+// table or append to the redo log.
+func TestStockLevelIsReadOnly(t *testing.T) {
+	cfg := tpccConfig(1)
+	cfg.TxMix = [5]float64{0, 0, 0, 0, 1}
+	s := New(cfg, trace.NewCodeLayout(), 45)
+	rng := stats.NewRNG(46)
+	var null trace.Null
+	commitsBefore := s.Log().Commits()
+	rowsBefore := s.orders.Len() + s.orderLines.Len() + s.stock.Len()
+	for i := 0; i < 200; i++ {
+		s.Handle(null, rng)
+	}
+	if s.orders.Len()+s.orderLines.Len()+s.stock.Len() != rowsBefore {
+		t.Fatal("read-only transaction modified tables")
+	}
+	if s.Log().Commits() != commitsBefore {
+		t.Fatal("read-only transaction wrote the redo log")
+	}
+}
+
+// TestBidMonotone: the winning bid for any item never decreases.
+func TestBidMonotone(t *testing.T) {
+	cfg := Config{Mode: ModeBidding, BidItems: 50, BidRowBytes: 128}
+	s := New(cfg, trace.NewCodeLayout(), 47)
+	rng := stats.NewRNG(48)
+	var null trace.Null
+	prev := make(map[uint64]int64)
+	for i := uint64(0); i < 50; i++ {
+		f1, _, _ := s.bids.Read(null, i)
+		prev[i] = f1
+	}
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 200; i++ {
+			s.Handle(null, rng)
+		}
+		for i := uint64(0); i < 50; i++ {
+			f1, _, _ := s.bids.Read(null, i)
+			if f1 < prev[i] {
+				t.Fatalf("item %d bid decreased: %d -> %d", i, prev[i], f1)
+			}
+			prev[i] = f1
+		}
+	}
+}
+
+// TestWarmDatasetCoverage: the warm pass must touch every table's resident
+// bytes.
+func TestWarmDatasetCoverage(t *testing.T) {
+	s := New(tpccConfig(1), trace.NewCodeLayout(), 49)
+	rec := trace.NewRecorder()
+	s.WarmDataset(rec)
+	// At least the stock table's rows (5000 × 64 B) plus customers
+	// (1000 × 256 B) must stream through.
+	if rec.LoadBytes < 5000*64+1000*256 {
+		t.Fatalf("warm pass loaded only %d bytes", rec.LoadBytes)
+	}
+	bidding := New(BiddingTarget(), trace.NewCodeLayout(), 50)
+	rec2 := trace.NewRecorder()
+	bidding.WarmDataset(rec2)
+	if rec2.LoadBytes < BiddingTarget().BidItems*BiddingTarget().BidRowBytes {
+		t.Fatalf("bidding warm pass loaded only %d bytes", rec2.LoadBytes)
+	}
+}

@@ -1,0 +1,286 @@
+package silodb
+
+import (
+	"testing"
+
+	"datamime/internal/memsim"
+	"datamime/internal/stats"
+	"datamime/internal/trace"
+)
+
+func tpccConfig(w int) Config {
+	return Config{
+		Mode:       ModeTPCC,
+		Warehouses: w,
+		TxMix:      [5]float64{0.45, 0.43, 0.04, 0.04, 0.04},
+	}
+}
+
+func TestTableCRUD(t *testing.T) {
+	layout := trace.NewCodeLayout()
+	tb := NewTable("t", 64, memsim.NewHeap(), layout.Region("code", 4096))
+	var null trace.Null
+	id := tb.Insert(null, 10, 5, 7)
+	_ = id
+	f1, f2, ok := tb.Read(null, 10)
+	if !ok || f1 != 5 || f2 != 7 {
+		t.Fatalf("Read = (%d, %d, %v)", f1, f2, ok)
+	}
+	if !tb.Update(null, 10, 50, 70) {
+		t.Fatal("Update failed")
+	}
+	f1, _, _ = tb.Read(null, 10)
+	if f1 != 50 {
+		t.Fatalf("after Update f1 = %d", f1)
+	}
+	if !tb.Modify(null, 10, func(a, b int64) (int64, int64) { return a + 1, b }) {
+		t.Fatal("Modify failed")
+	}
+	f1, _, _ = tb.Read(null, 10)
+	if f1 != 51 {
+		t.Fatalf("after Modify f1 = %d", f1)
+	}
+	if !tb.Delete(null, 10) {
+		t.Fatal("Delete failed")
+	}
+	if _, _, ok := tb.Read(null, 10); ok {
+		t.Fatal("deleted row readable")
+	}
+	if tb.Update(null, 10, 0, 0) || tb.Modify(null, 10, func(a, b int64) (int64, int64) { return a, b }) {
+		t.Fatal("Update/Modify on absent row succeeded")
+	}
+}
+
+func TestTableRowSlotReuse(t *testing.T) {
+	layout := trace.NewCodeLayout()
+	tb := NewTable("t", 64, memsim.NewHeap(), layout.Region("code", 4096))
+	var null trace.Null
+	for i := uint64(0); i < 100; i++ {
+		tb.Insert(null, i, 0, 0)
+	}
+	slots := len(tb.rows)
+	for i := uint64(0); i < 50; i++ {
+		tb.Delete(null, i)
+	}
+	for i := uint64(200); i < 250; i++ {
+		tb.Insert(null, i, 0, 0)
+	}
+	if len(tb.rows) != slots {
+		t.Fatalf("row slots grew %d -> %d despite free list", slots, len(tb.rows))
+	}
+}
+
+func TestRedoLogWraps(t *testing.T) {
+	layout := trace.NewCodeLayout()
+	log := NewRedoLog(memsim.NewHeap(), 1024, layout.Region("log", 1024))
+	rec := trace.NewRecorder()
+	for i := 0; i < 10; i++ {
+		log.Append(rec, 300)
+	}
+	if log.Commits() != 10 {
+		t.Fatalf("Commits = %d", log.Commits())
+	}
+	if rec.StoreBytes != 3000 {
+		t.Fatalf("log stores %d bytes, want 3000", rec.StoreBytes)
+	}
+	log.Append(rec, 0) // degenerate size still commits a minimal record
+	if log.Commits() != 11 {
+		t.Fatal("degenerate append not committed")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := tpccConfig(2).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := BiddingTarget().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Mode: ModeTPCC, Warehouses: 0, TxMix: [5]float64{1, 0, 0, 0, 0}},
+		{Mode: ModeTPCC, Warehouses: 1},                                    // zero mix
+		{Mode: ModeTPCC, Warehouses: 1, TxMix: [5]float64{-1, 2, 0, 0, 0}}, // negative
+		{Mode: ModeBidding, BidItems: 0, BidRowBytes: 64},
+		{Mode: ModeBidding, BidItems: 10, BidRowBytes: 0},
+		{Mode: ModeBidding, BidItems: 10, BidRowBytes: 64, BidSkew: -1},
+		{Mode: Mode(9)},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad config %d validated", i)
+		}
+	}
+}
+
+func TestTPCCPopulation(t *testing.T) {
+	s := New(tpccConfig(2), trace.NewCodeLayout(), 1)
+	if s.warehouse.Len() != 2 {
+		t.Fatalf("warehouses = %d", s.warehouse.Len())
+	}
+	if s.district.Len() != 2*districtsPerWarehouse {
+		t.Fatalf("districts = %d", s.district.Len())
+	}
+	if s.customer.Len() != 2*districtsPerWarehouse*customersPerDistrict {
+		t.Fatalf("customers = %d", s.customer.Len())
+	}
+	if s.stock.Len() != 2*itemCount {
+		t.Fatalf("stock = %d", s.stock.Len())
+	}
+	if s.item.Len() != itemCount {
+		t.Fatalf("items = %d", s.item.Len())
+	}
+	if s.orders.Len() == 0 || s.orderLines.Len() == 0 || s.newOrders.Len() == 0 {
+		t.Fatal("order history not populated")
+	}
+}
+
+func TestWarehousesScaleFootprint(t *testing.T) {
+	// Footprint has a fixed part (items, redo log), so measure the
+	// per-warehouse marginal growth over a wide scale.
+	small := New(tpccConfig(1), trace.NewCodeLayout(), 1)
+	big := New(tpccConfig(12), trace.NewCodeLayout(), 1)
+	if big.Heap().LiveBytes() < 4*small.Heap().LiveBytes() {
+		t.Fatalf("footprint scaling too weak: %d -> %d bytes",
+			small.Heap().LiveBytes(), big.Heap().LiveBytes())
+	}
+}
+
+func TestTransactionsExecute(t *testing.T) {
+	s := New(tpccConfig(2), trace.NewCodeLayout(), 2)
+	rng := stats.NewRNG(3)
+	var null trace.Null
+	for i := 0; i < 3000; i++ {
+		s.Handle(null, rng)
+	}
+	counts := s.TxCounts()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 3000 {
+		t.Fatalf("executed %d transactions", total)
+	}
+	// Mix roughly honored: new-order and payment dominate.
+	if counts[TxNewOrder] < 1100 || counts[TxPayment] < 1000 {
+		t.Fatalf("mix skewed: %v", counts)
+	}
+	for tx := TxDelivery; tx <= TxStockLevel; tx++ {
+		if counts[tx] == 0 {
+			t.Fatalf("%s never executed", tx)
+		}
+	}
+	if s.Log().Commits() == 0 {
+		t.Fatal("no commits logged")
+	}
+}
+
+func TestMixShiftsExecution(t *testing.T) {
+	cfg := tpccConfig(1)
+	cfg.TxMix = [5]float64{0, 0, 0, 1, 0} // order-status only
+	s := New(cfg, trace.NewCodeLayout(), 4)
+	rng := stats.NewRNG(5)
+	var null trace.Null
+	for i := 0; i < 500; i++ {
+		s.Handle(null, rng)
+	}
+	counts := s.TxCounts()
+	if counts[TxOrderStatus] != 500 {
+		t.Fatalf("pure order-status mix executed %v", counts)
+	}
+}
+
+func TestNewOrderGrowsTables(t *testing.T) {
+	cfg := tpccConfig(1)
+	cfg.TxMix = [5]float64{1, 0, 0, 0, 0}
+	s := New(cfg, trace.NewCodeLayout(), 6)
+	rng := stats.NewRNG(7)
+	var null trace.Null
+	before := s.orders.Len()
+	for i := 0; i < 200; i++ {
+		s.Handle(null, rng)
+	}
+	if s.orders.Len() != before+200 {
+		t.Fatalf("orders grew %d -> %d", before, s.orders.Len())
+	}
+}
+
+func TestDeliveryDrainsNewOrders(t *testing.T) {
+	cfg := tpccConfig(1)
+	cfg.TxMix = [5]float64{0, 0, 1, 0, 0}
+	s := New(cfg, trace.NewCodeLayout(), 8)
+	rng := stats.NewRNG(9)
+	var null trace.Null
+	before := s.newOrders.Len()
+	for i := 0; i < 20; i++ {
+		s.Handle(null, rng)
+	}
+	if s.newOrders.Len() >= before {
+		t.Fatalf("delivery did not drain new orders: %d -> %d", before, s.newOrders.Len())
+	}
+}
+
+func TestBiddingMode(t *testing.T) {
+	cfg := Config{Mode: ModeBidding, BidItems: 5000, BidRowBytes: 128}
+	s := New(cfg, trace.NewCodeLayout(), 10)
+	rng := stats.NewRNG(11)
+	var null trace.Null
+	for i := 0; i < 5000; i++ {
+		s.Handle(null, rng)
+	}
+	txs, wins := s.BidStats()
+	if txs != 5000 {
+		t.Fatalf("bid txs = %d", txs)
+	}
+	if wins == 0 || wins == txs {
+		t.Fatalf("bids won = %d of %d — expected a mix of wins and losses", wins, txs)
+	}
+}
+
+func TestBiddingEmitsRowTraffic(t *testing.T) {
+	cfg := Config{Mode: ModeBidding, BidItems: 2000, BidRowBytes: 256}
+	s := New(cfg, trace.NewCodeLayout(), 12)
+	rng := stats.NewRNG(13)
+	rec := trace.NewRecorder()
+	for i := 0; i < 100; i++ {
+		s.Handle(rec, rng)
+	}
+	if rec.LoadBytes < 100*256 {
+		t.Fatalf("bid row loads too small: %d bytes", rec.LoadBytes)
+	}
+	if !rec.DistinctRegions["silo.tx_bid"] {
+		t.Fatal("bid code region not executed")
+	}
+}
+
+func TestServerDeterministic(t *testing.T) {
+	run := func() [5]int {
+		s := New(tpccConfig(2), trace.NewCodeLayout(), 20)
+		rng := stats.NewRNG(21)
+		var null trace.Null
+		for i := 0; i < 1000; i++ {
+			s.Handle(null, rng)
+		}
+		return s.TxCounts()
+	}
+	if run() != run() {
+		t.Fatal("same-seed runs diverged")
+	}
+}
+
+func TestServerPanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config did not panic")
+		}
+	}()
+	New(Config{Mode: ModeTPCC}, trace.NewCodeLayout(), 0)
+}
+
+func TestTxTypeString(t *testing.T) {
+	if TxNewOrder.String() != "new_order" || TxStockLevel.String() != "stock_level" {
+		t.Fatal("TxType names wrong")
+	}
+	if TxType(99).String() == "" {
+		t.Fatal("unknown TxType empty")
+	}
+}

@@ -1,0 +1,173 @@
+package cloning
+
+import (
+	"testing"
+
+	"datamime/internal/profile"
+	"datamime/internal/sim"
+	"datamime/internal/stats"
+	"datamime/internal/trace"
+)
+
+// syntheticProfile builds a profile with chosen metric means.
+func syntheticProfile(means map[profile.MetricID]float64) *profile.Profile {
+	p := &profile.Profile{
+		Benchmark: "synthetic",
+		Machine:   "broadwell",
+		Samples:   make(map[profile.MetricID][]float64),
+	}
+	for _, id := range profile.ScalarMetrics {
+		v := means[id]
+		p.Samples[id] = []float64{v, v, v}
+	}
+	return p
+}
+
+func TestCharacterizeScalesWithTarget(t *testing.T) {
+	cold := Characterize(syntheticProfile(map[profile.MetricID]float64{}))
+	hot := Characterize(syntheticProfile(map[profile.MetricID]float64{
+		profile.MetricICache: 20,
+		profile.MetricLLC:    10,
+		profile.MetricL1D:    40,
+		profile.MetricBranch: 8,
+	}))
+	if hot.CodeFootprintBytes <= cold.CodeFootprintBytes {
+		t.Fatal("ICache MPKI did not grow code footprint")
+	}
+	if hot.FarFootprintBytes <= cold.FarFootprintBytes {
+		t.Fatal("LLC MPKI did not grow the far data footprint")
+	}
+	if hot.RandomBranchFrac <= cold.RandomBranchFrac {
+		t.Fatal("branch MPKI did not raise branch randomness")
+	}
+	if hot.FarOpsPerKiloInstr <= cold.FarOpsPerKiloInstr {
+		t.Fatal("LLC MPKI did not raise far access density")
+	}
+	if hot.StrideOpsPerKiloInstr <= cold.StrideOpsPerKiloInstr {
+		t.Fatal("L1D MPKI did not raise stride density")
+	}
+}
+
+func TestCharacterizeCaps(t *testing.T) {
+	c := Characterize(syntheticProfile(map[profile.MetricID]float64{
+		profile.MetricICache: 1e6,
+		profile.MetricLLC:    1e6,
+		profile.MetricL1D:    1e6,
+		profile.MetricBranch: 1e6,
+	}))
+	if c.CodeFootprintBytes > 1<<20 || c.FarFootprintBytes > 256<<20 {
+		t.Fatalf("footprints uncapped: %d / %d", c.CodeFootprintBytes, c.FarFootprintBytes)
+	}
+	if c.RandomBranchFrac > 1 {
+		t.Fatal("branch fraction uncapped")
+	}
+}
+
+func TestProxyEmitsConfiguredShape(t *testing.T) {
+	c := Characteristics{
+		CodeFootprintBytes:    64 << 10,
+		FarFootprintBytes:     8 << 20,
+		BasicBlockInstrs:      12,
+		NumBlocks:             32,
+		HotOpsPerKiloInstr:    200,
+		StrideOpsPerKiloInstr: 60,
+		FarOpsPerKiloInstr:    5,
+		BranchesPerKiloInstr:  150,
+		RandomBranchFrac:      0.2,
+	}
+	p := NewProxy(c, trace.NewCodeLayout(), 1)
+	rng := stats.NewRNG(2)
+	rec := trace.NewRecorder()
+	p.Handle(rec, rng)
+	if rec.Instrs < instrsPerHandle {
+		t.Fatalf("burst issued %d instrs", rec.Instrs)
+	}
+	if rec.Loads == 0 || rec.Stores == 0 || rec.Branches == 0 {
+		t.Fatal("proxy missing event kinds")
+	}
+	// Touches many distinct blocks over a burst.
+	if len(rec.DistinctRegions) < 8 {
+		t.Fatalf("proxy visited %d blocks", len(rec.DistinctRegions))
+	}
+}
+
+func TestProxyIsStaticOverTime(t *testing.T) {
+	// The baseline's defining flaw: the clone pegs the CPU and its metric
+	// distributions are near point masses.
+	target := syntheticProfile(map[profile.MetricID]float64{
+		profile.MetricICache: 5,
+		profile.MetricLLC:    2,
+		profile.MetricL1D:    20,
+		profile.MetricBranch: 4,
+	})
+	b := Clone(target, "clone-test")
+	pr := profile.New(sim.Broadwell())
+	pr.WindowCycles = 150_000
+	pr.Windows = 10
+	pr.WarmupWindows = 2
+	pr.SkipCurves = true
+	got, err := pr.Profile(b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range got.Samples[profile.MetricCPUUtil] {
+		if u < 0.999 {
+			t.Fatalf("clone CPU util %g, want pegged at 1", u)
+		}
+	}
+	// IPC variance across windows is tiny relative to its mean.
+	ipc := got.Samples[profile.MetricIPC]
+	if stats.Mean(ipc) <= 0 {
+		t.Fatal("clone has no IPC")
+	}
+	if cv := stats.Std(ipc) / stats.Mean(ipc); cv > 0.08 {
+		t.Fatalf("clone IPC coefficient of variation %g — should be static", cv)
+	}
+}
+
+func TestCloneTracksFootprintDirection(t *testing.T) {
+	// More LLC misses in the target -> bigger proxy data footprint ->
+	// more memory bandwidth in the clone. Direction must be preserved even
+	// though absolute fidelity is the baseline's weakness.
+	run := func(llcMPKI float64) float64 {
+		target := syntheticProfile(map[profile.MetricID]float64{profile.MetricLLC: llcMPKI})
+		pr := profile.New(sim.Broadwell())
+		pr.WindowCycles = 150_000
+		pr.Windows = 8
+		pr.WarmupWindows = 2
+		pr.SkipCurves = true
+		got, err := pr.Profile(Clone(target, "c"), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got.Mean(profile.MetricMemBW)
+	}
+	if run(12) <= run(0.1) {
+		t.Fatal("clone memory traffic does not track target LLC MPKI")
+	}
+}
+
+func TestProxyDeterministic(t *testing.T) {
+	c := Characterize(syntheticProfile(map[profile.MetricID]float64{profile.MetricLLC: 3}))
+	run := func() int {
+		p := NewProxy(c, trace.NewCodeLayout(), 9)
+		rng := stats.NewRNG(10)
+		rec := trace.NewRecorder()
+		for i := 0; i < 5; i++ {
+			p.Handle(rec, rng)
+		}
+		return rec.Instrs
+	}
+	if run() != run() {
+		t.Fatal("same-seed proxies diverged")
+	}
+}
+
+func TestNewProxyPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid characteristics did not panic")
+		}
+	}()
+	NewProxy(Characteristics{}, trace.NewCodeLayout(), 0)
+}

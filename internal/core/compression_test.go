@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"datamime/internal/apps/kvstore"
+	"datamime/internal/profile"
+	"datamime/internal/stats"
+	"datamime/internal/trace"
+)
+
+func TestKVStoreCompressionRatio(t *testing.T) {
+	mk := func(entropy float64) float64 {
+		cfg := kvstore.Config{
+			NumKeys:      500,
+			KeySize:      stats.Constant{V: 24},
+			ValueSize:    stats.Constant{V: 400},
+			GetRatio:     0.9,
+			ValueEntropy: entropy,
+		}
+		s := kvstore.New(cfg, trace.NewCodeLayout(), 1)
+		return s.CompressionRatio()
+	}
+	random := mk(8)
+	compressible := mk(2)
+	if compressible <= random {
+		t.Fatalf("low entropy did not raise compression ratio: %g vs %g", compressible, random)
+	}
+	if random < 1 || random > 1.5 {
+		t.Fatalf("incompressible values should give ratio ~1: %g", random)
+	}
+	if compressible < 2 {
+		t.Fatalf("2 bits/byte values should compress > 2x: %g", compressible)
+	}
+	// Entropy 0 means "unspecified" = incompressible.
+	if d := mk(0); math.Abs(d-random) > 1e-9 {
+		t.Fatalf("zero entropy should behave as 8: %g vs %g", d, random)
+	}
+}
+
+func TestProfilerRecordsCompressionMetric(t *testing.T) {
+	pr := fastProfiler()
+	pr.SkipCurves = true
+	gen := smallKVGenerator()
+	b := gen.Benchmark([]float64{50_000, 0.9, 300})
+	p, err := pr.Profile(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := p.Samples[profile.MetricCompress]
+	if len(samples) == 0 {
+		t.Fatal("compressible server produced no compression samples")
+	}
+	if m := stats.Mean(samples); m < 1 {
+		t.Fatalf("compression ratio %g < 1", m)
+	}
+}
+
+func TestCompressionComponentOptIn(t *testing.T) {
+	mkProfile := func(ratio float64) *profile.Profile {
+		p := fakeProfile(0)
+		p.Samples[profile.MetricCompress] = []float64{ratio, ratio}
+		return p
+	}
+	target := mkProfile(2.5)
+	cand := mkProfile(1.0)
+
+	// Default model: ratio mismatch must NOT affect the distance.
+	def := NewErrorModel()
+	dDef, perDef := def.Distance(target, cand)
+	if _, ok := perDef[CompCompression]; ok {
+		t.Fatal("default model computed the compression component")
+	}
+	if dDef != 0 {
+		t.Fatalf("default distance %g, want 0 (profiles otherwise identical)", dDef)
+	}
+
+	// Weighted-in model: the mismatch must register.
+	aware := def.WithWeight(CompCompression, 2)
+	dAware, perAware := aware.Distance(target, cand)
+	if perAware[CompCompression] <= 0 {
+		t.Fatal("compression component not computed when weighted")
+	}
+	if dAware <= 0 {
+		t.Fatal("weighted compression mismatch did not raise the distance")
+	}
+	// Matching ratios score zero.
+	dMatch, _ := aware.Distance(target, mkProfile(2.5))
+	if dMatch != 0 {
+		t.Fatalf("matching ratios scored %g", dMatch)
+	}
+}
+
+func TestCompressionSearchRecoversEntropy(t *testing.T) {
+	// End-to-end §III-D extension: a hidden compressible target, searched
+	// with the compression component enabled, should land near the
+	// target's snapshot ratio.
+	if testing.Short() {
+		t.Skip("search-backed test")
+	}
+	hiddenCfg := kvstore.Config{
+		NumKeys:      6_000,
+		KeySize:      stats.Normal{Mu: 24, Sigma: 6, Min: 4},
+		ValueSize:    stats.Normal{Mu: 700, Sigma: 90, Min: 1},
+		GetRatio:     0.95,
+		ValueEntropy: 2.8,
+	}
+	hidden := kvBenchmarkFromConfig("hidden-compressible", 120_000, hiddenCfg)
+
+	pr := fastProfiler()
+	target, err := pr.Profile(hidden, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgtRatio := target.Mean(profile.MetricCompress)
+	if tgtRatio < 1.5 {
+		t.Fatalf("hidden target ratio %g too low to test matching", tgtRatio)
+	}
+
+	gen := smallCompressibleGenerator()
+	res, err := Search(SearchConfig{
+		Generator:  gen,
+		Objective:  ProfileObjective{Target: target, Model: NewErrorModel().WithWeight(CompCompression, 3)},
+		Profiler:   pr,
+		Iterations: 22,
+		Parallel:   4,
+		Seed:       9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.BestProfile.Mean(profile.MetricCompress)
+	if math.Abs(got-tgtRatio)/tgtRatio > 0.35 {
+		t.Fatalf("compression-aware search ratio %g, target %g", got, tgtRatio)
+	}
+}

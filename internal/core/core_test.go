@@ -1,0 +1,348 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"datamime/internal/apps/kvstore"
+	"datamime/internal/datagen"
+	"datamime/internal/opt"
+	"datamime/internal/profile"
+	"datamime/internal/sim"
+	"datamime/internal/stats"
+	"datamime/internal/trace"
+	"datamime/internal/workload"
+)
+
+// fakeProfile builds a profile with fixed samples and curves.
+func fakeProfile(shift float64) *profile.Profile {
+	p := &profile.Profile{
+		Benchmark: "fake",
+		Machine:   "broadwell",
+		Samples:   make(map[profile.MetricID][]float64),
+	}
+	for _, id := range profile.ScalarMetrics {
+		p.Samples[id] = []float64{1 + shift, 2 + shift, 3 + shift}
+	}
+	for w := 1; w <= 4; w++ {
+		p.Curve = append(p.Curve, profile.CurvePoint{
+			Ways: w, SizeBytes: w << 20, IPC: 1 + shift, LLCMPKI: 5 - shift,
+		})
+	}
+	return p
+}
+
+func TestErrorModelZeroForIdentical(t *testing.T) {
+	em := NewErrorModel()
+	p := fakeProfile(0)
+	total, per := em.Distance(p, p)
+	if total != 0 {
+		t.Fatalf("self-distance = %g", total)
+	}
+	if len(per) != 10 {
+		t.Fatalf("%d components, want 10 (Table I)", len(per))
+	}
+	for c, d := range per {
+		if d != 0 {
+			t.Fatalf("component %s self-distance = %g", c, d)
+		}
+	}
+}
+
+func TestErrorModelGrowsWithShift(t *testing.T) {
+	em := NewErrorModel()
+	base := fakeProfile(0)
+	d1, _ := em.Distance(base, fakeProfile(0.5))
+	d2, _ := em.Distance(base, fakeProfile(2))
+	if !(d2 > d1 && d1 > 0) {
+		t.Fatalf("distances not monotone: %g, %g", d1, d2)
+	}
+}
+
+func TestErrorModelWeights(t *testing.T) {
+	em := NewErrorModel()
+	base := fakeProfile(0)
+	cand := fakeProfile(1)
+	before, per := em.Distance(base, cand)
+	em2 := em.WithWeight(CompCPUUtil, 5)
+	after, _ := em2.Distance(base, cand)
+	want := before + 4*per[CompCPUUtil]
+	if math.Abs(after-want) > 1e-12 {
+		t.Fatalf("reweighted distance %g, want %g", after, want)
+	}
+	// The original model is unchanged.
+	if em.Weights[CompCPUUtil] != 1 {
+		t.Fatal("WithWeight mutated the receiver")
+	}
+}
+
+func TestCurveDistance(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if d := CurveDistance(a, a); d != 0 {
+		t.Fatalf("self curve distance %g", d)
+	}
+	b := []float64{2, 3, 4, 5}
+	// mean |diff| = 1, max = 5 -> 0.2
+	if d := CurveDistance(a, b); math.Abs(d-0.2) > 1e-12 {
+		t.Fatalf("curve distance = %g, want 0.2", d)
+	}
+	// Different lengths compare over the shared prefix.
+	if d := CurveDistance(a, []float64{1, 2}); d != 0 {
+		t.Fatalf("prefix distance = %g", d)
+	}
+	if d := CurveDistance(nil, nil); d != 0 {
+		t.Fatalf("empty distance = %g", d)
+	}
+	if d := CurveDistance(nil, a); d != 1 {
+		t.Fatalf("one-empty distance = %g", d)
+	}
+	if d := CurveDistance([]float64{0, 0}, []float64{0, 0}); d != 0 {
+		t.Fatalf("all-zero distance = %g", d)
+	}
+}
+
+func TestObjectives(t *testing.T) {
+	target := fakeProfile(0)
+	po := ProfileObjective{Target: target, Model: NewErrorModel()}
+	if po.Evaluate(target) != 0 {
+		t.Fatal("profile objective nonzero on target")
+	}
+	if po.Evaluate(fakeProfile(1)) <= 0 {
+		t.Fatal("profile objective zero on mismatch")
+	}
+	if po.Describe() == "" {
+		t.Fatal("empty describe")
+	}
+	mo := MetricObjective{Metric: profile.MetricIPC, Value: 2}
+	if mo.Evaluate(target) != 0 { // mean of {1,2,3} = 2
+		t.Fatalf("metric objective = %g", mo.Evaluate(target))
+	}
+	if mo.Evaluate(fakeProfile(2)) <= 0 {
+		t.Fatal("metric objective zero on mismatch")
+	}
+	zero := MetricObjective{Metric: profile.MetricIPC, Value: 0}
+	if got := zero.Evaluate(target); got != 2 {
+		t.Fatalf("zero-target scale guard broken: %g", got)
+	}
+	if mo.Describe() == "" {
+		t.Fatal("empty describe")
+	}
+}
+
+// kvBenchmarkFromConfig wraps a kvstore config as a benchmark.
+func kvBenchmarkFromConfig(name string, qps float64, cfg kvstore.Config) workload.Benchmark {
+	return workload.Benchmark{
+		Name: name,
+		QPS:  qps,
+		NewServer: func(layout *trace.CodeLayout, seed uint64) workload.Server {
+			return kvstore.New(cfg, layout, seed)
+		},
+	}
+}
+
+// smallCompressibleGenerator extends smallKVGenerator with the §III-D
+// value-entropy parameter.
+func smallCompressibleGenerator() datagen.Generator {
+	space := opt.MustSpace(
+		opt.Param{Name: "qps", Lo: 10_000, Hi: 200_000, Log: true},
+		opt.Param{Name: "get_ratio", Lo: 0, Hi: 1},
+		opt.Param{Name: "val_mu", Lo: 16, Hi: 3_000, Log: true, Integer: true},
+		opt.Param{Name: "val_entropy", Lo: 0.5, Hi: 8},
+	)
+	return datagen.Generator{
+		Name:  "kv-small-compressible",
+		Space: space,
+		Benchmark: func(x []float64) workload.Benchmark {
+			return kvBenchmarkFromConfig("kv-small-compressible", x[0], kvstore.Config{
+				NumKeys:      6_000,
+				KeySize:      stats.Normal{Mu: 24, Sigma: 6, Min: 4},
+				ValueSize:    stats.Normal{Mu: x[2], Sigma: x[2] / 8, Min: 1},
+				GetRatio:     x[1],
+				ValueEntropy: x[3],
+			})
+		},
+	}
+}
+
+// smallKVGenerator is a fast memcached-style generator for search tests.
+func smallKVGenerator() datagen.Generator {
+	space := opt.MustSpace(
+		opt.Param{Name: "qps", Lo: 10_000, Hi: 200_000, Log: true},
+		opt.Param{Name: "get_ratio", Lo: 0, Hi: 1},
+		opt.Param{Name: "val_mu", Lo: 16, Hi: 3_000, Log: true, Integer: true},
+	)
+	return datagen.Generator{
+		Name:  "kv-small",
+		Space: space,
+		Benchmark: func(x []float64) workload.Benchmark {
+			cfg := kvstore.Config{
+				NumKeys:   6_000,
+				KeySize:   stats.Normal{Mu: 24, Sigma: 6, Min: 4},
+				ValueSize: stats.Normal{Mu: x[2], Sigma: x[2] / 8, Min: 1},
+				GetRatio:  x[1],
+			}
+			return workload.Benchmark{
+				Name: "kv-small",
+				QPS:  x[0],
+				NewServer: func(layout *trace.CodeLayout, seed uint64) workload.Server {
+					return kvstore.New(cfg, layout, seed)
+				},
+			}
+		},
+	}
+}
+
+func fastProfiler() *profile.Profiler {
+	p := profile.New(sim.Broadwell())
+	p.WindowCycles = 120_000
+	p.Windows = 10
+	p.WarmupWindows = 2
+	p.CurveWindows = 2
+	p.CurvePoints = 3
+	return p
+}
+
+func TestSearchEndToEnd(t *testing.T) {
+	gen := smallKVGenerator()
+	pr := fastProfiler()
+
+	// Hidden target: a specific dataset configuration the search only sees
+	// through its profile.
+	hidden := gen.Benchmark([]float64{120_000, 0.95, 900})
+	target, err := pr.Profile(hidden, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var log strings.Builder
+	res, err := Search(SearchConfig{
+		Generator:  gen,
+		Objective:  ProfileObjective{Target: target, Model: NewErrorModel()},
+		Profiler:   pr,
+		Iterations: 16,
+		Seed:       7,
+		Log:        &log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations != 16 || len(res.Trace) != 16 {
+		t.Fatalf("evaluations = %d, trace = %d", res.Evaluations, len(res.Trace))
+	}
+	if res.BestProfile == nil || len(res.BestParams) != 3 {
+		t.Fatal("missing best profile/params")
+	}
+	// The running minimum must be non-increasing and must improve over the
+	// first evaluation.
+	trace := res.MinEMDTrace()
+	for i := 1; i < len(trace); i++ {
+		if trace[i] > trace[i-1] {
+			t.Fatalf("best-so-far increased at %d: %v", i, trace)
+		}
+	}
+	if trace[len(trace)-1] >= res.Trace[0].Error && res.Trace[0].Error > 0.01 {
+		t.Fatalf("search never improved: first %g, final %g", res.Trace[0].Error, trace[len(trace)-1])
+	}
+	if !strings.Contains(log.String(), "iter") {
+		t.Fatal("no log output")
+	}
+}
+
+func TestSearchWithMetricObjective(t *testing.T) {
+	gen := smallKVGenerator()
+	pr := fastProfiler()
+	pr.SkipCurves = true
+	res, err := Search(SearchConfig{
+		Generator:  gen,
+		Objective:  MetricObjective{Metric: profile.MetricCPUUtil, Value: 0.2},
+		Profiler:   pr,
+		Iterations: 14,
+		Seed:       11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.BestProfile.Mean(profile.MetricCPUUtil)
+	if math.Abs(got-0.2) > 0.1 {
+		t.Fatalf("metric-targeted search reached util %g, want ~0.2", got)
+	}
+}
+
+func TestSearchWithBaselineOptimizer(t *testing.T) {
+	gen := smallKVGenerator()
+	pr := fastProfiler()
+	pr.SkipCurves = true
+	res, err := Search(SearchConfig{
+		Generator:  gen,
+		Objective:  MetricObjective{Metric: profile.MetricCPUUtil, Value: 0.4},
+		Profiler:   pr,
+		Iterations: 6,
+		Optimizer:  opt.NewRandomSearch(gen.Space, 3),
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations != 6 {
+		t.Fatalf("evaluations = %d", res.Evaluations)
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	gen := smallKVGenerator()
+	pr := fastProfiler()
+	obj := MetricObjective{Metric: profile.MetricIPC, Value: 1}
+	bad := []SearchConfig{
+		{Objective: obj, Profiler: pr, Iterations: 1},
+		{Generator: gen, Profiler: pr, Iterations: 1},
+		{Generator: gen, Objective: obj, Iterations: 1},
+		{Generator: gen, Objective: obj, Profiler: pr, Iterations: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := Search(cfg); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	run := func() float64 {
+		gen := smallKVGenerator()
+		pr := fastProfiler()
+		pr.SkipCurves = true
+		res, err := Search(SearchConfig{
+			Generator:  gen,
+			Objective:  MetricObjective{Metric: profile.MetricCPUUtil, Value: 0.6},
+			Profiler:   pr,
+			Iterations: 8,
+			Seed:       42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.BestError
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same-seed searches diverged: %g vs %g", a, b)
+	}
+}
+
+func TestComponentsMatchTableI(t *testing.T) {
+	if len(Components) != 10 {
+		t.Fatalf("%d components, want 10", len(Components))
+	}
+	seen := map[Component]bool{}
+	for _, c := range Components {
+		if seen[c] {
+			t.Fatalf("duplicate component %s", c)
+		}
+		seen[c] = true
+	}
+	if !seen[CompIPCCurve] || !seen[CompLLCCurve] {
+		t.Fatal("cache-sensitivity curves missing from the error model")
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt for debugging edits

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"datamime/internal/profile"
+)
+
+func TestDistanceKindString(t *testing.T) {
+	if DistEMD.String() != "emd" || DistKS.String() != "ks" {
+		t.Fatal("distance kind names")
+	}
+	if DistanceKind(9).String() == "" {
+		t.Fatal("unknown kind empty")
+	}
+}
+
+func TestKSErrorModel(t *testing.T) {
+	em := NewErrorModel().WithDistance(DistKS)
+	if em.Stat != DistKS {
+		t.Fatal("WithDistance did not set the statistic")
+	}
+	// The original model is unchanged.
+	if NewErrorModel().Stat != DistEMD {
+		t.Fatal("default statistic must be EMD")
+	}
+	base := fakeProfile(0)
+	d0, _ := em.Distance(base, base)
+	if d0 != 0 {
+		t.Fatalf("KS self-distance %g", d0)
+	}
+	d1, per := em.Distance(base, fakeProfile(5))
+	if d1 <= 0 {
+		t.Fatal("KS distance zero on mismatch")
+	}
+	// Disjoint sample supports: every scalar component saturates at 1.
+	for _, c := range Components {
+		if c == CompIPCCurve || c == CompLLCCurve {
+			continue
+		}
+		if per[c] != 1 {
+			t.Fatalf("KS component %s = %g, want 1 for disjoint supports", c, per[c])
+		}
+	}
+}
+
+func TestKSAndEMDBothDriveSearch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search-backed test")
+	}
+	gen := smallKVGenerator()
+	pr := fastProfiler()
+	hidden := gen.Benchmark([]float64{100_000, 0.9, 600})
+	target, err := pr.Profile(hidden, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []DistanceKind{DistEMD, DistKS} {
+		res, err := Search(SearchConfig{
+			Generator:  gen,
+			Objective:  ProfileObjective{Target: target, Model: NewErrorModel().WithDistance(kind)},
+			Profiler:   pr,
+			Iterations: 12,
+			Parallel:   4,
+			Seed:       7,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		// Both statistics must make search progress (first vs best).
+		if res.BestError >= res.Trace[0].Error && res.Trace[0].Error > 0.05 {
+			t.Fatalf("%s search made no progress: %g -> %g", kind, res.Trace[0].Error, res.BestError)
+		}
+		// Sanity: the winner's profile is plausible.
+		if res.BestProfile.Mean(profile.MetricIPC) <= 0 {
+			t.Fatalf("%s: degenerate best profile", kind)
+		}
+	}
+}

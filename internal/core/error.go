@@ -1,0 +1,236 @@
+// Package core implements Datamime itself: the profile error model of
+// §III-C (summed, normalized Earth Mover's Distances over the ten Table I
+// metrics, Eq. 1) and the profile-guided search loop (Eq. 2) that drives a
+// black-box optimizer over a dataset generator's parameter space until the
+// synthesized benchmark's profiles match the target's.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"datamime/internal/profile"
+	"datamime/internal/stats"
+)
+
+// Component names one of the ten error-model components: the eight scalar
+// metric distributions plus the two cache-sensitivity curves.
+type Component string
+
+// The ten components of Eq. 1, mirroring Table I. IPC enters through the
+// IPC curve (which includes the full-cache allocation), exactly as the
+// paper lists "IPC Curve (across cache sizes)" rather than scalar IPC.
+const (
+	CompICache   Component = "icache_mpki"
+	CompITLB     Component = "itlb_mpki"
+	CompL1D      Component = "l1d_mpki"
+	CompL2       Component = "l2_mpki"
+	CompDTLB     Component = "dtlb_mpki"
+	CompBranch   Component = "branch_mpki"
+	CompCPUUtil  Component = "cpu_util"
+	CompMemBW    Component = "mem_bw_gbs"
+	CompLLCCurve Component = "llc_mpki_curve"
+	CompIPCCurve Component = "ipc_curve"
+
+	// CompCompression is the optional eleventh component backing the
+	// §III-D extension: the snapshot compression ratio. It has no weight
+	// in the default model (keeping the paper's ten-metric error intact);
+	// enable it with WithWeight(CompCompression, w) when the target's
+	// compressibility matters (e.g., evaluating cache/memory compression).
+	CompCompression Component = "compress_ratio"
+)
+
+// Components lists all error components in Table I order.
+var Components = []Component{
+	CompICache, CompITLB,
+	CompL1D, CompL2, CompDTLB,
+	CompLLCCurve, CompIPCCurve,
+	CompBranch, CompCPUUtil, CompMemBW,
+}
+
+// scalarFor maps distribution components to their profiled metric.
+var scalarFor = map[Component]profile.MetricID{
+	CompICache:  profile.MetricICache,
+	CompITLB:    profile.MetricITLB,
+	CompL1D:     profile.MetricL1D,
+	CompL2:      profile.MetricL2,
+	CompDTLB:    profile.MetricDTLB,
+	CompBranch:  profile.MetricBranch,
+	CompCPUUtil: profile.MetricCPUUtil,
+	CompMemBW:   profile.MetricMemBW,
+}
+
+// DistanceKind selects the distribution-distance statistic. The paper uses
+// EMD but notes Kolmogorov–Smirnov and Cramér–von Mises as viable
+// alternatives (§III-C); KS is provided for the distance ablation.
+type DistanceKind int
+
+const (
+	// DistEMD is the paper's Earth Mover's Distance over axis-normalized
+	// CDFs.
+	DistEMD DistanceKind = iota
+	// DistKS is the Kolmogorov–Smirnov statistic (max vertical CDF gap).
+	DistKS
+)
+
+func (k DistanceKind) String() string {
+	switch k {
+	case DistEMD:
+		return "emd"
+	case DistKS:
+		return "ks"
+	default:
+		return fmt.Sprintf("DistanceKind(%d)", int(k))
+	}
+}
+
+// ErrorModel computes the total profile error of Eq. 1. Each component is
+// normalized to [0, 1] (EMD over axis-normalized CDFs for distributions;
+// normalized mean absolute difference for curves) and weighted equally by
+// default, "to make sure one mismatched metric does not dominate". Weights
+// can be changed to prioritize metrics, as the paper does when re-running
+// img-dnn with a higher IPC weight (§V-C).
+type ErrorModel struct {
+	Weights map[Component]float64
+	// Stat selects the distribution statistic (default DistEMD).
+	Stat DistanceKind
+}
+
+// NewErrorModel returns the default equal-weight model.
+func NewErrorModel() *ErrorModel {
+	w := make(map[Component]float64, len(Components))
+	for _, c := range Components {
+		w[c] = 1
+	}
+	return &ErrorModel{Weights: w}
+}
+
+// WithWeight returns a copy of the model with one component re-weighted.
+func (em *ErrorModel) WithWeight(c Component, weight float64) *ErrorModel {
+	out := &ErrorModel{Weights: make(map[Component]float64, len(em.Weights)), Stat: em.Stat}
+	for k, v := range em.Weights {
+		out.Weights[k] = v
+	}
+	out.Weights[c] = weight
+	return out
+}
+
+// WithDistance returns a copy of the model using the given distribution
+// statistic.
+func (em *ErrorModel) WithDistance(kind DistanceKind) *ErrorModel {
+	out := em.WithWeight(CompICache, em.Weights[CompICache]) // deep copy
+	out.Stat = kind
+	return out
+}
+
+// distDistance applies the selected statistic to two sample sets.
+func (em *ErrorModel) distDistance(a, b []float64) float64 {
+	if em.Stat == DistKS {
+		return stats.KSDistance(a, b)
+	}
+	return stats.NormalizedEMD(a, b)
+}
+
+// Distance returns the total weighted error between a target and a
+// candidate profile, plus the per-component breakdown (before weighting).
+func (em *ErrorModel) Distance(target, cand *profile.Profile) (float64, map[Component]float64) {
+	per := make(map[Component]float64, len(Components))
+	var total float64
+	for _, c := range Components {
+		var d float64
+		switch c {
+		case CompLLCCurve:
+			d = CurveDistance(target.LLCCurve(), cand.LLCCurve())
+		case CompIPCCurve:
+			d = CurveDistance(target.IPCCurve(), cand.IPCCurve())
+		default:
+			id := scalarFor[c]
+			d = em.distDistance(target.Samples[id], cand.Samples[id])
+		}
+		per[c] = d
+		total += em.Weights[c] * d
+	}
+	// Optional extension component: only when explicitly weighted in.
+	if w, ok := em.Weights[CompCompression]; ok && w > 0 {
+		d := em.distDistance(target.Samples[profile.MetricCompress], cand.Samples[profile.MetricCompress])
+		per[CompCompression] = d
+		total += w * d
+	}
+	return total, per
+}
+
+// CurveDistance is the normalized area between two sensitivity curves: the
+// mean absolute pointwise difference divided by the largest value observed
+// on either curve, giving a [0, 1] error comparable to the normalized EMDs.
+// Curves of different lengths are compared over the shorter prefix (this
+// happens only across machines with different partition counts).
+func CurveDistance(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n == 0 {
+		if len(a) == len(b) {
+			return 0
+		}
+		return 1
+	}
+	var maxV, sum float64
+	for i := 0; i < n; i++ {
+		sum += math.Abs(a[i] - b[i])
+		maxV = math.Max(maxV, math.Max(math.Abs(a[i]), math.Abs(b[i])))
+	}
+	if maxV == 0 {
+		return 0
+	}
+	return sum / float64(n) / maxV
+}
+
+// Objective scores a candidate profile; lower is better. ProfileObjective
+// is the paper's error model; MetricObjective targets an arbitrary single-
+// metric value, which is how Fig. 11 measures the generators' achievable
+// profile ranges.
+type Objective interface {
+	// Evaluate returns the candidate's error.
+	Evaluate(cand *profile.Profile) float64
+	// Describe names the objective for logs.
+	Describe() string
+}
+
+// ProfileObjective matches a full target profile under an error model.
+type ProfileObjective struct {
+	Target *profile.Profile
+	Model  *ErrorModel
+}
+
+// Evaluate implements Objective.
+func (o ProfileObjective) Evaluate(cand *profile.Profile) float64 {
+	total, _ := o.Model.Distance(o.Target, cand)
+	return total
+}
+
+// Describe implements Objective.
+func (o ProfileObjective) Describe() string {
+	return fmt.Sprintf("match profile of %s", o.Target.Benchmark)
+}
+
+// MetricObjective drives one scalar metric's mean toward a target value.
+type MetricObjective struct {
+	Metric profile.MetricID
+	Value  float64
+}
+
+// Evaluate implements Objective: relative error against the target value.
+func (o MetricObjective) Evaluate(cand *profile.Profile) float64 {
+	got := cand.Mean(o.Metric)
+	scale := math.Abs(o.Value)
+	if scale < 1e-9 {
+		scale = 1
+	}
+	return math.Abs(got-o.Value) / scale
+}
+
+// Describe implements Objective.
+func (o MetricObjective) Describe() string {
+	return fmt.Sprintf("target %s = %g", o.Metric, o.Value)
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"datamime/internal/datagen"
+	"datamime/internal/opt"
+	"datamime/internal/profile"
+	"datamime/internal/workload"
+)
+
+// TestSearchPropagatesProfilingErrors: a generator that emits an invalid
+// benchmark must fail the search with a useful error, not panic or hang.
+func TestSearchPropagatesProfilingErrors(t *testing.T) {
+	gen := datagen.Generator{
+		Name:  "broken",
+		Space: opt.MustSpace(opt.Param{Name: "x", Lo: 0, Hi: 1}),
+		Benchmark: func([]float64) workload.Benchmark {
+			return workload.Benchmark{Name: "broken"} // no QPS, no factory
+		},
+	}
+	_, err := Search(SearchConfig{
+		Generator:  gen,
+		Objective:  MetricObjective{Metric: profile.MetricIPC, Value: 1},
+		Profiler:   fastProfiler(),
+		Iterations: 3,
+		Seed:       1,
+	})
+	if err == nil {
+		t.Fatal("broken generator did not fail the search")
+	}
+	if !strings.Contains(err.Error(), "iteration") {
+		t.Fatalf("error lacks iteration context: %v", err)
+	}
+}
+
+// TestParallelSearchPropagatesErrors: the same under batch evaluation.
+func TestParallelSearchPropagatesErrors(t *testing.T) {
+	calls := 0
+	good := smallKVGenerator()
+	gen := datagen.Generator{
+		Name:  "flaky",
+		Space: good.Space,
+		Benchmark: func(x []float64) workload.Benchmark {
+			calls++
+			if calls == 3 {
+				return workload.Benchmark{Name: "flaky"} // third candidate breaks
+			}
+			return good.Benchmark(x)
+		},
+	}
+	pr := fastProfiler()
+	pr.SkipCurves = true
+	_, err := Search(SearchConfig{
+		Generator:  gen,
+		Objective:  MetricObjective{Metric: profile.MetricIPC, Value: 1},
+		Profiler:   pr,
+		Iterations: 8,
+		Parallel:   4,
+		Seed:       2,
+	})
+	if err == nil {
+		t.Fatal("flaky generator did not fail the parallel search")
+	}
+}
+
+// TestBayesOptSurvivesDegenerateObservations: constant and non-finite
+// objective values must not wedge the optimizer — it falls back to random
+// proposals when the surrogate cannot fit.
+func TestBayesOptSurvivesDegenerateObservations(t *testing.T) {
+	space := opt.MustSpace(opt.Param{Name: "a", Lo: 0, Hi: 1})
+	bo := opt.NewBayesOpt(space, opt.BayesOptConfig{Seed: 3, InitPoints: 3})
+	// All-identical observations: zero variance.
+	for i := 0; i < 6; i++ {
+		x := bo.Next()
+		bo.Observe(x, 1.0)
+	}
+	x := bo.Next()
+	if len(x) != 1 || x[0] < 0 || x[0] > 1 {
+		t.Fatalf("proposal after constant observations: %v", x)
+	}
+	// A NaN observation must not poison future proposals.
+	bo.Observe(x, math.NaN())
+	y := bo.Next()
+	if len(y) != 1 || math.IsNaN(y[0]) || y[0] < 0 || y[0] > 1 {
+		t.Fatalf("proposal after NaN observation: %v", y)
+	}
+}
+
+// TestProfilerBoundsRunawayServers: a server so slow that windows barely
+// close must still return within the request bound.
+func TestProfilerBoundsRunawayServers(t *testing.T) {
+	gen := smallKVGenerator()
+	b := gen.Benchmark([]float64{15_000, 0.9, 100}) // light load
+	pr := fastProfiler()
+	pr.SkipCurves = true
+	pr.WindowCycles = 1e10 // absurd window: would take forever to close
+	pr.MaxRequestsPerRun = 2_000
+	p, err := pr.Profile(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No windows close, so distributions are empty — degenerate but sane.
+	if len(p.Samples[profile.MetricICache]) != 0 {
+		t.Fatal("expected no closed windows")
+	}
+	// The error model tolerates empty candidate distributions.
+	target, err := fastProfiler().Profile(b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := NewErrorModel().Distance(target, p)
+	if math.IsNaN(d) || math.IsInf(d, 0) || d < 0 {
+		t.Fatalf("distance against empty profile: %g", d)
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"datamime/internal/profile"
+)
+
+func TestParallelSearchMatchesBudget(t *testing.T) {
+	gen := smallKVGenerator()
+	pr := fastProfiler()
+	pr.SkipCurves = true
+	res, err := Search(SearchConfig{
+		Generator:  gen,
+		Objective:  MetricObjective{Metric: profile.MetricCPUUtil, Value: 0.15},
+		Profiler:   pr,
+		Iterations: 13, // deliberately not a multiple of Parallel
+		Parallel:   4,
+		Seed:       21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations != 13 || len(res.Trace) != 13 {
+		t.Fatalf("parallel search did %d evals, trace %d", res.Evaluations, len(res.Trace))
+	}
+	// Trace iteration numbers are sequential and best-so-far non-increasing.
+	for i, rec := range res.Trace {
+		if rec.Iteration != i {
+			t.Fatalf("trace[%d].Iteration = %d", i, rec.Iteration)
+		}
+		if i > 0 && rec.BestError > res.Trace[i-1].BestError {
+			t.Fatal("best-so-far increased")
+		}
+	}
+}
+
+func TestParallelSearchDeterministic(t *testing.T) {
+	run := func() float64 {
+		gen := smallKVGenerator()
+		pr := fastProfiler()
+		pr.SkipCurves = true
+		res, err := Search(SearchConfig{
+			Generator:  gen,
+			Objective:  MetricObjective{Metric: profile.MetricCPUUtil, Value: 0.1},
+			Profiler:   pr,
+			Iterations: 8,
+			Parallel:   4,
+			Seed:       33,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.BestError
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("parallel same-seed searches diverged: %g vs %g", a, b)
+	}
+}
+
+func TestParallelSearchFindsSameQualityAsSerial(t *testing.T) {
+	gen := smallKVGenerator()
+	run := func(parallel int) float64 {
+		pr := fastProfiler()
+		pr.SkipCurves = true
+		res, err := Search(SearchConfig{
+			Generator:  gen,
+			Objective:  MetricObjective{Metric: profile.MetricCPUUtil, Value: 0.12},
+			Profiler:   pr,
+			Iterations: 16,
+			Parallel:   parallel,
+			Seed:       44,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.BestError
+	}
+	serial := run(1)
+	par := run(4)
+	// Parallel search trades per-step information for wall-clock speed;
+	// the final quality must stay in the same ballpark.
+	if par > serial*3+0.2 {
+		t.Fatalf("parallel quality collapsed: serial %g vs parallel %g", serial, par)
+	}
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"datamime/internal/datagen"
+	"datamime/internal/opt"
+	"datamime/internal/profile"
+	"datamime/internal/stats"
+)
+
+// SearchConfig drives one Datamime search: find the generator parameters
+// whose benchmark minimizes the objective (Eq. 2).
+type SearchConfig struct {
+	// Generator is the dataset generator to search (space + factory).
+	Generator datagen.Generator
+	// Objective scores each candidate profile (ProfileObjective for the
+	// paper's search, MetricObjective for range sweeps).
+	Objective Objective
+	// Profiler measures candidates. For MetricObjective sweeps without
+	// curve components, set Profiler.SkipCurves to save time.
+	Profiler *profile.Profiler
+	// Iterations is the evaluation budget (the paper runs 200).
+	Iterations int
+	// Optimizer proposes parameters; nil selects the paper's Bayesian
+	// optimizer. Baselines (random search, annealing) plug in here for the
+	// ablations.
+	Optimizer opt.Optimizer
+	// Seed derives every stochastic stream: optimizer proposals and the
+	// per-iteration profiling seeds (so repeated evaluations of the same
+	// point measure with noise, as on real hardware).
+	Seed uint64
+	// Log, when non-nil, receives one line per iteration.
+	Log io.Writer
+	// Parallel evaluates batches of this many candidates concurrently,
+	// using constant-liar batch proposals when the optimizer supports them
+	// (parallel Bayesian optimization — the future work the paper defers
+	// in §IV). <= 1 runs the paper's serial loop. Results are identical in
+	// structure either way: the trace holds one record per evaluation, and
+	// the run is deterministic for a given (Seed, Parallel).
+	Parallel int
+}
+
+// Validate reports configuration errors.
+func (c *SearchConfig) Validate() error {
+	if c.Generator.Space == nil || c.Generator.Benchmark == nil {
+		return fmt.Errorf("core: search needs a generator with space and factory")
+	}
+	if c.Objective == nil {
+		return fmt.Errorf("core: search needs an objective")
+	}
+	if c.Profiler == nil {
+		return fmt.Errorf("core: search needs a profiler")
+	}
+	if c.Iterations <= 0 {
+		return fmt.Errorf("core: Iterations must be positive, got %d", c.Iterations)
+	}
+	return nil
+}
+
+// IterationRecord is one step of the search trace.
+type IterationRecord struct {
+	Iteration int       `json:"iteration"`
+	Params    []float64 `json:"params"`
+	Error     float64   `json:"error"`
+	// BestError is the minimum observed error up to and including this
+	// iteration — the quantity Fig. 10 plots.
+	BestError float64 `json:"best_error"`
+}
+
+// Result is the outcome of a search.
+type Result struct {
+	// BestParams is the lowest-error parameter vector, in parameter units.
+	BestParams []float64
+	// BestError is its objective value.
+	BestError float64
+	// BestProfile is the profile measured at the best parameters.
+	BestProfile *profile.Profile
+	// Trace is the per-iteration history (for convergence plots).
+	Trace []IterationRecord
+	// Evaluations counts objective evaluations performed.
+	Evaluations int
+}
+
+// Search runs the optimization loop: propose parameters, generate the
+// dataset, run and profile the benchmark, score it against the objective,
+// and feed the error back to the optimizer (Fig. 5's loop).
+func Search(cfg SearchConfig) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	optimizer := cfg.Optimizer
+	if optimizer == nil {
+		optimizer = opt.NewBayesOpt(cfg.Generator.Space, opt.BayesOptConfig{Seed: cfg.Seed})
+	}
+	space := cfg.Generator.Space
+
+	parallel := cfg.Parallel
+	if parallel < 1 {
+		parallel = 1
+	}
+	batchRNG := stats.NewRNG(stats.HashSeed(cfg.Seed, "batch-fallback"))
+
+	res := &Result{BestError: 0}
+	best := -1
+	record := func(it int, x []float64, prof *profile.Profile, e float64) {
+		res.Evaluations++
+		if best < 0 || e < res.BestError {
+			best = it
+			res.BestError = e
+			res.BestParams = x
+			res.BestProfile = prof
+		}
+		res.Trace = append(res.Trace, IterationRecord{
+			Iteration: it,
+			Params:    x,
+			Error:     e,
+			BestError: res.BestError,
+		})
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "iter %3d  err %.4f  best %.4f  %s\n",
+				it, e, res.BestError, space.Values(x))
+		}
+	}
+
+	type evalResult struct {
+		prof *profile.Profile
+		err  error
+		e    float64
+		x    []float64
+	}
+	for it := 0; it < cfg.Iterations; {
+		k := parallel
+		if rem := cfg.Iterations - it; k > rem {
+			k = rem
+		}
+		batch := opt.FallbackBatch(optimizer, space, k, batchRNG)
+		results := make([]evalResult, len(batch))
+		var wg sync.WaitGroup
+		for i, u := range batch {
+			wg.Add(1)
+			go func(i int, u []float64) {
+				defer wg.Done()
+				x := space.Denormalize(u)
+				bench := cfg.Generator.Benchmark(x)
+				prof, err := cfg.Profiler.Profile(bench, stats.HashSeed(cfg.Seed, fmt.Sprintf("iter-%d", it+i)))
+				if err != nil {
+					results[i] = evalResult{err: err}
+					return
+				}
+				results[i] = evalResult{prof: prof, e: cfg.Objective.Evaluate(prof), x: x}
+			}(i, u)
+		}
+		wg.Wait()
+		// Observe and record in batch order for determinism.
+		for i, u := range batch {
+			r := results[i]
+			if r.err != nil {
+				return nil, fmt.Errorf("core: profiling iteration %d: %w", it+i, r.err)
+			}
+			optimizer.Observe(u, r.e)
+			record(it+i, r.x, r.prof, r.e)
+		}
+		it += len(batch)
+	}
+	return res, nil
+}
+
+// MinEMDTrace extracts the Fig. 10 series from a result: the running
+// minimum error per iteration.
+func (r *Result) MinEMDTrace() []float64 {
+	out := make([]float64, len(r.Trace))
+	for i, rec := range r.Trace {
+		out[i] = rec.BestError
+	}
+	return out
+}

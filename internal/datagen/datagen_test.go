@@ -1,0 +1,159 @@
+package datagen
+
+import (
+	"testing"
+
+	"datamime/internal/opt"
+	"datamime/internal/stats"
+	"datamime/internal/trace"
+)
+
+func TestAllGeneratorsResolve(t *testing.T) {
+	gens := All()
+	if len(gens) != 4 {
+		t.Fatalf("%d generators", len(gens))
+	}
+	for _, g := range gens {
+		got, err := ByName(g.Name)
+		if err != nil || got.Name != g.Name {
+			t.Fatalf("ByName(%q): %v", g.Name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown generator resolved")
+	}
+}
+
+func TestTableIIIParameterNames(t *testing.T) {
+	// The spaces must carry exactly the Table III knobs.
+	mustHave := map[string][]string{
+		"memcached": {"qps", "get_ratio", "key_mu", "key_sigma", "val_mu", "val_sigma"},
+		"silo":      {"qps", "warehouses", "w_new_order", "w_payment", "w_delivery", "w_order_status", "w_stock_level"},
+		"xapian":    {"qps", "zipf_skew", "term_freq", "doc_len"},
+		"dnn":       {"qps", "conv", "strided_conv", "maxpool", "fc", "first_chan"},
+	}
+	for _, g := range All() {
+		want := mustHave[g.Name]
+		names := g.Space.Names()
+		if len(names) != len(want) {
+			t.Fatalf("%s: %d params, want %d", g.Name, len(names), len(want))
+		}
+		for i, n := range want {
+			if names[i] != n {
+				t.Fatalf("%s param %d = %q, want %q", g.Name, i, names[i], n)
+			}
+		}
+	}
+}
+
+func TestEveryGeneratorBuildsRunnableBenchmarks(t *testing.T) {
+	rng := stats.NewRNG(1)
+	for _, g := range All() {
+		// A handful of random corners of the space must all produce a
+		// valid, runnable benchmark (BO will visit weird corners).
+		for trial := 0; trial < 4; trial++ {
+			var u []float64
+			switch trial {
+			case 0:
+				u = make([]float64, g.Space.Dim()) // all-lo corner
+			case 1:
+				u = make([]float64, g.Space.Dim())
+				for i := range u {
+					u[i] = 1 // all-hi corner
+				}
+			default:
+				u = g.Space.Sample(rng)
+			}
+			x := g.Space.Denormalize(u)
+			b := g.Benchmark(x)
+			if err := b.Validate(); err != nil {
+				t.Fatalf("%s trial %d: %v", g.Name, trial, err)
+			}
+			srv := b.NewServer(trace.NewCodeLayout(), 1)
+			rec := trace.NewRecorder()
+			reqRNG := stats.NewRNG(2)
+			for i := 0; i < 3; i++ {
+				srv.Handle(rec, reqRNG)
+			}
+			if rec.Instrs == 0 {
+				t.Fatalf("%s trial %d: server did no work", g.Name, trial)
+			}
+		}
+	}
+}
+
+func TestSiloZeroMixCornerIsHandled(t *testing.T) {
+	g := Silo()
+	// Force all mix weights to zero: the factory must fall back.
+	x := g.Space.Denormalize(make([]float64, g.Space.Dim()))
+	for i := 2; i < 7; i++ {
+		x[i] = 0
+	}
+	b := g.Benchmark(x)
+	srv := b.NewServer(trace.NewCodeLayout(), 3)
+	rec := trace.NewRecorder()
+	srv.Handle(rec, stats.NewRNG(4))
+	if rec.Instrs == 0 {
+		t.Fatal("zero-mix corner produced a dead server")
+	}
+}
+
+func TestGeneratorsHideTargetKnobs(t *testing.T) {
+	// The generators must not expose hidden target characteristics
+	// (popularity skew, churn) — §III-B's premise is that parameterization
+	// needs no knowledge of the target dataset.
+	for _, g := range All() {
+		for _, p := range g.Space.Params {
+			switch p.Name {
+			case "popularity_skew", "churn", "crawl":
+				t.Fatalf("%s exposes hidden target knob %q", g.Name, p.Name)
+			}
+		}
+	}
+}
+
+func TestCompressibleGeneratorExtendsMemcached(t *testing.T) {
+	base := Memcached()
+	ext := MemcachedCompressible()
+	if ext.Space.Dim() != base.Space.Dim()+1 {
+		t.Fatalf("compressible space dim %d, want %d", ext.Space.Dim(), base.Space.Dim()+1)
+	}
+	names := ext.Space.Names()
+	if names[len(names)-1] != "val_entropy" {
+		t.Fatalf("last param = %s", names[len(names)-1])
+	}
+	// The entropy knob only changes the compression ratio, not the events.
+	rng := stats.NewRNG(9)
+	u := ext.Space.Sample(rng)
+	lowEntropy := ext.Space.Denormalize(u)
+	lowEntropy[len(lowEntropy)-1] = 1.0
+	highEntropy := append([]float64(nil), lowEntropy...)
+	highEntropy[len(highEntropy)-1] = 8.0
+
+	ratioOf := func(x []float64) float64 {
+		b := ext.Benchmark(x)
+		srv := b.NewServer(trace.NewCodeLayout(), 1)
+		c, ok := srv.(interface{ CompressionRatio() float64 })
+		if !ok {
+			t.Fatal("compressible benchmark server lacks CompressionRatio")
+		}
+		return c.CompressionRatio()
+	}
+	if ratioOf(lowEntropy) <= ratioOf(highEntropy) {
+		t.Fatal("entropy parameter does not drive the compression ratio")
+	}
+}
+
+func TestSpacesAreBayesOptCompatible(t *testing.T) {
+	// Dimensionalities stay in the <=20-dimension regime the paper cites
+	// for Bayesian optimization.
+	for _, g := range All() {
+		if d := g.Space.Dim(); d < 4 || d > 20 {
+			t.Fatalf("%s space has %d dimensions", g.Name, d)
+		}
+		// And a BayesOpt can be constructed over each.
+		if o := opt.NewBayesOpt(g.Space, opt.BayesOptConfig{Seed: 1}); o == nil {
+			t.Fatal("optimizer construction failed")
+		}
+	}
+}

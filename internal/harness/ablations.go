@@ -1,0 +1,200 @@
+package harness
+
+import (
+	"io"
+
+	"datamime/internal/core"
+	"datamime/internal/opt"
+	"datamime/internal/profile"
+	"datamime/internal/sim"
+	"datamime/internal/stats"
+)
+
+// AblationOptimizers compares the paper's Bayesian optimizer against random
+// search and simulated annealing at an equal evaluation budget on the
+// mem-fb search — the empirical backing for §III-C's optimizer choice.
+func (r *Runner) AblationOptimizers(out io.Writer) error {
+	w, err := WorkloadByName("mem-fb")
+	if err != nil {
+		return err
+	}
+	target, err := r.TargetProfile(w, sim.Broadwell())
+	if err != nil {
+		return err
+	}
+	model := core.NewErrorModel()
+	t := &Table{
+		Title:  "Ablation: optimizer choice (mem-fb, equal evaluation budget)",
+		Header: []string{"optimizer", "best total EMD", "evaluations"},
+	}
+	optimizers := []opt.Optimizer{
+		opt.NewBayesOpt(w.Generator.Space, opt.BayesOptConfig{Seed: r.st.Seed}),
+		opt.NewRandomSearch(w.Generator.Space, r.st.Seed),
+		opt.NewAnneal(w.Generator.Space, r.st.Seed, 1.0, 0.92),
+	}
+	for _, o := range optimizers {
+		res, err := core.Search(core.SearchConfig{
+			Generator:  w.Generator,
+			Objective:  core.ProfileObjective{Target: target, Model: model},
+			Profiler:   r.profiler(sim.Broadwell()),
+			Iterations: r.st.Iterations,
+			Optimizer:  o,
+			Seed:       r.st.Seed,
+			Parallel:   r.st.Parallel,
+		})
+		if err != nil {
+			return err
+		}
+		t.AddRow(o.Name(), fnum(res.BestError), fnum(float64(res.Evaluations)))
+	}
+	_, err = t.WriteTo(out)
+	return err
+}
+
+// meanOnlyObjective is the ablated error model: match metric *means* only,
+// ignoring distributions and curves — what average-statistics approaches
+// optimize.
+type meanOnlyObjective struct {
+	target *profile.Profile
+}
+
+// Evaluate sums the normalized absolute mean errors over the scalar
+// metrics.
+func (o meanOnlyObjective) Evaluate(cand *profile.Profile) float64 {
+	var total float64
+	for _, id := range profile.ScalarMetrics {
+		tv := o.target.Mean(id)
+		cv := cand.Mean(id)
+		scale := abs(tv)
+		if scale < 1e-9 {
+			scale = 1
+		}
+		total += abs(tv-cv) / scale
+	}
+	return total / float64(len(profile.ScalarMetrics))
+}
+
+// Describe implements core.Objective.
+func (o meanOnlyObjective) Describe() string { return "mean-only error model" }
+
+// AblationErrorModel compares the paper's distribution-matching EMD error
+// against a mean-only error model: both searches run, then both winners are
+// scored by the *distributional* error, showing what matching-averages-only
+// leaves on the table.
+func (r *Runner) AblationErrorModel(out io.Writer) error {
+	w, err := WorkloadByName("mem-fb")
+	if err != nil {
+		return err
+	}
+	target, err := r.TargetProfile(w, sim.Broadwell())
+	if err != nil {
+		return err
+	}
+	model := core.NewErrorModel()
+	run := func(obj core.Objective, seed uint64) (*core.Result, error) {
+		return core.Search(core.SearchConfig{
+			Generator:  w.Generator,
+			Objective:  obj,
+			Profiler:   r.profiler(sim.Broadwell()),
+			Iterations: r.st.Iterations,
+			Seed:       seed,
+			Parallel:   r.st.Parallel,
+		})
+	}
+	emdRes, err := run(core.ProfileObjective{Target: target, Model: model}, r.st.Seed)
+	if err != nil {
+		return err
+	}
+	meanRes, err := run(meanOnlyObjective{target: target}, r.st.Seed)
+	if err != nil {
+		return err
+	}
+	score := func(res *core.Result) (distErr float64, utilEMD float64) {
+		d, per := model.Distance(target, res.BestProfile)
+		return d, per[core.CompCPUUtil]
+	}
+	t := &Table{
+		Title:  "Ablation: error model (mem-fb) — winners re-scored by distributional error",
+		Header: []string{"search objective", "total EMD", "cpu-util EMD"},
+	}
+	d1, u1 := score(emdRes)
+	d2, u2 := score(meanRes)
+	t.AddRow("EMD over distributions (paper)", fnum(d1), fnum(u1))
+	t.AddRow("means only (ablated)", fnum(d2), fnum(u2))
+	_, err = t.WriteTo(out)
+	return err
+}
+
+// AblationWeights quantifies metric prioritization: the default equal
+// weights vs. an IPC-curve-heavy weighting, scored on the IPC-curve and
+// LLC-curve components (the img-dnn trade-off of §V-C, on img-dnn itself).
+func (r *Runner) AblationWeights(out io.Writer) error {
+	w, err := WorkloadByName("img-dnn")
+	if err != nil {
+		return err
+	}
+	target, err := r.TargetProfile(w, sim.Broadwell())
+	if err != nil {
+		return err
+	}
+	def, err := r.Search(w, nil)
+	if err != nil {
+		return err
+	}
+	weighted, err := r.Search(w, core.NewErrorModel().WithWeight(core.CompIPCCurve, 6))
+	if err != nil {
+		return err
+	}
+	model := core.NewErrorModel()
+	t := &Table{
+		Title:  "Ablation: metric weighting (img-dnn)",
+		Header: []string{"weights", "IPC-curve err", "LLC-curve err", "IPC rel. err"},
+	}
+	row := func(name string, res *core.Result) {
+		_, per := model.Distance(target, res.BestProfile)
+		ipcErr := stats.AbsPercentError(target.Mean(profile.MetricIPC), res.BestProfile.Mean(profile.MetricIPC))
+		t.AddRow(name, fnum(per[core.CompIPCCurve]), fnum(per[core.CompLLCCurve]), fpct(ipcErr))
+	}
+	row("equal (default)", def)
+	row("ipc-curve x6", weighted)
+	_, err = t.WriteTo(out)
+	return err
+}
+
+// AblationDistance compares the EMD error statistic against the
+// Kolmogorov–Smirnov alternative the paper mentions (§III-C): both drive a
+// full mem-fb search, and both winners are re-scored under the paper's EMD
+// model for comparability.
+func (r *Runner) AblationDistance(out io.Writer) error {
+	w, err := WorkloadByName("mem-fb")
+	if err != nil {
+		return err
+	}
+	target, err := r.TargetProfile(w, sim.Broadwell())
+	if err != nil {
+		return err
+	}
+	emdModel := core.NewErrorModel()
+	t := &Table{
+		Title:  "Ablation: distribution distance (mem-fb) — winners re-scored by EMD",
+		Header: []string{"search statistic", "total EMD", "ipc rel. err"},
+	}
+	for _, kind := range []core.DistanceKind{core.DistEMD, core.DistKS} {
+		res, err := core.Search(core.SearchConfig{
+			Generator:  w.Generator,
+			Objective:  core.ProfileObjective{Target: target, Model: emdModel.WithDistance(kind)},
+			Profiler:   r.profiler(sim.Broadwell()),
+			Iterations: r.st.Iterations,
+			Seed:       r.st.Seed,
+			Parallel:   r.st.Parallel,
+		})
+		if err != nil {
+			return err
+		}
+		d, _ := emdModel.Distance(target, res.BestProfile)
+		ipcErr := stats.AbsPercentError(target.Mean(profile.MetricIPC), res.BestProfile.Mean(profile.MetricIPC))
+		t.AddRow(kind.String(), fnum(d), fpct(ipcErr))
+	}
+	_, err = t.WriteTo(out)
+	return err
+}

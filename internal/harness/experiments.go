@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+)
+
+// experimentTable maps experiment ids to their runner methods, in the
+// paper's order.
+var experimentOrder = []string{
+	"fig1", "fig3", "fig4",
+	"table1", "table2", "table3",
+	"fig6", "fig7", "fig8",
+	"fig9", "table4",
+	"fig10", "fig11", "fig12", "fig13",
+	"ablation-optimizers", "ablation-error-model", "ablation-weights",
+	"ablation-distance", "ext-compression",
+}
+
+// RunExperiment regenerates one table or figure by id into out.
+func RunExperiment(r *Runner, id string, out io.Writer) error {
+	switch id {
+	case "fig1":
+		return r.Figure1(out)
+	case "fig3":
+		return r.Figure3(out)
+	case "fig4":
+		return r.Figure4(out)
+	case "fig6":
+		return r.Figure6(out)
+	case "fig7":
+		return r.Figure7(out)
+	case "fig8":
+		return r.Figure8(out)
+	case "fig9":
+		return r.Figure9(out)
+	case "fig10":
+		return r.Figure10(out)
+	case "fig11":
+		return r.Figure11(out)
+	case "fig12":
+		return r.Figure12(out)
+	case "fig13":
+		return r.Figure13(out)
+	case "table1":
+		return r.Table1(out)
+	case "table2":
+		return r.Table2(out)
+	case "table3":
+		return r.Table3(out)
+	case "table4":
+		return r.Table4(out)
+	case "ablation-optimizers":
+		return r.AblationOptimizers(out)
+	case "ablation-error-model":
+		return r.AblationErrorModel(out)
+	case "ablation-weights":
+		return r.AblationWeights(out)
+	case "ablation-distance":
+		return r.AblationDistance(out)
+	case "ext-compression":
+		return r.ExtCompression(out)
+	default:
+		return fmt.Errorf("harness: unknown experiment %q (known: %v)", id, experimentOrder)
+	}
+}
+
+// ExperimentIDs lists every regenerable experiment id in the paper's order.
+func ExperimentIDs() []string {
+	out := make([]string, len(experimentOrder))
+	copy(out, experimentOrder)
+	return out
+}

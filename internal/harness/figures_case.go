@@ -1,0 +1,190 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"datamime/internal/core"
+	"datamime/internal/profile"
+	"datamime/internal/sim"
+)
+
+// Figure9 reproduces Fig. 9: cache-sensitivity curves for the case-study
+// targets (masstree, img-dnn), where Datamime's benchmark uses a
+// *different* program than the target (memcached and dnn, respectively).
+func (r *Runner) Figure9(out io.Writer) error {
+	for _, w := range CaseStudyWorkloads() {
+		tgt, err := r.TargetProfile(w, sim.Broadwell())
+		if err != nil {
+			return err
+		}
+		pp, err := r.CloneProfile(w, sim.Broadwell())
+		if err != nil {
+			return err
+		}
+		dm, err := r.DatamimeProfile(w, sim.Broadwell())
+		if err != nil {
+			return err
+		}
+		t := &Table{
+			Title: fmt.Sprintf("Figure 9 (%s, searched with %s): cache-sensitivity curves",
+				w.Name, w.Generator.Name),
+			Header: []string{"cache MB",
+				"tgt IPC", "pp IPC", "dm IPC",
+				"tgt LLC", "pp LLC", "dm LLC"},
+		}
+		for i := range tgt.Curve {
+			if i >= len(pp.Curve) || i >= len(dm.Curve) {
+				break
+			}
+			tc, pc, dc := tgt.Curve[i], pp.Curve[i], dm.Curve[i]
+			t.AddRow(fmt.Sprintf("%d", tc.SizeBytes>>20),
+				fnum(tc.IPC), fnum(pc.IPC), fnum(dc.IPC),
+				fnum(tc.LLCMPKI), fnum(pc.LLCMPKI), fnum(dc.LLCMPKI))
+		}
+		if _, err := t.WriteTo(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// tableIVMetrics are the rows of Table IV, in the paper's order.
+var tableIVMetrics = []struct {
+	id    profile.MetricID
+	label string
+}{
+	{profile.MetricIPC, "IPC"},
+	{profile.MetricLLC, "LLC MPKI"},
+	{profile.MetricCPUUtil, "CPU Util."},
+	{profile.MetricBranch, "Branch MPKI"},
+	{profile.MetricICache, "ICache MPKI"},
+	{profile.MetricL1D, "L1D MPKI"},
+	{profile.MetricL2, "L2 MPKI"},
+	{profile.MetricITLB, "ITLB MPKI"},
+	{profile.MetricDTLB, "DTLB MPKI"},
+	{profile.MetricMemBW, "Mem. Bw (GB/s)"},
+}
+
+// Table4 reproduces Table IV: every profiled metric for the case-study
+// targets under target, PerfProx, and Datamime-with-a-different-program.
+func (r *Runner) Table4(out io.Writer) error {
+	for _, w := range CaseStudyWorkloads() {
+		tgt, err := r.TargetProfile(w, sim.Broadwell())
+		if err != nil {
+			return err
+		}
+		pp, err := r.CloneProfile(w, sim.Broadwell())
+		if err != nil {
+			return err
+		}
+		dm, err := r.DatamimeProfile(w, sim.Broadwell())
+		if err != nil {
+			return err
+		}
+		t := &Table{
+			Title:  fmt.Sprintf("Table IV (%s)", w.Name),
+			Header: []string{"metric", "target", "perfprox", "datamime (diff. program)"},
+		}
+		for _, m := range tableIVMetrics {
+			t.AddRow(m.label, fnum(tgt.Mean(m.id)), fnum(pp.Mean(m.id)), fnum(dm.Mean(m.id)))
+		}
+		if _, err := t.WriteTo(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CaseStudyIPCErrors returns the §V-C headline: IPC MAPE of Datamime
+// (with a different program) vs PerfProx across the two case-study targets
+// (paper: 8.6% vs 19.4%).
+func (r *Runner) CaseStudyIPCErrors() (datamime, perfprox float64, err error) {
+	var dmErr, ppErr float64
+	n := 0
+	for _, w := range CaseStudyWorkloads() {
+		tgt, err := r.TargetProfile(w, sim.Broadwell())
+		if err != nil {
+			return 0, 0, err
+		}
+		pp, err := r.CloneProfile(w, sim.Broadwell())
+		if err != nil {
+			return 0, 0, err
+		}
+		dm, err := r.DatamimeProfile(w, sim.Broadwell())
+		if err != nil {
+			return 0, 0, err
+		}
+		tv := tgt.Mean(profile.MetricIPC)
+		dmErr += absFrac(tv, dm.Mean(profile.MetricIPC))
+		ppErr += absFrac(tv, pp.Mean(profile.MetricIPC))
+		n++
+	}
+	return dmErr / float64(n), ppErr / float64(n), nil
+}
+
+// ReweightedCaseStudy reruns the img-dnn search with a higher IPC-curve
+// weight, reproducing the §V-C trade-off experiment: the IPC match improves
+// at the expense of the LLC MPKI curve.
+func (r *Runner) ReweightedCaseStudy(out io.Writer) error {
+	w, err := WorkloadByName("img-dnn")
+	if err != nil {
+		return err
+	}
+	tgt, err := r.TargetProfile(w, sim.Broadwell())
+	if err != nil {
+		return err
+	}
+	def, err := r.Search(w, nil)
+	if err != nil {
+		return err
+	}
+	weighted, err := r.Search(w, core.NewErrorModel().WithWeight(core.CompIPCCurve, 6))
+	if err != nil {
+		return err
+	}
+	profileOf := func(res *core.Result) (*profile.Profile, error) {
+		b := w.Generator.Benchmark(res.BestParams)
+		b.Name = fmt.Sprintf("img-dnn-reweighted-%p", res)
+		return r.BenchmarkProfile(b, sim.Broadwell())
+	}
+	dp, err := profileOf(def)
+	if err != nil {
+		return err
+	}
+	wp, err := profileOf(weighted)
+	if err != nil {
+		return err
+	}
+	t := &Table{
+		Title:  "Case study (img-dnn): re-weighting the search toward IPC",
+		Header: []string{"scheme", "IPC", "IPC err", "LLC MPKI", "LLC err"},
+	}
+	tIPC, tLLC := tgt.Mean(profile.MetricIPC), tgt.Mean(profile.MetricLLC)
+	row := func(name string, p *profile.Profile) {
+		t.AddRow(name, fnum(p.Mean(profile.MetricIPC)), fpct(absFrac(tIPC, p.Mean(profile.MetricIPC))),
+			fnum(p.Mean(profile.MetricLLC)), fnum(abs(tLLC-p.Mean(profile.MetricLLC))))
+	}
+	t.AddRow("target", fnum(tIPC), "-", fnum(tLLC), "-")
+	row("default weights", dp)
+	row("ipc-weighted", wp)
+	_, err = t.WriteTo(out)
+	return err
+}
+
+func absFrac(target, got float64) float64 {
+	if target == 0 {
+		if got == 0 {
+			return 0
+		}
+		return 1
+	}
+	return abs(target-got) / abs(target)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

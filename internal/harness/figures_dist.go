@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"datamime/internal/profile"
+	"datamime/internal/sim"
+)
+
+// Figure7 reproduces Fig. 7: IPC and LLC MPKI curves across cache
+// allocations (1 MB increments on Broadwell) for target, PerfProx, and
+// Datamime on the five workloads.
+func (r *Runner) Figure7(out io.Writer) error {
+	for _, w := range Workloads() {
+		sp, err := r.schemes(w, sim.Broadwell())
+		if err != nil {
+			return err
+		}
+		t := &Table{
+			Title: fmt.Sprintf("Figure 7 (%s): cache-sensitivity curves", w.Name),
+			Header: []string{"cache MB",
+				"tgt IPC", "pp IPC", "dm IPC",
+				"tgt LLC", "pp LLC", "dm LLC"},
+		}
+		for i := range sp.Target.Curve {
+			if i >= len(sp.PerfProx.Curve) || i >= len(sp.Datamime.Curve) {
+				break
+			}
+			tc, pc, dc := sp.Target.Curve[i], sp.PerfProx.Curve[i], sp.Datamime.Curve[i]
+			t.AddRow(fmt.Sprintf("%d", tc.SizeBytes>>20),
+				fnum(tc.IPC), fnum(pc.IPC), fnum(dc.IPC),
+				fnum(tc.LLCMPKI), fnum(pc.LLCMPKI), fnum(dc.LLCMPKI))
+		}
+		if _, err := t.WriteTo(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fig8Metrics are the six distributions plotted in Fig. 8.
+var fig8Metrics = []struct {
+	id    profile.MetricID
+	label string
+}{
+	{profile.MetricIPC, "IPC"},
+	{profile.MetricCPUUtil, "CPU utilization"},
+	{profile.MetricICache, "ICache MPKI"},
+	{profile.MetricL2, "L2 MPKI"},
+	{profile.MetricBranch, "Branch MPKI"},
+	{profile.MetricMemBW, "memory bandwidth (GB/s)"},
+}
+
+// Figure8 reproduces Fig. 8: the eCDFs of six key metrics for every
+// workload under target, PerfProx, and Datamime.
+func (r *Runner) Figure8(out io.Writer) error {
+	for _, w := range Workloads() {
+		sp, err := r.schemes(w, sim.Broadwell())
+		if err != nil {
+			return err
+		}
+		for _, m := range fig8Metrics {
+			t := &Table{
+				Title:  fmt.Sprintf("Figure 8 (%s): eCDF of %s", w.Name, m.label),
+				Header: []string{"scheme", "p10", "p25", "p50", "p75", "p90", "EMD vs target"},
+			}
+			tgt := sp.Target.Samples[m.id]
+			t.Rows = append(t.Rows,
+				ecdfQuantiles("target", tgt, nil),
+				ecdfQuantiles("perfprox", sp.PerfProx.Samples[m.id], tgt),
+				ecdfQuantiles("datamime", sp.Datamime.Samples[m.id], tgt),
+			)
+			if _, err := t.WriteTo(out); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,254 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"datamime/internal/profile"
+	"datamime/internal/sim"
+	"datamime/internal/stats"
+)
+
+// schemeProfiles collects the per-scheme profiles of one workload on one
+// machine: target, public dataset (may be nil), PerfProx clone, Datamime.
+type schemeProfiles struct {
+	Target   *profile.Profile
+	Public   *profile.Profile
+	PerfProx *profile.Profile
+	Datamime *profile.Profile
+}
+
+// schemes gathers all four scheme profiles for a workload on a machine.
+func (r *Runner) schemes(w Workload, m sim.MachineConfig) (schemeProfiles, error) {
+	var out schemeProfiles
+	var err error
+	if out.Target, err = r.TargetProfile(w, m); err != nil {
+		return out, err
+	}
+	if w.Public != nil {
+		if out.Public, err = r.PublicProfile(w, m); err != nil {
+			return out, err
+		}
+	}
+	if out.PerfProx, err = r.CloneProfile(w, m); err != nil {
+		return out, err
+	}
+	if out.Datamime, err = r.DatamimeProfile(w, m); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// Figure1 reproduces Fig. 1: mem-fb IPC and ICache MPKI on Broadwell, and
+// IPC on Zen 2, for target vs public dataset vs PerfProx vs Datamime.
+func (r *Runner) Figure1(out io.Writer) error {
+	w, err := WorkloadByName("mem-fb")
+	if err != nil {
+		return err
+	}
+	bw, err := r.schemes(w, sim.Broadwell())
+	if err != nil {
+		return err
+	}
+	zen, err := r.schemes(w, sim.Zen2())
+	if err != nil {
+		return err
+	}
+	t := &Table{
+		Title:  "Figure 1: memcached with a production-like (Facebook) dataset",
+		Header: []string{"scheme", "IPC (broadwell)", "ICacheMPKI (broadwell)", "IPC (zen2)"},
+	}
+	row := func(name string, b, z *profile.Profile) {
+		t.AddRow(name, fnum(b.Mean(profile.MetricIPC)), fnum(b.Mean(profile.MetricICache)),
+			fnum(z.Mean(profile.MetricIPC)))
+	}
+	row("target", bw.Target, zen.Target)
+	row("public-dataset", bw.Public, zen.Public)
+	row("perfprox", bw.PerfProx, zen.PerfProx)
+	row("datamime", bw.Datamime, zen.Datamime)
+	_, err = t.WriteTo(out)
+	return err
+}
+
+// Figure3 reproduces Fig. 3: IPC of all four schemes across the three
+// machines for the five main workloads.
+func (r *Runner) Figure3(out io.Writer) error {
+	machines := sim.Machines()
+	for _, w := range Workloads() {
+		t := &Table{
+			Title:  fmt.Sprintf("Figure 3 (%s): IPC across microarchitectures", w.Name),
+			Header: []string{"scheme", "broadwell", "zen2", "silvermont"},
+		}
+		rows := map[string][]string{
+			"target":         {"target"},
+			"public-dataset": {"public-dataset"},
+			"perfprox":       {"perfprox"},
+			"datamime":       {"datamime"},
+		}
+		for _, m := range machines {
+			sp, err := r.schemes(w, m)
+			if err != nil {
+				return err
+			}
+			rows["target"] = append(rows["target"], fnum(sp.Target.Mean(profile.MetricIPC)))
+			rows["public-dataset"] = append(rows["public-dataset"], fnum(sp.Public.Mean(profile.MetricIPC)))
+			rows["perfprox"] = append(rows["perfprox"], fnum(sp.PerfProx.Mean(profile.MetricIPC)))
+			rows["datamime"] = append(rows["datamime"], fnum(sp.Datamime.Mean(profile.MetricIPC)))
+		}
+		for _, name := range []string{"target", "public-dataset", "perfprox", "datamime"} {
+			t.AddRow(rows[name]...)
+		}
+		if _, err := t.WriteTo(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ecdfQuantiles renders a distribution row: key quantiles plus, when a
+// target distribution is given, the normalized EMD against it.
+func ecdfQuantiles(name string, samples, target []float64) []string {
+	e := stats.NewECDF(samples)
+	row := []string{
+		name,
+		fnum(e.Quantile(0.10)), fnum(e.Quantile(0.25)), fnum(e.Quantile(0.50)),
+		fnum(e.Quantile(0.75)), fnum(e.Quantile(0.90)),
+	}
+	if target != nil {
+		row = append(row, fnum(stats.NormalizedEMD(target, samples)))
+	} else {
+		row = append(row, "-")
+	}
+	return row
+}
+
+// Figure4 reproduces Fig. 4: the eCDFs of CPU utilization and memory
+// bandwidth for mem-fb across target, PerfProx, and Datamime.
+func (r *Runner) Figure4(out io.Writer) error {
+	w, err := WorkloadByName("mem-fb")
+	if err != nil {
+		return err
+	}
+	sp, err := r.schemes(w, sim.Broadwell())
+	if err != nil {
+		return err
+	}
+	for _, mt := range []struct {
+		id    profile.MetricID
+		title string
+	}{
+		{profile.MetricCPUUtil, "CPU utilization"},
+		{profile.MetricMemBW, "memory bandwidth (GB/s)"},
+	} {
+		t := &Table{
+			Title:  fmt.Sprintf("Figure 4: mem-fb eCDF of %s", mt.title),
+			Header: []string{"scheme", "p10", "p25", "p50", "p75", "p90", "EMD vs target"},
+		}
+		tgt := sp.Target.Samples[mt.id]
+		t.Rows = append(t.Rows,
+			ecdfQuantiles("target", tgt, nil),
+			ecdfQuantiles("perfprox", sp.PerfProx.Samples[mt.id], tgt),
+			ecdfQuantiles("datamime", sp.Datamime.Samples[mt.id], tgt),
+		)
+		if _, err := t.WriteTo(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fig6Metrics are the four metrics of Fig. 6.
+var fig6Metrics = []struct {
+	id    profile.MetricID
+	label string
+}{
+	{profile.MetricIPC, "IPC"},
+	{profile.MetricLLC, "LLC MPKI"},
+	{profile.MetricICache, "ICache MPKI"},
+	{profile.MetricBranch, "Branch MPKI"},
+}
+
+// Figure6 reproduces Fig. 6: per-metric averages of PerfProx and Datamime
+// normalized to the target, for the five workloads, plus the headline
+// error summary (IPC MAPE, per-metric MAE).
+func (r *Runner) Figure6(out io.Writer) error {
+	type cell struct{ target, perfprox, datamime float64 }
+	values := make(map[string]map[profile.MetricID]cell)
+	for _, w := range Workloads() {
+		sp, err := r.schemes(w, sim.Broadwell())
+		if err != nil {
+			return err
+		}
+		values[w.Name] = make(map[profile.MetricID]cell)
+		for _, m := range fig6Metrics {
+			values[w.Name][m.id] = cell{
+				target:   sp.Target.Mean(m.id),
+				perfprox: sp.PerfProx.Mean(m.id),
+				datamime: sp.Datamime.Mean(m.id),
+			}
+		}
+	}
+	for _, m := range fig6Metrics {
+		t := &Table{
+			Title:  fmt.Sprintf("Figure 6: %s (absolute, and normalized to target)", m.label),
+			Header: []string{"workload", "target", "perfprox", "datamime", "pp/tgt", "dm/tgt"},
+		}
+		for _, w := range Workloads() {
+			c := values[w.Name][m.id]
+			t.AddRow(w.Name, fnum(c.target), fnum(c.perfprox), fnum(c.datamime),
+				fnum(ratio(c.perfprox, c.target)), fnum(ratio(c.datamime, c.target)))
+		}
+		if _, err := t.WriteTo(out); err != nil {
+			return err
+		}
+	}
+
+	// Headline summary (§V-A): IPC mean absolute percentage error, and
+	// mean absolute error for the other metrics.
+	sum := &Table{
+		Title:  "Figure 6 summary: error vs target across the five workloads",
+		Header: []string{"metric", "perfprox", "datamime"},
+	}
+	for _, m := range fig6Metrics {
+		var tgt, pp, dm []float64
+		for _, w := range Workloads() {
+			c := values[w.Name][m.id]
+			tgt = append(tgt, c.target)
+			pp = append(pp, c.perfprox)
+			dm = append(dm, c.datamime)
+		}
+		if m.id == profile.MetricIPC {
+			sum.AddRow("IPC MAPE", fpct(stats.MAPE(tgt, pp)), fpct(stats.MAPE(tgt, dm)))
+		} else {
+			sum.AddRow(m.label+" MAE", fnum(stats.MAE(tgt, pp)), fnum(stats.MAE(tgt, dm)))
+		}
+	}
+	_, err := sum.WriteTo(out)
+	return err
+}
+
+// IPCErrorSummary returns the headline numbers: Datamime's and PerfProx's
+// IPC MAPE across the five workloads (paper: 3.2% vs 42.9%).
+func (r *Runner) IPCErrorSummary() (datamime, perfprox float64, err error) {
+	var tgt, pp, dm []float64
+	for _, w := range Workloads() {
+		sp, err := r.schemes(w, sim.Broadwell())
+		if err != nil {
+			return 0, 0, err
+		}
+		tgt = append(tgt, sp.Target.Mean(profile.MetricIPC))
+		pp = append(pp, sp.PerfProx.Mean(profile.MetricIPC))
+		dm = append(dm, sp.Datamime.Mean(profile.MetricIPC))
+	}
+	return stats.MAPE(tgt, dm), stats.MAPE(tgt, pp), nil
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 1
+		}
+		return 0
+	}
+	return a / b
+}

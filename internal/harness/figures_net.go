@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"io"
+
+	"datamime/internal/datagen"
+	"datamime/internal/profile"
+	"datamime/internal/sim"
+	"datamime/internal/workload"
+)
+
+// networkedMemFB returns the multi-machine variant of mem-fb (§V-F): the
+// server and load generator on separate machines, so every request crosses
+// the simulated kernel network stack. The search generator produces
+// networked benchmarks too.
+func networkedMemFB() Workload {
+	target := memFB()
+	target.Name = "mem-fb-net"
+	target.Network = true
+	gen := datagen.Memcached()
+	inner := gen.Benchmark
+	gen.Benchmark = func(x []float64) workload.Benchmark {
+		b := inner(x)
+		b.Network = true
+		return b
+	}
+	return Workload{Name: "mem-fb-net", Target: target, Generator: gen}
+}
+
+// fig12Metrics are the key metrics reported in Fig. 12.
+var fig12Metrics = []struct {
+	id    profile.MetricID
+	label string
+}{
+	{profile.MetricIPC, "IPC"},
+	{profile.MetricLLC, "LLC MPKI"},
+	{profile.MetricICache, "ICache MPKI"},
+	{profile.MetricBranch, "Branch MPKI"},
+	{profile.MetricCPUUtil, "CPU Util."},
+	{profile.MetricMemBW, "Mem. Bw (GB/s)"},
+}
+
+// Figure12 reproduces Fig. 12: key metric averages of the networked mem-fb
+// target vs. the Datamime benchmark generated under the same networked
+// configuration.
+func (r *Runner) Figure12(out io.Writer) error {
+	w := networkedMemFB()
+	tgt, err := r.TargetProfile(w, sim.Broadwell())
+	if err != nil {
+		return err
+	}
+	dm, err := r.DatamimeProfile(w, sim.Broadwell())
+	if err != nil {
+		return err
+	}
+	t := &Table{
+		Title:  "Figure 12: networked mem-fb (server and client on separate machines)",
+		Header: []string{"metric", "target", "datamime", "rel. err"},
+	}
+	for _, m := range fig12Metrics {
+		tv, dv := tgt.Mean(m.id), dm.Mean(m.id)
+		t.AddRow(m.label, fnum(tv), fnum(dv), fpct(absFrac(tv, dv)))
+	}
+	_, err = t.WriteTo(out)
+	return err
+}
+
+// Figure13 reproduces Fig. 13: the IPC and LLC MPKI cache-sensitivity
+// curves under the networked configuration.
+func (r *Runner) Figure13(out io.Writer) error {
+	w := networkedMemFB()
+	tgt, err := r.TargetProfile(w, sim.Broadwell())
+	if err != nil {
+		return err
+	}
+	dm, err := r.DatamimeProfile(w, sim.Broadwell())
+	if err != nil {
+		return err
+	}
+	t := &Table{
+		Title:  "Figure 13: networked mem-fb cache-sensitivity curves",
+		Header: []string{"cache MB", "tgt IPC", "dm IPC", "tgt LLC", "dm LLC"},
+	}
+	for i := range tgt.Curve {
+		if i >= len(dm.Curve) {
+			break
+		}
+		tc, dc := tgt.Curve[i], dm.Curve[i]
+		t.AddRow(fnum(float64(tc.SizeBytes>>20)),
+			fnum(tc.IPC), fnum(dc.IPC), fnum(tc.LLCMPKI), fnum(dc.LLCMPKI))
+	}
+	_, err = t.WriteTo(out)
+	return err
+}

@@ -1,0 +1,132 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"datamime/internal/core"
+	"datamime/internal/datagen"
+	"datamime/internal/profile"
+	"datamime/internal/sim"
+)
+
+// Figure10 reproduces Fig. 10: the minimum observed total EMD as a function
+// of search iterations, for the five workloads.
+func (r *Runner) Figure10(out io.Writer) error {
+	t := &Table{
+		Title:  "Figure 10: minimum observed total EMD vs. optimizer iteration",
+		Header: []string{"iteration"},
+	}
+	var traces [][]float64
+	for _, w := range Workloads() {
+		res, err := r.Search(w, nil)
+		if err != nil {
+			return err
+		}
+		t.Header = append(t.Header, w.Name)
+		traces = append(traces, res.MinEMDTrace())
+	}
+	n := 0
+	for _, tr := range traces {
+		if len(tr) > n {
+			n = len(tr)
+		}
+	}
+	step := n / 20
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < n; i += step {
+		row := []string{fmt.Sprintf("%d", i+1)}
+		for _, tr := range traces {
+			idx := i
+			if idx >= len(tr) {
+				idx = len(tr) - 1
+			}
+			row = append(row, fnum(tr[idx]))
+		}
+		t.AddRow(row...)
+	}
+	// Always include the final iteration.
+	row := []string{fmt.Sprintf("%d", n)}
+	for _, tr := range traces {
+		row = append(row, fnum(tr[len(tr)-1]))
+	}
+	t.AddRow(row...)
+	_, err := t.WriteTo(out)
+	return err
+}
+
+// RangeSweepPoint is one point of Fig. 11's achievable-range sweep.
+type RangeSweepPoint struct {
+	Asked    float64
+	Achieved float64
+}
+
+// rangeSweep runs single-metric-targeted searches over evenly spaced asked
+// values (Fig. 11's methodology: "we configure Datamime to only match the
+// target metric").
+func (r *Runner) rangeSweep(g datagen.Generator, metric profile.MetricID, lo, hi float64) ([]RangeSweepPoint, error) {
+	points := r.st.RangePoints
+	if points < 2 {
+		points = 2
+	}
+	pr := r.profiler(sim.Broadwell())
+	pr.SkipCurves = true
+	var out []RangeSweepPoint
+	for i := 0; i < points; i++ {
+		asked := lo + float64(i)*(hi-lo)/float64(points-1)
+		res, err := core.Search(core.SearchConfig{
+			Generator:  g,
+			Objective:  core.MetricObjective{Metric: metric, Value: asked},
+			Profiler:   pr,
+			Iterations: r.st.RangeIterations,
+			Seed:       r.st.Seed + uint64(i)*101,
+			Parallel:   r.st.Parallel,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, RangeSweepPoint{Asked: asked, Achieved: res.BestProfile.Mean(metric)})
+	}
+	return out, nil
+}
+
+// fig11Ranges are the asked-value sweep ranges per metric.
+var fig11Ranges = map[profile.MetricID][2]float64{
+	profile.MetricIPC: {0.25, 3.5},
+	profile.MetricLLC: {0.1, 30},
+}
+
+// Figure11 reproduces Fig. 11: the achievable IPC and LLC MPKI ranges of
+// each dataset generator (asked value vs. achieved value; points on the
+// diagonal are achievable).
+func (r *Runner) Figure11(out io.Writer) error {
+	for _, metric := range []profile.MetricID{profile.MetricIPC, profile.MetricLLC} {
+		rg := fig11Ranges[metric]
+		t := &Table{
+			Title:  fmt.Sprintf("Figure 11: achievable %s range per generator (asked -> achieved)", metric),
+			Header: []string{"asked"},
+		}
+		var sweeps [][]RangeSweepPoint
+		for _, g := range datagen.All() {
+			t.Header = append(t.Header, g.Name)
+			sw, err := r.rangeSweep(g, metric, rg[0], rg[1])
+			if err != nil {
+				return err
+			}
+			sweeps = append(sweeps, sw)
+		}
+		for i := 0; i < len(sweeps[0]); i++ {
+			row := []string{fnum(sweeps[0][i].Asked)}
+			for _, sw := range sweeps {
+				row = append(row, fnum(sw[i].Achieved))
+			}
+			t.AddRow(row...)
+		}
+		if _, err := t.WriteTo(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}

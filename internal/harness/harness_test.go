@@ -1,0 +1,258 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"datamime/internal/profile"
+	"datamime/internal/sim"
+)
+
+// tinySettings keep harness tests fast while exercising every code path.
+func tinySettings() Settings {
+	st := Quick()
+	st.Iterations = 8
+	st.WindowCycles = 120_000
+	st.Windows = 8
+	st.WarmupWindows = 2
+	st.CurveWindows = 2
+	st.CurvePoints = 3
+	st.RangePoints = 2
+	st.RangeIterations = 4
+	return st
+}
+
+func TestWorkloadRegistry(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 5 {
+		t.Fatalf("%d main workloads", len(ws))
+	}
+	names := []string{"mem-fb", "mem-twtr", "silo", "xapian", "dnn"}
+	for i, w := range ws {
+		if w.Name != names[i] {
+			t.Fatalf("workload %d = %s, want %s", i, w.Name, names[i])
+		}
+		if err := w.Target.Validate(); err != nil {
+			t.Fatalf("%s target: %v", w.Name, err)
+		}
+		if w.Public == nil {
+			t.Fatalf("%s missing public dataset", w.Name)
+		}
+		if err := w.Public.Validate(); err != nil {
+			t.Fatalf("%s public: %v", w.Name, err)
+		}
+		if w.Generator.Space == nil {
+			t.Fatalf("%s missing generator", w.Name)
+		}
+	}
+	cs := CaseStudyWorkloads()
+	if len(cs) != 2 || cs[0].Name != "masstree" || cs[1].Name != "img-dnn" {
+		t.Fatalf("case studies: %+v", cs)
+	}
+	// masstree is searched with the memcached generator, img-dnn with dnn.
+	if cs[0].Generator.Name != "memcached" || cs[1].Generator.Name != "dnn" {
+		t.Fatal("case-study generators must use different programs")
+	}
+	if _, err := WorkloadByName("mem-fb"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WorkloadByName("masstree"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WorkloadByName("nope"); err == nil {
+		t.Fatal("unknown workload resolved")
+	}
+}
+
+func TestStaticTables(t *testing.T) {
+	r := NewRunner(tinySettings())
+	var sb strings.Builder
+	if err := r.Table1(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Table2(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Table3(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Instruction Cache MPKI", "IPC Curve",
+		"broadwell", "zen2", "silvermont", "DRRIP",
+		"get_ratio", "warehouses", "zipf_skew", "first_chan",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tables missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := &Table{Title: "T", Header: []string{"a", "bbb"}}
+	tab.AddRow("x", "1.0")
+	tab.AddRow("yyyy", "22")
+	var sb strings.Builder
+	if _, err := tab.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "T\n") || !strings.Contains(out, "yyyy") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	if fnum(0) != "0.00" || fnum(0.001) != "0.0010" || fnum(3.14159) != "3.14" ||
+		fnum(42.5) != "42.5" || fnum(12345) != "12345" {
+		t.Fatal("fnum formatting broken")
+	}
+	if fpct(0.123) != "12.3%" {
+		t.Fatal("fpct formatting broken")
+	}
+}
+
+func TestRunnerCachesProfiles(t *testing.T) {
+	st := tinySettings()
+	r := NewRunner(st)
+	w, _ := WorkloadByName("mem-fb")
+	p1, err := r.TargetProfile(w, sim.Broadwell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := r.TargetProfile(w, sim.Broadwell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("target profile not cached")
+	}
+	// Different machines produce different cached entries.
+	p3, err := r.TargetProfile(w, sim.Zen2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 == p1 {
+		t.Fatal("machine not part of cache key")
+	}
+}
+
+func TestFigure1SmokeAndSchemeSanity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search-backed figure")
+	}
+	r := NewRunner(tinySettings())
+	var sb strings.Builder
+	if err := r.Figure1(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"target", "public-dataset", "perfprox", "datamime"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Figure 1 missing scheme %q:\n%s", want, out)
+		}
+	}
+	// Scheme sanity on the cached profiles: the clone must peg CPU util,
+	// the target must not.
+	w, _ := WorkloadByName("mem-fb")
+	tgt, err := r.TargetProfile(w, sim.Broadwell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone, err := r.CloneProfile(w, sim.Broadwell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tgt.Mean(profile.MetricCPUUtil) > 0.9 {
+		t.Fatalf("target unexpectedly saturated: util %g", tgt.Mean(profile.MetricCPUUtil))
+	}
+	if clone.Mean(profile.MetricCPUUtil) < 0.99 {
+		t.Fatalf("clone not static: util %g", clone.Mean(profile.MetricCPUUtil))
+	}
+}
+
+func TestFigure10TraceShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search-backed figure")
+	}
+	st := tinySettings()
+	r := NewRunner(st)
+	w, _ := WorkloadByName("mem-fb")
+	res, err := r.Search(w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.MinEMDTrace()
+	if len(tr) != st.Iterations {
+		t.Fatalf("trace length %d", len(tr))
+	}
+	for i := 1; i < len(tr); i++ {
+		if tr[i] > tr[i-1] {
+			t.Fatal("min EMD trace not non-increasing")
+		}
+	}
+	// Search results are cached.
+	res2, err := r.Search(w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != res2 {
+		t.Fatal("search not cached")
+	}
+}
+
+func TestNetworkedWorkloadConstruction(t *testing.T) {
+	w := networkedMemFB()
+	if !w.Target.Network {
+		t.Fatal("networked target must enable the network stack")
+	}
+	b := w.Generator.Benchmark(w.Generator.Space.Denormalize(make([]float64, w.Generator.Space.Dim())))
+	if !b.Network {
+		t.Fatal("networked generator must produce networked benchmarks")
+	}
+}
+
+func TestExtCompressionExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search-backed experiment")
+	}
+	st := tinySettings()
+	r := NewRunner(st)
+	var sb strings.Builder
+	if err := r.ExtCompression(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "compression") || !strings.Contains(out, "target") {
+		t.Fatalf("extension output:\n%s", out)
+	}
+}
+
+func TestExperimentDispatchCoversAllIDs(t *testing.T) {
+	// Every registered id must dispatch to *something* (we only execute the
+	// static ones here; the rest return promptly or are search-backed and
+	// validated by the benches).
+	ids := ExperimentIDs()
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate experiment id %s", id)
+		}
+		seen[id] = true
+	}
+	for _, want := range []string{"fig1", "fig13", "table4", "ext-compression", "ablation-optimizers"} {
+		if !seen[want] {
+			t.Fatalf("experiment %s missing from registry", want)
+		}
+	}
+}
+
+func TestSettingsPresets(t *testing.T) {
+	full, quick := Full(), Quick()
+	if full.Iterations != 200 {
+		t.Fatalf("full iterations = %d, want the paper's 200", full.Iterations)
+	}
+	if quick.Iterations >= full.Iterations || quick.Windows >= full.Windows {
+		t.Fatal("quick settings not smaller than full")
+	}
+	if full.RangePoints != 15 {
+		t.Fatalf("full range points = %d, want the paper's 15", full.RangePoints)
+	}
+}

@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"datamime/internal/datagen"
+	"datamime/internal/sim"
+)
+
+// Table1 reproduces Table I: the metrics captured by the Datamime profiler.
+func (r *Runner) Table1(out io.Writer) error {
+	t := &Table{
+		Title:  "Table I: metrics captured by the Datamime profiler",
+		Header: []string{"category", "metric"},
+	}
+	t.AddRow("Instruction Footprint", "Instruction Cache MPKI")
+	t.AddRow("", "Instruction TLB MPKI")
+	t.AddRow("Data Footprint", "L1 Data Cache MPKI")
+	t.AddRow("", "L2 Cache MPKI")
+	t.AddRow("", "Data TLB MPKI")
+	t.AddRow("Cache Sensitivity", "Last-level Cache MPKI Curve (across cache sizes)")
+	t.AddRow("", "IPC Curve (across cache sizes)")
+	t.AddRow("Miscellaneous", "Branch MPKI")
+	t.AddRow("", "CPU Utilization")
+	t.AddRow("", "Memory Bandwidth Usage (GB/s)")
+	_, err := t.WriteTo(out)
+	return err
+}
+
+// Table2 reproduces Table II: the evaluation platforms, read back from the
+// live machine configurations so the table always reflects the simulator.
+func (r *Runner) Table2(out io.Writer) error {
+	t := &Table{
+		Title:  "Table II: simulated evaluation platforms",
+		Header: []string{"machine", "freq", "width", "L1D", "L2", "LLC", "LLC policy"},
+	}
+	for _, m := range sim.Machines() {
+		llc := "none (L2 is LLC)"
+		policy := m.L2.Policy.String()
+		if m.L3 != nil {
+			llc = fmt.Sprintf("%d MB, %d-way", m.L3.SizeBytes>>20, m.L3.Ways)
+			policy = m.L3.Policy.String()
+		}
+		t.AddRow(m.Name,
+			fmt.Sprintf("%.1f GHz", m.FreqGHz),
+			fmt.Sprintf("%d", m.Width),
+			fmt.Sprintf("%d KB", m.L1D.SizeBytes>>10),
+			fmt.Sprintf("%d KB", m.L2.SizeBytes>>10),
+			llc, policy)
+	}
+	_, err := t.WriteTo(out)
+	return err
+}
+
+// Table3 reproduces Table III: the dataset parameters of each generator,
+// read back from the live parameter spaces.
+func (r *Runner) Table3(out io.Writer) error {
+	t := &Table{
+		Title:  "Table III: dataset parameters per workload",
+		Header: []string{"workload", "parameter", "range"},
+	}
+	for _, g := range datagen.All() {
+		for i, p := range g.Space.Params {
+			name := g.Name
+			if i > 0 {
+				name = ""
+			}
+			scale := ""
+			if p.Log {
+				scale = " (log)"
+			}
+			if p.Integer {
+				scale += " (int)"
+			}
+			t.AddRow(name, p.Name, fmt.Sprintf("[%g, %g]%s", p.Lo, p.Hi, scale))
+		}
+	}
+	_, err := t.WriteTo(out)
+	return err
+}

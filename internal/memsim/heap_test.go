@@ -1,0 +1,131 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocAlignmentAndDistinctness(t *testing.T) {
+	h := NewHeap()
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		a := h.Alloc(48)
+		if a%16 != 0 {
+			t.Fatalf("allocation %#x not 16-byte aligned", a)
+		}
+		if seen[a] {
+			t.Fatalf("address %#x returned twice without Free", a)
+		}
+		seen[a] = true
+	}
+}
+
+func TestAllocationsDoNotOverlap(t *testing.T) {
+	h := NewHeap()
+	type span struct{ lo, hi uint64 }
+	var spans []span
+	sizes := []int{1, 16, 17, 100, 1024, 5000}
+	for _, sz := range sizes {
+		a := h.Alloc(sz)
+		spans = append(spans, span{a, a + uint64(sz)})
+	}
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			if spans[i].lo < spans[j].hi && spans[j].lo < spans[i].hi {
+				t.Fatalf("allocations %d and %d overlap: %+v %+v", i, j, spans[i], spans[j])
+			}
+		}
+	}
+}
+
+func TestFreeEnablesReuse(t *testing.T) {
+	h := NewHeap()
+	a := h.Alloc(100) // class 128
+	h.Free(a, 100)
+	b := h.Alloc(120) // same class
+	if a != b {
+		t.Fatalf("freed address not reused: %#x vs %#x", a, b)
+	}
+	// A different class must not reuse it.
+	h.Free(b, 100)
+	c := h.Alloc(1000)
+	if c == a {
+		t.Fatal("cross-class reuse")
+	}
+}
+
+func TestLiveBytesAccounting(t *testing.T) {
+	h := NewHeap()
+	if h.LiveBytes() != 0 {
+		t.Fatal("fresh heap not empty")
+	}
+	a := h.Alloc(100) // rounds to 128
+	if h.LiveBytes() != 128 {
+		t.Fatalf("LiveBytes = %d, want 128", h.LiveBytes())
+	}
+	b := h.Alloc(5000) // rounds to 2 pages = 8192
+	if h.LiveBytes() != 128+8192 {
+		t.Fatalf("LiveBytes = %d, want %d", h.LiveBytes(), 128+8192)
+	}
+	h.Free(a, 100)
+	if h.LiveBytes() != 8192 {
+		t.Fatalf("LiveBytes after free = %d", h.LiveBytes())
+	}
+	if h.PeakBytes() != 128+8192 {
+		t.Fatalf("PeakBytes = %d", h.PeakBytes())
+	}
+	h.Free(b, 5000)
+	if h.LiveBytes() != 0 {
+		t.Fatalf("LiveBytes after all frees = %d", h.LiveBytes())
+	}
+}
+
+func TestChurnBoundsFootprint(t *testing.T) {
+	// Alternating alloc/free at steady state must not grow the heap: the
+	// slab allocator recycles addresses, mirroring memcached's slabs.
+	h := NewHeap()
+	addrs := make([]uint64, 100)
+	for i := range addrs {
+		addrs[i] = h.Alloc(64)
+	}
+	high := h.PeakBytes()
+	for round := 0; round < 1000; round++ {
+		i := round % len(addrs)
+		h.Free(addrs[i], 64)
+		addrs[i] = h.Alloc(64)
+	}
+	if h.PeakBytes() != high {
+		t.Fatalf("steady-state churn grew the heap: %d -> %d", high, h.PeakBytes())
+	}
+}
+
+func TestSizeClassProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		size := int(raw%8192) + 1
+		c := sizeClass(size)
+		return c >= size && c <= size+4096
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocPanicsOnNonPositive(t *testing.T) {
+	h := NewHeap()
+	for _, bad := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Alloc(%d) did not panic", bad)
+				}
+			}()
+			h.Alloc(bad)
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Free(0) did not panic")
+		}
+	}()
+	h.Free(0x1000, 0)
+}

@@ -1,0 +1,188 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"datamime/internal/opt/linalg"
+)
+
+// GP is a Gaussian-process regression model over the unit cube with a
+// constant (empirical-mean) prior and homoscedastic observation noise. It
+// is refit from scratch on every update — observation counts in a Datamime
+// search are small (≤ a few hundred, §IV), so O(n³) refits are cheap
+// relative to a single profile evaluation.
+type GP struct {
+	kernel   Kernel
+	noiseVar float64
+	xs       [][]float64
+	ys       []float64
+	mean     float64
+	chol     *linalg.Matrix
+	alpha    []float64 // K⁻¹(y - mean)
+}
+
+// FitGP fits a GP with the given kernel and noise variance to the
+// observations. It escalates diagonal jitter until the covariance matrix
+// factorizes, which copes with duplicate or near-duplicate evaluation
+// points (the optimizer may revisit promising regions).
+func FitGP(kernel Kernel, noiseVar float64, xs [][]float64, ys []float64) (*GP, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("opt: FitGP got %d points but %d observations", len(xs), len(ys))
+	}
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("opt: FitGP needs at least one observation")
+	}
+	n := len(xs)
+	mean := 0.0
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= float64(n)
+
+	k := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := kernel.Eval(xs[i], xs[j])
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+	}
+	jitter := noiseVar
+	if jitter < 1e-10 {
+		jitter = 1e-10
+	}
+	var chol *linalg.Matrix
+	var err error
+	for attempt := 0; attempt < 8; attempt++ {
+		kj := k.Clone()
+		for i := 0; i < n; i++ {
+			kj.Set(i, i, kj.At(i, i)+jitter)
+		}
+		chol, err = linalg.Cholesky(kj)
+		if err == nil {
+			break
+		}
+		jitter *= 10
+	}
+	if err != nil {
+		return nil, fmt.Errorf("opt: GP covariance not factorizable even with jitter: %w", err)
+	}
+
+	centered := make([]float64, n)
+	for i, y := range ys {
+		centered[i] = y - mean
+	}
+	alpha := linalg.CholeskySolve(chol, centered)
+
+	return &GP{
+		kernel:   kernel,
+		noiseVar: noiseVar,
+		xs:       xs,
+		ys:       ys,
+		mean:     mean,
+		chol:     chol,
+		alpha:    alpha,
+	}, nil
+}
+
+// Predict returns the posterior mean and variance at x.
+func (g *GP) Predict(x []float64) (mu, sigma2 float64) {
+	n := len(g.xs)
+	kstar := make([]float64, n)
+	for i, xi := range g.xs {
+		kstar[i] = g.kernel.Eval(x, xi)
+	}
+	mu = g.mean + linalg.Dot(kstar, g.alpha)
+	v := linalg.SolveLower(g.chol, kstar)
+	sigma2 = g.kernel.Eval(x, x) - linalg.Dot(v, v)
+	if sigma2 < 0 {
+		sigma2 = 0
+	}
+	return mu, sigma2
+}
+
+// LogMarginalLikelihood returns the GP's log evidence, used to select
+// kernel hyperparameters.
+func (g *GP) LogMarginalLikelihood() float64 {
+	n := len(g.ys)
+	centered := make([]float64, n)
+	for i, y := range g.ys {
+		centered[i] = y - g.mean
+	}
+	dataFit := -0.5 * linalg.Dot(centered, g.alpha)
+	complexity := -0.5 * linalg.LogDetFromCholesky(g.chol)
+	norm := -0.5 * float64(n) * math.Log(2*math.Pi)
+	return dataFit + complexity + norm
+}
+
+// hyperCandidate is one (lengthScale, signalVar, noiseVar) triple tried
+// during hyperparameter selection.
+type hyperCandidate struct {
+	lengthScale, signalVar, noiseVar float64
+}
+
+// fitBestGP selects kernel hyperparameters by maximizing the log marginal
+// likelihood over a small log-spaced grid. Gradient-free selection is
+// deliberately simple: the grid spans the plausible range for unit-cube
+// inputs and normalized objectives, and grid ML selection is robust to the
+// noisy objectives Datamime faces.
+func fitBestGP(xs [][]float64, ys []float64) (*GP, error) {
+	varY := variance(ys)
+	if varY < 1e-12 {
+		varY = 1e-12
+	}
+	lengthScales := []float64{0.05, 0.1, 0.2, 0.4, 0.8, 1.6}
+	noiseFracs := []float64{1e-4, 1e-3, 1e-2, 0.1}
+	var best *GP
+	bestLML := math.Inf(-1)
+	for _, ls := range lengthScales {
+		for _, nf := range noiseFracs {
+			cand := hyperCandidate{lengthScale: ls, signalVar: varY, noiseVar: nf * varY}
+			gp, err := FitGP(Matern52{Variance: cand.signalVar, LengthScale: cand.lengthScale}, cand.noiseVar, xs, ys)
+			if err != nil {
+				continue
+			}
+			if lml := gp.LogMarginalLikelihood(); lml > bestLML {
+				bestLML = lml
+				best = gp
+			}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("opt: no GP hyperparameters produced a valid fit")
+	}
+	return best, nil
+}
+
+func variance(ys []float64) float64 {
+	if len(ys) < 2 {
+		return 0
+	}
+	var m float64
+	for _, y := range ys {
+		m += y
+	}
+	m /= float64(len(ys))
+	var s float64
+	for _, y := range ys {
+		d := y - m
+		s += d * d
+	}
+	return s / float64(len(ys))
+}
+
+// ExpectedImprovement returns EI(x) for a minimization problem given the
+// incumbent best observed value. xi is the exploration margin.
+func ExpectedImprovement(gp *GP, x []float64, best, xi float64) float64 {
+	mu, s2 := gp.Predict(x)
+	s := math.Sqrt(s2 + gp.noiseVar)
+	if s < 1e-12 {
+		if imp := best - xi - mu; imp > 0 {
+			return imp
+		}
+		return 0
+	}
+	z := (best - xi - mu) / s
+	return (best-xi-mu)*normCDF(z) + s*normPDF(z)
+}

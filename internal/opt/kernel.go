@@ -1,0 +1,77 @@
+package opt
+
+import "math"
+
+// Kernel is a positive-definite covariance function over unit-cube points.
+type Kernel interface {
+	// Eval returns k(a, b).
+	Eval(a, b []float64) float64
+	// Name identifies the kernel family for logs.
+	Name() string
+}
+
+// Matern52 is the Matérn-5/2 kernel, the standard choice for Bayesian
+// optimization of engineering objectives (twice-differentiable sample
+// paths; less smooth than RBF, which suits noisy profile measurements).
+type Matern52 struct {
+	Variance    float64 // signal variance σ²
+	LengthScale float64 // isotropic length scale ℓ
+}
+
+// Eval computes σ²(1 + √5 r/ℓ + 5r²/3ℓ²)·exp(−√5 r/ℓ).
+func (k Matern52) Eval(a, b []float64) float64 {
+	r := euclid(a, b)
+	s := math.Sqrt(5) * r / k.LengthScale
+	return k.Variance * (1 + s + s*s/3) * math.Exp(-s)
+}
+
+// Name returns "matern52".
+func (k Matern52) Name() string { return "matern52" }
+
+// RBF is the squared-exponential kernel σ²·exp(−r²/2ℓ²).
+type RBF struct {
+	Variance    float64
+	LengthScale float64
+}
+
+// Eval computes the squared-exponential covariance.
+func (k RBF) Eval(a, b []float64) float64 {
+	r := euclid(a, b)
+	return k.Variance * math.Exp(-r*r/(2*k.LengthScale*k.LengthScale))
+}
+
+// Name returns "rbf".
+func (k RBF) Name() string { return "rbf" }
+
+func euclid(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func pow(x, y float64) float64 { return math.Pow(x, y) }
+func log(x float64) float64    { return math.Log(x) }
+
+// normPDF is the standard normal density.
+func normPDF(z float64) float64 {
+	return math.Exp(-z*z/2) / math.Sqrt(2*math.Pi)
+}
+
+// normCDF is the standard normal cumulative distribution function.
+func normCDF(z float64) float64 {
+	return 0.5 * (1 + math.Erf(z/math.Sqrt2))
+}
+
+func roundClamp(v, lo, hi float64) float64 {
+	r := math.Round(v)
+	if r < lo {
+		r = math.Ceil(lo)
+	}
+	if r > hi {
+		r = math.Floor(hi)
+	}
+	return r
+}

@@ -1,0 +1,204 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+
+	"datamime/internal/stats"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestCholeskyKnown(t *testing.T) {
+	// A = [[4, 12, -16], [12, 37, -43], [-16, -43, 98]]
+	// L = [[2, 0, 0], [6, 1, 0], [-8, 5, 3]]
+	a := NewMatrix(3, 3)
+	vals := [][]float64{{4, 12, -16}, {12, 37, -43}, {-16, -43, 98}}
+	for i := range vals {
+		for j := range vals[i] {
+			a.Set(i, j, vals[i][j])
+		}
+	}
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{2, 0, 0}, {6, 1, 0}, {-8, 5, 3}}
+	for i := range want {
+		for j := range want[i] {
+			if !almostEqual(l.At(i, j), want[i][j], 1e-10) {
+				t.Fatalf("L[%d][%d] = %g, want %g", i, j, l.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestCholeskyReconstruction(t *testing.T) {
+	rng := stats.NewRNG(51)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.IntN(10)
+		// Build SPD matrix A = B·Bᵀ + n·I.
+		b := NewMatrix(n, n)
+		for i := range b.Data {
+			b.Data[i] = rng.Range(-1, 1)
+		}
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var s float64
+				for k := 0; k < n; k++ {
+					s += b.At(i, k) * b.At(j, k)
+				}
+				if i == j {
+					s += float64(n)
+				}
+				a.Set(i, j, s)
+			}
+		}
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Verify L·Lᵀ == A.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var s float64
+				for k := 0; k < n; k++ {
+					s += l.At(i, k) * l.At(j, k)
+				}
+				if !almostEqual(s, a.At(i, j), 1e-8) {
+					t.Fatalf("trial %d: (L·Lᵀ)[%d][%d] = %g, want %g", trial, i, j, s, a.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsNonPD(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 1) // eigenvalues 3, -1 => not PD
+	if _, err := Cholesky(a); err != ErrNotPositiveDefinite {
+		t.Fatalf("expected ErrNotPositiveDefinite, got %v", err)
+	}
+	b := NewMatrix(2, 3)
+	if _, err := Cholesky(b); err == nil {
+		t.Fatal("expected error for non-square matrix")
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	rng := stats.NewRNG(52)
+	n := 6
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := rng.Range(-1, 1)
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+		a.Set(i, i, a.At(i, i)+float64(n)+1)
+	}
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = rng.Range(-3, 3)
+	}
+	b := a.MulVec(xTrue)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := CholeskySolve(l, b)
+	for i := range x {
+		if !almostEqual(x[i], xTrue[i], 1e-8) {
+			t.Fatalf("x[%d] = %g, want %g", i, x[i], xTrue[i])
+		}
+	}
+}
+
+func TestTriangularSolves(t *testing.T) {
+	l := NewMatrix(3, 3)
+	l.Set(0, 0, 2)
+	l.Set(1, 0, 1)
+	l.Set(1, 1, 3)
+	l.Set(2, 0, 4)
+	l.Set(2, 1, 5)
+	l.Set(2, 2, 6)
+	y := SolveLower(l, []float64{2, 5, 32})
+	want := []float64{1, 4.0 / 3, 32.0 / 9}
+	for i := range want {
+		if !almostEqual(y[i], want[i], 1e-12) {
+			t.Fatalf("SolveLower[%d] = %g, want %g", i, y[i], want[i])
+		}
+	}
+	// Round-trip: SolveUpperT(L, SolveLower(L, A·x)) == x for A = L·Lᵀ.
+	xTrue := []float64{1, -2, 0.5}
+	// Compute b = L·(Lᵀ·x).
+	lt := make([]float64, 3)
+	for i := 0; i < 3; i++ {
+		for k := i; k < 3; k++ {
+			lt[i] += l.At(k, i) * xTrue[k]
+		}
+	}
+	b := l.MulVec(lt)
+	x := CholeskySolve(l, b)
+	for i := range xTrue {
+		if !almostEqual(x[i], xTrue[i], 1e-10) {
+			t.Fatalf("round-trip x[%d] = %g, want %g", i, x[i], xTrue[i])
+		}
+	}
+}
+
+func TestLogDetFromCholesky(t *testing.T) {
+	// A = diag(4, 9): |A| = 36, log|A| = log 36.
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 4)
+	a.Set(1, 1, 9)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := LogDetFromCholesky(l); !almostEqual(got, math.Log(36), 1e-12) {
+		t.Fatalf("logdet = %g, want %g", got, math.Log(36))
+	}
+}
+
+func TestMatrixHelpers(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 7)
+	c := m.Clone()
+	m.Set(1, 2, 0)
+	if c.At(1, 2) != 7 {
+		t.Fatal("Clone aliases data")
+	}
+	if d := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); d != 32 {
+		t.Fatalf("Dot = %g", d)
+	}
+	v := NewMatrix(2, 2)
+	v.Set(0, 0, 1)
+	v.Set(0, 1, 2)
+	v.Set(1, 0, 3)
+	v.Set(1, 1, 4)
+	out := v.MulVec([]float64{1, 1})
+	if out[0] != 3 || out[1] != 7 {
+		t.Fatalf("MulVec = %v", out)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	check := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	check("NewMatrix", func() { NewMatrix(0, 1) })
+	check("MulVec", func() { NewMatrix(2, 2).MulVec([]float64{1}) })
+	check("Dot", func() { Dot([]float64{1}, []float64{1, 2}) })
+	check("SolveLower", func() { SolveLower(NewMatrix(2, 2), []float64{1}) })
+	check("SolveUpperT", func() { SolveUpperT(NewMatrix(2, 2), []float64{1}) })
+}

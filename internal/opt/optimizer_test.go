@@ -1,0 +1,209 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"datamime/internal/stats"
+)
+
+// quadratic is a smooth noisy test objective with minimum at the given
+// point in the unit cube.
+func quadratic(minimum []float64, noise float64, rng *stats.RNG) func([]float64) float64 {
+	return func(x []float64) float64 {
+		var s float64
+		for i := range x {
+			d := x[i] - minimum[i]
+			s += d * d
+		}
+		return s + noise*rng.NormFloat64()
+	}
+}
+
+func runOptimizer(o Optimizer, f func([]float64) float64, iters int) float64 {
+	for i := 0; i < iters; i++ {
+		x := o.Next()
+		o.Observe(x, f(x))
+	}
+	_, y, ok := o.Best()
+	if !ok {
+		panic("no best after observations")
+	}
+	return y
+}
+
+func TestBayesOptFindsMinimum2D(t *testing.T) {
+	space := MustSpace(
+		Param{Name: "a", Lo: 0, Hi: 1},
+		Param{Name: "b", Lo: 0, Hi: 1},
+	)
+	rng := stats.NewRNG(81)
+	f := quadratic([]float64{0.3, 0.7}, 0, rng)
+	bo := NewBayesOpt(space, BayesOptConfig{Seed: 1, Candidates: 256})
+	best := runOptimizer(bo, f, 40)
+	if best > 0.01 {
+		t.Fatalf("BayesOpt best after 40 iters = %g, want < 0.01", best)
+	}
+	x, _, _ := bo.Best()
+	if math.Abs(x[0]-0.3) > 0.15 || math.Abs(x[1]-0.7) > 0.15 {
+		t.Fatalf("BayesOpt argmin = %v, want ~(0.3, 0.7)", x)
+	}
+}
+
+func TestBayesOptToleratesNoise(t *testing.T) {
+	space := MustSpace(Param{Name: "a", Lo: 0, Hi: 1})
+	rng := stats.NewRNG(82)
+	f := quadratic([]float64{0.6}, 0.02, rng)
+	bo := NewBayesOpt(space, BayesOptConfig{Seed: 2, Candidates: 256})
+	for i := 0; i < 35; i++ {
+		x := bo.Next()
+		bo.Observe(x, f(x))
+	}
+	x, _, _ := bo.Best()
+	if math.Abs(x[0]-0.6) > 0.2 {
+		t.Fatalf("noisy BayesOpt argmin = %g, want ~0.6", x[0])
+	}
+}
+
+func TestBayesOptBeatsRandomOnBudget(t *testing.T) {
+	space := MustSpace(
+		Param{Name: "a", Lo: 0, Hi: 1},
+		Param{Name: "b", Lo: 0, Hi: 1},
+		Param{Name: "c", Lo: 0, Hi: 1},
+		Param{Name: "d", Lo: 0, Hi: 1},
+	)
+	minimum := []float64{0.21, 0.72, 0.43, 0.88}
+	const iters = 45
+	wins := 0
+	const trials = 5
+	for trial := 0; trial < trials; trial++ {
+		seed := uint64(100 + trial)
+		frng := stats.NewRNG(seed)
+		f := quadratic(minimum, 0, frng)
+		bo := NewBayesOpt(space, BayesOptConfig{Seed: seed, Candidates: 256})
+		rs := NewRandomSearch(space, seed)
+		if runOptimizer(bo, f, iters) <= runOptimizer(rs, f, iters) {
+			wins++
+		}
+	}
+	if wins < 4 {
+		t.Fatalf("BayesOpt beat random search only %d/%d trials", wins, trials)
+	}
+}
+
+func TestBayesOptInitialDesignIsLHS(t *testing.T) {
+	space := MustSpace(Param{Name: "a", Lo: 0, Hi: 1}, Param{Name: "b", Lo: 0, Hi: 1})
+	bo := NewBayesOpt(space, BayesOptConfig{Seed: 3, InitPoints: 8})
+	seen := make([]bool, 8)
+	for i := 0; i < 8; i++ {
+		x := bo.Next()
+		bo.Observe(x, 1.0)
+		bin := int(x[0] * 8)
+		if bin == 8 {
+			bin = 7
+		}
+		if seen[bin] {
+			t.Fatalf("init design stratum %d repeated", bin)
+		}
+		seen[bin] = true
+	}
+}
+
+func TestRandomSearchCoverage(t *testing.T) {
+	space := MustSpace(Param{Name: "a", Lo: 0, Hi: 1})
+	rs := NewRandomSearch(space, 9)
+	seen := make([]bool, 10)
+	for i := 0; i < 300; i++ {
+		x := rs.Next()
+		rs.Observe(x, x[0])
+		idx := int(x[0] * 10)
+		if idx == 10 {
+			idx = 9
+		}
+		seen[idx] = true
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("random search never hit decile %d", i)
+		}
+	}
+	_, y, ok := rs.Best()
+	if !ok || y > 0.05 {
+		t.Fatalf("random search best = %g over 300 draws", y)
+	}
+}
+
+func TestAnnealImproves(t *testing.T) {
+	space := MustSpace(Param{Name: "a", Lo: 0, Hi: 1}, Param{Name: "b", Lo: 0, Hi: 1})
+	rng := stats.NewRNG(91)
+	f := quadratic([]float64{0.5, 0.5}, 0, rng)
+	an := NewAnneal(space, 7, 1.0, 0.9)
+	best := runOptimizer(an, f, 120)
+	if best > 0.05 {
+		t.Fatalf("anneal best after 120 iters = %g", best)
+	}
+}
+
+func TestAnnealDefaults(t *testing.T) {
+	space := MustSpace(Param{Name: "a", Lo: 0, Hi: 1})
+	an := NewAnneal(space, 1, -1, 5) // invalid -> defaults
+	if an.temp != 1.0 || an.cooling != 0.95 {
+		t.Fatalf("defaults not applied: temp=%g cooling=%g", an.temp, an.cooling)
+	}
+}
+
+func TestHistorySemantics(t *testing.T) {
+	var h history
+	if _, _, ok := h.Best(); ok {
+		t.Fatal("Best before observations must report !ok")
+	}
+	x := []float64{0.5}
+	h.Observe(x, 2)
+	x[0] = 0.9 // mutation after Observe must not corrupt history
+	h.Observe([]float64{0.1}, 1)
+	h.Observe([]float64{0.9}, 3)
+	bx, by, ok := h.Best()
+	if !ok || by != 1 || bx[0] != 0.1 {
+		t.Fatalf("Best = %v, %g", bx, by)
+	}
+	if len(h.Trace()) != 3 {
+		t.Fatalf("Trace length = %d", len(h.Trace()))
+	}
+	if h.Trace()[0].X[0] != 0.5 {
+		t.Fatal("Observe aliased caller slice")
+	}
+}
+
+func TestOptimizerNames(t *testing.T) {
+	space := MustSpace(Param{Name: "a", Lo: 0, Hi: 1})
+	for _, o := range []Optimizer{
+		NewBayesOpt(space, BayesOptConfig{}),
+		NewRandomSearch(space, 0),
+		NewAnneal(space, 0, 1, 0.9),
+	} {
+		if o.Name() == "" {
+			t.Fatalf("%T has empty name", o)
+		}
+	}
+}
+
+func TestBayesOptDeterministicGivenSeed(t *testing.T) {
+	space := MustSpace(Param{Name: "a", Lo: 0, Hi: 1}, Param{Name: "b", Lo: 0, Hi: 1})
+	mk := func() []float64 {
+		rng := stats.NewRNG(5)
+		f := quadratic([]float64{0.4, 0.4}, 0, rng)
+		bo := NewBayesOpt(space, BayesOptConfig{Seed: 42, Candidates: 128})
+		for i := 0; i < 15; i++ {
+			x := bo.Next()
+			bo.Observe(x, f(x))
+		}
+		x, _, _ := bo.Best()
+		return x
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed searches diverged: %v vs %v", a, b)
+		}
+	}
+}

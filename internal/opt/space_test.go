@@ -1,0 +1,159 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"datamime/internal/stats"
+)
+
+func testSpace(t *testing.T) *Space {
+	t.Helper()
+	s, err := NewSpace(
+		Param{Name: "qps", Lo: 100, Hi: 100000, Log: true},
+		Param{Name: "ratio", Lo: 0, Hi: 1},
+		Param{Name: "warehouses", Lo: 1, Hi: 64, Integer: true},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSpaceValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		params []Param
+	}{
+		{"empty", nil},
+		{"no-name", []Param{{Lo: 0, Hi: 1}}},
+		{"dup", []Param{{Name: "a", Lo: 0, Hi: 1}, {Name: "a", Lo: 0, Hi: 1}}},
+		{"empty-range", []Param{{Name: "a", Lo: 1, Hi: 1}}},
+		{"inverted", []Param{{Name: "a", Lo: 2, Hi: 1}}},
+		{"log-nonpositive", []Param{{Name: "a", Lo: 0, Hi: 1, Log: true}}},
+	}
+	for _, c := range cases {
+		if _, err := NewSpace(c.params...); err == nil {
+			t.Fatalf("case %q: expected error", c.name)
+		}
+	}
+	if _, err := NewSpace(Param{Name: "ok", Lo: 0, Hi: 1}); err != nil {
+		t.Fatalf("valid space rejected: %v", err)
+	}
+}
+
+func TestMustSpacePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSpace did not panic on invalid space")
+		}
+	}()
+	MustSpace()
+}
+
+func TestDenormalizeBounds(t *testing.T) {
+	s := testSpace(t)
+	lo := s.Denormalize([]float64{0, 0, 0})
+	hi := s.Denormalize([]float64{1, 1, 1})
+	if lo[0] != 100 || hi[0] != 100000 {
+		t.Fatalf("log param bounds: %g, %g", lo[0], hi[0])
+	}
+	if lo[1] != 0 || hi[1] != 1 {
+		t.Fatalf("linear param bounds: %g, %g", lo[1], hi[1])
+	}
+	if lo[2] != 1 || hi[2] != 64 {
+		t.Fatalf("integer param bounds: %g, %g", lo[2], hi[2])
+	}
+}
+
+func TestDenormalizeLogMidpoint(t *testing.T) {
+	s := testSpace(t)
+	mid := s.Denormalize([]float64{0.5, 0.5, 0.5})
+	// Log-scale midpoint is the geometric mean: sqrt(100 * 100000).
+	want := math.Sqrt(100 * 100000)
+	if math.Abs(mid[0]-want)/want > 1e-9 {
+		t.Fatalf("log midpoint = %g, want %g", mid[0], want)
+	}
+}
+
+func TestIntegerParamsAreIntegral(t *testing.T) {
+	s := testSpace(t)
+	rng := stats.NewRNG(61)
+	for i := 0; i < 500; i++ {
+		x := s.Denormalize(s.Sample(rng))
+		if x[2] != math.Trunc(x[2]) {
+			t.Fatalf("integer param produced %g", x[2])
+		}
+		if x[2] < 1 || x[2] > 64 {
+			t.Fatalf("integer param out of range: %g", x[2])
+		}
+	}
+}
+
+func TestNormalizeRoundTrip(t *testing.T) {
+	s := testSpace(t)
+	rng := stats.NewRNG(62)
+	for i := 0; i < 200; i++ {
+		u := s.Sample(rng)
+		x := s.Denormalize(u)
+		u2 := s.Normalize(x)
+		x2 := s.Denormalize(u2)
+		for d := range x {
+			if math.Abs(x[d]-x2[d]) > 1e-9*(1+math.Abs(x[d])) {
+				t.Fatalf("round-trip dim %d: %g -> %g", d, x[d], x2[d])
+			}
+		}
+	}
+}
+
+func TestDenormalizeClampsOutOfRange(t *testing.T) {
+	s := testSpace(t)
+	x := s.Denormalize([]float64{-2, 7, 1.5})
+	if x[0] != 100 || x[1] != 1 || x[2] != 64 {
+		t.Fatalf("clamping failed: %v", x)
+	}
+}
+
+func TestSpaceHelpers(t *testing.T) {
+	s := testSpace(t)
+	if s.Dim() != 3 {
+		t.Fatalf("Dim = %d", s.Dim())
+	}
+	names := s.Names()
+	if names[0] != "qps" || names[2] != "warehouses" {
+		t.Fatalf("Names = %v", names)
+	}
+	if v := s.Values([]float64{1000, 0.5, 8}); v == "" {
+		t.Fatal("empty Values string")
+	}
+	clipped := s.Clip([]float64{-1, 0.5, 2})
+	if clipped[0] != 0 || clipped[2] != 1 {
+		t.Fatalf("Clip = %v", clipped)
+	}
+}
+
+func TestLatinHypercubeStratification(t *testing.T) {
+	rng := stats.NewRNG(63)
+	n, dim := 16, 4
+	pts := LatinHypercube(n, dim, rng)
+	if len(pts) != n {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// Each dimension must have exactly one point per 1/n stratum.
+	for d := 0; d < dim; d++ {
+		seen := make([]bool, n)
+		for _, p := range pts {
+			if p[d] < 0 || p[d] >= 1 {
+				t.Fatalf("point out of unit cube: %g", p[d])
+			}
+			bin := int(p[d] * float64(n))
+			if seen[bin] {
+				t.Fatalf("dim %d: stratum %d hit twice", d, bin)
+			}
+			seen[bin] = true
+		}
+	}
+	if LatinHypercube(0, 2, rng) != nil || LatinHypercube(2, 0, rng) != nil {
+		t.Fatal("degenerate LHS should return nil")
+	}
+}

@@ -1,0 +1,65 @@
+package profile
+
+import (
+	"testing"
+
+	"datamime/internal/sim"
+)
+
+// TestProfileOnEveryMachine: the profiler must work on all three Table II
+// platforms, with curve lengths matching each machine's partition count
+// (12 capped for Broadwell/Zen2, 8 for Silvermont's L2-as-LLC).
+func TestProfileOnEveryMachine(t *testing.T) {
+	wantCurve := map[string]int{"broadwell": 3, "zen2": 3, "silvermont": 3}
+	for _, m := range sim.Machines() {
+		pr := New(m)
+		pr.WindowCycles = 120_000
+		pr.Windows = 6
+		pr.WarmupWindows = 1
+		pr.CurveWindows = 2
+		pr.CurvePoints = 3
+		p, err := pr.Profile(kvBenchmark(256, 60_000), 1)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if p.Machine != m.Name {
+			t.Fatalf("profile machine %q", p.Machine)
+		}
+		if len(p.Curve) != wantCurve[m.Name] {
+			t.Fatalf("%s: %d curve points", m.Name, len(p.Curve))
+		}
+		if p.Mean(MetricIPC) <= 0 || p.Mean(MetricIPC) > float64(m.Width) {
+			t.Fatalf("%s: IPC %g outside (0, width]", m.Name, p.Mean(MetricIPC))
+		}
+		// Curve sizes reflect the machine's per-way capacity.
+		bytesPerWay := sim.NewMachine(m, 1e6).LLCPartitionBytes() / sim.NewMachine(m, 1e6).LLCWays()
+		for _, c := range p.Curve {
+			if c.SizeBytes != bytesPerWay*c.Ways {
+				t.Fatalf("%s: curve point %d ways -> %d bytes, want %d",
+					m.Name, c.Ways, c.SizeBytes, bytesPerWay*c.Ways)
+			}
+		}
+	}
+}
+
+// TestSameWorkloadDifferentMachines: one benchmark must produce
+// distinguishable profiles across machines (the premise of Fig. 3's
+// cross-validation), with the IPC ordering implied by the pipeline widths.
+func TestSameWorkloadDifferentMachines(t *testing.T) {
+	ipc := map[string]float64{}
+	for _, m := range sim.Machines() {
+		pr := New(m)
+		pr.WindowCycles = 150_000
+		pr.Windows = 8
+		pr.WarmupWindows = 2
+		pr.SkipCurves = true
+		p, err := pr.Profile(kvBenchmark(400, 80_000), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ipc[m.Name] = p.Mean(MetricIPC)
+	}
+	if !(ipc["zen2"] > ipc["broadwell"] && ipc["broadwell"] > ipc["silvermont"]) {
+		t.Fatalf("IPC ordering violated: %v", ipc)
+	}
+}

@@ -1,0 +1,330 @@
+// Package profile implements Datamime's profiler (§III-A): it runs a
+// benchmark on a simulated machine, collects windowed performance-counter
+// samples for the Table I metrics, and measures last-level-cache
+// sensitivity curves (LLC MPKI and IPC across cache allocations) the way
+// the paper does with Dynaway and Intel CAT way-partitioning.
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"datamime/internal/sim"
+	"datamime/internal/stats"
+	"datamime/internal/trace"
+	"datamime/internal/workload"
+)
+
+// MetricID names one profiled metric.
+type MetricID string
+
+// The scalar metrics of Table I whose full sample distributions are
+// profiled. The two cache-sensitivity curves complete the 10-metric set.
+const (
+	MetricIPC     MetricID = "ipc"
+	MetricL1D     MetricID = "l1d_mpki"
+	MetricL2      MetricID = "l2_mpki"
+	MetricLLC     MetricID = "llc_mpki"
+	MetricICache  MetricID = "icache_mpki"
+	MetricITLB    MetricID = "itlb_mpki"
+	MetricDTLB    MetricID = "dtlb_mpki"
+	MetricBranch  MetricID = "branch_mpki"
+	MetricCPUUtil MetricID = "cpu_util"
+	MetricMemBW   MetricID = "mem_bw_gbs"
+
+	// MetricCompress is the resident-snapshot compression ratio — the
+	// §III-D extension metric. It is recorded only for servers that
+	// implement workload.Compressible and is NOT part of the ten-metric
+	// Table I error model unless explicitly weighted in.
+	MetricCompress MetricID = "compress_ratio"
+)
+
+// ScalarMetrics lists every sampled scalar metric, in Table I order.
+var ScalarMetrics = []MetricID{
+	MetricICache, MetricITLB,
+	MetricL1D, MetricL2, MetricDTLB,
+	MetricLLC, MetricBranch, MetricCPUUtil, MetricMemBW,
+	MetricIPC,
+}
+
+// FromSample extracts a metric from one counter window.
+func FromSample(s sim.WindowSample, id MetricID) float64 {
+	switch id {
+	case MetricIPC:
+		return s.IPC
+	case MetricL1D:
+		return s.L1DMPKI
+	case MetricL2:
+		return s.L2MPKI
+	case MetricLLC:
+		return s.LLCMPKI
+	case MetricICache:
+		return s.ICacheMPKI
+	case MetricITLB:
+		return s.ITLBMPKI
+	case MetricDTLB:
+		return s.DTLBMPKI
+	case MetricBranch:
+		return s.BranchMPKI
+	case MetricCPUUtil:
+		return s.CPUUtil
+	case MetricMemBW:
+		return s.MemBWGBs
+	default:
+		panic(fmt.Sprintf("profile: unknown metric %q", id))
+	}
+}
+
+// CurvePoint is one cache-allocation measurement of the sensitivity curves.
+type CurvePoint struct {
+	Ways      int     `json:"ways"`
+	SizeBytes int     `json:"size_bytes"`
+	IPC       float64 `json:"ipc"`
+	LLCMPKI   float64 `json:"llc_mpki"`
+}
+
+// Profile is the complete performance profile of one benchmark on one
+// machine: per-metric sample distributions plus the sensitivity curves.
+type Profile struct {
+	Benchmark string                 `json:"benchmark"`
+	Machine   string                 `json:"machine"`
+	Samples   map[MetricID][]float64 `json:"samples"`
+	Curve     []CurvePoint           `json:"curve"`
+	Requests  int                    `json:"requests"`
+}
+
+// Mean returns a metric's sample mean.
+func (p *Profile) Mean(id MetricID) float64 { return stats.Mean(p.Samples[id]) }
+
+// ECDF returns a metric's empirical CDF.
+func (p *Profile) ECDF(id MetricID) *stats.ECDF { return stats.NewECDF(p.Samples[id]) }
+
+// IPCCurve returns the IPC values of the sensitivity curve, in way order.
+func (p *Profile) IPCCurve() []float64 {
+	out := make([]float64, len(p.Curve))
+	for i, c := range p.Curve {
+		out[i] = c.IPC
+	}
+	return out
+}
+
+// LLCCurve returns the LLC MPKI values of the sensitivity curve.
+func (p *Profile) LLCCurve() []float64 {
+	out := make([]float64, len(p.Curve))
+	for i, c := range p.Curve {
+		out[i] = c.LLCMPKI
+	}
+	return out
+}
+
+// MarshalJSON/UnmarshalJSON use the default layout; provided via struct
+// tags. EncodeJSON renders the profile for the CLI tools.
+func (p *Profile) EncodeJSON() ([]byte, error) {
+	return json.MarshalIndent(p, "", "  ")
+}
+
+// DecodeJSON parses a profile produced by EncodeJSON.
+func DecodeJSON(data []byte) (*Profile, error) {
+	var p Profile
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("profile: decoding profile: %w", err)
+	}
+	return &p, nil
+}
+
+// Profiler collects profiles. The zero value is not usable; call New or
+// fill every field.
+type Profiler struct {
+	// Machine is the platform to profile on.
+	Machine sim.MachineConfig
+	// WindowCycles is the counter sampling window (the paper uses 20 M
+	// cycles; the simulated default is smaller, and all metrics are rates,
+	// so distribution shapes are preserved — see DESIGN.md).
+	WindowCycles float64
+	// Windows is the number of measured sample windows.
+	Windows int
+	// WarmupWindows run before measurement to warm caches and predictors.
+	WarmupWindows int
+	// CurveWindows is the number of windows measured per cache-allocation
+	// point (the paper uses 11 samples per curve point).
+	CurveWindows int
+	// CurvePoints is the number of cache allocations measured, spread
+	// evenly over the machine's partitions (the paper sweeps 1–12 MB).
+	CurvePoints int
+	// MaxRequestsPerRun bounds each run; <= 0 uses the driver default.
+	MaxRequestsPerRun int
+	// SkipCurves disables the sensitivity-curve measurement (used by the
+	// single-metric range sweeps of Fig. 11, which only target one scalar).
+	SkipCurves bool
+}
+
+// New returns a Profiler with the defaults used throughout the evaluation.
+func New(machine sim.MachineConfig) *Profiler {
+	return &Profiler{
+		Machine:       machine,
+		WindowCycles:  400_000,
+		Windows:       36,
+		WarmupWindows: 5,
+		CurveWindows:  6,
+		CurvePoints:   0, // all ways, capped at 12 like the paper's CAT setup
+	}
+}
+
+// Validate reports configuration errors.
+func (pr *Profiler) Validate() error {
+	if err := pr.Machine.Validate(); err != nil {
+		return err
+	}
+	if pr.WindowCycles <= 0 {
+		return fmt.Errorf("profile: WindowCycles must be positive")
+	}
+	if pr.Windows <= 0 {
+		return fmt.Errorf("profile: Windows must be positive")
+	}
+	if pr.WarmupWindows < 0 || pr.CurveWindows < 0 || pr.CurvePoints < 0 {
+		return fmt.Errorf("profile: negative window/point counts")
+	}
+	return nil
+}
+
+// curveWays returns the way allocations to sweep: up to CurvePoints (or 12)
+// allocations, always including 1 way and the full cache.
+func (pr *Profiler) curveWays() []int {
+	total := sim.NewMachine(pr.Machine, pr.WindowCycles).LLCWays()
+	points := pr.CurvePoints
+	if points <= 0 || points > total {
+		points = total
+	}
+	if points > 12 {
+		points = 12
+	}
+	ways := make([]int, 0, points)
+	for i := 0; i < points; i++ {
+		w := 1 + i*(total-1)/maxInt(points-1, 1)
+		if len(ways) == 0 || ways[len(ways)-1] != w {
+			ways = append(ways, w)
+		}
+	}
+	return ways
+}
+
+// Profile measures a benchmark: a main run for the scalar metric
+// distributions, then one short run per cache allocation for the
+// sensitivity curves. seed controls the dataset and arrival streams, so
+// different seeds give independent (noisy) measurements of the same
+// configuration — the measurement noise §III-C's optimizer must absorb.
+func (pr *Profiler) Profile(b workload.Benchmark, seed uint64) (*Profile, error) {
+	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+
+	p := &Profile{
+		Benchmark: b.Name,
+		Machine:   pr.Machine.Name,
+		Samples:   make(map[MetricID][]float64, len(ScalarMetrics)),
+	}
+
+	// Main run: full cache, Windows samples after warmup. Counter metrics
+	// come from busy-cycle windows (hardware sampling semantics); CPU
+	// utilization and memory bandwidth come from wall-clock windows, since
+	// they are defined over elapsed time.
+	samples, wall, requests, compressRatio := pr.run(b, seed, 0, pr.Windows)
+	p.Requests = requests
+	if compressRatio > 0 {
+		// A snapshot property, not a time series: record one sample per
+		// window for stable EMD semantics.
+		ratios := make([]float64, pr.Windows)
+		for i := range ratios {
+			ratios[i] = compressRatio
+		}
+		p.Samples[MetricCompress] = ratios
+	}
+	for _, id := range ScalarMetrics {
+		switch id {
+		case MetricCPUUtil:
+			vals := make([]float64, len(wall))
+			for i, w := range wall {
+				vals[i] = w.CPUUtil
+			}
+			p.Samples[id] = vals
+		case MetricMemBW:
+			vals := make([]float64, len(wall))
+			for i, w := range wall {
+				vals[i] = w.MemBWGBs
+			}
+			p.Samples[id] = vals
+		default:
+			vals := make([]float64, len(samples))
+			for i, s := range samples {
+				vals[i] = FromSample(s, id)
+			}
+			p.Samples[id] = vals
+		}
+	}
+
+	if pr.SkipCurves {
+		return p, nil
+	}
+	// Sensitivity curves: re-run per allocation with warm state.
+	ref := sim.NewMachine(pr.Machine, pr.WindowCycles)
+	bytesPerWay := ref.LLCPartitionBytes() / ref.LLCWays()
+	for _, ways := range pr.curveWays() {
+		cs, _, _, _ := pr.run(b, seed, ways, pr.CurveWindows)
+		var instrs, llcMisses, busy float64
+		for _, s := range cs {
+			k := float64(s.Instructions)
+			instrs += k
+			llcMisses += s.LLCMPKI * k / 1000
+			if s.IPC > 0 {
+				busy += k / s.IPC
+			}
+		}
+		pt := CurvePoint{
+			Ways:      ways,
+			SizeBytes: bytesPerWay * ways,
+		}
+		if instrs > 0 {
+			pt.LLCMPKI = llcMisses / instrs * 1000
+		}
+		if busy > 0 {
+			pt.IPC = instrs / busy
+		}
+		p.Curve = append(p.Curve, pt)
+	}
+	return p, nil
+}
+
+// run executes one profiling run: fresh machine and server, optional LLC
+// partition, warmup, then measured windows.
+func (pr *Profiler) run(b workload.Benchmark, seed uint64, partitionWays, windows int) ([]sim.WindowSample, []sim.WallSample, int, float64) {
+	m := sim.NewMachine(pr.Machine, pr.WindowCycles)
+	if partitionWays > 0 {
+		m.SetLLCPartition(partitionWays)
+	}
+	layout := trace.NewCodeLayout()
+	srv := b.NewServer(layout, stats.HashSeed(seed, "dataset"))
+	if w, ok := srv.(workload.Warmable); ok {
+		w.WarmDataset(m)
+		m.FlushSamples()
+	}
+	if pr.WarmupWindows > 0 {
+		workload.Run(m, b, srv, pr.WarmupWindows, stats.HashSeed(seed, "warmup"), pr.MaxRequestsPerRun)
+		m.FlushSamples()
+	}
+	res := workload.Run(m, b, srv, windows, stats.HashSeed(seed, fmt.Sprintf("measure-%d", partitionWays)), pr.MaxRequestsPerRun)
+	ratio := 0.0
+	if c, ok := srv.(workload.Compressible); ok {
+		ratio = c.CompressionRatio()
+	}
+	return m.Samples(), m.WallSamples(), res.Requests, ratio
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,97 @@
+package sim
+
+import "fmt"
+
+// BranchConfig describes a branch predictor.
+type BranchConfig struct {
+	// TableBits sizes the pattern history table at 2^TableBits 2-bit
+	// counters.
+	TableBits int
+	// HistoryBits is the global-history length for gshare indexing.
+	HistoryBits int
+}
+
+// BranchPredictor is a gshare predictor: a table of 2-bit saturating
+// counters indexed by the branch site XOR global history. Data-dependent
+// branch streams (key-comparison loops, posting-list intersections,
+// transaction-type dispatch) produce the Branch MPKI the paper profiles.
+type BranchPredictor struct {
+	cfg      BranchConfig
+	table    []uint8
+	mask     uint64
+	history  uint64
+	histMask uint64
+	branches uint64
+	misses   uint64
+}
+
+// NewBranchPredictor builds a predictor; counters start weakly not-taken.
+// It panics on invalid configuration.
+func NewBranchPredictor(cfg BranchConfig) *BranchPredictor {
+	if cfg.TableBits <= 0 || cfg.TableBits > 24 || cfg.HistoryBits < 0 || cfg.HistoryBits > 32 {
+		panic(fmt.Sprintf("sim: invalid branch predictor config %+v", cfg))
+	}
+	size := 1 << cfg.TableBits
+	table := make([]uint8, size)
+	for i := range table {
+		table[i] = 1 // weakly not-taken
+	}
+	return &BranchPredictor{
+		cfg:      cfg,
+		table:    table,
+		mask:     uint64(size - 1),
+		histMask: (1 << cfg.HistoryBits) - 1,
+	}
+}
+
+// Config returns the predictor's configuration.
+func (b *BranchPredictor) Config() BranchConfig { return b.cfg }
+
+// Predict consumes a branch outcome, returning whether the prediction was
+// correct, and trains the predictor.
+func (b *BranchPredictor) Predict(site uint64, taken bool) (correct bool) {
+	b.branches++
+	idx := (mix(site) ^ b.history) & b.mask
+	ctr := b.table[idx]
+	predTaken := ctr >= 2
+	correct = predTaken == taken
+	if !correct {
+		b.misses++
+	}
+	// Train the 2-bit counter.
+	if taken && ctr < 3 {
+		b.table[idx] = ctr + 1
+	} else if !taken && ctr > 0 {
+		b.table[idx] = ctr - 1
+	}
+	// Shift global history.
+	b.history = ((b.history << 1) | boolBit(taken)) & b.histMask
+	return correct
+}
+
+// Stats returns lifetime branches and mispredictions.
+func (b *BranchPredictor) Stats() (branches, misses uint64) { return b.branches, b.misses }
+
+// Flush resets the predictor state and statistics.
+func (b *BranchPredictor) Flush() {
+	for i := range b.table {
+		b.table[i] = 1
+	}
+	b.history = 0
+	b.branches, b.misses = 0, 0
+}
+
+// mix hashes a branch site so nearby sites spread across the table.
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

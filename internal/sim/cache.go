@@ -1,0 +1,264 @@
+// Package sim implements the trace-driven microarchitecture simulator that
+// substitutes for the paper's hardware performance counters. It models
+// set-associative caches (with LRU and DRRIP replacement and Intel
+// CAT-style way partitioning), TLBs, a global-history branch predictor, and
+// a width/penalty pipeline model, for three machines mirroring Table II
+// (Broadwell, Zen 2, Silvermont). A Machine consumes trace events and
+// produces windowed performance-counter samples — the raw material of
+// Datamime's profiles.
+package sim
+
+import (
+	"fmt"
+
+	"datamime/internal/trace"
+)
+
+// ReplacementPolicy selects a cache's replacement algorithm.
+type ReplacementPolicy int
+
+const (
+	// LRU is least-recently-used replacement.
+	LRU ReplacementPolicy = iota
+	// DRRIP is dynamic re-reference interval prediction (Jaleel et al.),
+	// the policy of the Broadwell L3 in Table II: set-dueling between
+	// SRRIP and BRRIP.
+	DRRIP
+)
+
+func (p ReplacementPolicy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case DRRIP:
+		return "DRRIP"
+	default:
+		return fmt.Sprintf("ReplacementPolicy(%d)", int(p))
+	}
+}
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	Name       string
+	SizeBytes  int
+	Ways       int
+	Policy     ReplacementPolicy
+	LatencyCyc int // access latency added on a hit at this level
+}
+
+// Sets returns the number of sets implied by size, ways, and 64-byte lines.
+func (c CacheConfig) Sets() int {
+	lines := c.SizeBytes / trace.LineSize
+	if c.Ways <= 0 || lines < c.Ways {
+		return 1
+	}
+	return lines / c.Ways
+}
+
+// cacheLine is one way of one set.
+type cacheLine struct {
+	tag   uint64
+	valid bool
+	// meta is the LRU stamp (for LRU) or the RRPV (for DRRIP).
+	meta uint32
+}
+
+// Cache is a set-associative cache over 64-byte lines.
+type Cache struct {
+	cfg        CacheConfig
+	sets       int
+	ways       int
+	lines      []cacheLine // sets × ways
+	partWays   int         // ways visible to the workload (CAT partition); 0 = all
+	lruClock   uint32
+	accesses   uint64
+	misses     uint64
+	psel       int  // DRRIP set-dueling policy selector
+	duelMask   int  // identifies leader sets
+	brripCount int  // BRRIP insertion de-rater
+	isDRRIP    bool // cached policy check
+}
+
+// rrpvMax is the maximum re-reference prediction value for 2-bit DRRIP.
+const rrpvMax = 3
+
+// NewCache builds a cache from its configuration. It panics on
+// non-positive sizes or ways — machine configs are static and must be
+// valid.
+func NewCache(cfg CacheConfig) *Cache {
+	if cfg.SizeBytes <= 0 || cfg.Ways <= 0 {
+		panic(fmt.Sprintf("sim: invalid cache config %+v", cfg))
+	}
+	sets := cfg.Sets()
+	return &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		ways:     cfg.Ways,
+		lines:    make([]cacheLine, sets*cfg.Ways),
+		partWays: cfg.Ways,
+		duelMask: 31, // every 32nd set leads a policy
+		isDRRIP:  cfg.Policy == DRRIP,
+	}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// SetPartition limits the ways the workload may use, emulating Intel CAT
+// way-partitioning (the paper uses CAT to measure miss and IPC curves
+// across cache allocations, §IV). ways <= 0 or >= total restores the full
+// cache. Changing the partition flushes lines in now-forbidden ways.
+func (c *Cache) SetPartition(ways int) {
+	if ways <= 0 || ways > c.ways {
+		ways = c.ways
+	}
+	if ways < c.partWays {
+		// Invalidate lines outside the new partition.
+		for s := 0; s < c.sets; s++ {
+			base := s * c.ways
+			for w := ways; w < c.partWays; w++ {
+				c.lines[base+w] = cacheLine{}
+			}
+		}
+	}
+	c.partWays = ways
+}
+
+// Partition returns the current way allocation.
+func (c *Cache) Partition() int { return c.partWays }
+
+// PartitionBytes returns the capacity of the current partition in bytes.
+func (c *Cache) PartitionBytes() int {
+	return c.sets * c.partWays * trace.LineSize
+}
+
+// Access looks up the line containing addr, updating replacement state, and
+// reports whether it hit. On a miss the line is installed.
+func (c *Cache) Access(addr uint64) (hit bool) {
+	c.accesses++
+	lineAddr := addr / trace.LineSize
+	set := int(lineAddr % uint64(c.sets))
+	tag := lineAddr / uint64(c.sets)
+	base := set * c.ways
+	ways := c.lines[base : base+c.partWays]
+
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			c.touch(ways, i)
+			return true
+		}
+	}
+	c.misses++
+	c.install(ways, set, tag)
+	return false
+}
+
+// touch updates replacement metadata on a hit.
+func (c *Cache) touch(ways []cacheLine, i int) {
+	if c.isDRRIP {
+		ways[i].meta = 0 // promote to near-immediate re-reference
+		return
+	}
+	c.lruClock++
+	ways[i].meta = c.lruClock
+}
+
+// install places a new line, evicting per policy.
+func (c *Cache) install(ways []cacheLine, set int, tag uint64) {
+	// Prefer an invalid way.
+	for i := range ways {
+		if !ways[i].valid {
+			ways[i] = cacheLine{tag: tag, valid: true, meta: c.insertMeta(set)}
+			return
+		}
+	}
+	if c.isDRRIP {
+		c.installDRRIP(ways, set, tag)
+		return
+	}
+	// LRU eviction: smallest stamp.
+	victim := 0
+	for i := 1; i < len(ways); i++ {
+		if ways[i].meta < ways[victim].meta {
+			victim = i
+		}
+	}
+	ways[victim] = cacheLine{tag: tag, valid: true, meta: c.insertMeta(set)}
+}
+
+// insertMeta returns the replacement metadata for a newly-installed line.
+func (c *Cache) insertMeta(set int) uint32 {
+	if !c.isDRRIP {
+		c.lruClock++
+		return c.lruClock
+	}
+	if c.useBRRIP(set) {
+		// BRRIP: insert at distant (rrpvMax) almost always; rarely at
+		// rrpvMax-1. Deterministic 1/32 de-rating.
+		c.brripCount++
+		if c.brripCount%32 == 0 {
+			return rrpvMax - 1
+		}
+		return rrpvMax
+	}
+	// SRRIP: insert at long re-reference interval.
+	return rrpvMax - 1
+}
+
+// installDRRIP evicts the first line with RRPV == max, aging until found.
+func (c *Cache) installDRRIP(ways []cacheLine, set int, tag uint64) {
+	for {
+		for i := range ways {
+			if ways[i].meta >= rrpvMax {
+				// A miss in a leader set trains the dueling counter.
+				c.duelTrain(set)
+				ways[i] = cacheLine{tag: tag, valid: true, meta: c.insertMeta(set)}
+				return
+			}
+		}
+		for i := range ways {
+			ways[i].meta++
+		}
+	}
+}
+
+// useBRRIP decides the insertion policy for a set: leader sets use their
+// fixed policy; follower sets use the policy-selector's winner.
+func (c *Cache) useBRRIP(set int) bool {
+	switch set & c.duelMask {
+	case 0:
+		return false // SRRIP leader
+	case 1:
+		return true // BRRIP leader
+	default:
+		return c.psel > 0
+	}
+}
+
+// duelTrain updates the policy selector on leader-set misses: misses in
+// SRRIP leaders vote for BRRIP and vice versa.
+func (c *Cache) duelTrain(set int) {
+	const pselMax = 512
+	switch set & c.duelMask {
+	case 0: // SRRIP leader missed -> BRRIP gains
+		if c.psel < pselMax {
+			c.psel++
+		}
+	case 1: // BRRIP leader missed -> SRRIP gains
+		if c.psel > -pselMax {
+			c.psel--
+		}
+	}
+}
+
+// Stats returns lifetime accesses and misses.
+func (c *Cache) Stats() (accesses, misses uint64) { return c.accesses, c.misses }
+
+// Flush invalidates every line and resets statistics.
+func (c *Cache) Flush() {
+	for i := range c.lines {
+		c.lines[i] = cacheLine{}
+	}
+	c.accesses, c.misses = 0, 0
+	c.psel, c.brripCount = 0, 0
+}

@@ -1,0 +1,342 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"datamime/internal/trace"
+)
+
+func TestMachineConfigsValid(t *testing.T) {
+	for _, cfg := range Machines() {
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+	}
+	if _, err := MachineByName("broadwell"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MachineByName("pentium"); err == nil {
+		t.Fatal("unknown machine resolved")
+	}
+}
+
+func TestTableIIParameters(t *testing.T) {
+	bw := Broadwell()
+	if bw.L3 == nil || bw.L3.SizeBytes != 12<<20 || bw.L3.Ways != 12 || bw.L3.Policy != DRRIP {
+		t.Fatalf("Broadwell L3 does not match Table II: %+v", bw.L3)
+	}
+	if bw.L2.SizeBytes != 256<<10 || bw.FreqGHz != 2.0 {
+		t.Fatal("Broadwell L2/freq mismatch")
+	}
+	z := Zen2()
+	if z.L3 == nil || z.L3.SizeBytes != 16<<20 || z.L3.Ways != 16 {
+		t.Fatal("Zen2 L3 mismatch (16 MB per chiplet)")
+	}
+	if z.L2.SizeBytes != 512<<10 || z.FreqGHz != 3.5 {
+		t.Fatal("Zen2 L2/freq mismatch")
+	}
+	s := Silvermont()
+	if s.L3 != nil {
+		t.Fatal("Silvermont must have no L3")
+	}
+	if s.L2.SizeBytes != 1<<20 || s.FreqGHz != 2.4 {
+		t.Fatal("Silvermont L2/freq mismatch")
+	}
+	if s.L1D.SizeBytes != 24<<10 {
+		t.Fatal("Silvermont 24KB L1D mismatch")
+	}
+}
+
+func newTestMachine() *Machine {
+	return NewMachine(Broadwell(), 100_000)
+}
+
+func TestMachinePanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero window did not panic")
+		}
+	}()
+	NewMachine(Broadwell(), 0)
+}
+
+func TestOpsProduceFullIPC(t *testing.T) {
+	m := newTestMachine()
+	// Pure compute: IPC should equal the width.
+	for i := 0; i < 20; i++ {
+		m.Ops(100_000)
+	}
+	samples := m.Samples()
+	if len(samples) == 0 {
+		t.Fatal("no windows closed")
+	}
+	for _, s := range samples {
+		if math.Abs(s.IPC-4) > 1e-9 {
+			t.Fatalf("compute-only IPC = %g, want 4 (width)", s.IPC)
+		}
+		if s.CPUUtil != 1 {
+			t.Fatalf("compute-only CPU util = %g, want 1", s.CPUUtil)
+		}
+		if s.LLCMPKI != 0 || s.MemBWGBs != 0 {
+			t.Fatal("compute-only run produced memory traffic")
+		}
+	}
+}
+
+func TestMemoryBoundLowersIPC(t *testing.T) {
+	m := newTestMachine()
+	// Stream far beyond the LLC: every line misses to memory.
+	addr := uint64(0x10000000)
+	for i := 0; i < 400_000; i++ {
+		m.Load(addr, 64)
+		addr += 64
+	}
+	samples := m.Samples()
+	if len(samples) == 0 {
+		t.Fatal("no windows closed")
+	}
+	last := samples[len(samples)-1]
+	if last.IPC >= 1 {
+		t.Fatalf("streaming IPC = %g, want memory-bound < 1", last.IPC)
+	}
+	if last.LLCMPKI < 100 {
+		t.Fatalf("streaming LLC MPKI = %g, want high", last.LLCMPKI)
+	}
+	if last.MemBWGBs <= 0 {
+		t.Fatal("no memory bandwidth recorded")
+	}
+}
+
+func TestCacheResidentWorkloadHasLowMPKI(t *testing.T) {
+	m := newTestMachine()
+	// 16 KB working set: fits in L1D after warmup.
+	for pass := 0; pass < 2000; pass++ {
+		for off := uint64(0); off < 16<<10; off += 64 {
+			m.Load(0x20000000+off, 64)
+		}
+	}
+	samples := m.Samples()
+	if len(samples) < 2 {
+		t.Fatalf("need multiple windows, got %d", len(samples))
+	}
+	last := samples[len(samples)-1]
+	if last.L1DMPKI > 1 {
+		t.Fatalf("resident working set L1D MPKI = %g", last.L1DMPKI)
+	}
+	if last.IPC < 3 {
+		t.Fatalf("resident working set IPC = %g, want near width", last.IPC)
+	}
+}
+
+func TestIdleLowersUtilization(t *testing.T) {
+	m := newTestMachine()
+	for i := 0; i < 100; i++ {
+		m.Ops(10_000)  // 2,500 busy cycles at width 4
+		m.Idle(47_500) // 95% idle
+	}
+	samples := m.Samples()
+	if len(samples) == 0 {
+		t.Fatal("no windows closed")
+	}
+	for _, s := range samples {
+		if s.CPUUtil > 0.15 || s.CPUUtil < 0.01 {
+			t.Fatalf("CPU util = %g, want ~0.05", s.CPUUtil)
+		}
+		// IPC is per busy cycle, so it stays at the width.
+		if math.Abs(s.IPC-4) > 1e-9 {
+			t.Fatalf("idle-heavy IPC = %g, want 4", s.IPC)
+		}
+	}
+}
+
+func TestIdleDoesNotCloseWindows(t *testing.T) {
+	// Sampling intervals elapse in busy (unhalted) cycles, as on hardware:
+	// pure idleness closes no windows, it only stretches the current one.
+	m := newTestMachine()
+	m.Ops(400)
+	m.Idle(10_000_000)
+	if n := len(m.Samples()); n != 0 {
+		t.Fatalf("pure idle closed %d windows", n)
+	}
+	// Once enough busy cycles accumulate, the window closes and reflects
+	// the idleness in its utilization.
+	m.Ops(400_000)
+	samples := m.Samples()
+	if len(samples) == 0 {
+		t.Fatal("busy work did not close the window")
+	}
+	if samples[0].CPUUtil > 0.05 {
+		t.Fatalf("idle-stretched window util = %g, want tiny", samples[0].CPUUtil)
+	}
+}
+
+func TestBranchMispredictsCounted(t *testing.T) {
+	m := newTestMachine()
+	rng := newDetRand(1)
+	for i := 0; i < 300_000; i++ {
+		m.Branch(uint64(i%7), rng()%2 == 0)
+	}
+	samples := m.Samples()
+	if len(samples) == 0 {
+		t.Fatal("no windows")
+	}
+	s := samples[len(samples)-1]
+	if s.BranchMPKI < 100 {
+		t.Fatalf("random branches MPKI = %g, want high", s.BranchMPKI)
+	}
+}
+
+// newDetRand is a tiny deterministic xorshift for test input streams.
+func newDetRand(seed uint64) func() uint64 {
+	x := seed | 1
+	return func() uint64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return x
+	}
+}
+
+func TestExecInstructionFootprint(t *testing.T) {
+	m := newTestMachine()
+	cl := trace.NewCodeLayout()
+	// Giant code footprint (2 MB): overflows L1I badly.
+	big := cl.Region("big", 2<<20)
+	for i := 0; i < 300; i++ {
+		m.Exec(big, 40_000)
+	}
+	bigMiss := m.Samples()[len(m.Samples())-1].ICacheMPKI
+
+	m2 := newTestMachine()
+	cl2 := trace.NewCodeLayout()
+	small := cl2.Region("small", 4<<10) // resident loop
+	for i := 0; i < 300; i++ {
+		m2.Exec(small, 40_000)
+	}
+	smallMiss := m2.Samples()[len(m2.Samples())-1].ICacheMPKI
+
+	if bigMiss <= smallMiss*5 {
+		t.Fatalf("icache MPKI: big footprint %g vs small %g — expected big >> small", bigMiss, smallMiss)
+	}
+}
+
+func TestLLCPartitionAffectsMissCurve(t *testing.T) {
+	run := func(ways int) float64 {
+		m := NewMachine(Broadwell(), 200_000)
+		m.SetLLCPartition(ways)
+		// 4 MB working set: fits in >=4 ways (4 MB), thrashes at 1 way.
+		for pass := 0; pass < 12; pass++ {
+			for off := uint64(0); off < 4<<20; off += 64 {
+				m.Load(0x40000000+off, 64)
+			}
+		}
+		s := m.Samples()
+		return s[len(s)-1].LLCMPKI
+	}
+	small := run(1)
+	large := run(8)
+	if large >= small {
+		t.Fatalf("LLC MPKI should fall with partition size: 1 way %g vs 8 ways %g", small, large)
+	}
+	if small < 1 {
+		t.Fatalf("1-way partition MPKI = %g, want thrashing", small)
+	}
+}
+
+func TestSilvermontLLCIsL2(t *testing.T) {
+	m := NewMachine(Silvermont(), 100_000)
+	if m.LLCWays() != 8 {
+		t.Fatalf("Silvermont LLC ways = %d, want L2's 8", m.LLCWays())
+	}
+	m.SetLLCPartition(2)
+	if m.LLCPartitionBytes() != (1<<20)/4 {
+		t.Fatalf("partition bytes = %d", m.LLCPartitionBytes())
+	}
+	// Stream past 1 MB: must register LLC misses (L2 misses go to memory).
+	addr := uint64(0x50000000)
+	for i := 0; i < 200_000; i++ {
+		m.Load(addr, 64)
+		addr += 64
+	}
+	s := m.Samples()
+	if len(s) == 0 || s[len(s)-1].LLCMPKI == 0 {
+		t.Fatal("Silvermont streaming produced no LLC misses")
+	}
+}
+
+func TestCrossMachineIPCDiffers(t *testing.T) {
+	// The same event stream must yield different IPC on different
+	// machines — the premise of cross-microarchitecture validation (Fig 3).
+	ipcOn := func(cfg MachineConfig) float64 {
+		m := NewMachine(cfg, 100_000)
+		rng := newDetRand(7)
+		addr := uint64(0x60000000)
+		for i := 0; i < 50_000; i++ {
+			m.Ops(20)
+			m.Load(addr+uint64(rng()%(8<<20)), 64)
+			m.Branch(uint64(rng()%64), rng()%3 == 0)
+		}
+		s := m.Samples()
+		if len(s) == 0 {
+			t.Fatal("no windows")
+		}
+		return s[len(s)-1].IPC
+	}
+	bw := ipcOn(Broadwell())
+	zen := ipcOn(Zen2())
+	slm := ipcOn(Silvermont())
+	if !(zen > bw && bw > slm) {
+		t.Fatalf("IPC ordering zen2(%g) > broadwell(%g) > silvermont(%g) violated", zen, bw, slm)
+	}
+}
+
+func TestFlushSamplesKeepsWarmState(t *testing.T) {
+	m := newTestMachine()
+	for off := uint64(0); off < 16<<10; off += 64 {
+		m.Load(0x70000000+off, 64)
+	}
+	m.FlushSamples()
+	if len(m.Samples()) != 0 {
+		t.Fatal("FlushSamples left samples")
+	}
+	// The working set must still be resident (warm caches).
+	for off := uint64(0); off < 16<<10; off += 64 {
+		m.Load(0x70000000+off, 64)
+	}
+	// Force a window to close with busy compute.
+	m.Ops(500_000)
+	s := m.Samples()
+	if len(s) == 0 {
+		t.Fatal("no window after flush")
+	}
+	if s[0].L1DMPKI > 1 {
+		t.Fatalf("caches were not kept warm: L1D MPKI = %g", s[0].L1DMPKI)
+	}
+}
+
+func TestDegenerateEventsIgnored(t *testing.T) {
+	m := newTestMachine()
+	m.Ops(0)
+	m.Ops(-5)
+	m.Load(0x1000, 0)
+	m.Idle(-10)
+	cl := trace.NewCodeLayout()
+	r := cl.Region("r", 64)
+	m.Exec(r, 0)
+	if m.TotalCycles() != 0 {
+		t.Fatalf("degenerate events advanced time: %g", m.TotalCycles())
+	}
+}
+
+func TestBusyAndTotalCycles(t *testing.T) {
+	m := newTestMachine()
+	m.Ops(4000) // 1000 cycles
+	m.Idle(500)
+	if math.Abs(m.BusyCycles()-1000) > 1e-9 {
+		t.Fatalf("BusyCycles = %g", m.BusyCycles())
+	}
+	if math.Abs(m.TotalCycles()-1500) > 1e-9 {
+		t.Fatalf("TotalCycles = %g", m.TotalCycles())
+	}
+}

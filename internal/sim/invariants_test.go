@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"datamime/internal/stats"
+	"datamime/internal/trace"
+)
+
+// TestWindowAccountingIdentity checks that the per-window instruction
+// counts and the machine's total cycle accounting stay consistent under an
+// arbitrary event mix.
+func TestWindowAccountingIdentity(t *testing.T) {
+	rng := stats.NewRNG(101)
+	m := NewMachine(Broadwell(), 50_000)
+	cl := trace.NewCodeLayout()
+	regions := []*trace.CodeRegion{
+		cl.Region("a", 4<<10), cl.Region("b", 40<<10), cl.Region("c", 512),
+	}
+	for i := 0; i < 200_000; i++ {
+		switch rng.IntN(5) {
+		case 0:
+			m.Ops(1 + rng.IntN(50))
+		case 1:
+			m.Load(uint64(0x10000000+rng.IntN(32<<20)), 1+rng.IntN(512))
+		case 2:
+			m.Store(uint64(0x20000000+rng.IntN(1<<20)), 1+rng.IntN(64))
+		case 3:
+			m.Exec(regions[rng.IntN(len(regions))], 1+rng.IntN(400))
+		case 4:
+			m.Branch(uint64(rng.IntN(1024)), rng.Bool(0.4))
+		}
+		if rng.Bool(0.01) {
+			m.Idle(float64(rng.IntN(100_000)))
+		}
+	}
+	if m.TotalCycles() < m.BusyCycles() {
+		t.Fatal("total cycles below busy cycles")
+	}
+	// Each closed window carries at least windowCycles of busy time by
+	// construction, so the busy total bounds the window count.
+	maxWindows := int(m.BusyCycles()/m.WindowCycles()) + 1
+	if n := len(m.Samples()); n > maxWindows {
+		t.Fatalf("%d windows closed from %.0f busy cycles", n, m.BusyCycles())
+	}
+}
+
+// TestSampleMetricBounds fuzzes event streams and checks every emitted
+// sample satisfies physical bounds: IPC within pipeline width, rates
+// non-negative, utilization within [0, 1].
+func TestSampleMetricBounds(t *testing.T) {
+	for _, cfg := range Machines() {
+		rng := stats.NewRNG(stats.HashSeed(7, cfg.Name))
+		m := NewMachine(cfg, 30_000)
+		cl := trace.NewCodeLayout()
+		code := cl.Region("f", 96<<10)
+		for i := 0; i < 150_000; i++ {
+			switch rng.IntN(4) {
+			case 0:
+				m.Ops(1 + rng.IntN(30))
+			case 1:
+				m.Load(uint64(0x10000000+rng.IntN(64<<20)), 1+rng.IntN(4096))
+			case 2:
+				m.Exec(code, 1+rng.IntN(200))
+			case 3:
+				m.Branch(uint64(rng.IntN(64)), rng.Bool(0.5))
+			}
+			if rng.Bool(0.005) {
+				m.Idle(float64(rng.IntN(200_000)))
+			}
+		}
+		width := float64(cfg.Width)
+		for i, s := range m.Samples() {
+			if s.IPC < 0 || s.IPC > width+1e-9 {
+				t.Fatalf("%s window %d: IPC %g outside [0, %g]", cfg.Name, i, s.IPC, width)
+			}
+			for name, v := range map[string]float64{
+				"l1d": s.L1DMPKI, "l2": s.L2MPKI, "llc": s.LLCMPKI,
+				"ic": s.ICacheMPKI, "itlb": s.ITLBMPKI, "dtlb": s.DTLBMPKI,
+				"br": s.BranchMPKI, "bw": s.MemBWGBs,
+			} {
+				if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("%s window %d: %s = %g", cfg.Name, i, name, v)
+				}
+			}
+			// Misses cannot outnumber accesses: MPKI is bounded by the
+			// event densities; a loose sanity cap suffices (1 miss per
+			// instruction = 1000 MPKI).
+			if s.LLCMPKI > 1000 || s.BranchMPKI > 1000 {
+				t.Fatalf("%s window %d: implausible MPKI %g/%g", cfg.Name, i, s.LLCMPKI, s.BranchMPKI)
+			}
+		}
+		for i, w := range m.WallSamples() {
+			if w.CPUUtil < 0 || w.CPUUtil > 1+1e-9 {
+				t.Fatalf("%s wall window %d: util %g", cfg.Name, i, w.CPUUtil)
+			}
+			if w.MemBWGBs < 0 {
+				t.Fatalf("%s wall window %d: bandwidth %g", cfg.Name, i, w.MemBWGBs)
+			}
+		}
+	}
+}
+
+// TestMissHierarchyMonotone checks the inclusion-style invariant: misses at
+// an outer level can never exceed misses at the inner level feeding it,
+// per window, for a pure data-access stream.
+func TestMissHierarchyMonotone(t *testing.T) {
+	rng := stats.NewRNG(55)
+	m := NewMachine(Broadwell(), 40_000)
+	for i := 0; i < 400_000; i++ {
+		m.Load(uint64(0x10000000+rng.IntN(64<<20))&^63, 64)
+	}
+	for i, s := range m.Samples() {
+		// Data-only stream: L2 misses <= L1D misses, LLC misses <= L2
+		// misses (per kilo-instruction, same denominator).
+		if s.L2MPKI > s.L1DMPKI+1e-9 {
+			t.Fatalf("window %d: L2 MPKI %g > L1D MPKI %g", i, s.L2MPKI, s.L1DMPKI)
+		}
+		if s.LLCMPKI > s.L2MPKI+1e-9 {
+			t.Fatalf("window %d: LLC MPKI %g > L2 MPKI %g", i, s.LLCMPKI, s.L2MPKI)
+		}
+	}
+}
+
+// TestCachePartitionProperty uses quick.Check over partition sizes: for a
+// fixed working set, a larger partition never yields (meaningfully) more
+// misses.
+func TestCachePartitionProperty(t *testing.T) {
+	missRate := func(ways int) float64 {
+		c := NewCache(CacheConfig{Name: "llc", SizeBytes: 1 << 20, Ways: 8, Policy: LRU})
+		c.SetPartition(ways)
+		lines := (1 << 20) / trace.LineSize * 3 / 4
+		misses, accesses := 0, 0
+		for pass := 0; pass < 3; pass++ {
+			for i := 0; i < lines; i++ {
+				accesses++
+				if !c.Access(uint64(i * trace.LineSize)) {
+					misses++
+				}
+			}
+		}
+		return float64(misses) / float64(accesses)
+	}
+	rates := make([]float64, 9)
+	for w := 1; w <= 8; w++ {
+		rates[w] = missRate(w)
+	}
+	for w := 2; w <= 8; w++ {
+		if rates[w] > rates[w-1]+0.02 {
+			t.Fatalf("miss rate rose with partition size: %d ways %.3f vs %d ways %.3f",
+				w-1, rates[w-1], w, rates[w])
+		}
+	}
+}
+
+// TestDeterministicReplayProperty: identical event streams yield identical
+// samples — the foundation of reproducible profiling.
+func TestDeterministicReplayProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		run := func() []WindowSample {
+			rng := stats.NewRNG(seed)
+			m := NewMachine(Zen2(), 20_000)
+			cl := trace.NewCodeLayout()
+			code := cl.Region("g", 8<<10)
+			for i := 0; i < 30_000; i++ {
+				switch rng.IntN(3) {
+				case 0:
+					m.Load(uint64(0x10000000+rng.IntN(8<<20)), 64)
+				case 1:
+					m.Exec(code, 50)
+				case 2:
+					m.Branch(uint64(rng.IntN(32)), rng.Bool(0.3))
+				}
+			}
+			out := make([]WindowSample, len(m.Samples()))
+			copy(out, m.Samples())
+			return out
+		}
+		a, b := run(), run()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBranchMPKIMatchesPredictorStats cross-checks window accounting
+// against the predictor's own counters.
+func TestBranchMPKIMatchesPredictorStats(t *testing.T) {
+	rng := stats.NewRNG(66)
+	m := NewMachine(Broadwell(), 1e12) // one giant window, never closes
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		m.Branch(uint64(rng.IntN(16)), rng.Bool(0.5))
+	}
+	branches, misses := m.bp.Stats()
+	if branches != n {
+		t.Fatalf("predictor saw %d branches", branches)
+	}
+	if misses == 0 || misses >= branches {
+		t.Fatalf("implausible misses %d", misses)
+	}
+	if m.win.branchMis != misses {
+		t.Fatalf("window mispredicts %d != predictor %d", m.win.branchMis, misses)
+	}
+	if m.win.instrs != n {
+		t.Fatalf("window instrs %d != %d", m.win.instrs, n)
+	}
+}

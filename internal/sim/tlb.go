@@ -1,0 +1,86 @@
+package sim
+
+import "fmt"
+
+// TLBConfig describes a translation lookaside buffer.
+type TLBConfig struct {
+	Name      string
+	Entries   int
+	Ways      int
+	PageBytes int
+}
+
+// TLB is a set-associative TLB with LRU replacement.
+type TLB struct {
+	cfg      TLBConfig
+	sets     int
+	ways     int
+	tags     []uint64
+	valid    []bool
+	stamps   []uint32
+	clock    uint32
+	accesses uint64
+	misses   uint64
+}
+
+// NewTLB builds a TLB. It panics on invalid configuration.
+func NewTLB(cfg TLBConfig) *TLB {
+	if cfg.Entries <= 0 || cfg.Ways <= 0 || cfg.PageBytes <= 0 {
+		panic(fmt.Sprintf("sim: invalid TLB config %+v", cfg))
+	}
+	sets := cfg.Entries / cfg.Ways
+	if sets < 1 {
+		sets = 1
+	}
+	n := sets * cfg.Ways
+	return &TLB{
+		cfg:    cfg,
+		sets:   sets,
+		ways:   cfg.Ways,
+		tags:   make([]uint64, n),
+		valid:  make([]bool, n),
+		stamps: make([]uint32, n),
+	}
+}
+
+// Config returns the TLB's configuration.
+func (t *TLB) Config() TLBConfig { return t.cfg }
+
+// Access translates addr, reporting whether the page was resident. Missing
+// pages are installed with LRU replacement.
+func (t *TLB) Access(addr uint64) (hit bool) {
+	t.accesses++
+	page := addr / uint64(t.cfg.PageBytes)
+	set := int(page % uint64(t.sets))
+	tag := page / uint64(t.sets)
+	base := set * t.ways
+	t.clock++
+	victim, victimStamp := base, t.stamps[base]
+	for i := base; i < base+t.ways; i++ {
+		if t.valid[i] && t.tags[i] == tag {
+			t.stamps[i] = t.clock
+			return true
+		}
+		if !t.valid[i] {
+			victim, victimStamp = i, 0
+		} else if t.stamps[i] < victimStamp {
+			victim, victimStamp = i, t.stamps[i]
+		}
+	}
+	t.misses++
+	t.tags[victim] = tag
+	t.valid[victim] = true
+	t.stamps[victim] = t.clock
+	return false
+}
+
+// Stats returns lifetime accesses and misses.
+func (t *TLB) Stats() (accesses, misses uint64) { return t.accesses, t.misses }
+
+// Flush invalidates all entries and resets statistics.
+func (t *TLB) Flush() {
+	for i := range t.valid {
+		t.valid[i] = false
+	}
+	t.accesses, t.misses = 0, 0
+}

@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of s, or 0 for an empty slice.
+func Mean(s []float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return sum / float64(len(s))
+}
+
+// Variance returns the population variance of s, or 0 when len(s) < 2.
+func Variance(s []float64) float64 {
+	if len(s) < 2 {
+		return 0
+	}
+	m := Mean(s)
+	var sum float64
+	for _, v := range s {
+		d := v - m
+		sum += d * d
+	}
+	return sum / float64(len(s))
+}
+
+// Std returns the population standard deviation of s.
+func Std(s []float64) float64 { return math.Sqrt(Variance(s)) }
+
+// Percentile returns the p-th percentile (0-100) of s using linear
+// interpolation between order statistics. Returns 0 for an empty slice.
+func Percentile(s []float64, p float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	c := sortedCopy(s)
+	if len(c) == 1 {
+		return c[0]
+	}
+	p = Clamp(p, 0, 100)
+	rank := p / 100 * float64(len(c)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return c[lo]
+	}
+	frac := rank - float64(lo)
+	return c[lo]*(1-frac) + c[hi]*frac
+}
+
+// Min returns the smallest element of s, or +Inf for an empty slice.
+func Min(s []float64) float64 {
+	mn, _ := minMax(s)
+	return mn
+}
+
+// Max returns the largest element of s, or -Inf for an empty slice.
+func Max(s []float64) float64 {
+	_, mx := minMax(s)
+	return mx
+}
+
+// AbsPercentError returns |target - measured| / |target|, the paper's "mean
+// absolute percentage error" building block (§V-A). When target is zero it
+// returns 0 if measured is also zero and 1 otherwise.
+func AbsPercentError(target, measured float64) float64 {
+	if target == 0 {
+		if measured == 0 {
+			return 0
+		}
+		return 1
+	}
+	return math.Abs(target-measured) / math.Abs(target)
+}
+
+// MAPE returns the mean absolute percentage error across paired slices. It
+// panics if the slices have different lengths.
+func MAPE(target, measured []float64) float64 {
+	if len(target) != len(measured) {
+		panic("stats: MAPE slices must have equal length")
+	}
+	if len(target) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range target {
+		sum += AbsPercentError(target[i], measured[i])
+	}
+	return sum / float64(len(target))
+}
+
+// MAE returns the mean absolute error across paired slices, the paper's
+// metric for non-IPC counters (§V-A). It panics if lengths differ.
+func MAE(target, measured []float64) float64 {
+	if len(target) != len(measured) {
+		panic("stats: MAE slices must have equal length")
+	}
+	if len(target) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range target {
+		sum += math.Abs(target[i] - measured[i])
+	}
+	return sum / float64(len(target))
+}
+
+// Histogram bins samples into n equal-width buckets over [lo, hi] and
+// returns per-bucket counts. Samples outside the range clamp into the edge
+// buckets. It returns nil when n <= 0.
+func Histogram(s []float64, lo, hi float64, n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	counts := make([]int, n)
+	if hi <= lo {
+		counts[0] = len(s)
+		return counts
+	}
+	w := (hi - lo) / float64(n)
+	for _, v := range s {
+		idx := int((v - lo) / w)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= n {
+			idx = n - 1
+		}
+		counts[idx]++
+	}
+	return counts
+}
+
+// Median returns the 50th percentile of s.
+func Median(s []float64) float64 { return Percentile(s, 50) }
+
+// IsSorted reports whether s is in nondecreasing order.
+func IsSorted(s []float64) bool { return sort.Float64sAreSorted(s) }

@@ -1,0 +1,236 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed RNGs diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGDifferentSeedsDiverge(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/64 identical draws", same)
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	base := NewRNG(7)
+	child := base.Split()
+	// Drawing from the child must not change what a fresh split would see
+	// from an identically-advanced base.
+	base2 := NewRNG(7)
+	child2 := base2.Split()
+	for i := 0; i < 10; i++ {
+		if child.Uint64() != child2.Uint64() {
+			t.Fatal("split streams not reproducible")
+		}
+	}
+}
+
+func TestRNGBoolProbability(t *testing.T) {
+	rng := NewRNG(3)
+	n, hits := 20000, 0
+	for i := 0; i < n; i++ {
+		if rng.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(n)
+	if math.Abs(frac-0.3) > 0.02 {
+		t.Fatalf("Bool(0.3) frequency = %.3f", frac)
+	}
+	if rng.Bool(0) {
+		t.Fatal("Bool(0) returned true")
+	}
+	if !rng.Bool(1) {
+		t.Fatal("Bool(1) returned false")
+	}
+}
+
+func TestRNGJitterBounds(t *testing.T) {
+	rng := NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		v := rng.Jitter(100, 0.1)
+		if v < 90 || v > 110 {
+			t.Fatalf("Jitter(100, 0.1) = %g out of [90, 110]", v)
+		}
+	}
+	if rng.Jitter(42, 0) != 42 {
+		t.Fatal("Jitter with zero factor must be identity")
+	}
+}
+
+func TestHashSeedStableAndDistinct(t *testing.T) {
+	a := HashSeed(1, "icache")
+	b := HashSeed(1, "icache")
+	c := HashSeed(1, "dcache")
+	d := HashSeed(2, "icache")
+	if a != b {
+		t.Fatal("HashSeed not stable")
+	}
+	if a == c || a == d {
+		t.Fatal("HashSeed collisions across names/bases")
+	}
+	if HashSeed(1, "") == 0 {
+		t.Fatal("HashSeed must never return 0")
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	rng := NewRNG(11)
+	d := Normal{Mu: 100, Sigma: 15, Min: 1}
+	n := 50000
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = d.Sample(rng)
+	}
+	if m := Mean(samples); math.Abs(m-100) > 1 {
+		t.Fatalf("Normal mean = %g, want ~100", m)
+	}
+	if s := Std(samples); math.Abs(s-15) > 1 {
+		t.Fatalf("Normal std = %g, want ~15", s)
+	}
+}
+
+func TestNormalTruncation(t *testing.T) {
+	rng := NewRNG(12)
+	d := Normal{Mu: 2, Sigma: 10, Min: 1}
+	for i := 0; i < 10000; i++ {
+		if v := d.Sample(rng); v < 1 {
+			t.Fatalf("truncated sample %g < min", v)
+		}
+	}
+}
+
+func TestLogNormalMean(t *testing.T) {
+	rng := NewRNG(13)
+	d := LogNormal{Mu: 3, Sigma: 0.5}
+	n := 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += d.Sample(rng)
+	}
+	want := d.Mean()
+	got := sum / float64(n)
+	if math.Abs(got-want)/want > 0.03 {
+		t.Fatalf("LogNormal sample mean = %g, analytical = %g", got, want)
+	}
+}
+
+func TestGParetoMeanAndSupport(t *testing.T) {
+	rng := NewRNG(14)
+	d := GPareto{Loc: 10, Scale: 20, Shape: 0.2}
+	n := 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := d.Sample(rng)
+		if v < d.Loc {
+			t.Fatalf("GPareto sample %g below location %g", v, d.Loc)
+		}
+		sum += v
+	}
+	want := d.Mean() // 10 + 20/0.8 = 35
+	got := sum / float64(n)
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("GPareto sample mean = %g, analytical = %g", got, want)
+	}
+}
+
+func TestGParetoHeavyTailMeanInfinite(t *testing.T) {
+	d := GPareto{Loc: 0, Scale: 1, Shape: 1.5}
+	if !math.IsInf(d.Mean(), 1) {
+		t.Fatal("GPareto with shape >= 1 must report infinite mean")
+	}
+}
+
+func TestGParetoZeroShapeIsExponential(t *testing.T) {
+	rng := NewRNG(15)
+	d := GPareto{Loc: 0, Scale: 2, Shape: 0}
+	n := 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += d.Sample(rng)
+	}
+	got := sum / float64(n)
+	if math.Abs(got-2)/2 > 0.03 {
+		t.Fatalf("GPareto(shape=0) mean = %g, want ~2 (exponential)", got)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	rng := NewRNG(16)
+	d := Exponential{Rate: 4}
+	n := 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += d.Sample(rng)
+	}
+	got := sum / float64(n)
+	if math.Abs(got-0.25)/0.25 > 0.03 {
+		t.Fatalf("Exponential(4) mean = %g, want ~0.25", got)
+	}
+}
+
+func TestUniformAndConstant(t *testing.T) {
+	rng := NewRNG(17)
+	u := Uniform{Lo: 5, Hi: 9}
+	for i := 0; i < 1000; i++ {
+		v := u.Sample(rng)
+		if v < 5 || v >= 9 {
+			t.Fatalf("Uniform sample %g out of [5, 9)", v)
+		}
+	}
+	if u.Mean() != 7 {
+		t.Fatalf("Uniform mean = %g", u.Mean())
+	}
+	c := Constant{V: 3.5}
+	if c.Sample(rng) != 3.5 || c.Mean() != 3.5 {
+		t.Fatal("Constant distribution broken")
+	}
+}
+
+func TestDistributionStrings(t *testing.T) {
+	ds := []Distribution{
+		Normal{Mu: 1, Sigma: 2, Min: 0},
+		LogNormal{Mu: 1, Sigma: 2},
+		GPareto{Loc: 1, Scale: 2, Shape: 0.3},
+		Exponential{Rate: 2},
+		Uniform{Lo: 0, Hi: 1},
+		Constant{V: 1},
+	}
+	for _, d := range ds {
+		if d.String() == "" {
+			t.Fatalf("%T has empty String()", d)
+		}
+	}
+}
+
+func TestClampProperty(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) {
+			return true
+		}
+		v := Clamp(x, -1, 1)
+		return v >= -1 && v <= 1 && (x < -1 || x > 1 || v == x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

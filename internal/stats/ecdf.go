@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ECDF is an empirical cumulative distribution function built from a set of
+// samples. The paper's profiles are distributions of performance-counter
+// samples; matching them (rather than just their means) is Datamime's
+// central error-model idea (§III-C).
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an eCDF from samples. The input slice is copied; it may be
+// empty, in which case every query returns zero.
+func NewECDF(samples []float64) *ECDF {
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// Len returns the number of underlying samples.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// At returns P(X <= x), the fraction of samples at or below x.
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	idx := sort.SearchFloat64s(e.sorted, x)
+	// SearchFloat64s returns the first index with sorted[idx] >= x; advance
+	// past equal values so the CDF is right-continuous (<= semantics).
+	for idx < len(e.sorted) && e.sorted[idx] == x {
+		idx++
+	}
+	return float64(idx) / float64(len(e.sorted))
+}
+
+// Quantile returns the q-th quantile for q in [0, 1] using the nearest-rank
+// method. Out-of-range q is clamped.
+func (e *ECDF) Quantile(q float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	q = Clamp(q, 0, 1)
+	idx := int(q*float64(len(e.sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(e.sorted) {
+		idx = len(e.sorted) - 1
+	}
+	return e.sorted[idx]
+}
+
+// Min returns the smallest sample (0 when empty).
+func (e *ECDF) Min() float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	return e.sorted[0]
+}
+
+// Max returns the largest sample (0 when empty).
+func (e *ECDF) Max() float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	return e.sorted[len(e.sorted)-1]
+}
+
+// Sorted returns the underlying sorted samples. The returned slice must not
+// be modified.
+func (e *ECDF) Sorted() []float64 { return e.sorted }
+
+// Points returns (x, y) pairs suitable for plotting the eCDF: for each
+// sample in order, the cumulative fraction at that sample. The harness uses
+// this to emit the series behind Figs. 4 and 8.
+func (e *ECDF) Points() (xs, ys []float64) {
+	n := len(e.sorted)
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	for i, v := range e.sorted {
+		xs[i] = v
+		ys[i] = float64(i+1) / float64(n)
+	}
+	return xs, ys
+}
+
+func (e *ECDF) String() string {
+	if len(e.sorted) == 0 {
+		return "ECDF(empty)"
+	}
+	return fmt.Sprintf("ECDF(n=%d, min=%.4g, p50=%.4g, max=%.4g)",
+		len(e.sorted), e.Min(), e.Quantile(0.5), e.Max())
+}

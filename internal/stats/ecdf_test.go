@@ -1,0 +1,175 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestECDFBasics(t *testing.T) {
+	e := NewECDF([]float64{3, 1, 2, 4})
+	if e.Len() != 4 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+	if e.Min() != 1 || e.Max() != 4 {
+		t.Fatalf("Min/Max = %g/%g", e.Min(), e.Max())
+	}
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.5}, {4, 1}, {100, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("At(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestECDFRightContinuityWithTies(t *testing.T) {
+	e := NewECDF([]float64{2, 2, 2, 5})
+	if got := e.At(2); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("At(2) with ties = %g, want 0.75", got)
+	}
+	if got := e.At(1.999); got != 0 {
+		t.Fatalf("At(just below tie) = %g, want 0", got)
+	}
+}
+
+func TestECDFQuantile(t *testing.T) {
+	e := NewECDF([]float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
+	if q := e.Quantile(0.5); q != 50 {
+		t.Fatalf("median = %g, want 50", q)
+	}
+	if q := e.Quantile(0); q != 10 {
+		t.Fatalf("q0 = %g, want 10", q)
+	}
+	if q := e.Quantile(1); q != 100 {
+		t.Fatalf("q1 = %g, want 100", q)
+	}
+	if q := e.Quantile(-1); q != 10 {
+		t.Fatalf("clamped q = %g", q)
+	}
+}
+
+func TestECDFEmpty(t *testing.T) {
+	e := NewECDF(nil)
+	if e.At(5) != 0 || e.Quantile(0.5) != 0 || e.Min() != 0 || e.Max() != 0 {
+		t.Fatal("empty eCDF must return zeros")
+	}
+	if e.String() != "ECDF(empty)" {
+		t.Fatalf("String = %q", e.String())
+	}
+}
+
+func TestECDFPoints(t *testing.T) {
+	e := NewECDF([]float64{5, 1, 3})
+	xs, ys := e.Points()
+	wantX := []float64{1, 3, 5}
+	wantY := []float64{1.0 / 3, 2.0 / 3, 1}
+	for i := range wantX {
+		if xs[i] != wantX[i] || math.Abs(ys[i]-wantY[i]) > 1e-12 {
+			t.Fatalf("Points()[%d] = (%g, %g), want (%g, %g)", i, xs[i], ys[i], wantX[i], wantY[i])
+		}
+	}
+}
+
+func TestECDFDoesNotAliasInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	e := NewECDF(in)
+	in[0] = 999
+	if e.Max() == 999 {
+		t.Fatal("ECDF aliases caller slice")
+	}
+}
+
+func TestECDFMonotoneProperty(t *testing.T) {
+	rng := NewRNG(41)
+	s := make([]float64, 200)
+	for i := range s {
+		s[i] = rng.Range(-100, 100)
+	}
+	e := NewECDF(s)
+	prev := -1.0
+	for x := -110.0; x <= 110; x += 0.7 {
+		v := e.At(x)
+		if v < prev {
+			t.Fatalf("eCDF decreased at x=%g: %g < %g", x, v, prev)
+		}
+		if v < 0 || v > 1 {
+			t.Fatalf("eCDF out of [0,1]: %g", v)
+		}
+		prev = v
+	}
+}
+
+func TestDescribeHelpers(t *testing.T) {
+	s := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(s); m != 5 {
+		t.Fatalf("Mean = %g", m)
+	}
+	if v := Variance(s); v != 4 {
+		t.Fatalf("Variance = %g", v)
+	}
+	if sd := Std(s); sd != 2 {
+		t.Fatalf("Std = %g", sd)
+	}
+	if med := Median(s); math.Abs(med-4.5) > 1e-12 {
+		t.Fatalf("Median = %g", med)
+	}
+	if p := Percentile(s, 0); p != 2 {
+		t.Fatalf("P0 = %g", p)
+	}
+	if p := Percentile(s, 100); p != 9 {
+		t.Fatalf("P100 = %g", p)
+	}
+	if Mean(nil) != 0 || Std(nil) != 0 || Percentile(nil, 50) != 0 {
+		t.Fatal("empty-slice descriptive stats must return 0")
+	}
+	if Percentile([]float64{7}, 33) != 7 {
+		t.Fatal("single-element percentile")
+	}
+}
+
+func TestErrorMetrics(t *testing.T) {
+	if e := AbsPercentError(2, 1); e != 0.5 {
+		t.Fatalf("AbsPercentError = %g", e)
+	}
+	if e := AbsPercentError(0, 0); e != 0 {
+		t.Fatalf("APE(0,0) = %g", e)
+	}
+	if e := AbsPercentError(0, 1); e != 1 {
+		t.Fatalf("APE(0,1) = %g", e)
+	}
+	if m := MAPE([]float64{1, 2}, []float64{2, 1}); m != 0.75 {
+		t.Fatalf("MAPE = %g", m)
+	}
+	if m := MAE([]float64{1, 5}, []float64{2, 3}); m != 1.5 {
+		t.Fatalf("MAE = %g", m)
+	}
+	if MAPE(nil, nil) != 0 || MAE(nil, nil) != 0 {
+		t.Fatal("empty MAPE/MAE must be 0")
+	}
+}
+
+func TestMAPEPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MAPE with mismatched lengths did not panic")
+		}
+	}()
+	MAPE([]float64{1}, []float64{1, 2})
+}
+
+func TestHistogram(t *testing.T) {
+	s := []float64{0.1, 0.2, 0.5, 0.9, 1.5, -3}
+	h := Histogram(s, 0, 1, 2)
+	// Buckets: [0, 0.5) and [0.5, 1]; out-of-range clamps to edges.
+	if h[0] != 3 || h[1] != 3 {
+		t.Fatalf("Histogram = %v", h)
+	}
+	if Histogram(s, 0, 1, 0) != nil {
+		t.Fatal("n<=0 must return nil")
+	}
+	h2 := Histogram(s, 5, 5, 3) // degenerate range
+	if h2[0] != len(s) {
+		t.Fatalf("degenerate-range histogram = %v", h2)
+	}
+}

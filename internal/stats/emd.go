@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// EMD computes the Earth Mover's Distance between the empirical
+// distributions of two one-dimensional sample sets. For 1-D distributions
+// the EMD equals the area between the two CDFs (§III-C, citing Henderson et
+// al.), i.e. the L1 distance between the inverse CDFs:
+//
+//	EMD = ∫ |F_a(x) - F_b(x)| dx
+//
+// The cost of moving one sample a unit distance is 1/N, matching the
+// paper's definition. The two sample sets may have different sizes; the
+// implementation integrates |F_a - F_b| exactly over the merged support.
+func EMD(a, b []float64) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	if len(a) == 0 || len(b) == 0 {
+		// One distribution is empty: the distance is undefined in the
+		// transport sense; treat it as the full spread of the non-empty one
+		// so the optimizer strongly penalizes missing profiles.
+		s := a
+		if len(s) == 0 {
+			s = b
+		}
+		mn, mx := minMax(s)
+		return mx - mn
+	}
+
+	as := sortedCopy(a)
+	bs := sortedCopy(b)
+
+	// Sweep the merged sorted support, integrating |F_a(x) - F_b(x)| over
+	// each interval between consecutive distinct sample values.
+	i, j := 0, 0
+	var total float64
+	prev := math.Min(as[0], bs[0])
+	for i < len(as) || j < len(bs) {
+		var x float64
+		switch {
+		case i >= len(as):
+			x = bs[j]
+		case j >= len(bs):
+			x = as[i]
+		default:
+			x = math.Min(as[i], bs[j])
+		}
+		fa := float64(i) / float64(len(as))
+		fb := float64(j) / float64(len(bs))
+		total += math.Abs(fa-fb) * (x - prev)
+		prev = x
+		for i < len(as) && as[i] == x {
+			i++
+		}
+		for j < len(bs) && bs[j] == x {
+			j++
+		}
+	}
+	return total
+}
+
+// NormalizedEMD computes the EMD after normalizing both the x-axis and
+// y-axis to [0, 1], exactly as Fig. 10's caption describes: "the x- and
+// y-axes are normalized ... by dividing them by maximum x and y values
+// observed". The y-axis of a CDF is already in [0, 1]; the x-axis is scaled
+// by the maximum absolute sample value observed across both sets. The
+// result is the fraction of the unit plot area between the two CDFs, so a
+// perfectly matching pair scores 0 and maximally separated distributions
+// approach 1.
+func NormalizedEMD(a, b []float64) float64 {
+	maxAbs := 0.0
+	for _, v := range a {
+		maxAbs = math.Max(maxAbs, math.Abs(v))
+	}
+	for _, v := range b {
+		maxAbs = math.Max(maxAbs, math.Abs(v))
+	}
+	if maxAbs == 0 {
+		return 0
+	}
+	return EMD(a, b) / maxAbs
+}
+
+// KSDistance returns the Kolmogorov–Smirnov statistic between two sample
+// sets: the maximum vertical distance between their eCDFs. The paper notes
+// KS as a viable alternative to EMD (§III-C); it is provided for the error
+// model ablations.
+func KSDistance(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		if len(a) == 0 && len(b) == 0 {
+			return 0
+		}
+		return 1
+	}
+	as := sortedCopy(a)
+	bs := sortedCopy(b)
+	i, j := 0, 0
+	var maxDiff float64
+	for i < len(as) && j < len(bs) {
+		x := math.Min(as[i], bs[j])
+		for i < len(as) && as[i] <= x {
+			i++
+		}
+		for j < len(bs) && bs[j] <= x {
+			j++
+		}
+		fa := float64(i) / float64(len(as))
+		fb := float64(j) / float64(len(bs))
+		maxDiff = math.Max(maxDiff, math.Abs(fa-fb))
+	}
+	return maxDiff
+}
+
+func sortedCopy(s []float64) []float64 {
+	c := make([]float64, len(s))
+	copy(c, s)
+	sort.Float64s(c)
+	return c
+}
+
+func minMax(s []float64) (mn, mx float64) {
+	mn, mx = math.Inf(1), math.Inf(-1)
+	for _, v := range s {
+		mn = math.Min(mn, v)
+		mx = math.Max(mx, v)
+	}
+	return mn, mx
+}

@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEMDIdenticalIsZero(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	if d := EMD(a, a); d != 0 {
+		t.Fatalf("EMD(a, a) = %g, want 0", d)
+	}
+}
+
+func TestEMDPointMasses(t *testing.T) {
+	// Two point masses at distance d have EMD exactly d.
+	a := []float64{0, 0, 0}
+	b := []float64{2.5, 2.5, 2.5}
+	if d := EMD(a, b); math.Abs(d-2.5) > 1e-12 {
+		t.Fatalf("EMD(point masses) = %g, want 2.5", d)
+	}
+}
+
+func TestEMDShiftEqualsOffset(t *testing.T) {
+	// Shifting a distribution by c moves every unit of mass distance c.
+	a := []float64{1, 2, 3, 7, 9}
+	b := make([]float64, len(a))
+	for i, v := range a {
+		b[i] = v + 4
+	}
+	if d := EMD(a, b); math.Abs(d-4) > 1e-12 {
+		t.Fatalf("EMD(shifted) = %g, want 4", d)
+	}
+}
+
+func TestEMDSymmetry(t *testing.T) {
+	a := []float64{0, 1, 2, 8}
+	b := []float64{3, 3, 5}
+	if d1, d2 := EMD(a, b), EMD(b, a); math.Abs(d1-d2) > 1e-12 {
+		t.Fatalf("EMD not symmetric: %g vs %g", d1, d2)
+	}
+}
+
+func TestEMDKnownValue(t *testing.T) {
+	// a = {0, 1}, b = {0, 2}: CDFs differ on [1, 2) by 0.5 => EMD = 0.5.
+	a := []float64{0, 1}
+	b := []float64{0, 2}
+	if d := EMD(a, b); math.Abs(d-0.5) > 1e-12 {
+		t.Fatalf("EMD = %g, want 0.5", d)
+	}
+}
+
+func TestEMDDifferentSampleCounts(t *testing.T) {
+	// Equal distributions represented with different sample counts.
+	a := []float64{1, 2}
+	b := []float64{1, 1, 2, 2}
+	if d := EMD(a, b); d != 0 {
+		t.Fatalf("EMD over re-weighted identical distributions = %g, want 0", d)
+	}
+}
+
+func TestEMDEmptyCases(t *testing.T) {
+	if d := EMD(nil, nil); d != 0 {
+		t.Fatalf("EMD(nil, nil) = %g", d)
+	}
+	if d := EMD([]float64{1, 5}, nil); math.Abs(d-4) > 1e-12 {
+		t.Fatalf("EMD(a, nil) = %g, want spread 4", d)
+	}
+}
+
+func TestEMDTriangleInequalityProperty(t *testing.T) {
+	rng := NewRNG(31)
+	gen := func() []float64 {
+		n := 3 + rng.IntN(20)
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = rng.Range(-10, 10)
+		}
+		return s
+	}
+	for trial := 0; trial < 200; trial++ {
+		a, b, c := gen(), gen(), gen()
+		dab, dbc, dac := EMD(a, b), EMD(b, c), EMD(a, c)
+		if dac > dab+dbc+1e-9 {
+			t.Fatalf("triangle inequality violated: d(a,c)=%g > d(a,b)+d(b,c)=%g", dac, dab+dbc)
+		}
+	}
+}
+
+func TestEMDNonNegativeProperty(t *testing.T) {
+	f := func(a, b []float64) bool {
+		for _, v := range append(append([]float64{}, a...), b...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		return EMD(a, b) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizedEMDBounds(t *testing.T) {
+	a := []float64{0, 0, 0, 0}
+	b := []float64{10, 10, 10, 10}
+	d := NormalizedEMD(a, b)
+	if math.Abs(d-1) > 1e-12 {
+		t.Fatalf("NormalizedEMD(max separation) = %g, want 1", d)
+	}
+	if d := NormalizedEMD(a, a); d != 0 {
+		t.Fatalf("NormalizedEMD(identical) = %g, want 0", d)
+	}
+	if d := NormalizedEMD([]float64{0, 0}, []float64{0, 0}); d != 0 {
+		t.Fatalf("NormalizedEMD(all zero) = %g, want 0", d)
+	}
+}
+
+func TestNormalizedEMDScaleInvariance(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{2, 3, 4}
+	d1 := NormalizedEMD(a, b)
+	a2 := []float64{10, 20, 30}
+	b2 := []float64{20, 30, 40}
+	d2 := NormalizedEMD(a2, b2)
+	if math.Abs(d1-d2) > 1e-12 {
+		t.Fatalf("NormalizedEMD not scale invariant: %g vs %g", d1, d2)
+	}
+}
+
+func TestKSDistance(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if d := KSDistance(a, a); d != 0 {
+		t.Fatalf("KS(a, a) = %g", d)
+	}
+	// Disjoint supports: KS = 1.
+	b := []float64{10, 11, 12}
+	if d := KSDistance(a, b); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("KS(disjoint) = %g, want 1", d)
+	}
+	if d := KSDistance(a, nil); d != 1 {
+		t.Fatalf("KS(a, empty) = %g, want 1", d)
+	}
+	if d := KSDistance(nil, nil); d != 0 {
+		t.Fatalf("KS(empty, empty) = %g, want 0", d)
+	}
+}
+
+func TestKSBoundedProperty(t *testing.T) {
+	rng := NewRNG(33)
+	for trial := 0; trial < 200; trial++ {
+		n, m := 1+rng.IntN(30), 1+rng.IntN(30)
+		a := make([]float64, n)
+		b := make([]float64, m)
+		for i := range a {
+			a[i] = rng.Range(-5, 5)
+		}
+		for i := range b {
+			b[i] = rng.Range(-5, 5)
+		}
+		d := KSDistance(a, b)
+		if d < 0 || d > 1 {
+			t.Fatalf("KS distance %g out of [0, 1]", d)
+		}
+	}
+}

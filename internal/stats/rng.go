@@ -1,0 +1,112 @@
+// Package stats provides the statistical substrate used throughout the
+// Datamime reproduction: random-variate samplers for the distribution
+// families that parameterize datasets, empirical CDFs, the Earth Mover's
+// Distance error metric from the paper, histograms, and descriptive
+// statistics.
+//
+// Everything in this package is deterministic given an RNG seed, which is
+// what makes the simulated profiling pipeline reproducible while still
+// exhibiting the run-to-run noise the paper's optimizer must tolerate.
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// RNG is a seeded pseudo-random number generator. It wraps math/rand/v2's
+// PCG so that every component of the simulator can derive independent,
+// reproducible streams.
+type RNG struct {
+	src *rand.Rand
+}
+
+// NewRNG returns a generator seeded with seed. Two RNGs built from the same
+// seed produce identical streams.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{src: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+}
+
+// Split derives a new independent RNG from this one. It is used to hand
+// sub-components (e.g., the arrival process vs. the key sampler) their own
+// streams so that adding draws to one does not perturb the other.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.src.Uint64())
+}
+
+// Float64 returns a uniform sample in [0, 1).
+func (r *RNG) Float64() float64 { return r.src.Float64() }
+
+// Uint64 returns a uniform 64-bit value.
+func (r *RNG) Uint64() uint64 { return r.src.Uint64() }
+
+// IntN returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) IntN(n int) int { return r.src.IntN(n) }
+
+// Int64N returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Int64N(n int64) int64 { return r.src.Int64N(n) }
+
+// NormFloat64 returns a standard normal sample.
+func (r *RNG) NormFloat64() float64 { return r.src.NormFloat64() }
+
+// ExpFloat64 returns an exponential sample with rate 1.
+func (r *RNG) ExpFloat64() float64 { return r.src.ExpFloat64() }
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int { return r.src.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) { r.src.Shuffle(n, swap) }
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.src.Float64() < p
+}
+
+// Range returns a uniform sample in [lo, hi).
+func (r *RNG) Range(lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + (hi-lo)*r.src.Float64()
+}
+
+// Jitter returns x multiplied by a uniform factor in [1-f, 1+f]. It is used
+// to add small measurement-style noise to simulated quantities.
+func (r *RNG) Jitter(x, f float64) float64 {
+	if f <= 0 {
+		return x
+	}
+	return x * (1 + f*(2*r.src.Float64()-1))
+}
+
+// HashSeed mixes a string into a 64-bit seed, so named components can derive
+// stable per-name streams from a base seed.
+func HashSeed(base uint64, name string) uint64 {
+	h := base ^ 0xcbf29ce484222325
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 0x100000001b3
+	}
+	// Final avalanche (splitmix64 finalizer).
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// Clamp limits x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	return math.Min(math.Max(x, lo), hi)
+}

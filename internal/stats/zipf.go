@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Zipf samples ranks in [0, N) following a Zipfian distribution with skew
+// parameter S >= 0: P(rank = k) ∝ 1/(k+1)^S. S = 0 degenerates to uniform.
+//
+// Query popularity in the search-engine workload and key popularity in the
+// key-value workloads are Zipfian, matching the paper's xapian setup ("we
+// also control the Zipfian skew of the query distribution", §IV) and the
+// well-known skew of production key-value accesses.
+//
+// The implementation uses rejection-inversion (Hörmann & Derflinger), which
+// supports any skew >= 0 including the s <= 1 range that math/rand's Zipf
+// cannot handle, with O(1) setup-independent sampling cost.
+type Zipf struct {
+	n               int
+	s               float64
+	oneMinusS       float64
+	hIntegralX1     float64
+	hIntegralNum    float64
+	hX1             float64
+	uniformToSample float64
+}
+
+// NewZipf builds a Zipf sampler over [0, n) with skew s. It panics if
+// n <= 0 or s < 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic(fmt.Sprintf("stats: NewZipf n must be positive, got %d", n))
+	}
+	if s < 0 || math.IsNaN(s) {
+		panic(fmt.Sprintf("stats: NewZipf skew must be >= 0, got %g", s))
+	}
+	z := &Zipf{n: n, s: s, oneMinusS: 1 - s}
+	z.hIntegralX1 = z.hIntegral(1.5) - 1
+	z.hIntegralNum = z.hIntegral(float64(n) + 0.5)
+	z.hX1 = z.h(1.5) - 1
+	z.uniformToSample = z.hIntegralNum - z.hIntegralX1
+	return z
+}
+
+// N returns the support size.
+func (z *Zipf) N() int { return z.n }
+
+// Skew returns the skew parameter s.
+func (z *Zipf) Skew() float64 { return z.s }
+
+// Sample draws a rank in [0, n).
+func (z *Zipf) Sample(rng *RNG) int {
+	for {
+		u := z.hIntegralX1 + rng.Float64()*z.uniformToSample
+		x := z.hIntegralInverse(u)
+		k := math.Floor(x + 0.5)
+		if k < 1 {
+			k = 1
+		} else if k > float64(z.n) {
+			k = float64(z.n)
+		}
+		if k-x <= z.hX1 || u >= z.hIntegral(k+0.5)-z.h(k) {
+			return int(k) - 1
+		}
+	}
+}
+
+// h is the density proxy x^-s.
+func (z *Zipf) h(x float64) float64 {
+	return math.Exp(-z.s * math.Log(x))
+}
+
+// hIntegral is the antiderivative of h.
+func (z *Zipf) hIntegral(x float64) float64 {
+	logX := math.Log(x)
+	return helper2(z.oneMinusS*logX) * logX
+}
+
+// hIntegralInverse inverts hIntegral.
+func (z *Zipf) hIntegralInverse(x float64) float64 {
+	t := x * z.oneMinusS
+	if t < -1 {
+		t = -1
+	}
+	return math.Exp(helper1(t) * x)
+}
+
+// helper1 computes log1p(x)/x with a stable Taylor fallback near 0.
+func helper1(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Log1p(x) / x
+	}
+	return 1 - x/2 + x*x/3
+}
+
+// helper2 computes expm1(x)/x with a stable Taylor fallback near 0.
+func helper2(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Expm1(x) / x
+	}
+	return 1 + x/2 + x*x/6
+}

@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfSupport(t *testing.T) {
+	rng := NewRNG(21)
+	z := NewZipf(100, 0.99)
+	for i := 0; i < 10000; i++ {
+		k := z.Sample(rng)
+		if k < 0 || k >= 100 {
+			t.Fatalf("Zipf sample %d out of [0, 100)", k)
+		}
+	}
+}
+
+func TestZipfSkewZeroIsUniform(t *testing.T) {
+	rng := NewRNG(22)
+	const n, draws = 10, 100000
+	z := NewZipf(n, 0)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Sample(rng)]++
+	}
+	want := float64(draws) / n
+	for k, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.05 {
+			t.Fatalf("skew-0 Zipf not uniform: rank %d count %d (want ~%g)", k, c, want)
+		}
+	}
+}
+
+func TestZipfMonotoneFrequencies(t *testing.T) {
+	rng := NewRNG(23)
+	const n, draws = 20, 200000
+	z := NewZipf(n, 1.0)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Sample(rng)]++
+	}
+	// Rank 0 must be most popular; low ranks must dominate high ranks.
+	if counts[0] < counts[5] || counts[5] < counts[19] {
+		t.Fatalf("Zipf frequencies not decreasing: %v", counts)
+	}
+	// For s=1, P(0)/P(1) should be ~2.
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Fatalf("Zipf(s=1) rank0/rank1 ratio = %g, want ~2", ratio)
+	}
+}
+
+func TestZipfMatchesAnalyticalPMF(t *testing.T) {
+	rng := NewRNG(24)
+	const n, draws = 8, 400000
+	for _, s := range []float64{0.5, 0.9, 1.3, 2.0} {
+		z := NewZipf(n, s)
+		counts := make([]int, n)
+		for i := 0; i < draws; i++ {
+			counts[z.Sample(rng)]++
+		}
+		var norm float64
+		for k := 1; k <= n; k++ {
+			norm += math.Pow(float64(k), -s)
+		}
+		for k := 0; k < n; k++ {
+			want := math.Pow(float64(k+1), -s) / norm
+			got := float64(counts[k]) / draws
+			if math.Abs(got-want) > 0.01 {
+				t.Fatalf("s=%g rank %d: pmf %g, want %g", s, k, got, want)
+			}
+		}
+	}
+}
+
+func TestZipfHighSkewConcentration(t *testing.T) {
+	rng := NewRNG(25)
+	z := NewZipf(1000000, 1.2)
+	top10 := 0
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		if z.Sample(rng) < 10 {
+			top10++
+		}
+	}
+	// Analytically H(10, 1.2)/zeta(1.2) ~ 0.44; the top 10 of a million
+	// ranks capture a large constant fraction of the mass.
+	if frac := float64(top10) / draws; frac < 0.4 {
+		t.Fatalf("high-skew Zipf top-10 mass = %g, want > 0.4", frac)
+	}
+}
+
+func TestZipfSingleElement(t *testing.T) {
+	rng := NewRNG(26)
+	z := NewZipf(1, 1.5)
+	for i := 0; i < 100; i++ {
+		if z.Sample(rng) != 0 {
+			t.Fatal("Zipf over single element must always return 0")
+		}
+	}
+}
+
+func TestZipfPanicsOnBadArgs(t *testing.T) {
+	for _, tc := range []struct {
+		n int
+		s float64
+	}{{0, 1}, {-5, 1}, {10, -0.5}, {10, math.NaN()}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewZipf(%d, %g) did not panic", tc.n, tc.s)
+				}
+			}()
+			NewZipf(tc.n, tc.s)
+		}()
+	}
+}
+
+func TestZipfAccessors(t *testing.T) {
+	z := NewZipf(42, 0.75)
+	if z.N() != 42 || z.Skew() != 0.75 {
+		t.Fatalf("accessors: N=%d Skew=%g", z.N(), z.Skew())
+	}
+}

@@ -1,0 +1,133 @@
+package trace
+
+import "testing"
+
+func TestCodeLayoutNonOverlapping(t *testing.T) {
+	cl := NewCodeLayout()
+	a := cl.Region("a", 1000)
+	b := cl.Region("b", 64)
+	if a.Lines != 16 { // ceil(1000/64)
+		t.Fatalf("region a lines = %d, want 16", a.Lines)
+	}
+	if b.Lines != 1 {
+		t.Fatalf("region b lines = %d, want 1", b.Lines)
+	}
+	endA := a.Base + uint64(a.Lines)*LineSize
+	if b.Base < endA+LineSize {
+		t.Fatalf("regions overlap or lack padding: a ends %#x, b starts %#x", endA, b.Base)
+	}
+	if a.Base%LineSize != 0 || b.Base%LineSize != 0 {
+		t.Fatal("region bases not line aligned")
+	}
+}
+
+func TestCodeRegionMinimumOneLine(t *testing.T) {
+	cl := NewCodeLayout()
+	r := cl.Region("tiny", 0)
+	if r.Lines != 1 {
+		t.Fatalf("zero-byte region lines = %d, want 1", r.Lines)
+	}
+}
+
+func TestNextLinesWalksAndWraps(t *testing.T) {
+	cl := NewCodeLayout()
+	r := cl.Region("loop", 4*LineSize) // 4 lines
+	// 32 instructions = 2 lines touched.
+	start, n := r.NextLines(2 * InstrBytesPerLine)
+	if start != 0 || n != 2 {
+		t.Fatalf("first NextLines = (%d, %d), want (0, 2)", start, n)
+	}
+	// Next call continues from the cursor.
+	start, n = r.NextLines(2 * InstrBytesPerLine)
+	if start != 2 || n != 2 {
+		t.Fatalf("second NextLines = (%d, %d), want (2, 2)", start, n)
+	}
+	// Cursor wrapped to 0.
+	start, _ = r.NextLines(InstrBytesPerLine)
+	if start != 0 {
+		t.Fatalf("cursor did not wrap: start = %d", start)
+	}
+}
+
+func TestNextLinesSaturatesAtFootprint(t *testing.T) {
+	cl := NewCodeLayout()
+	r := cl.Region("hot", 2*LineSize)
+	_, n := r.NextLines(1000 * InstrBytesPerLine)
+	if n != 2 {
+		t.Fatalf("distinct lines = %d, want footprint 2", n)
+	}
+	// A tiny execution touches at least one line.
+	_, n = r.NextLines(1)
+	if n != 1 {
+		t.Fatalf("minimum lines = %d, want 1", n)
+	}
+}
+
+func TestLineAddrWithinRegion(t *testing.T) {
+	cl := NewCodeLayout()
+	r := cl.Region("f", 3*LineSize)
+	if r.LineAddr(0) != r.Base {
+		t.Fatal("LineAddr(0) != Base")
+	}
+	if r.LineAddr(3) != r.Base { // wraps mod Lines
+		t.Fatal("LineAddr does not wrap")
+	}
+	if r.LineAddr(2) != r.Base+2*LineSize {
+		t.Fatal("LineAddr(2) wrong")
+	}
+}
+
+func TestRecorderTallies(t *testing.T) {
+	cl := NewCodeLayout()
+	r := cl.Region("op", 128)
+	rec := NewRecorder()
+	rec.Load(0x1000, 100)
+	rec.Store(0x2000, 8)
+	rec.Exec(r, 50)
+	rec.Branch(1, true)
+	rec.Branch(2, false)
+	rec.Ops(7)
+
+	if rec.Loads != 1 || rec.Stores != 1 {
+		t.Fatalf("loads/stores = %d/%d", rec.Loads, rec.Stores)
+	}
+	if rec.LoadBytes != 100 || rec.StoreBytes != 8 {
+		t.Fatalf("bytes = %d/%d", rec.LoadBytes, rec.StoreBytes)
+	}
+	// 100 bytes -> 12 instrs, 8 bytes -> 1, exec 50, 2 branches, 7 ops.
+	want := 12 + 1 + 50 + 2 + 7
+	if rec.Instrs != want {
+		t.Fatalf("instrs = %d, want %d", rec.Instrs, want)
+	}
+	if rec.Branches != 2 || rec.Taken != 1 {
+		t.Fatalf("branches/taken = %d/%d", rec.Branches, rec.Taken)
+	}
+	if !rec.DistinctRegions["op"] {
+		t.Fatal("region not recorded")
+	}
+}
+
+func TestInstrsForSize(t *testing.T) {
+	cases := []struct{ size, want int }{{1, 1}, {8, 1}, {9, 1}, {16, 2}, {64, 8}, {100, 12}}
+	for _, c := range cases {
+		if got := InstrsForSize(c.size); got != c.want {
+			t.Fatalf("InstrsForSize(%d) = %d, want %d", c.size, got, c.want)
+		}
+	}
+}
+
+func TestNullCollectorAdvancesCursor(t *testing.T) {
+	cl := NewCodeLayout()
+	r := cl.Region("n", 4*LineSize)
+	var null Null
+	null.Exec(r, 2*InstrBytesPerLine)
+	start, _ := r.NextLines(InstrBytesPerLine)
+	if start != 2 {
+		t.Fatalf("Null.Exec did not advance cursor: start = %d", start)
+	}
+	// The rest are no-ops but must not panic.
+	null.Load(0, 1)
+	null.Store(0, 1)
+	null.Branch(0, true)
+	null.Ops(1)
+}

@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"datamime/internal/sim"
+	"datamime/internal/stats"
+	"datamime/internal/trace"
+)
+
+// fixedCostServer burns a deterministic number of instructions per request
+// so queueing behavior can be checked against M/D/1 theory.
+type fixedCostServer struct {
+	code   *trace.CodeRegion
+	instrs int
+}
+
+func (f *fixedCostServer) Name() string { return "fixed" }
+func (f *fixedCostServer) Handle(col trace.Collector, _ *stats.RNG) {
+	col.Exec(f.code, f.instrs)
+}
+
+func fixedBenchmark(qps float64, instrs int) (Benchmark, *fixedCostServer) {
+	srv := &fixedCostServer{instrs: instrs}
+	b := Benchmark{
+		Name: "fixed",
+		QPS:  qps,
+		NewServer: func(layout *trace.CodeLayout, _ uint64) Server {
+			srv.code = layout.Region("fixed.op", 2048)
+			return srv
+		},
+	}
+	return b, srv
+}
+
+// TestUtilizationMatchesLittleLaw: with deterministic service time S and
+// Poisson arrivals at rate λ < 1/S, long-run utilization must approach λ·S.
+func TestUtilizationMatchesLittleLaw(t *testing.T) {
+	cfg := sim.Broadwell()
+	// 40_000 instructions at width 4 ≈ 10_000 busy cycles per request
+	// (resident code, no stalls after warmup).
+	const instrs = 40_000
+	serviceCyc := float64(instrs) * cfg.BaseCPI()
+	for _, rho := range []float64{0.2, 0.5, 0.8} {
+		qps := rho * cfg.CyclesPerSecond() / serviceCyc
+		b, _ := fixedBenchmark(qps, instrs)
+		m := sim.NewMachine(cfg, 200_000)
+		srv := b.NewServer(trace.NewCodeLayout(), 1)
+		Run(m, b, srv, 40, 3, 0)
+		var utils []float64
+		for _, w := range m.WallSamples() {
+			utils = append(utils, w.CPUUtil)
+		}
+		got := stats.Mean(utils)
+		if math.Abs(got-rho) > 0.08 {
+			t.Fatalf("rho=%.1f: measured utilization %.3f", rho, got)
+		}
+	}
+}
+
+// TestUtilizationVarianceGrowsWithBurstiness: at equal mean utilization, a
+// heavy-tailed service-time mix has a wider utilization distribution than a
+// deterministic one — the time-varying behavior Fig. 4 builds on.
+func TestUtilizationVarianceGrowsWithBurstiness(t *testing.T) {
+	cfg := sim.Broadwell()
+	run := func(heavyTail bool) float64 {
+		var b Benchmark
+		if heavyTail {
+			srv := &mixedCostServer{}
+			b = Benchmark{
+				Name: "mixed",
+				QPS:  20_000,
+				NewServer: func(layout *trace.CodeLayout, _ uint64) Server {
+					srv.code = layout.Region("mixed.op", 2048)
+					return srv
+				},
+			}
+		} else {
+			b, _ = fixedBenchmark(20_000, 20_000)
+		}
+		m := sim.NewMachine(cfg, 200_000)
+		srv := b.NewServer(trace.NewCodeLayout(), 1)
+		Run(m, b, srv, 40, 5, 0)
+		var utils []float64
+		for _, w := range m.WallSamples() {
+			utils = append(utils, w.CPUUtil)
+		}
+		return stats.Std(utils)
+	}
+	fixed := run(false)
+	heavy := run(true)
+	if heavy <= fixed {
+		t.Fatalf("heavy-tailed services did not widen the util distribution: %.4f vs %.4f", heavy, fixed)
+	}
+}
+
+// mixedCostServer serves mostly cheap requests with occasional 50x ones —
+// mean cost equal to the 20_000-instruction fixed server.
+type mixedCostServer struct {
+	code *trace.CodeRegion
+	n    int
+}
+
+func (s *mixedCostServer) Name() string { return "mixed" }
+func (s *mixedCostServer) Handle(col trace.Collector, _ *stats.RNG) {
+	s.n++
+	if s.n%50 == 0 {
+		col.Exec(s.code, 20_000*25+10_000) // rare huge request
+	} else {
+		col.Exec(s.code, 20_000/2)
+	}
+}
+
+// TestQueueingDelayUnderBursts: an open-loop server must keep accepting
+// (and queueing) requests even above saturation; throughput caps at the
+// service rate.
+func TestThroughputCapsAtServiceRate(t *testing.T) {
+	cfg := sim.Broadwell()
+	const instrs = 40_000
+	serviceCyc := float64(instrs) * cfg.BaseCPI()
+	capacity := cfg.CyclesPerSecond() / serviceCyc
+	b, _ := fixedBenchmark(capacity*3, instrs) // 3x overload
+	m := sim.NewMachine(cfg, 200_000)
+	srv := b.NewServer(trace.NewCodeLayout(), 1)
+	res := Run(m, b, srv, 30, 7, 0)
+	if res.AchievedQPS > capacity*1.1 {
+		t.Fatalf("achieved %.0f QPS above capacity %.0f", res.AchievedQPS, capacity)
+	}
+	if res.AchievedQPS < capacity*0.8 {
+		t.Fatalf("achieved %.0f QPS far below capacity %.0f under overload", res.AchievedQPS, capacity)
+	}
+}
