@@ -1,0 +1,109 @@
+// Command datamimed serves Datamime benchmark generation as a long-running
+// HTTP/JSON service: clients submit search jobs, poll their live
+// convergence traces, and fetch the best dataset parameters when done. Jobs
+// run on a bounded worker pool, share a content-addressed evaluation cache,
+// and checkpoint after every batch — kill the server mid-search and the
+// next start resumes every unfinished job from its last completed batch.
+//
+// Usage:
+//
+//	datamimed -addr :8080 -workers 4 -checkpoint-dir ./checkpoints
+//
+// Quickstart:
+//
+//	curl -X POST localhost:8080/jobs -d '{"workload":"mem-fb","iterations":200,"parallel":4,"seed":1}'
+//	curl localhost:8080/jobs/job-1            # status + convergence trace
+//	curl localhost:8080/jobs/job-1/result     # best dataset parameters
+//	curl -X POST localhost:8080/jobs/job-1/cancel
+//	curl localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"datamime/internal/service"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		workers       = flag.Int("workers", 2, "concurrent search jobs")
+		queueDepth    = flag.Int("queue-depth", 1024, "maximum queued jobs")
+		checkpointDir = flag.String("checkpoint-dir", "", "directory for job checkpoints (empty disables persistence and resume)")
+		cacheCapacity = flag.Int("cache-capacity", 4096, "evaluation-cache capacity (profiles)")
+		quiet         = flag.Bool("quiet", false, "suppress job lifecycle logs")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *workers, *queueDepth, *checkpointDir, *cacheCapacity, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "datamimed:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, queueDepth int, checkpointDir string, cacheCapacity int, quiet bool) error {
+	cfg := service.Config{
+		Workers:       workers,
+		QueueDepth:    queueDepth,
+		CheckpointDir: checkpointDir,
+		CacheCapacity: cacheCapacity,
+	}
+	if !quiet {
+		cfg.Log = os.Stdout
+	}
+	svc, err := service.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{Addr: addr, Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	fmt.Printf("datamimed listening on %s (workers=%d", addr, workers)
+	if checkpointDir != "" {
+		fmt.Printf(", checkpoints in %s", checkpointDir)
+	}
+	fmt.Println(")")
+	fmt.Printf("submit a job:  curl -X POST localhost%s/jobs -d '{\"workload\":\"mem-fb\",\"iterations\":200,\"parallel\":4}'\n", portSuffix(addr))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		svc.Close()
+		return err
+	case s := <-sig:
+		fmt.Printf("datamimed: %s — checkpointing and shutting down\n", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = httpSrv.Shutdown(ctx)
+	// Close cancels running searches; their checkpoints persist, so the
+	// next start resumes them.
+	svc.Close()
+	return nil
+}
+
+// portSuffix extracts ":8080" from a listen address for the quickstart
+// line.
+func portSuffix(addr string) string {
+	for i := len(addr) - 1; i >= 0; i-- {
+		if addr[i] == ':' {
+			return addr[i:]
+		}
+	}
+	return addr
+}

@@ -32,6 +32,7 @@
 package datamime
 
 import (
+	"context"
 	"io"
 
 	"datamime/internal/cloning"
@@ -40,6 +41,7 @@ import (
 	"datamime/internal/harness"
 	"datamime/internal/opt"
 	"datamime/internal/profile"
+	"datamime/internal/service"
 	"datamime/internal/sim"
 	"datamime/internal/workload"
 )
@@ -94,6 +96,38 @@ type (
 	Runner = harness.Runner
 	// Settings controls experiment budgets.
 	Settings = harness.Settings
+	// EvalCache is a content-addressed store of measured profiles shared
+	// across searches (see NewEvalCache).
+	EvalCache = core.EvalCache
+	// Checkpoint is the resumable state of a search (SearchConfig.Resume).
+	Checkpoint = core.Checkpoint
+	// CheckpointEntry is one recorded search iteration.
+	CheckpointEntry = core.CheckpointEntry
+	// EvalEvent describes one finished iteration to SearchConfig.OnEval.
+	EvalEvent = core.EvalEvent
+	// EvalErrorPolicy selects how a search reacts to profiling failures.
+	EvalErrorPolicy = core.EvalErrorPolicy
+	// Service is the datamimed job scheduler (see NewService).
+	Service = service.Server
+	// ServiceConfig configures a Service.
+	ServiceConfig = service.Config
+	// JobSpec describes one search job submitted to a Service.
+	JobSpec = service.JobSpec
+	// ProfilingSpec overrides profiler budgets per job.
+	ProfilingSpec = service.ProfilingSpec
+	// JobStatus is the JSON view of a Service job.
+	JobStatus = service.JobStatus
+	// JobResult summarizes a finished Service job.
+	JobResult = service.JobResult
+)
+
+// Evaluation-failure policies (SearchConfig.OnEvalError).
+const (
+	// EvalFailFast aborts the search on the first profiling error.
+	EvalFailFast = core.EvalFailFast
+	// EvalRetrySkip retries once with a perturbed seed, then skips and
+	// records the iteration.
+	EvalRetrySkip = core.EvalRetrySkip
 )
 
 // Profiled metric identifiers (Table I).
@@ -147,6 +181,25 @@ func DecodeProfile(data []byte) (*Profile, error) { return profile.DecodeJSON(da
 
 // Search runs Datamime's optimization loop (Eq. 2).
 func Search(cfg SearchConfig) (*Result, error) { return core.Search(cfg) }
+
+// SearchContext is Search with cancellation: ctx is checked between
+// evaluation batches and profiling phases, so canceling stops the search
+// within roughly one batch, returning the partial result (whose Checkpoint
+// can later resume it) alongside ctx's error.
+func SearchContext(ctx context.Context, cfg SearchConfig) (*Result, error) {
+	return core.SearchContext(ctx, cfg)
+}
+
+// NewEvalCache builds the bounded LRU evaluation cache datamimed shares
+// across jobs; plug it into SearchConfig.Cache so repeated or warm-started
+// searches skip re-simulation (<= 0 selects the default capacity).
+func NewEvalCache(capacity int) EvalCache { return service.NewCache(capacity) }
+
+// NewService builds the datamimed benchmark-generation service: a bounded
+// worker pool running search jobs with a shared evaluation cache and
+// per-job checkpoint/resume. Serve its Handler over HTTP (cmd/datamimed)
+// or drive it in-process via Submit.
+func NewService(cfg ServiceConfig) (*Service, error) { return service.New(cfg) }
 
 // NewErrorModel returns the default equal-weight Eq. 1 error model.
 func NewErrorModel() *ErrorModel { return core.NewErrorModel() }

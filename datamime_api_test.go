@@ -1,8 +1,10 @@
 package datamime_test
 
 import (
+	"context"
 	"strings"
 	"testing"
+	"time"
 
 	"datamime"
 )
@@ -87,6 +89,69 @@ func TestPublicProfilingPipeline(t *testing.T) {
 	}
 	if cp.Mean(datamime.MetricCPUUtil) < 0.99 {
 		t.Fatalf("clone util %g", cp.Mean(datamime.MetricCPUUtil))
+	}
+}
+
+func TestPublicServiceSurface(t *testing.T) {
+	// The datamimed service is constructible and drivable in-process from
+	// the public surface alone.
+	svc, err := datamime.NewService(datamime.ServiceConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	job, err := svc.Submit(datamime.JobSpec{
+		Generator:   "memcached",
+		Iterations:  3,
+		Seed:        5,
+		Optimizer:   "random",
+		Metric:      string(datamime.MetricCPUUtil),
+		MetricValue: 0.2,
+		Profiling:   &datamime.ProfilingSpec{WindowCycles: 80_000, Windows: 3, WarmupWindows: 1, SkipCurves: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-job.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatal("service job did not finish")
+	}
+	if _, err := svc.Submit(datamime.JobSpec{Iterations: -1}); err == nil {
+		t.Fatal("invalid job spec accepted")
+	}
+
+	// SearchContext + a shared evaluation cache, exercised publicly: the
+	// second same-seed search is served entirely from the cache.
+	cache := datamime.NewEvalCache(64)
+	gen, err := datamime.GeneratorByName("memcached")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := datamime.NewProfiler(datamime.Broadwell())
+	pr.WindowCycles = 80_000
+	pr.Windows = 3
+	pr.WarmupWindows = 1
+	pr.SkipCurves = true
+	cfg := datamime.SearchConfig{
+		Generator:  gen,
+		Objective:  datamime.MetricObjective{Metric: datamime.MetricCPUUtil, Value: 0.2},
+		Profiler:   pr,
+		Iterations: 3,
+		Seed:       5,
+		Optimizer:  datamime.NewRandomSearch(gen.Space, 5),
+		Cache:      cache,
+	}
+	if _, err := datamime.SearchContext(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Optimizer = datamime.NewRandomSearch(gen.Space, 5)
+	res, err := datamime.SearchContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHits != res.Evaluations {
+		t.Fatalf("cached rerun: %d hits for %d evaluations", res.CacheHits, res.Evaluations)
 	}
 }
 

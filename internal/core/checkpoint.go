@@ -1,0 +1,64 @@
+package core
+
+// Checkpointing lets a long search survive its process. The optimizer and
+// the profiling seeds are deterministic functions of (SearchConfig.Seed,
+// Parallel), so the complete search state is captured by the sequence of
+// (proposed point, observed error) pairs. Replaying that sequence through a
+// fresh optimizer — calling the same batch proposals and Observe calls in
+// the same order, but skipping the expensive profiling — reconstructs the
+// exact optimizer, RNG, and trace state, bit for bit.
+
+// CheckpointEntry records one search iteration: the normalized proposal and
+// what happened when it was evaluated.
+type CheckpointEntry struct {
+	// Iteration is the global iteration index (0-based, dense: skipped
+	// iterations appear too).
+	Iteration int `json:"iteration"`
+	// U is the proposed point in the normalized unit cube.
+	U []float64 `json:"u"`
+	// Y is the observed objective value; meaningless when Skipped.
+	Y float64 `json:"y"`
+	// Skipped marks an evaluation that failed (after the retry allowed by
+	// EvalRetrySkip) and was excluded from the optimizer's history.
+	Skipped bool `json:"skipped,omitempty"`
+	// Retried marks an evaluation whose first profiling attempt failed and
+	// whose value came from the perturbed-seed retry.
+	Retried bool `json:"retried,omitempty"`
+	// Err is the profiling error message for skipped iterations.
+	Err string `json:"err,omitempty"`
+}
+
+// Checkpoint is the resumable state of a search: one entry per completed
+// iteration, in iteration order.
+type Checkpoint struct {
+	Entries []CheckpointEntry `json:"entries"`
+}
+
+// Clone deep-copies the checkpoint so callers can retain it across batches.
+func (c Checkpoint) Clone() Checkpoint {
+	out := Checkpoint{Entries: make([]CheckpointEntry, len(c.Entries))}
+	for i, e := range c.Entries {
+		cp := e
+		cp.U = append([]float64(nil), e.U...)
+		out.Entries[i] = cp
+	}
+	return out
+}
+
+// sameUnitPoint reports whether a replayed proposal matches the live one.
+// Proposals are deterministic, so these should be identical up to JSON
+// round-tripping (which Go's encoding preserves exactly); the tolerance
+// guards against drift from a changed binary, in which case replay stops
+// and the search re-evaluates live.
+func sameUnitPoint(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		d := a[i] - b[i]
+		if d > 1e-12 || d < -1e-12 {
+			return false
+		}
+	}
+	return true
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"datamime/internal/datagen"
@@ -38,14 +39,13 @@ func TestSearchPropagatesProfilingErrors(t *testing.T) {
 
 // TestParallelSearchPropagatesErrors: the same under batch evaluation.
 func TestParallelSearchPropagatesErrors(t *testing.T) {
-	calls := 0
+	var calls atomic.Int32
 	good := smallKVGenerator()
 	gen := datagen.Generator{
 		Name:  "flaky",
 		Space: good.Space,
 		Benchmark: func(x []float64) workload.Benchmark {
-			calls++
-			if calls == 3 {
+			if calls.Add(1) == 3 {
 				return workload.Benchmark{Name: "flaky"} // third candidate breaks
 			}
 			return good.Benchmark(x)
@@ -63,6 +63,114 @@ func TestParallelSearchPropagatesErrors(t *testing.T) {
 	})
 	if err == nil {
 		t.Fatal("flaky generator did not fail the parallel search")
+	}
+}
+
+// flakyGenerator wraps smallKVGenerator with a factory that emits a broken
+// benchmark on the given factory-call numbers (1-based).
+func flakyGenerator(breakOn ...int32) datagen.Generator {
+	var calls atomic.Int32
+	good := smallKVGenerator()
+	return datagen.Generator{
+		Name:  "flaky",
+		Space: good.Space,
+		Benchmark: func(x []float64) workload.Benchmark {
+			n := calls.Add(1)
+			for _, b := range breakOn {
+				if n == b {
+					return workload.Benchmark{Name: "flaky"} // no QPS, no factory
+				}
+			}
+			return good.Benchmark(x)
+		},
+	}
+}
+
+// TestRetrySkipRecoversOnRetry: under EvalRetrySkip, a transient failure is
+// retried with a perturbed seed; when the retry succeeds, the search loses
+// nothing and the checkpoint records the retry.
+func TestRetrySkipRecoversOnRetry(t *testing.T) {
+	pr := fastProfiler()
+	pr.SkipCurves = true
+	res, err := Search(SearchConfig{
+		Generator:   flakyGenerator(3), // iteration 2's first attempt breaks; its retry (call 4) works
+		Objective:   MetricObjective{Metric: profile.MetricIPC, Value: 1},
+		Profiler:    pr,
+		Iterations:  8,
+		Seed:        2,
+		OnEvalError: EvalRetrySkip,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations != 8 || res.Skipped != 0 || len(res.Trace) != 8 {
+		t.Fatalf("evals %d, skipped %d, trace %d; want 8, 0, 8",
+			res.Evaluations, res.Skipped, len(res.Trace))
+	}
+	if !res.Checkpoint.Entries[2].Retried {
+		t.Fatal("checkpoint did not record the retry")
+	}
+}
+
+// TestRetrySkipRecordsPersistentFailure: when the retry fails too, the
+// iteration is skipped and recorded, and the search degrades gracefully
+// instead of aborting.
+func TestRetrySkipRecordsPersistentFailure(t *testing.T) {
+	pr := fastProfiler()
+	pr.SkipCurves = true
+	res, err := Search(SearchConfig{
+		Generator:   flakyGenerator(3, 4), // iteration 2 breaks on both attempts
+		Objective:   MetricObjective{Metric: profile.MetricIPC, Value: 1},
+		Profiler:    pr,
+		Iterations:  8,
+		Seed:        2,
+		OnEvalError: EvalRetrySkip,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations != 7 || res.Skipped != 1 || len(res.Trace) != 7 {
+		t.Fatalf("evals %d, skipped %d, trace %d; want 7, 1, 7",
+			res.Evaluations, res.Skipped, len(res.Trace))
+	}
+	ent := res.Checkpoint.Entries[2]
+	if !ent.Skipped || !ent.Retried || ent.Err == "" {
+		t.Fatalf("skip not recorded in checkpoint: %+v", ent)
+	}
+	// The trace skips iteration 2 but keeps global numbering.
+	if res.Trace[2].Iteration != 3 {
+		t.Fatalf("trace[2].Iteration = %d, want 3", res.Trace[2].Iteration)
+	}
+	if res.BestProfile == nil {
+		t.Fatal("search with a skip lost its best profile")
+	}
+}
+
+// TestRetrySkipAllFailures: even a generator that never works finishes the
+// budget with everything skipped rather than erroring out.
+func TestRetrySkipAllFailures(t *testing.T) {
+	gen := datagen.Generator{
+		Name:  "broken",
+		Space: opt.MustSpace(opt.Param{Name: "x", Lo: 0, Hi: 1}),
+		Benchmark: func([]float64) workload.Benchmark {
+			return workload.Benchmark{Name: "broken"}
+		},
+	}
+	res, err := Search(SearchConfig{
+		Generator:   gen,
+		Objective:   MetricObjective{Metric: profile.MetricIPC, Value: 1},
+		Profiler:    fastProfiler(),
+		Iterations:  5,
+		Parallel:    2,
+		Seed:        4,
+		OnEvalError: EvalRetrySkip,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations != 0 || res.Skipped != 5 || res.BestParams != nil {
+		t.Fatalf("evals %d, skipped %d, best %v; want all skipped",
+			res.Evaluations, res.Skipped, res.BestParams)
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -9,6 +10,21 @@ import (
 	"datamime/internal/opt"
 	"datamime/internal/profile"
 	"datamime/internal/stats"
+)
+
+// EvalErrorPolicy selects how Search reacts to a profiling failure.
+type EvalErrorPolicy int
+
+const (
+	// EvalFailFast aborts the search on the first profiling error (the
+	// historical behavior, and the default).
+	EvalFailFast EvalErrorPolicy = iota
+	// EvalRetrySkip retries a failed evaluation once with a perturbed
+	// profiling seed; if that fails too, the iteration is skipped and
+	// recorded (Result.Skipped, checkpoint entry with Skipped set) and the
+	// search continues. Long searches degrade gracefully instead of losing
+	// hours of progress to one flaky candidate.
+	EvalRetrySkip
 )
 
 // SearchConfig drives one Datamime search: find the generator parameters
@@ -41,6 +57,25 @@ type SearchConfig struct {
 	// structure either way: the trace holds one record per evaluation, and
 	// the run is deterministic for a given (Seed, Parallel).
 	Parallel int
+	// OnEvalError selects the failure policy (default EvalFailFast).
+	OnEvalError EvalErrorPolicy
+	// Cache, when non-nil, is consulted before profiling each candidate
+	// and filled with every fresh measurement (see EvalCache).
+	Cache EvalCache
+	// Resume, when non-nil, warm-starts the search from a checkpoint:
+	// recorded iterations are replayed through the optimizer (identical
+	// proposals, Observe calls, and trace records) without re-profiling,
+	// then the search continues live. A resumed search is bit-for-bit
+	// identical to an uninterrupted one.
+	Resume *Checkpoint
+	// OnEval, when non-nil, is called after every iteration (including
+	// replayed and skipped ones), in iteration order, from the search
+	// goroutine.
+	OnEval func(EvalEvent)
+	// OnCheckpoint, when non-nil, receives a deep copy of the cumulative
+	// checkpoint after every completed batch; persist it to make the
+	// search resumable.
+	OnCheckpoint func(Checkpoint)
 }
 
 // Validate reports configuration errors.
@@ -70,24 +105,81 @@ type IterationRecord struct {
 	BestError float64 `json:"best_error"`
 }
 
+// EvalEvent describes one finished iteration for live observers (the
+// datamimed service uses it to grow job traces and metrics).
+type EvalEvent struct {
+	// Record is the trace record; zero-valued except Iteration when
+	// Skipped.
+	Record IterationRecord
+	// Skipped marks a failed evaluation excluded from the trace.
+	Skipped bool
+	// Err is the profiling error message for skipped iterations.
+	Err string
+	// Replayed marks an iteration reconstructed from a checkpoint.
+	Replayed bool
+	// CacheHit marks an evaluation served from the EvalCache.
+	CacheHit bool
+	// Retried marks an evaluation that succeeded on its perturbed-seed
+	// retry.
+	Retried bool
+	// SimCycles estimates the simulated cycles this evaluation cost
+	// (0 for cache hits and replays).
+	SimCycles float64
+}
+
 // Result is the outcome of a search.
 type Result struct {
 	// BestParams is the lowest-error parameter vector, in parameter units.
 	BestParams []float64
 	// BestError is its objective value.
 	BestError float64
-	// BestProfile is the profile measured at the best parameters.
+	// BestProfile is the profile measured at the best parameters. It can
+	// be nil if the best iteration was replayed from a checkpoint and its
+	// profile could not be recovered from the cache or re-measured.
 	BestProfile *profile.Profile
-	// Trace is the per-iteration history (for convergence plots).
+	// Trace is the per-iteration history (for convergence plots). Skipped
+	// iterations leave gaps in the Iteration numbering.
 	Trace []IterationRecord
-	// Evaluations counts objective evaluations performed.
+	// Evaluations counts objective evaluations performed (replayed ones
+	// included, skipped ones excluded).
 	Evaluations int
+	// Skipped counts iterations dropped under EvalRetrySkip.
+	Skipped int
+	// CacheHits counts evaluations served from the EvalCache.
+	CacheHits int
+	// SimulatedCycles estimates the total simulated cycles spent on fresh
+	// profiling (cache hits and replays cost none).
+	SimulatedCycles float64
+	// Checkpoint is the final resumable state of the search.
+	Checkpoint Checkpoint
 }
 
 // Search runs the optimization loop: propose parameters, generate the
 // dataset, run and profile the benchmark, score it against the objective,
 // and feed the error back to the optimizer (Fig. 5's loop).
 func Search(cfg SearchConfig) (*Result, error) {
+	return SearchContext(context.Background(), cfg)
+}
+
+// evalResult is the outcome of evaluating one candidate.
+type evalResult struct {
+	prof     *profile.Profile
+	err      error
+	e        float64
+	x        []float64
+	cacheHit bool
+	retried  bool
+	replayed bool
+	skipped  bool
+	cycles   float64
+}
+
+// SearchContext is Search with cancellation: the context is checked between
+// batches, before each candidate evaluation, and between profiling phases,
+// so a cancel or deadline stops the search within roughly one batch. On
+// cancellation it returns the partial Result (including its checkpoint,
+// from which the search can later resume) alongside ctx's error.
+func SearchContext(ctx context.Context, cfg SearchConfig) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -103,12 +195,19 @@ func Search(cfg SearchConfig) (*Result, error) {
 	}
 	batchRNG := stats.NewRNG(stats.HashSeed(cfg.Seed, "batch-fallback"))
 
+	var replay []CheckpointEntry
+	if cfg.Resume != nil {
+		replay = cfg.Resume.Entries
+	}
+
 	res := &Result{BestError: 0}
 	best := -1
-	record := func(it int, x []float64, prof *profile.Profile, e float64) {
+	bestRetried := false
+	record := func(it int, x []float64, prof *profile.Profile, e float64, retried bool) {
 		res.Evaluations++
 		if best < 0 || e < res.BestError {
 			best = it
+			bestRetried = retried
 			res.BestError = e
 			res.BestParams = x
 			res.BestProfile = prof
@@ -125,13 +224,56 @@ func Search(cfg SearchConfig) (*Result, error) {
 		}
 	}
 
-	type evalResult struct {
-		prof *profile.Profile
-		err  error
-		e    float64
-		x    []float64
+	// profileAt measures (or recalls) the candidate x under one seed.
+	profileAt := func(x []float64, seed uint64) (prof *profile.Profile, hit bool, err error) {
+		var key string
+		if cfg.Cache != nil {
+			key = EvalKey(cfg.Generator.Name, cfg.Profiler, x, seed)
+			if p, ok := cfg.Cache.Get(key); ok {
+				return p, true, nil
+			}
+		}
+		bench := cfg.Generator.Benchmark(x)
+		p, err := cfg.Profiler.ProfileContext(ctx, bench, seed)
+		if err != nil {
+			return nil, false, err
+		}
+		if cfg.Cache != nil {
+			cfg.Cache.Put(key, p)
+		}
+		return p, false, nil
 	}
+
+	// evalOne runs the full evaluation of iteration it: cache lookup,
+	// profiling, the retry-then-skip policy, and objective scoring.
+	evalOne := func(it int, u []float64) evalResult {
+		if err := ctx.Err(); err != nil {
+			return evalResult{err: err}
+		}
+		x := space.Denormalize(u)
+		prof, hit, err := profileAt(x, iterSeed(cfg.Seed, it, false))
+		retried := false
+		if err != nil && cfg.OnEvalError == EvalRetrySkip && ctx.Err() == nil {
+			retried = true
+			prof, hit, err = profileAt(x, iterSeed(cfg.Seed, it, true))
+		}
+		if err != nil {
+			if cfg.OnEvalError == EvalRetrySkip && ctx.Err() == nil {
+				return evalResult{skipped: true, err: err, x: x, retried: retried}
+			}
+			return evalResult{err: err}
+		}
+		r := evalResult{prof: prof, e: cfg.Objective.Evaluate(prof), x: x, cacheHit: hit, retried: retried}
+		if !hit {
+			r.cycles = estimateCycles(cfg.Profiler, prof)
+		}
+		return r
+	}
+
 	for it := 0; it < cfg.Iterations; {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		k := parallel
 		if rem := cfg.Iterations - it; k > rem {
 			k = rem
@@ -140,32 +282,117 @@ func Search(cfg SearchConfig) (*Result, error) {
 		results := make([]evalResult, len(batch))
 		var wg sync.WaitGroup
 		for i, u := range batch {
-			wg.Add(1)
-			go func(i int, u []float64) {
-				defer wg.Done()
-				x := space.Denormalize(u)
-				bench := cfg.Generator.Benchmark(x)
-				prof, err := cfg.Profiler.Profile(bench, stats.HashSeed(cfg.Seed, fmt.Sprintf("iter-%d", it+i)))
-				if err != nil {
-					results[i] = evalResult{err: err}
-					return
+			gi := it + i
+			if gi < len(replay) && sameUnitPoint(replay[gi].U, u) {
+				ent := replay[gi]
+				results[i] = evalResult{
+					replayed: true,
+					skipped:  ent.Skipped,
+					retried:  ent.Retried,
+					e:        ent.Y,
+					x:        space.Denormalize(u),
+					err:      replayErr(ent),
 				}
-				results[i] = evalResult{prof: prof, e: cfg.Objective.Evaluate(prof), x: x}
-			}(i, u)
+				continue
+			}
+			if gi < len(replay) {
+				// The checkpoint diverged from the live proposal stream
+				// (e.g. a different binary wrote it). Stop replaying and
+				// evaluate the rest live.
+				replay = replay[:gi]
+			}
+			wg.Add(1)
+			go func(i, gi int, u []float64) {
+				defer wg.Done()
+				results[i] = evalOne(gi, u)
+			}(i, gi, u)
 		}
 		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		// Observe and record in batch order for determinism.
 		for i, u := range batch {
 			r := results[i]
-			if r.err != nil {
-				return nil, fmt.Errorf("core: profiling iteration %d: %w", it+i, r.err)
+			gi := it + i
+			if r.err != nil && !r.skipped {
+				return res, fmt.Errorf("core: profiling iteration %d: %w", gi, r.err)
 			}
-			optimizer.Observe(u, r.e)
-			record(it+i, r.x, r.prof, r.e)
+			ent := CheckpointEntry{
+				Iteration: gi,
+				U:         append([]float64(nil), u...),
+				Y:         r.e,
+				Skipped:   r.skipped,
+				Retried:   r.retried,
+			}
+			ev := EvalEvent{
+				Skipped:   r.skipped,
+				Replayed:  r.replayed,
+				CacheHit:  r.cacheHit,
+				Retried:   r.retried,
+				SimCycles: r.cycles,
+			}
+			if r.skipped {
+				res.Skipped++
+				ent.Err = r.err.Error()
+				ev.Err = ent.Err
+				ev.Record = IterationRecord{Iteration: gi}
+				if cfg.Log != nil {
+					fmt.Fprintf(cfg.Log, "iter %3d  SKIPPED after retry: %v\n", gi, r.err)
+				}
+			} else {
+				optimizer.Observe(u, r.e)
+				record(gi, r.x, r.prof, r.e, r.retried)
+				if r.cacheHit {
+					res.CacheHits++
+				}
+				res.SimulatedCycles += r.cycles
+				ev.Record = res.Trace[len(res.Trace)-1]
+			}
+			res.Checkpoint.Entries = append(res.Checkpoint.Entries, ent)
+			if cfg.OnEval != nil {
+				cfg.OnEval(ev)
+			}
 		}
 		it += len(batch)
+		if cfg.OnCheckpoint != nil {
+			cfg.OnCheckpoint(res.Checkpoint.Clone())
+		}
+	}
+
+	// A best iteration replayed from a checkpoint carries no profile;
+	// recover it — free when the evaluation cache still holds it, one
+	// extra profiling run otherwise.
+	if res.BestProfile == nil && best >= 0 && ctx.Err() == nil {
+		if prof, _, err := profileAt(res.BestParams, iterSeed(cfg.Seed, best, bestRetried)); err == nil {
+			res.BestProfile = prof
+		}
 	}
 	return res, nil
+}
+
+// iterSeed derives the profiling seed for one iteration; the retry stream
+// is disjoint so a flaky measurement is re-attempted under different noise.
+func iterSeed(seed uint64, it int, retry bool) uint64 {
+	if retry {
+		return stats.HashSeed(seed, fmt.Sprintf("retry-%d", it))
+	}
+	return stats.HashSeed(seed, fmt.Sprintf("iter-%d", it))
+}
+
+// replayErr reconstructs the recorded error of a skipped checkpoint entry.
+func replayErr(ent CheckpointEntry) error {
+	if !ent.Skipped {
+		return nil
+	}
+	return fmt.Errorf("%s", ent.Err)
+}
+
+// estimateCycles approximates the simulated cycles one fresh profiling run
+// cost, from the windows it closed (warmup + main run + curve points).
+func estimateCycles(pr *profile.Profiler, p *profile.Profile) float64 {
+	windows := pr.WarmupWindows + pr.Windows + len(p.Curve)*pr.CurveWindows
+	return pr.WindowCycles * float64(windows)
 }
 
 // MinEMDTrace extracts the Fig. 10 series from a result: the running

@@ -6,6 +6,7 @@
 package profile
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 
@@ -214,10 +215,20 @@ func (pr *Profiler) curveWays() []int {
 // different seeds give independent (noisy) measurements of the same
 // configuration — the measurement noise §III-C's optimizer must absorb.
 func (pr *Profiler) Profile(b workload.Benchmark, seed uint64) (*Profile, error) {
+	return pr.ProfileContext(context.Background(), b, seed)
+}
+
+// ProfileContext is Profile with cancellation: the context is checked
+// before the main run and between curve points, so a canceled or expired
+// context aborts the measurement within one run and returns ctx's error.
+func (pr *Profiler) ProfileContext(ctx context.Context, b workload.Benchmark, seed uint64) (*Profile, error) {
 	if err := pr.Validate(); err != nil {
 		return nil, err
 	}
 	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
@@ -272,6 +283,9 @@ func (pr *Profiler) Profile(b workload.Benchmark, seed uint64) (*Profile, error)
 	ref := sim.NewMachine(pr.Machine, pr.WindowCycles)
 	bytesPerWay := ref.LLCPartitionBytes() / ref.LLCWays()
 	for _, ways := range pr.curveWays() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cs, _, _, _ := pr.run(b, seed, ways, pr.CurveWindows)
 		var instrs, llcMisses, busy float64
 		for _, s := range cs {

@@ -1,0 +1,86 @@
+// Package service wraps Datamime's search loop in a long-running
+// benchmark-generation service: a bounded worker pool executes search jobs
+// submitted over HTTP/JSON, a content-addressed evaluation cache shares
+// profiling work across jobs, and per-job JSON checkpoints make every
+// in-flight search resumable after a crash or restart. cmd/datamimed is the
+// server binary.
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"datamime/internal/core"
+	"datamime/internal/profile"
+)
+
+// Cache is a bounded LRU implementation of core.EvalCache, shared by every
+// job a server runs: a resubmitted or warm-started search re-reads its
+// profiles here instead of re-simulating them. It also feeds the
+// /metrics hit and miss counters.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+	hits    uint64
+	misses  uint64
+}
+
+type cacheEntry struct {
+	key  string
+	prof *profile.Profile
+}
+
+// NewCache builds a cache holding up to capacity profiles (<= 0 selects the
+// default of 4096).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Cache{
+		cap:     capacity,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Get implements core.EvalCache.
+func (c *Cache) Get(key string) (*profile.Profile, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).prof, true
+}
+
+// Put implements core.EvalCache.
+func (c *Cache) Put(key string, p *profile.Profile) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).prof = p
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, prof: p})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Stats returns the cumulative hit and miss counts and the current size.
+func (c *Cache) Stats() (hits, misses uint64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}
+
+var _ core.EvalCache = (*Cache)(nil)

@@ -1,0 +1,173 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"datamime/internal/core"
+	"datamime/internal/harness"
+	"datamime/internal/opt"
+)
+
+// persistedJob is the on-disk representation of one job: everything needed
+// to resume it (spec + checkpoint) or to report it after a restart
+// (state, error, result). Profiles are deliberately not persisted — they
+// are reproducible from the checkpoint, and the evaluation cache makes the
+// reproduction cheap.
+type persistedJob struct {
+	ID         string          `json:"id"`
+	Spec       JobSpec         `json:"spec"`
+	State      JobState        `json:"state"`
+	Error      string          `json:"error,omitempty"`
+	Checkpoint core.Checkpoint `json:"checkpoint"`
+	Result     *JobResult      `json:"result,omitempty"`
+	Created    time.Time       `json:"created"`
+	Finished   time.Time       `json:"finished,omitempty"`
+}
+
+// persist writes the job's current state atomically (tmp + rename) into the
+// checkpoint directory. A no-op when persistence is disabled.
+func (s *Server) persist(job *Job) {
+	if s.cfg.CheckpointDir == "" {
+		return
+	}
+	job.mu.Lock()
+	p := persistedJob{
+		ID:         job.id,
+		Spec:       job.spec,
+		State:      job.state,
+		Error:      job.errMsg,
+		Checkpoint: job.checkpoint.Clone(),
+		Result:     job.result,
+		Created:    job.created,
+		Finished:   job.finished,
+	}
+	job.mu.Unlock()
+	if p.State == JobRunning {
+		// A running job that dies with the server must come back as
+		// queued-with-checkpoint.
+		p.State = JobQueued
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		s.logf("job %s: encoding checkpoint: %v", job.id, err)
+		return
+	}
+	path := filepath.Join(s.cfg.CheckpointDir, p.ID+".json")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		s.logf("job %s: writing checkpoint: %v", job.id, err)
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		s.logf("job %s: committing checkpoint: %v", job.id, err)
+	}
+}
+
+// loadCheckpoints restores jobs from the checkpoint directory: finished
+// jobs become queryable again (their traces rebuilt from checkpoints), and
+// unfinished ones are re-queued with their checkpoints as warm starts.
+func (s *Server) loadCheckpoints() error {
+	dir := s.cfg.CheckpointDir
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("service: checkpoint dir: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("service: checkpoint dir: %w", err)
+	}
+	var loaded []persistedJob
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return fmt.Errorf("service: reading checkpoint %s: %w", name, err)
+		}
+		var p persistedJob
+		if err := json.Unmarshal(data, &p); err != nil {
+			s.logf("skipping corrupt checkpoint %s: %v", name, err)
+			continue
+		}
+		loaded = append(loaded, p)
+	}
+	sort.Slice(loaded, func(i, j int) bool { return jobSeq(loaded[i].ID) < jobSeq(loaded[j].ID) })
+
+	for _, p := range loaded {
+		job := &Job{
+			id:         p.ID,
+			spec:       p.Spec,
+			state:      p.State,
+			errMsg:     p.Error,
+			checkpoint: p.Checkpoint,
+			result:     p.Result,
+			done:       make(chan struct{}),
+			created:    p.Created,
+			finished:   p.Finished,
+		}
+		if seq := jobSeq(p.ID); seq >= s.nextID {
+			s.nextID = seq + 1
+		}
+		// Rebuild the trace for finished jobs so status and result stay
+		// queryable across restarts; resumed jobs rebuild theirs live.
+		if job.state.terminal() {
+			close(job.done)
+			if space, err := s.specSpace(p.Spec); err == nil {
+				job.trace = traceFromCheckpoint(space, p.Checkpoint)
+				job.evals = len(job.trace)
+				job.skipped = len(p.Checkpoint.Entries) - len(job.trace)
+			}
+		}
+		s.jobs[job.id] = job
+		s.order = append(s.order, job.id)
+		if !job.state.terminal() {
+			job.state = JobQueued
+			s.queue <- job
+			s.logf("job %s restored with %d checkpointed iterations; re-queued",
+				job.id, len(p.Checkpoint.Entries))
+		}
+	}
+	return nil
+}
+
+// specSpace resolves the parameter space a spec searches, for trace
+// reconstruction at load time.
+func (s *Server) specSpace(spec JobSpec) (*opt.Space, error) {
+	if spec.Generator != "" {
+		gen, err := s.generator(spec.Generator)
+		if err != nil {
+			return nil, err
+		}
+		return gen.Space, nil
+	}
+	w, err := harness.WorkloadByName(spec.Workload)
+	if err != nil {
+		return nil, err
+	}
+	return w.Generator.Space, nil
+}
+
+// jobSeq extracts the numeric suffix of a job ID ("job-17" → 17); unknown
+// formats sort first.
+func jobSeq(id string) int {
+	const prefix = "job-"
+	if !strings.HasPrefix(id, prefix) {
+		return 0
+	}
+	n, err := strconv.Atoi(id[len(prefix):])
+	if err != nil {
+		return 0
+	}
+	return n
+}

@@ -1,0 +1,359 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"datamime/internal/core"
+	"datamime/internal/harness"
+	"datamime/internal/opt"
+	"datamime/internal/profile"
+	"datamime/internal/sim"
+)
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+const (
+	// JobQueued: accepted, waiting for a worker.
+	JobQueued JobState = "queued"
+	// JobRunning: a worker is executing the search.
+	JobRunning JobState = "running"
+	// JobSucceeded: the search finished; the result is available.
+	JobSucceeded JobState = "succeeded"
+	// JobFailed: the search aborted with an error.
+	JobFailed JobState = "failed"
+	// JobCanceled: the client canceled the job.
+	JobCanceled JobState = "canceled"
+)
+
+// terminal reports whether a state is final.
+func (s JobState) terminal() bool {
+	return s == JobSucceeded || s == JobFailed || s == JobCanceled
+}
+
+// ProfilingSpec overrides profiler budget knobs per job; zero fields keep
+// the machine defaults (see profile.New).
+type ProfilingSpec struct {
+	WindowCycles      float64 `json:"window_cycles,omitempty"`
+	Windows           int     `json:"windows,omitempty"`
+	WarmupWindows     int     `json:"warmup_windows,omitempty"`
+	CurveWindows      int     `json:"curve_windows,omitempty"`
+	CurvePoints       int     `json:"curve_points,omitempty"`
+	MaxRequestsPerRun int     `json:"max_requests_per_run,omitempty"`
+	SkipCurves        bool    `json:"skip_curves,omitempty"`
+}
+
+// JobSpec describes one search job, as submitted over POST /jobs. Exactly
+// one objective source must be given: a registered workload (its hidden
+// target is profiled first and the workload's generator is the default), an
+// inline target profile (the paper's share-profiles-not-data workflow), or
+// a single-metric target.
+type JobSpec struct {
+	// Workload names a registered evaluation workload ("mem-fb", ...).
+	Workload string `json:"workload,omitempty"`
+	// Generator names the dataset generator to search; defaults to the
+	// workload's own generator when Workload is set.
+	Generator string `json:"generator,omitempty"`
+	// Machine selects the simulated platform (default "broadwell").
+	Machine string `json:"machine,omitempty"`
+	// Iterations is the evaluation budget. Required.
+	Iterations int `json:"iterations"`
+	// Parallel is the per-batch evaluation concurrency (default 1).
+	Parallel int `json:"parallel,omitempty"`
+	// Seed derives every stochastic stream.
+	Seed uint64 `json:"seed,omitempty"`
+	// Optimizer selects "bayesopt" (default), "random", or "anneal".
+	Optimizer string `json:"optimizer,omitempty"`
+	// TargetProfile is an inline profile JSON (as produced by
+	// cmd/profiler) to match.
+	TargetProfile json.RawMessage `json:"target_profile,omitempty"`
+	// Metric and MetricValue define a single-metric objective instead of
+	// a full profile match.
+	Metric      string  `json:"metric,omitempty"`
+	MetricValue float64 `json:"metric_value,omitempty"`
+	// OnEvalError is "fail" (default) or "retry-skip" (retry a failed
+	// evaluation once with a perturbed seed, then skip and record).
+	OnEvalError string `json:"on_eval_error,omitempty"`
+	// Profiling overrides profiler budgets.
+	Profiling *ProfilingSpec `json:"profiling,omitempty"`
+}
+
+// Validate reports spec errors a server cannot accept.
+func (s *JobSpec) Validate() error {
+	if s.Iterations <= 0 {
+		return fmt.Errorf("service: iterations must be positive, got %d", s.Iterations)
+	}
+	sources := 0
+	if s.Workload != "" {
+		sources++
+	}
+	if len(s.TargetProfile) > 0 {
+		sources++
+	}
+	if s.Metric != "" {
+		sources++
+	}
+	if sources != 1 {
+		return fmt.Errorf("service: exactly one of workload, target_profile, or metric must be set")
+	}
+	if s.Workload == "" && s.Generator == "" {
+		return fmt.Errorf("service: generator is required without a workload")
+	}
+	switch s.OnEvalError {
+	case "", "fail", "retry-skip":
+	default:
+		return fmt.Errorf("service: unknown on_eval_error %q (want fail or retry-skip)", s.OnEvalError)
+	}
+	switch s.Optimizer {
+	case "", "bayesopt", "random", "anneal":
+	default:
+		return fmt.Errorf("service: unknown optimizer %q (want bayesopt, random, or anneal)", s.Optimizer)
+	}
+	return nil
+}
+
+// JobResult summarizes a finished search.
+type JobResult struct {
+	// BestParams is the lowest-error parameter vector, in parameter units.
+	BestParams []float64 `json:"best_params"`
+	// BestValues renders BestParams with parameter names.
+	BestValues string `json:"best_values"`
+	// BestError is the objective value at BestParams.
+	BestError float64 `json:"best_error"`
+	// Evaluations, CacheHits, Skipped mirror core.Result.
+	Evaluations int `json:"evaluations"`
+	CacheHits   int `json:"cache_hits"`
+	Skipped     int `json:"skipped"`
+}
+
+// JobStatus is the JSON view of a job returned by GET /jobs/{id}.
+type JobStatus struct {
+	ID    string  `json:"id"`
+	State JobState `json:"state"`
+	Error string  `json:"error,omitempty"`
+	Spec  JobSpec `json:"spec"`
+	// Iterations counts finished iterations (trace records + skips);
+	// Total is the budget.
+	Iterations int `json:"iterations_done"`
+	Total      int `json:"iterations_total"`
+	// Evaluations/CacheHits/Skipped/SimCycles are live counters.
+	Evaluations int     `json:"evaluations"`
+	CacheHits   int     `json:"cache_hits"`
+	Skipped     int     `json:"skipped"`
+	SimCycles   float64 `json:"sim_cycles"`
+	// BestError is the running minimum (meaningful once Evaluations > 0).
+	BestError float64 `json:"best_error"`
+	// Trace is the convergence trace so far, offset by the request's
+	// ?since= parameter. TraceLen is the full length.
+	Trace    []core.IterationRecord `json:"trace,omitempty"`
+	TraceLen int                    `json:"trace_len"`
+	Result   *JobResult             `json:"result,omitempty"`
+	Created  time.Time              `json:"created"`
+	Started  *time.Time             `json:"started,omitempty"`
+	Finished *time.Time             `json:"finished,omitempty"`
+}
+
+// Job is one tracked search. All mutable fields are guarded by mu; the
+// search goroutine mutates them through the core.Search callbacks.
+type Job struct {
+	mu   sync.Mutex
+	id   string
+	spec JobSpec
+
+	state      JobState
+	errMsg     string
+	trace      []core.IterationRecord
+	checkpoint core.Checkpoint
+	result     *JobResult
+
+	evals     int
+	cacheHits int
+	skipped   int
+	simCycles float64
+
+	// canceled marks a client cancel request (distinguishes a canceled
+	// job from a server shutdown, which re-queues instead).
+	canceled bool
+	cancel   context.CancelFunc
+	done     chan struct{}
+
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Done is closed when the job reaches a terminal state (or is re-queued by
+// a server shutdown).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// status snapshots the job; since offsets the returned trace.
+func (j *Job) status(since int) JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:          j.id,
+		State:       j.state,
+		Error:       j.errMsg,
+		Spec:        j.spec,
+		Iterations:  len(j.trace) + j.skipped,
+		Total:       j.spec.Iterations,
+		Evaluations: j.evals,
+		CacheHits:   j.cacheHits,
+		Skipped:     j.skipped,
+		SimCycles:   j.simCycles,
+		TraceLen:    len(j.trace),
+		Result:      j.result,
+		Created:     j.created,
+	}
+	if len(j.trace) > 0 {
+		st.BestError = j.trace[len(j.trace)-1].BestError
+	}
+	if since < 0 {
+		since = 0
+	}
+	if since < len(j.trace) {
+		st.Trace = append([]core.IterationRecord(nil), j.trace[since:]...)
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	return st
+}
+
+// buildSearch resolves a spec into a runnable core.SearchConfig. The
+// returned config has no Cache/Resume/callbacks; the worker wires those.
+// Profiling the hidden target of a workload-sourced job happens here (via
+// the shared cache when possible), so it counts toward the running state.
+func (s *Server) buildSearch(ctx context.Context, spec JobSpec) (core.SearchConfig, error) {
+	var cfg core.SearchConfig
+
+	machineName := spec.Machine
+	if machineName == "" {
+		machineName = "broadwell"
+	}
+	machine, err := sim.MachineByName(machineName)
+	if err != nil {
+		return cfg, err
+	}
+	profiler := profile.New(machine)
+	if p := spec.Profiling; p != nil {
+		if p.WindowCycles > 0 {
+			profiler.WindowCycles = p.WindowCycles
+		}
+		if p.Windows > 0 {
+			profiler.Windows = p.Windows
+		}
+		if p.WarmupWindows > 0 {
+			profiler.WarmupWindows = p.WarmupWindows
+		}
+		if p.CurveWindows > 0 {
+			profiler.CurveWindows = p.CurveWindows
+		}
+		if p.CurvePoints > 0 {
+			profiler.CurvePoints = p.CurvePoints
+		}
+		if p.MaxRequestsPerRun > 0 {
+			profiler.MaxRequestsPerRun = p.MaxRequestsPerRun
+		}
+		profiler.SkipCurves = p.SkipCurves
+	}
+	cfg.Profiler = profiler
+
+	var w *harness.Workload
+	if spec.Workload != "" {
+		wl, err := harness.WorkloadByName(spec.Workload)
+		if err != nil {
+			return cfg, err
+		}
+		w = &wl
+	}
+
+	genName := spec.Generator
+	if genName == "" && w != nil {
+		genName = w.Generator.Name
+	}
+	gen, err := s.generator(genName)
+	if err != nil {
+		if w == nil || w.Generator.Name != genName {
+			return cfg, err
+		}
+		gen = w.Generator
+	}
+	cfg.Generator = gen
+
+	switch {
+	case spec.Metric != "":
+		cfg.Objective = core.MetricObjective{Metric: profile.MetricID(spec.Metric), Value: spec.MetricValue}
+	case len(spec.TargetProfile) > 0:
+		target, err := profile.DecodeJSON(spec.TargetProfile)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Objective = core.ProfileObjective{Target: target, Model: core.NewErrorModel()}
+	default:
+		// Profile the hidden target; content-address it through the shared
+		// cache so restarts and resubmissions skip this too.
+		key := core.EvalKey("target/"+w.Name, profiler, nil, spec.Seed)
+		target, ok := s.cache.Get(key)
+		if !ok {
+			target, err = profiler.ProfileContext(ctx, w.Target, spec.Seed)
+			if err != nil {
+				return cfg, fmt.Errorf("profiling target %s: %w", w.Name, err)
+			}
+			s.cache.Put(key, target)
+		}
+		cfg.Objective = core.ProfileObjective{Target: target, Model: core.NewErrorModel()}
+	}
+
+	switch spec.Optimizer {
+	case "random":
+		cfg.Optimizer = opt.NewRandomSearch(gen.Space, spec.Seed)
+	case "anneal":
+		cfg.Optimizer = opt.NewAnneal(gen.Space, spec.Seed, 0, 0)
+	default:
+		// nil selects the paper's Bayesian optimizer inside core.Search.
+	}
+	if spec.OnEvalError == "retry-skip" {
+		cfg.OnEvalError = core.EvalRetrySkip
+	}
+	cfg.Iterations = spec.Iterations
+	cfg.Parallel = spec.Parallel
+	cfg.Seed = spec.Seed
+	return cfg, nil
+}
+
+// traceFromCheckpoint rebuilds the convergence trace of a persisted job
+// (checkpoints store normalized points and errors; profiles are not
+// persisted).
+func traceFromCheckpoint(space *opt.Space, cp core.Checkpoint) []core.IterationRecord {
+	var trace []core.IterationRecord
+	best := math.Inf(1)
+	for _, ent := range cp.Entries {
+		if ent.Skipped {
+			continue
+		}
+		if ent.Y < best {
+			best = ent.Y
+		}
+		trace = append(trace, core.IterationRecord{
+			Iteration: ent.Iteration,
+			Params:    space.Denormalize(ent.U),
+			Error:     ent.Y,
+			BestError: best,
+		})
+	}
+	return trace
+}

@@ -1,0 +1,61 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// handleMetrics renders operational gauges and counters in the Prometheus
+// text exposition format, using only the standard library: jobs by state,
+// worker-pool occupancy, evaluation-cache effectiveness, and cumulative
+// simulated work.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+
+	counts := s.jobCounts()
+	fmt.Fprintf(w, "# HELP datamimed_jobs Jobs tracked by the server, by state.\n")
+	fmt.Fprintf(w, "# TYPE datamimed_jobs gauge\n")
+	for _, st := range allStates() {
+		fmt.Fprintf(w, "datamimed_jobs{state=%q} %d\n", st, counts[st])
+	}
+
+	fmt.Fprintf(w, "# HELP datamimed_workers Worker-pool size.\n")
+	fmt.Fprintf(w, "# TYPE datamimed_workers gauge\n")
+	fmt.Fprintf(w, "datamimed_workers %d\n", s.cfg.Workers)
+	fmt.Fprintf(w, "# HELP datamimed_workers_busy Workers currently running a job.\n")
+	fmt.Fprintf(w, "# TYPE datamimed_workers_busy gauge\n")
+	fmt.Fprintf(w, "datamimed_workers_busy %d\n", s.busyWorkers.Load())
+
+	hits, misses, size := s.cache.Stats()
+	fmt.Fprintf(w, "# HELP datamimed_eval_cache_hits_total Evaluation-cache hits.\n")
+	fmt.Fprintf(w, "# TYPE datamimed_eval_cache_hits_total counter\n")
+	fmt.Fprintf(w, "datamimed_eval_cache_hits_total %d\n", hits)
+	fmt.Fprintf(w, "# HELP datamimed_eval_cache_misses_total Evaluation-cache misses.\n")
+	fmt.Fprintf(w, "# TYPE datamimed_eval_cache_misses_total counter\n")
+	fmt.Fprintf(w, "datamimed_eval_cache_misses_total %d\n", misses)
+	fmt.Fprintf(w, "# HELP datamimed_eval_cache_entries Profiles currently cached.\n")
+	fmt.Fprintf(w, "# TYPE datamimed_eval_cache_entries gauge\n")
+	fmt.Fprintf(w, "datamimed_eval_cache_entries %d\n", size)
+
+	fmt.Fprintf(w, "# HELP datamimed_evaluations_total Fresh candidate evaluations completed.\n")
+	fmt.Fprintf(w, "# TYPE datamimed_evaluations_total counter\n")
+	fmt.Fprintf(w, "datamimed_evaluations_total %d\n", s.evalsTotal.Load())
+	fmt.Fprintf(w, "# HELP datamimed_evaluations_skipped_total Evaluations dropped by the retry-skip policy.\n")
+	fmt.Fprintf(w, "# TYPE datamimed_evaluations_skipped_total counter\n")
+	fmt.Fprintf(w, "datamimed_evaluations_skipped_total %d\n", s.skippedTotal.Load())
+	fmt.Fprintf(w, "# HELP datamimed_evaluations_retried_total Evaluations that succeeded on their perturbed-seed retry.\n")
+	fmt.Fprintf(w, "# TYPE datamimed_evaluations_retried_total counter\n")
+	fmt.Fprintf(w, "datamimed_evaluations_retried_total %d\n", s.retriedTotal.Load())
+
+	s.cyclesMu.Lock()
+	cycles := s.cyclesTotal
+	s.cyclesMu.Unlock()
+	fmt.Fprintf(w, "# HELP datamimed_simulated_cycles_total Estimated simulated cycles spent profiling.\n")
+	fmt.Fprintf(w, "# TYPE datamimed_simulated_cycles_total counter\n")
+	fmt.Fprintf(w, "datamimed_simulated_cycles_total %g\n", cycles)
+
+	fmt.Fprintf(w, "# HELP datamimed_uptime_seconds Seconds since the server started.\n")
+	fmt.Fprintf(w, "# TYPE datamimed_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "datamimed_uptime_seconds %g\n", time.Since(s.started).Seconds())
+}

@@ -1,0 +1,407 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"datamime/internal/core"
+	"datamime/internal/datagen"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Workers is the worker-pool size: how many search jobs run
+	// concurrently (default 2). Each job may additionally evaluate
+	// candidates in parallel per its spec.
+	Workers int
+	// QueueDepth bounds the number of queued jobs (default 1024); Submit
+	// fails once full.
+	QueueDepth int
+	// CacheCapacity bounds the shared evaluation cache (default 4096
+	// profiles).
+	CacheCapacity int
+	// CheckpointDir, when non-empty, enables persistence: every job is
+	// checkpointed there after each batch, and New resumes unfinished
+	// jobs found in it.
+	CheckpointDir string
+	// Generators registers extra dataset generators beyond the built-in
+	// Table III set (datagen.All), e.g. custom §III-B generators.
+	Generators []datagen.Generator
+	// Log, when non-nil, receives one line per job state transition.
+	Log io.Writer
+}
+
+// Server schedules and tracks search jobs. Create with New, serve its
+// Handler, and Close it to shut down (running jobs are checkpointed and
+// re-queued for the next start).
+type Server struct {
+	cfg   Config
+	cache *Cache
+	gens  map[string]datagen.Generator
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // submission order, for listing
+	nextID int
+	closed bool
+
+	queue chan *Job
+
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	busyWorkers atomic.Int64
+	// Global metrics, accumulated across all jobs (including finished
+	// ones, which drop out of per-job counters when the map is inspected).
+	evalsTotal   atomic.Int64
+	skippedTotal atomic.Int64
+	retriedTotal atomic.Int64
+	cyclesMu     sync.Mutex
+	cyclesTotal  float64
+
+	started time.Time
+}
+
+// New builds a Server, resumes any unfinished checkpointed jobs, and starts
+// the worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		cache:      NewCache(cfg.CacheCapacity),
+		gens:       make(map[string]datagen.Generator),
+		jobs:       make(map[string]*Job),
+		nextID:     1,
+		queue:      make(chan *Job, cfg.QueueDepth),
+		rootCtx:    ctx,
+		rootCancel: cancel,
+		started:    time.Now(),
+	}
+	for _, g := range datagen.All() {
+		s.gens[g.Name] = g
+	}
+	for _, g := range cfg.Generators {
+		s.gens[g.Name] = g
+	}
+	if err := s.loadCheckpoints(); err != nil {
+		cancel()
+		return nil, err
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// generator resolves a registered generator by name.
+func (s *Server) generator(name string) (datagen.Generator, error) {
+	if g, ok := s.gens[name]; ok {
+		return g, nil
+	}
+	return datagen.Generator{}, fmt.Errorf("service: unknown generator %q", name)
+}
+
+// Workers returns the worker-pool size.
+func (s *Server) Workers() int { return s.cfg.Workers }
+
+// Cache returns the shared evaluation cache.
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Submit validates and enqueues a job, returning its assigned ID.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("service: server is shut down")
+	}
+	job := &Job{
+		id:      fmt.Sprintf("job-%d", s.nextID),
+		spec:    spec,
+		state:   JobQueued,
+		done:    make(chan struct{}),
+		created: time.Now(),
+	}
+	s.nextID++
+	s.jobs[job.id] = job
+	s.order = append(s.order, job.id)
+	s.mu.Unlock()
+
+	s.persist(job)
+	select {
+	case s.queue <- job:
+	default:
+		s.finish(job, JobFailed, "service: job queue is full")
+		return nil, fmt.Errorf("service: job queue is full")
+	}
+	s.logf("job %s queued (%s)", job.id, describeSpec(spec))
+	return job, nil
+}
+
+// Job looks up a job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns all jobs in submission order.
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// Cancel cancels a job: a queued job finishes immediately, a running one
+// stops within roughly one evaluation batch.
+func (s *Server) Cancel(id string) error {
+	j, ok := s.Job(id)
+	if !ok {
+		return fmt.Errorf("service: no job %q", id)
+	}
+	j.mu.Lock()
+	if j.state.terminal() {
+		j.mu.Unlock()
+		return nil
+	}
+	j.canceled = true
+	cancel := j.cancel
+	queued := j.state == JobQueued
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	if queued {
+		// The worker skips canceled queued jobs; finish it now so
+		// clients observe the terminal state promptly.
+		s.finish(j, JobCanceled, "canceled before start")
+	}
+	return nil
+}
+
+// Close shuts the server down: cancels running searches (their checkpoints
+// persist), re-queues them on disk, and waits for the workers to exit.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.rootCancel()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// worker pulls jobs off the queue until shutdown.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		if s.rootCtx.Err() != nil {
+			return // shutdown: job stays queued on disk
+		}
+		job.mu.Lock()
+		skip := job.canceled || job.state.terminal()
+		job.mu.Unlock()
+		if skip {
+			continue
+		}
+		s.busyWorkers.Add(1)
+		s.runJob(job)
+		s.busyWorkers.Add(-1)
+	}
+}
+
+// runJob executes one search to completion, cancellation, or shutdown.
+func (s *Server) runJob(job *Job) {
+	ctx, cancel := context.WithCancel(s.rootCtx)
+	defer cancel()
+
+	job.mu.Lock()
+	job.state = JobRunning
+	job.started = time.Now()
+	job.cancel = cancel
+	resume := job.checkpoint.Clone()
+	spec := job.spec
+	job.mu.Unlock()
+	s.persist(job)
+	s.logf("job %s running", job.id)
+
+	cfg, err := s.buildSearch(ctx, spec)
+	if err != nil {
+		if ctx.Err() != nil {
+			s.endInterrupted(job, ctx)
+			return
+		}
+		s.finish(job, JobFailed, err.Error())
+		return
+	}
+	cfg.Cache = s.cache
+	if len(resume.Entries) > 0 {
+		job.mu.Lock()
+		// The replay rebuilds the trace and counters from iteration 0.
+		job.trace = nil
+		job.evals, job.cacheHits, job.skipped, job.simCycles = 0, 0, 0, 0
+		job.mu.Unlock()
+		cfg.Resume = &resume
+	}
+	cfg.OnEval = func(ev core.EvalEvent) {
+		job.mu.Lock()
+		if ev.Skipped {
+			job.skipped++
+		} else {
+			job.trace = append(job.trace, ev.Record)
+			job.evals++
+			if ev.CacheHit {
+				job.cacheHits++
+			}
+			job.simCycles += ev.SimCycles
+		}
+		job.mu.Unlock()
+		if !ev.Replayed {
+			if ev.Skipped {
+				s.skippedTotal.Add(1)
+			} else {
+				s.evalsTotal.Add(1)
+			}
+			if ev.Retried {
+				s.retriedTotal.Add(1)
+			}
+			if ev.SimCycles > 0 {
+				s.cyclesMu.Lock()
+				s.cyclesTotal += ev.SimCycles
+				s.cyclesMu.Unlock()
+			}
+		}
+	}
+	cfg.OnCheckpoint = func(cp core.Checkpoint) {
+		job.mu.Lock()
+		job.checkpoint = cp
+		job.mu.Unlock()
+		s.persist(job)
+	}
+
+	res, err := core.SearchContext(ctx, cfg)
+	switch {
+	case err == nil:
+		result := &JobResult{
+			BestParams:  res.BestParams,
+			BestError:   res.BestError,
+			Evaluations: res.Evaluations,
+			CacheHits:   res.CacheHits,
+			Skipped:     res.Skipped,
+		}
+		if res.BestParams != nil {
+			result.BestValues = cfg.Generator.Space.Values(res.BestParams)
+		}
+		job.mu.Lock()
+		job.result = result
+		job.mu.Unlock()
+		s.finish(job, JobSucceeded, "")
+	case ctx.Err() != nil:
+		s.endInterrupted(job, ctx)
+	default:
+		s.finish(job, JobFailed, err.Error())
+	}
+}
+
+// endInterrupted resolves a context-terminated job: client cancels become
+// terminal, server shutdowns re-queue the job (on disk) for the next start.
+func (s *Server) endInterrupted(job *Job, ctx context.Context) {
+	job.mu.Lock()
+	canceled := job.canceled
+	job.mu.Unlock()
+	if canceled {
+		s.finish(job, JobCanceled, context.Canceled.Error())
+		return
+	}
+	// Server shutdown: persist as queued so loadCheckpoints resumes it.
+	job.mu.Lock()
+	job.state = JobQueued
+	checkpointed := len(job.checkpoint.Entries)
+	job.mu.Unlock()
+	s.persist(job)
+	s.logf("job %s interrupted by shutdown; checkpointed at %d iterations",
+		job.id, checkpointed)
+	_ = ctx
+}
+
+// finish moves a job to a terminal state and persists it.
+func (s *Server) finish(job *Job, state JobState, errMsg string) {
+	job.mu.Lock()
+	if job.state.terminal() {
+		job.mu.Unlock()
+		return
+	}
+	job.state = state
+	job.errMsg = errMsg
+	job.finished = time.Now()
+	done := job.done
+	job.mu.Unlock()
+	close(done)
+	s.persist(job)
+	if errMsg != "" {
+		s.logf("job %s %s: %s", job.id, state, errMsg)
+	} else {
+		s.logf("job %s %s", job.id, state)
+	}
+}
+
+// jobCounts returns the number of jobs per state.
+func (s *Server) jobCounts() map[JobState]int {
+	counts := make(map[JobState]int)
+	for _, j := range s.Jobs() {
+		j.mu.Lock()
+		counts[j.state]++
+		j.mu.Unlock()
+	}
+	return counts
+}
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.cfg.Log != nil {
+		fmt.Fprintf(s.cfg.Log, "datamimed: "+format+"\n", args...)
+	}
+}
+
+// describeSpec renders a one-line spec summary for logs.
+func describeSpec(spec JobSpec) string {
+	target := spec.Workload
+	if target == "" && spec.Metric != "" {
+		target = fmt.Sprintf("%s=%g", spec.Metric, spec.MetricValue)
+	}
+	if target == "" {
+		target = "inline-profile"
+	}
+	gen := spec.Generator
+	if gen == "" {
+		gen = "workload-default"
+	}
+	return fmt.Sprintf("target=%s generator=%s iterations=%d", target, gen, spec.Iterations)
+}
+
+// allStates lists every job state in a stable order for /metrics output.
+func allStates() []JobState {
+	return []JobState{JobQueued, JobRunning, JobSucceeded, JobFailed, JobCanceled}
+}

@@ -1,0 +1,382 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"datamime/internal/apps/kvstore"
+	"datamime/internal/datagen"
+	"datamime/internal/opt"
+	"datamime/internal/profile"
+	"datamime/internal/stats"
+	"datamime/internal/trace"
+	"datamime/internal/workload"
+)
+
+// testGenerator is a fast memcached-style generator for service tests.
+func testGenerator() datagen.Generator {
+	space := opt.MustSpace(
+		opt.Param{Name: "qps", Lo: 10_000, Hi: 200_000, Log: true},
+		opt.Param{Name: "get_ratio", Lo: 0, Hi: 1},
+		opt.Param{Name: "val_mu", Lo: 16, Hi: 3_000, Log: true, Integer: true},
+	)
+	return datagen.Generator{
+		Name:  "kv-service-test",
+		Space: space,
+		Benchmark: func(x []float64) workload.Benchmark {
+			cfg := kvstore.Config{
+				NumKeys:   4_000,
+				KeySize:   stats.Normal{Mu: 24, Sigma: 6, Min: 4},
+				ValueSize: stats.Normal{Mu: x[2], Sigma: x[2] / 8, Min: 1},
+				GetRatio:  x[1],
+			}
+			return workload.Benchmark{
+				Name: "kv-service-test",
+				QPS:  x[0],
+				NewServer: func(layout *trace.CodeLayout, seed uint64) workload.Server {
+					return kvstore.New(cfg, layout, seed)
+				},
+			}
+		},
+	}
+}
+
+// testSpec builds a fast metric-objective job spec.
+func testSpec(iterations int, seed uint64) JobSpec {
+	return JobSpec{
+		Generator:   "kv-service-test",
+		Iterations:  iterations,
+		Parallel:    2,
+		Seed:        seed,
+		Optimizer:   "random",
+		Metric:      "cpu_util",
+		MetricValue: 0.15,
+		Profiling: &ProfilingSpec{
+			WindowCycles:  60_000,
+			Windows:       4,
+			WarmupWindows: 1,
+			SkipCurves:    true,
+		},
+	}
+}
+
+func newTestServer(t *testing.T, dir string) *Server {
+	t.Helper()
+	s, err := New(Config{
+		Workers:       1,
+		CheckpointDir: dir,
+		Generators:    []datagen.Generator{testGenerator()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// httpJSON performs a request against the test handler and decodes the
+// JSON response into out (which may be nil).
+func httpJSON(t *testing.T, ts *httptest.Server, method, path string, body interface{}, out interface{}) int {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, ts.URL+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("decoding %s %s response %q: %v", method, path, data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(3 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestServiceLifecycle covers the submit → poll → cancel → resubmit →
+// cache-hit flow over the HTTP API.
+func TestServiceLifecycle(t *testing.T) {
+	svc := newTestServer(t, "")
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	// Bad specs are rejected.
+	if code := httpJSON(t, ts, "POST", "/jobs", JobSpec{Iterations: 0}, nil); code != http.StatusBadRequest {
+		t.Fatalf("zero-iteration spec accepted: %d", code)
+	}
+	if code := httpJSON(t, ts, "GET", "/jobs/nope", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("missing job status = %d", code)
+	}
+
+	// A long job we will cancel mid-run.
+	var submitted struct {
+		ID string `json:"id"`
+	}
+	if code := httpJSON(t, ts, "POST", "/jobs", testSpec(500, 3), &submitted); code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	id := submitted.ID
+
+	// The trace grows monotonically while the job runs.
+	var st JobStatus
+	seen := 0
+	waitFor(t, "trace to reach 5 records", func() bool {
+		st = JobStatus{}
+		httpJSON(t, ts, "GET", fmt.Sprintf("/jobs/%s?since=%d", id, seen), nil, &st)
+		if st.TraceLen < seen {
+			t.Fatalf("trace shrank: %d -> %d", seen, st.TraceLen)
+		}
+		for i, rec := range st.Trace {
+			if rec.Iteration < seen+i {
+				t.Fatalf("trace iteration went backwards: %+v at offset %d", rec, seen+i)
+			}
+		}
+		seen = st.TraceLen
+		return st.TraceLen >= 5
+	})
+	if st.State != JobRunning {
+		t.Fatalf("mid-run state = %s", st.State)
+	}
+	if code := httpJSON(t, ts, "GET", "/jobs/"+id+"/result", nil, nil); code != http.StatusConflict {
+		t.Fatalf("result of running job = %d", code)
+	}
+
+	// Cancel stops it promptly, well short of its 500-iteration budget.
+	if code := httpJSON(t, ts, "POST", "/jobs/"+id+"/cancel", nil, nil); code != http.StatusOK {
+		t.Fatalf("cancel = %d", code)
+	}
+	waitFor(t, "job to reach canceled", func() bool {
+		st = JobStatus{}
+		httpJSON(t, ts, "GET", "/jobs/"+id, nil, &st)
+		return st.State == JobCanceled
+	})
+	if !strings.Contains(st.Error, "context canceled") {
+		t.Fatalf("canceled job error = %q", st.Error)
+	}
+	if st.Iterations >= 500 {
+		t.Fatal("canceled job ran to completion")
+	}
+
+	// A fresh job runs to completion...
+	httpJSON(t, ts, "POST", "/jobs", testSpec(12, 9), &submitted)
+	id = submitted.ID
+	waitFor(t, "job to succeed", func() bool {
+		st = JobStatus{}
+		httpJSON(t, ts, "GET", "/jobs/"+id, nil, &st)
+		return st.State == JobSucceeded
+	})
+	var first JobResult
+	if code := httpJSON(t, ts, "GET", "/jobs/"+id+"/result", nil, &first); code != http.StatusOK {
+		t.Fatalf("result = %d", code)
+	}
+	if first.Evaluations != 12 || len(first.BestParams) != 3 || first.BestValues == "" {
+		t.Fatalf("result = %+v", first)
+	}
+
+	// ...and resubmitting it is served from the evaluation cache.
+	httpJSON(t, ts, "POST", "/jobs", testSpec(12, 9), &submitted)
+	id = submitted.ID
+	waitFor(t, "resubmitted job to succeed", func() bool {
+		st = JobStatus{}
+		httpJSON(t, ts, "GET", "/jobs/"+id, nil, &st)
+		return st.State == JobSucceeded
+	})
+	var second JobResult
+	httpJSON(t, ts, "GET", "/jobs/"+id+"/result", nil, &second)
+	if second.CacheHits != second.Evaluations {
+		t.Fatalf("resubmitted job: %d cache hits for %d evaluations", second.CacheHits, second.Evaluations)
+	}
+	if second.BestError != first.BestError || !reflect.DeepEqual(second.BestParams, first.BestParams) {
+		t.Fatalf("cached rerun diverged: %+v vs %+v", second, first)
+	}
+
+	// The list endpoint sees all three jobs.
+	var list struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	httpJSON(t, ts, "GET", "/jobs", nil, &list)
+	if len(list.Jobs) != 3 {
+		t.Fatalf("list has %d jobs, want 3", len(list.Jobs))
+	}
+
+	// Metrics reflect the work done.
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`datamimed_jobs{state="succeeded"} 2`,
+		`datamimed_jobs{state="canceled"} 1`,
+		"datamimed_eval_cache_hits_total",
+		"datamimed_workers 1",
+		"datamimed_simulated_cycles_total",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestServiceCheckpointResume kills a server mid-search and verifies the
+// restarted server resumes the job from its checkpoint and converges to
+// exactly the same result as an uninterrupted run.
+func TestServiceCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec(30, 17)
+
+	// Reference: the same spec run uninterrupted (no persistence).
+	ref := runToCompletion(t, newTestServer(t, ""), spec)
+
+	// Interrupted run: close the server once the job has checkpointed a
+	// few batches.
+	svcA := newTestServer(t, dir)
+	jobA, err := svcA.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "checkpoint to accumulate", func() bool {
+		st := jobA.status(0)
+		return st.Iterations >= 6 && st.Iterations < 30
+	})
+	svcA.Close() // simulated kill: running job persists as queued
+
+	// Restart: the job comes back, resumes, and finishes.
+	svcB := newTestServer(t, dir)
+	defer svcB.Close()
+	jobB, ok := svcB.Job(jobA.ID())
+	if !ok {
+		t.Fatal("restarted server lost the job")
+	}
+	waitFor(t, "resumed job to finish", func() bool {
+		return jobB.status(0).State.terminal()
+	})
+	got := jobB.status(0)
+	if got.State != JobSucceeded {
+		t.Fatalf("resumed job %s: %s", got.State, got.Error)
+	}
+	if got.Result.BestError != ref.Result.BestError ||
+		!reflect.DeepEqual(got.Result.BestParams, ref.Result.BestParams) {
+		t.Fatalf("resumed result diverged:\nresumed %+v\nref     %+v", got.Result, ref.Result)
+	}
+	if got.TraceLen != 30 || !reflect.DeepEqual(got.Trace, ref.Trace) {
+		t.Fatalf("resumed trace diverged (%d records)", got.TraceLen)
+	}
+	// The resumed run replayed its prefix rather than re-simulating it:
+	// only the post-checkpoint iterations cost fresh simulated cycles.
+	if got.SimCycles >= ref.SimCycles {
+		t.Fatalf("resume re-simulated everything: %g vs %g cycles", got.SimCycles, ref.SimCycles)
+	}
+
+	// A third start has nothing to resume but still reports the job.
+	svcB.Close()
+	svcC := newTestServer(t, dir)
+	defer svcC.Close()
+	jobC, ok := svcC.Job(jobA.ID())
+	if !ok {
+		t.Fatal("third start lost the job")
+	}
+	st := jobC.status(0)
+	if st.State != JobSucceeded || st.Result == nil || st.TraceLen != 30 {
+		t.Fatalf("restored finished job: %+v", st)
+	}
+}
+
+// runToCompletion submits spec and waits for the result.
+func runToCompletion(t *testing.T, svc *Server, spec JobSpec) JobStatus {
+	t.Helper()
+	defer svc.Close()
+	job, err := svc.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-job.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("job did not finish")
+	}
+	st := job.status(0)
+	if st.State != JobSucceeded {
+		t.Fatalf("job %s: %s", st.State, st.Error)
+	}
+	return st
+}
+
+// TestCacheLRU exercises eviction and stats.
+func TestCacheLRU(t *testing.T) {
+	c := NewCache(2)
+	prof := &profile.Profile{Benchmark: "dummy"}
+	c.Put("a", prof)
+	c.Put("b", prof)
+	if _, ok := c.Get("a"); !ok { // touches a: b is now LRU
+		t.Fatal("a missing")
+	}
+	c.Put("c", prof) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted out of LRU order")
+	}
+	hits, misses, size := c.Stats()
+	if hits != 2 || misses != 1 || size != 2 {
+		t.Fatalf("stats = %d hits, %d misses, %d entries", hits, misses, size)
+	}
+}
+
+// TestSpecValidation covers the error cases of JobSpec.Validate.
+func TestSpecValidation(t *testing.T) {
+	bad := []JobSpec{
+		{},
+		{Iterations: 5},                                                          // no objective
+		{Iterations: 5, Metric: "ipc", Workload: "mem-fb"},                       // two objectives
+		{Iterations: 5, Metric: "ipc"},                                           // no generator
+		{Iterations: 5, Metric: "ipc", Generator: "g", OnEvalError: "explode"},   // bad policy
+		{Iterations: 5, Metric: "ipc", Generator: "g", Optimizer: "gradient"},    // bad optimizer
+	}
+	for i, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Fatalf("bad spec %d accepted", i)
+		}
+	}
+	good := testSpec(5, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
