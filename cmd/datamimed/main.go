@@ -14,16 +14,24 @@
 //	curl -X POST localhost:8080/jobs -d '{"workload":"mem-fb","iterations":200,"parallel":4,"seed":1}'
 //	curl localhost:8080/jobs/job-1            # status + convergence trace
 //	curl localhost:8080/jobs/job-1/result     # best dataset parameters
+//	curl localhost:8080/jobs/job-1/events     # live SSE event stream
+//	curl localhost:8080/jobs/job-1/artifact   # JSONL run artifact
 //	curl -X POST localhost:8080/jobs/job-1/cancel
 //	curl localhost:8080/metrics
+//
+// -telemetry enables per-job phase spans (feeding the /metrics latency
+// histograms and the /events stream); -debug mounts net/http/pprof and
+// expvar under /debug/ for live profiling of the server itself.
 package main
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,23 +48,46 @@ func main() {
 		checkpointDir = flag.String("checkpoint-dir", "", "directory for job checkpoints (empty disables persistence and resume)")
 		cacheCapacity = flag.Int("cache-capacity", 4096, "evaluation-cache capacity (profiles)")
 		quiet         = flag.Bool("quiet", false, "suppress job lifecycle logs")
+		telemetry     = flag.Bool("telemetry", false, "record per-job phase spans (latency histograms in /metrics, spans in /events)")
+		debug         = flag.Bool("debug", false, "expose net/http/pprof and expvar under /debug/")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *workers, *queueDepth, *checkpointDir, *cacheCapacity, *quiet); err != nil {
+	if err := run(options{
+		addr:          *addr,
+		workers:       *workers,
+		queueDepth:    *queueDepth,
+		checkpointDir: *checkpointDir,
+		cacheCapacity: *cacheCapacity,
+		quiet:         *quiet,
+		telemetry:     *telemetry,
+		debug:         *debug,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "datamimed:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queueDepth int, checkpointDir string, cacheCapacity int, quiet bool) error {
+type options struct {
+	addr          string
+	workers       int
+	queueDepth    int
+	checkpointDir string
+	cacheCapacity int
+	quiet         bool
+	telemetry     bool
+	debug         bool
+}
+
+func run(o options) error {
 	cfg := service.Config{
-		Workers:       workers,
-		QueueDepth:    queueDepth,
-		CheckpointDir: checkpointDir,
-		CacheCapacity: cacheCapacity,
+		Workers:       o.workers,
+		QueueDepth:    o.queueDepth,
+		CheckpointDir: o.checkpointDir,
+		CacheCapacity: o.cacheCapacity,
+		Telemetry:     o.telemetry,
 	}
-	if !quiet {
+	if !o.quiet {
 		cfg.Log = os.Stdout
 	}
 	svc, err := service.New(cfg)
@@ -64,19 +95,29 @@ func run(addr string, workers, queueDepth int, checkpointDir string, cacheCapaci
 		return err
 	}
 
-	httpSrv := &http.Server{Addr: addr, Handler: svc.Handler()}
+	handler := svc.Handler()
+	if o.debug {
+		handler = withDebugHandlers(handler, svc)
+	}
+	httpSrv := &http.Server{Addr: o.addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() {
 		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 		}
 	}()
-	fmt.Printf("datamimed listening on %s (workers=%d", addr, workers)
-	if checkpointDir != "" {
-		fmt.Printf(", checkpoints in %s", checkpointDir)
+	fmt.Printf("datamimed listening on %s (workers=%d", o.addr, o.workers)
+	if o.checkpointDir != "" {
+		fmt.Printf(", checkpoints in %s", o.checkpointDir)
+	}
+	if o.telemetry {
+		fmt.Printf(", telemetry on")
+	}
+	if o.debug {
+		fmt.Printf(", /debug/ exposed")
 	}
 	fmt.Println(")")
-	fmt.Printf("submit a job:  curl -X POST localhost%s/jobs -d '{\"workload\":\"mem-fb\",\"iterations\":200,\"parallel\":4}'\n", portSuffix(addr))
+	fmt.Printf("submit a job:  curl -X POST localhost%s/jobs -d '{\"workload\":\"mem-fb\",\"iterations\":200,\"parallel\":4}'\n", portSuffix(o.addr))
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -95,6 +136,23 @@ func run(addr string, workers, queueDepth int, checkpointDir string, cacheCapaci
 	// next start resumes them.
 	svc.Close()
 	return nil
+}
+
+// withDebugHandlers wraps the service handler with the stdlib debug
+// endpoints: pprof profiles under /debug/pprof/ and expvar (including the
+// server's own operational snapshot under the "datamimed" key) at
+// /debug/vars.
+func withDebugHandlers(h http.Handler, svc *service.Server) http.Handler {
+	expvar.Publish("datamimed", expvar.Func(func() interface{} { return svc.DebugVars() }))
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/", h)
+	return mux
 }
 
 // portSuffix extracts ":8080" from a listen address for the quickstart

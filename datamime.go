@@ -43,6 +43,7 @@ import (
 	"datamime/internal/profile"
 	"datamime/internal/service"
 	"datamime/internal/sim"
+	"datamime/internal/telemetry"
 	"datamime/internal/workload"
 )
 
@@ -119,6 +120,15 @@ type (
 	JobStatus = service.JobStatus
 	// JobResult summarizes a finished Service job.
 	JobResult = service.JobResult
+	// TelemetryRecorder collects phase spans and eval events from a search
+	// (SearchConfig.Telemetry, Profiler.Telemetry). A nil recorder is valid
+	// and disabled at the cost of one nil check per phase.
+	TelemetryRecorder = telemetry.Recorder
+	// TelemetryOptions configures a TelemetryRecorder (see NewTelemetry).
+	TelemetryOptions = telemetry.Options
+	// TelemetryEvent is one telemetry record: a span, an evaluation, or a
+	// log line; events marshal one-per-line into JSONL run artifacts.
+	TelemetryEvent = telemetry.Event
 )
 
 // Evaluation-failure policies (SearchConfig.OnEvalError).
@@ -200,6 +210,10 @@ func NewEvalCache(capacity int) EvalCache { return service.NewCache(capacity) }
 // per-job checkpoint/resume. Serve its Handler over HTTP (cmd/datamimed)
 // or drive it in-process via Submit.
 func NewService(cfg ServiceConfig) (*Service, error) { return service.New(cfg) }
+
+// NewTelemetry builds a telemetry recorder for SearchConfig.Telemetry; the
+// zero TelemetryOptions give a 512-event flight recorder with no sinks.
+func NewTelemetry(opts TelemetryOptions) *TelemetryRecorder { return telemetry.New(opts) }
 
 // NewErrorModel returns the default equal-weight Eq. 1 error model.
 func NewErrorModel() *ErrorModel { return core.NewErrorModel() }

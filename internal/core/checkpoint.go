@@ -26,6 +26,11 @@ type CheckpointEntry struct {
 	Retried bool `json:"retried,omitempty"`
 	// Err is the profiling error message for skipped iterations.
 	Err string `json:"err,omitempty"`
+	// Components is the per-metric error attribution recorded when the
+	// objective supports it (see AttributedObjective). Persisting it keeps
+	// replayed traces bit-for-bit identical to live ones without
+	// re-profiling.
+	Components map[string]float64 `json:"components,omitempty"`
 }
 
 // Checkpoint is the resumable state of a search: one entry per completed
@@ -40,6 +45,12 @@ func (c Checkpoint) Clone() Checkpoint {
 	for i, e := range c.Entries {
 		cp := e
 		cp.U = append([]float64(nil), e.U...)
+		if e.Components != nil {
+			cp.Components = make(map[string]float64, len(e.Components))
+			for k, v := range e.Components {
+				cp.Components[k] = v
+			}
+		}
 		out.Entries[i] = cp
 	}
 	return out

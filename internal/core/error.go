@@ -197,6 +197,19 @@ type Objective interface {
 	Describe() string
 }
 
+// AttributedObjective is implemented by objectives that can attribute their
+// error across named components. The search records the attribution in each
+// IterationRecord (and checkpoint entry), so convergence plots can show
+// which metric drove the error — the explainability §III-C's summed EMD
+// makes possible.
+type AttributedObjective interface {
+	Objective
+	// EvaluateAttributed returns the candidate's total error along with
+	// the per-component breakdown (unweighted component distances). The
+	// total must equal Evaluate's result exactly.
+	EvaluateAttributed(cand *profile.Profile) (float64, map[string]float64)
+}
+
 // ProfileObjective matches a full target profile under an error model.
 type ProfileObjective struct {
 	Target *profile.Profile
@@ -208,6 +221,19 @@ func (o ProfileObjective) Evaluate(cand *profile.Profile) float64 {
 	total, _ := o.Model.Distance(o.Target, cand)
 	return total
 }
+
+// EvaluateAttributed implements AttributedObjective: the per-component EMD
+// terms of Eq. 1, keyed by Component name.
+func (o ProfileObjective) EvaluateAttributed(cand *profile.Profile) (float64, map[string]float64) {
+	total, per := o.Model.Distance(o.Target, cand)
+	out := make(map[string]float64, len(per))
+	for c, d := range per {
+		out[string(c)] = d
+	}
+	return total, out
+}
+
+var _ AttributedObjective = ProfileObjective{}
 
 // Describe implements Objective.
 func (o ProfileObjective) Describe() string {

@@ -4,12 +4,14 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"sync"
 
 	"datamime/internal/datagen"
 	"datamime/internal/opt"
 	"datamime/internal/profile"
 	"datamime/internal/stats"
+	"datamime/internal/telemetry"
 )
 
 // EvalErrorPolicy selects how Search reacts to a profiling failure.
@@ -33,7 +35,9 @@ type SearchConfig struct {
 	// Generator is the dataset generator to search (space + factory).
 	Generator datagen.Generator
 	// Objective scores each candidate profile (ProfileObjective for the
-	// paper's search, MetricObjective for range sweeps).
+	// paper's search, MetricObjective for range sweeps). Objectives that
+	// also implement AttributedObjective get per-component error
+	// attribution recorded in the trace and checkpoints.
 	Objective Objective
 	// Profiler measures candidates. For MetricObjective sweeps without
 	// curve components, set Profiler.SkipCurves to save time.
@@ -49,7 +53,19 @@ type SearchConfig struct {
 	// point measure with noise, as on real hardware).
 	Seed uint64
 	// Log, when non-nil, receives one line per iteration.
+	//
+	// Deprecated: Log is kept for existing callers and is now routed
+	// through telemetry.NewLineLogger. New code should observe the search
+	// through Telemetry (spans + eval events) or OnEval instead.
 	Log io.Writer
+	// Telemetry, when non-nil, receives spans for every pipeline phase
+	// (propose / generate / profile / observe, plus the optimizer's GP-fit
+	// and acquisition timings) and one eval event per iteration, carrying
+	// the per-metric EMD attribution. Telemetry is off by default; a nil
+	// recorder costs one nil check per phase and never perturbs
+	// determinism — enabling or disabling it cannot change proposals,
+	// seeds, traces, or results.
+	Telemetry *telemetry.Recorder
 	// Parallel evaluates batches of this many candidates concurrently,
 	// using constant-liar batch proposals when the optimizer supports them
 	// (parallel Bayesian optimization — the future work the paper defers
@@ -103,10 +119,16 @@ type IterationRecord struct {
 	// BestError is the minimum observed error up to and including this
 	// iteration — the quantity Fig. 10 plots.
 	BestError float64 `json:"best_error"`
+	// Components is the per-metric error attribution (unweighted component
+	// distances, keyed by Component name) when the objective implements
+	// AttributedObjective; nil otherwise. It shows which metric drove the
+	// error at this iteration.
+	Components map[string]float64 `json:"emd_components,omitempty"`
 }
 
 // EvalEvent describes one finished iteration for live observers (the
-// datamimed service uses it to grow job traces and metrics).
+// datamimed service uses it to grow job traces, metrics, and event
+// streams).
 type EvalEvent struct {
 	// Record is the trace record; zero-valued except Iteration when
 	// Skipped.
@@ -125,6 +147,11 @@ type EvalEvent struct {
 	// SimCycles estimates the simulated cycles this evaluation cost
 	// (0 for cache hits and replays).
 	SimCycles float64
+	// PhaseNS maps evaluation phases ("generate", "profile") to their
+	// wall-clock duration in nanoseconds. Populated only when
+	// SearchConfig.Telemetry is enabled; nil otherwise (and for cache hits
+	// and replays, which run neither phase).
+	PhaseNS map[string]int64
 }
 
 // Result is the outcome of a search.
@@ -167,11 +194,31 @@ type evalResult struct {
 	err      error
 	e        float64
 	x        []float64
+	comps    map[string]float64
 	cacheHit bool
 	retried  bool
 	replayed bool
 	skipped  bool
 	cycles   float64
+	phases   map[string]int64
+}
+
+// evalTimings accumulates one evaluation's phase durations (including a
+// retry's second attempt). It is allocated only when telemetry is enabled.
+type evalTimings struct {
+	generateNS int64
+	profileNS  int64
+}
+
+// toMap renders the timings for EvalEvent.PhaseNS; nil-safe.
+func (t *evalTimings) toMap() map[string]int64 {
+	if t == nil {
+		return nil
+	}
+	return map[string]int64{
+		telemetry.PhaseGenerate: t.generateNS,
+		telemetry.PhaseProfile:  t.profileNS,
+	}
 }
 
 // SearchContext is Search with cancellation: the context is checked between
@@ -188,6 +235,13 @@ func SearchContext(ctx context.Context, cfg SearchConfig) (*Result, error) {
 		optimizer = opt.NewBayesOpt(cfg.Generator.Space, opt.BayesOptConfig{Seed: cfg.Seed})
 	}
 	space := cfg.Generator.Space
+	rec := cfg.Telemetry
+
+	// The legacy io.Writer log path rides on the telemetry line logger.
+	var logger *slog.Logger
+	if cfg.Log != nil {
+		logger = telemetry.NewLineLogger(cfg.Log)
+	}
 
 	parallel := cfg.Parallel
 	if parallel < 1 {
@@ -203,7 +257,7 @@ func SearchContext(ctx context.Context, cfg SearchConfig) (*Result, error) {
 	res := &Result{BestError: 0}
 	best := -1
 	bestRetried := false
-	record := func(it int, x []float64, prof *profile.Profile, e float64, retried bool) {
+	record := func(it int, x []float64, prof *profile.Profile, e float64, retried bool, comps map[string]float64) {
 		res.Evaluations++
 		if best < 0 || e < res.BestError {
 			best = it
@@ -213,19 +267,24 @@ func SearchContext(ctx context.Context, cfg SearchConfig) (*Result, error) {
 			res.BestProfile = prof
 		}
 		res.Trace = append(res.Trace, IterationRecord{
-			Iteration: it,
-			Params:    x,
-			Error:     e,
-			BestError: res.BestError,
+			Iteration:  it,
+			Params:     x,
+			Error:      e,
+			BestError:  res.BestError,
+			Components: comps,
 		})
-		if cfg.Log != nil {
-			fmt.Fprintf(cfg.Log, "iter %3d  err %.4f  best %.4f  %s\n",
-				it, e, res.BestError, space.Values(x))
+		if logger != nil {
+			logger.Info("iter",
+				slog.Int("n", it),
+				slog.String("err", fmt.Sprintf("%.4f", e)),
+				slog.String("best", fmt.Sprintf("%.4f", res.BestError)),
+				slog.String("params", space.Values(x)))
 		}
 	}
 
-	// profileAt measures (or recalls) the candidate x under one seed.
-	profileAt := func(x []float64, seed uint64) (prof *profile.Profile, hit bool, err error) {
+	// profileAt measures (or recalls) the candidate x under one seed,
+	// timing the generate and profile phases into tm when telemetry is on.
+	profileAt := func(it int, x []float64, seed uint64, tm *evalTimings) (prof *profile.Profile, hit bool, err error) {
 		var key string
 		if cfg.Cache != nil {
 			key = EvalKey(cfg.Generator.Name, cfg.Profiler, x, seed)
@@ -233,8 +292,16 @@ func SearchContext(ctx context.Context, cfg SearchConfig) (*Result, error) {
 				return p, true, nil
 			}
 		}
+		genSpan := rec.StartSpan(telemetry.PhaseGenerate, it)
 		bench := cfg.Generator.Benchmark(x)
+		genDur := genSpan.End(nil)
+		profSpan := rec.StartSpan(telemetry.PhaseProfile, it)
 		p, err := cfg.Profiler.ProfileContext(ctx, bench, seed)
+		profDur := profSpan.End(nil)
+		if tm != nil {
+			tm.generateNS += genDur.Nanoseconds()
+			tm.profileNS += profDur.Nanoseconds()
+		}
 		if err != nil {
 			return nil, false, err
 		}
@@ -245,29 +312,74 @@ func SearchContext(ctx context.Context, cfg SearchConfig) (*Result, error) {
 	}
 
 	// evalOne runs the full evaluation of iteration it: cache lookup,
-	// profiling, the retry-then-skip policy, and objective scoring.
+	// profiling, the retry-then-skip policy, and objective scoring with
+	// per-component attribution when the objective supports it.
 	evalOne := func(it int, u []float64) evalResult {
 		if err := ctx.Err(); err != nil {
 			return evalResult{err: err}
 		}
 		x := space.Denormalize(u)
-		prof, hit, err := profileAt(x, iterSeed(cfg.Seed, it, false))
+		var tm *evalTimings
+		if rec.Enabled() {
+			tm = new(evalTimings)
+		}
+		prof, hit, err := profileAt(it, x, iterSeed(cfg.Seed, it, false), tm)
 		retried := false
 		if err != nil && cfg.OnEvalError == EvalRetrySkip && ctx.Err() == nil {
 			retried = true
-			prof, hit, err = profileAt(x, iterSeed(cfg.Seed, it, true))
+			prof, hit, err = profileAt(it, x, iterSeed(cfg.Seed, it, true), tm)
 		}
 		if err != nil {
 			if cfg.OnEvalError == EvalRetrySkip && ctx.Err() == nil {
-				return evalResult{skipped: true, err: err, x: x, retried: retried}
+				return evalResult{skipped: true, err: err, x: x, retried: retried, phases: tm.toMap()}
 			}
 			return evalResult{err: err}
 		}
-		r := evalResult{prof: prof, e: cfg.Objective.Evaluate(prof), x: x, cacheHit: hit, retried: retried}
+		var e float64
+		var comps map[string]float64
+		if ao, ok := cfg.Objective.(AttributedObjective); ok {
+			e, comps = ao.EvaluateAttributed(prof)
+		} else {
+			e = cfg.Objective.Evaluate(prof)
+		}
+		r := evalResult{prof: prof, e: e, x: x, comps: comps, cacheHit: hit, retried: retried, phases: tm.toMap()}
 		if !hit {
 			r.cycles = estimateCycles(cfg.Profiler, prof)
 		}
 		return r
+	}
+
+	// emitEval publishes one finished iteration to the telemetry recorder
+	// (eval events carry the EMD attribution and phase timings as attrs,
+	// and are what the JSONL artifact replays from).
+	emitEval := func(gi int, r evalResult, ev EvalEvent) {
+		if !rec.Enabled() {
+			return
+		}
+		attrs := make(map[string]float64, 4+len(r.comps)+len(r.phases))
+		if !ev.Skipped {
+			attrs[telemetry.AttrError] = ev.Record.Error
+			attrs[telemetry.AttrBestError] = ev.Record.BestError
+		}
+		if ev.CacheHit {
+			attrs[telemetry.AttrCacheHit] = 1
+		}
+		if ev.Retried {
+			attrs[telemetry.AttrRetried] = 1
+		}
+		if ev.Replayed {
+			attrs[telemetry.AttrReplayed] = 1
+		}
+		if ev.SimCycles > 0 {
+			attrs[telemetry.AttrSimCycles] = ev.SimCycles
+		}
+		for k, v := range r.comps {
+			attrs[telemetry.EMDPrefix+k] = v
+		}
+		for ph, ns := range r.phases {
+			attrs[telemetry.PhaseNSPrefix+ph+"_ns"] = float64(ns)
+		}
+		rec.RecordEval(gi, ev.Skipped, ev.Record.Params, attrs)
 	}
 
 	for it := 0; it < cfg.Iterations; {
@@ -278,7 +390,22 @@ func SearchContext(ctx context.Context, cfg SearchConfig) (*Result, error) {
 		if rem := cfg.Iterations - it; k > rem {
 			k = rem
 		}
+		proposeSpan := rec.StartSpan(telemetry.PhasePropose, it)
 		batch := opt.FallbackBatch(optimizer, space, k, batchRNG)
+		var proposeAttrs map[string]float64
+		if rec.Enabled() {
+			proposeAttrs = map[string]float64{"batch": float64(len(batch))}
+			if tr, ok := optimizer.(opt.TimingReporter); ok {
+				if t, ok := tr.TakeTimings(); ok {
+					rec.RecordSpan(telemetry.PhaseGPFit, it, t.GPFit, nil)
+					rec.RecordSpan(telemetry.PhaseAcquisition, it, t.Acquisition,
+						map[string]float64{"proposals": float64(t.Proposals)})
+					proposeAttrs["gp_fit_ns"] = float64(t.GPFit.Nanoseconds())
+					proposeAttrs["acquisition_ns"] = float64(t.Acquisition.Nanoseconds())
+				}
+			}
+		}
+		proposeSpan.End(proposeAttrs)
 		results := make([]evalResult, len(batch))
 		var wg sync.WaitGroup
 		for i, u := range batch {
@@ -291,6 +418,7 @@ func SearchContext(ctx context.Context, cfg SearchConfig) (*Result, error) {
 					retried:  ent.Retried,
 					e:        ent.Y,
 					x:        space.Denormalize(u),
+					comps:    ent.Components,
 					err:      replayErr(ent),
 				}
 				continue
@@ -312,6 +440,7 @@ func SearchContext(ctx context.Context, cfg SearchConfig) (*Result, error) {
 			return res, err
 		}
 		// Observe and record in batch order for determinism.
+		observeSpan := rec.StartSpan(telemetry.PhaseObserve, it)
 		for i, u := range batch {
 			r := results[i]
 			gi := it + i
@@ -319,11 +448,12 @@ func SearchContext(ctx context.Context, cfg SearchConfig) (*Result, error) {
 				return res, fmt.Errorf("core: profiling iteration %d: %w", gi, r.err)
 			}
 			ent := CheckpointEntry{
-				Iteration: gi,
-				U:         append([]float64(nil), u...),
-				Y:         r.e,
-				Skipped:   r.skipped,
-				Retried:   r.retried,
+				Iteration:  gi,
+				U:          append([]float64(nil), u...),
+				Y:          r.e,
+				Skipped:    r.skipped,
+				Retried:    r.retried,
+				Components: r.comps,
 			}
 			ev := EvalEvent{
 				Skipped:   r.skipped,
@@ -331,18 +461,20 @@ func SearchContext(ctx context.Context, cfg SearchConfig) (*Result, error) {
 				CacheHit:  r.cacheHit,
 				Retried:   r.retried,
 				SimCycles: r.cycles,
+				PhaseNS:   r.phases,
 			}
 			if r.skipped {
 				res.Skipped++
 				ent.Err = r.err.Error()
 				ev.Err = ent.Err
 				ev.Record = IterationRecord{Iteration: gi}
-				if cfg.Log != nil {
-					fmt.Fprintf(cfg.Log, "iter %3d  SKIPPED after retry: %v\n", gi, r.err)
+				if logger != nil {
+					logger.Warn("iter skipped",
+						slog.Int("n", gi), slog.String("err", r.err.Error()))
 				}
 			} else {
 				optimizer.Observe(u, r.e)
-				record(gi, r.x, r.prof, r.e, r.retried)
+				record(gi, r.x, r.prof, r.e, r.retried, r.comps)
 				if r.cacheHit {
 					res.CacheHits++
 				}
@@ -350,10 +482,12 @@ func SearchContext(ctx context.Context, cfg SearchConfig) (*Result, error) {
 				ev.Record = res.Trace[len(res.Trace)-1]
 			}
 			res.Checkpoint.Entries = append(res.Checkpoint.Entries, ent)
+			emitEval(gi, r, ev)
 			if cfg.OnEval != nil {
 				cfg.OnEval(ev)
 			}
 		}
+		observeSpan.End(nil)
 		it += len(batch)
 		if cfg.OnCheckpoint != nil {
 			cfg.OnCheckpoint(res.Checkpoint.Clone())
@@ -364,7 +498,7 @@ func SearchContext(ctx context.Context, cfg SearchConfig) (*Result, error) {
 	// recover it — free when the evaluation cache still holds it, one
 	// extra profiling run otherwise.
 	if res.BestProfile == nil && best >= 0 && ctx.Err() == nil {
-		if prof, _, err := profileAt(res.BestParams, iterSeed(cfg.Seed, best, bestRetried)); err == nil {
+		if prof, _, err := profileAt(best, res.BestParams, iterSeed(cfg.Seed, best, bestRetried), nil); err == nil {
 			res.BestProfile = prof
 		}
 	}

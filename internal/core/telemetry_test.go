@@ -1,0 +1,216 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"datamime/internal/telemetry"
+)
+
+// TestTelemetryDoesNotPerturbSearch: enabling the recorder must not change
+// proposals, seeds, or the trace — telemetry is observation only.
+func TestTelemetryDoesNotPerturbSearch(t *testing.T) {
+	plain, err := Search(metricSearchConfig(8, 1, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := telemetry.New(telemetry.Options{Capacity: 4096})
+	cfg := metricSearchConfig(8, 1, 42)
+	cfg.Telemetry = rec
+	cfg.Profiler.Telemetry = rec
+	traced, err := Search(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(plain.Trace, traced.Trace) {
+		t.Fatalf("telemetry perturbed the trace:\nplain  %v\ntraced %v", plain.Trace, traced.Trace)
+	}
+	if !reflect.DeepEqual(plain.Checkpoint, traced.Checkpoint) {
+		t.Fatal("telemetry perturbed the checkpoint")
+	}
+
+	// Every pipeline phase must have produced spans, and every iteration an
+	// eval event.
+	phases := make(map[string]int)
+	evals := 0
+	for _, ev := range rec.Recent() {
+		switch ev.Type {
+		case telemetry.TypeSpan:
+			phases[ev.Phase]++
+		case telemetry.TypeEval:
+			evals++
+		}
+	}
+	for _, want := range []string{
+		telemetry.PhasePropose, telemetry.PhaseGenerate, telemetry.PhaseProfile,
+		telemetry.PhaseProfileRun, telemetry.PhaseObserve,
+	} {
+		if phases[want] == 0 {
+			t.Errorf("no %q spans recorded (phases: %v)", want, phases)
+		}
+	}
+	if evals != 8 {
+		t.Errorf("recorded %d eval events, want 8", evals)
+	}
+}
+
+// TestEvalEventPhaseTimings: with telemetry on, fresh evaluations report
+// generate and profile wall-clock in EvalEvent.PhaseNS; with telemetry off,
+// PhaseNS stays nil (the disabled path allocates nothing).
+func TestEvalEventPhaseTimings(t *testing.T) {
+	var withTel, without []EvalEvent
+	cfg := metricSearchConfig(4, 1, 9)
+	cfg.Telemetry = telemetry.New(telemetry.Options{})
+	cfg.OnEval = func(ev EvalEvent) { withTel = append(withTel, ev) }
+	if _, err := Search(cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg = metricSearchConfig(4, 1, 9)
+	cfg.OnEval = func(ev EvalEvent) { without = append(without, ev) }
+	if _, err := Search(cfg); err != nil {
+		t.Fatal(err)
+	}
+	for i, ev := range withTel {
+		if ev.PhaseNS == nil {
+			t.Fatalf("event %d: PhaseNS nil with telemetry enabled", i)
+		}
+		if ev.PhaseNS[telemetry.PhaseProfile] <= 0 {
+			t.Fatalf("event %d: profile phase %dns, want > 0", i, ev.PhaseNS[telemetry.PhaseProfile])
+		}
+	}
+	for i, ev := range without {
+		if ev.PhaseNS != nil {
+			t.Fatalf("event %d: PhaseNS = %v with telemetry disabled, want nil", i, ev.PhaseNS)
+		}
+	}
+}
+
+// TestArtifactReplayMatchesMinEMDTrace: the acceptance criterion — a JSONL
+// artifact streamed from the recorder replays to the same best-error series
+// as the in-memory Result.
+func TestArtifactReplayMatchesMinEMDTrace(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := metricSearchConfig(10, 2, 5)
+	cfg.Telemetry = telemetry.New(telemetry.Options{OnEvent: telemetry.NewJSONLSink(&buf)})
+	res, err := Search(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := telemetry.ReplayBestTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(replayed, res.MinEMDTrace()) {
+		t.Fatalf("artifact replay diverged:\nreplayed %v\nin-memory %v", replayed, res.MinEMDTrace())
+	}
+}
+
+// TestAttributedComponentsRoundTrip: ProfileObjective searches attribute the
+// error across the Table I components, the attribution survives a JSON
+// checkpoint round-trip, and a resumed search replays it bit for bit.
+func TestAttributedComponentsRoundTrip(t *testing.T) {
+	gen := smallKVGenerator()
+	pr := fastProfiler()
+	hidden := gen.Benchmark([]float64{120_000, 0.95, 900})
+	target, err := pr.Profile(hidden, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := SearchConfig{
+		Generator:  gen,
+		Objective:  ProfileObjective{Target: target, Model: NewErrorModel()},
+		Profiler:   fastProfiler(),
+		Iterations: 6,
+		Seed:       7,
+		Cache:      newMapCache(),
+	}
+
+	full, err := Search(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := NewErrorModel()
+	for i, rec := range full.Trace {
+		if len(rec.Components) == 0 {
+			t.Fatalf("trace[%d] has no component attribution", i)
+		}
+		var sum float64
+		for c, d := range rec.Components {
+			sum += model.Weights[Component(c)] * d
+		}
+		if diff := sum - rec.Error; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("trace[%d]: components sum to %g, Error = %g", i, sum, rec.Error)
+		}
+	}
+	for i, ent := range full.Checkpoint.Entries {
+		if len(ent.Components) == 0 {
+			t.Fatalf("checkpoint entry %d has no components", i)
+		}
+	}
+
+	// Persist → restore → resume: the replayed trace (components included)
+	// must be identical to the uninterrupted run's.
+	data, err := json.Marshal(full.Checkpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored Checkpoint
+	if err := json.Unmarshal(data, &restored); err != nil {
+		t.Fatal(err)
+	}
+	resumeCfg := base
+	resumeCfg.Resume = &restored
+	resumed, err := Search(resumeCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(full.Trace, resumed.Trace) {
+		t.Fatalf("resumed trace diverged:\nfull    %+v\nresumed %+v", full.Trace, resumed.Trace)
+	}
+}
+
+// TestResumeDeterministicWithTelemetry: interrupt-and-resume stays
+// bit-for-bit deterministic with telemetry enabled on either leg.
+func TestResumeDeterministicWithTelemetry(t *testing.T) {
+	cache := newMapCache()
+	base := metricSearchConfig(9, 1, 11)
+	base.Cache = cache
+
+	full, err := Search(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First leg (telemetry on): capture the checkpoint after ~half the
+	// budget.
+	var mid *Checkpoint
+	firstLeg := base
+	firstLeg.Iterations = 5
+	firstLeg.Telemetry = telemetry.New(telemetry.Options{})
+	firstLeg.OnCheckpoint = func(cp Checkpoint) { mid = &cp }
+	if _, err := Search(firstLeg); err != nil {
+		t.Fatal(err)
+	}
+	if mid == nil || len(mid.Entries) != 5 {
+		t.Fatalf("no mid-run checkpoint captured: %+v", mid)
+	}
+
+	// Second leg (telemetry on too): resume to the full budget.
+	second := base
+	second.Resume = mid
+	second.Telemetry = telemetry.New(telemetry.Options{})
+	resumed, err := Search(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(full.Trace, resumed.Trace) {
+		t.Fatalf("telemetry-enabled resume diverged:\nfull    %v\nresumed %v", full.Trace, resumed.Trace)
+	}
+	if full.BestError != resumed.BestError {
+		t.Fatalf("BestError %g != resumed %g", full.BestError, resumed.BestError)
+	}
+}

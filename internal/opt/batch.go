@@ -67,6 +67,7 @@ func (r *RandomSearch) NextBatch(k int) [][]float64 {
 var (
 	_ BatchOptimizer = (*BayesOpt)(nil)
 	_ BatchOptimizer = (*RandomSearch)(nil)
+	_ TimingReporter = (*BayesOpt)(nil)
 )
 
 // FallbackBatch adapts any sequential optimizer to batch proposals by

@@ -2,6 +2,7 @@ package opt
 
 import (
 	"math"
+	"time"
 
 	"datamime/internal/stats"
 )
@@ -23,6 +24,29 @@ type Optimizer interface {
 	Best() (x []float64, y float64, ok bool)
 	// Name identifies the optimizer for experiment output.
 	Name() string
+}
+
+// Timings aggregates where an optimizer's proposal time went, for
+// telemetry: GP surrogate fitting versus acquisition-function maximization.
+// Durations accumulate across proposals until TakeTimings resets them, so
+// one read covers a whole batch proposal.
+type Timings struct {
+	// GPFit is the time spent fitting the GP surrogate.
+	GPFit time.Duration
+	// Acquisition is the time spent maximizing Expected Improvement.
+	Acquisition time.Duration
+	// Proposals counts surrogate-backed proposals in the window
+	// (initial-design points cost neither phase and are not counted).
+	Proposals int
+}
+
+// TimingReporter is implemented by optimizers that track internal phase
+// timings. Timing collection must not perturb the proposal stream: it only
+// reads the clock around existing work.
+type TimingReporter interface {
+	// TakeTimings returns the accumulation since the previous call and
+	// resets it; ok is false when no surrogate-backed proposal ran.
+	TakeTimings() (t Timings, ok bool)
 }
 
 // Observation is one (point, value) pair in an optimizer's history.
@@ -71,6 +95,7 @@ type BayesOpt struct {
 	candidates int
 	xi         float64
 	pending    [][]float64
+	timings    Timings
 }
 
 // BayesOptConfig tunes the optimizer. Zero values select defaults.
@@ -124,12 +149,17 @@ func (b *BayesOpt) Next() []float64 {
 		b.pending = b.pending[1:]
 		return x
 	}
+	fitStart := time.Now()
 	gp, err := b.fitSurrogate()
+	b.timings.GPFit += time.Since(fitStart)
+	b.timings.Proposals++
 	if err != nil {
 		// Surrogate fit failed (degenerate observations); fall back to
 		// random exploration rather than aborting the search.
 		return b.space.Sample(b.rng)
 	}
+	acqStart := time.Now()
+	defer func() { b.timings.Acquisition += time.Since(acqStart) }()
 	_, bestY, _ := b.Best()
 
 	bestEI := math.Inf(-1)
@@ -159,6 +189,13 @@ func (b *BayesOpt) Next() []float64 {
 		return b.space.Sample(b.rng)
 	}
 	return bestX
+}
+
+// TakeTimings implements TimingReporter.
+func (b *BayesOpt) TakeTimings() (Timings, bool) {
+	t := b.timings
+	b.timings = Timings{}
+	return t, t.Proposals > 0
 }
 
 // fitSurrogate fits the GP to the normalized observation history. The

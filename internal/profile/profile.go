@@ -12,6 +12,7 @@ import (
 
 	"datamime/internal/sim"
 	"datamime/internal/stats"
+	"datamime/internal/telemetry"
 	"datamime/internal/trace"
 	"datamime/internal/workload"
 )
@@ -157,6 +158,12 @@ type Profiler struct {
 	// SkipCurves disables the sensitivity-curve measurement (used by the
 	// single-metric range sweeps of Fig. 11, which only target one scalar).
 	SkipCurves bool
+	// Telemetry, when non-nil, receives one span per main profiling run
+	// ("profile.run") and one per sensitivity-curve sweep
+	// ("profile.curves"), carrying per-window counter summaries as
+	// attributes. It is deliberately excluded from evaluation cache keys
+	// (see core.EvalKey) and has no effect on measurements.
+	Telemetry *telemetry.Recorder
 }
 
 // New returns a Profiler with the defaults used throughout the evaluation.
@@ -242,7 +249,22 @@ func (pr *Profiler) ProfileContext(ctx context.Context, b workload.Benchmark, se
 	// come from busy-cycle windows (hardware sampling semantics); CPU
 	// utilization and memory bandwidth come from wall-clock windows, since
 	// they are defined over elapsed time.
+	runSpan := pr.Telemetry.StartSpan(telemetry.PhaseProfileRun, 0)
 	samples, wall, requests, compressRatio := pr.run(b, seed, 0, pr.Windows)
+	var runAttrs map[string]float64
+	if pr.Telemetry.Enabled() {
+		sum := sim.SummarizeWindows(samples)
+		runAttrs = map[string]float64{
+			"windows":       float64(sum.Windows),
+			"requests":      float64(requests),
+			"instructions":  float64(sum.Instructions),
+			"mean_ipc":      sum.MeanIPC,
+			"mean_llc_mpki": sum.MeanLLCMPKI,
+			"mean_cpu_util": sum.MeanCPUUtil,
+			"mean_bw_gbs":   sum.MeanMemBWGBs,
+		}
+	}
+	runSpan.End(runAttrs)
 	p.Requests = requests
 	if compressRatio > 0 {
 		// A snapshot property, not a time series: record one sample per
@@ -280,6 +302,7 @@ func (pr *Profiler) ProfileContext(ctx context.Context, b workload.Benchmark, se
 		return p, nil
 	}
 	// Sensitivity curves: re-run per allocation with warm state.
+	curveSpan := pr.Telemetry.StartSpan(telemetry.PhaseProfileCurves, 0)
 	ref := sim.NewMachine(pr.Machine, pr.WindowCycles)
 	bytesPerWay := ref.LLCPartitionBytes() / ref.LLCWays()
 	for _, ways := range pr.curveWays() {
@@ -308,6 +331,16 @@ func (pr *Profiler) ProfileContext(ctx context.Context, b workload.Benchmark, se
 		}
 		p.Curve = append(p.Curve, pt)
 	}
+	var curveAttrs map[string]float64
+	if pr.Telemetry.Enabled() {
+		curveAttrs = map[string]float64{
+			"points":          float64(len(p.Curve)),
+			"windows_per_pt":  float64(pr.CurveWindows),
+			"full_cache_ways": float64(ref.LLCWays()),
+			"bytes_per_way":   float64(bytesPerWay),
+		}
+	}
+	curveSpan.End(curveAttrs)
 	return p, nil
 }
 

@@ -9,6 +9,7 @@ package service
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"datamime/internal/core"
 	"datamime/internal/profile"
@@ -17,14 +18,15 @@ import (
 // Cache is a bounded LRU implementation of core.EvalCache, shared by every
 // job a server runs: a resubmitted or warm-started search re-reads its
 // profiles here instead of re-simulating them. It also feeds the
-// /metrics hit and miss counters.
+// /metrics hit and miss counters, which are atomics so readers never
+// contend with the structural lock.
 type Cache struct {
 	mu      sync.Mutex
 	cap     int
 	ll      *list.List // front = most recently used
 	entries map[string]*list.Element
-	hits    uint64
-	misses  uint64
+	hits    atomic.Uint64
+	misses  atomic.Uint64
 }
 
 type cacheEntry struct {
@@ -51,10 +53,10 @@ func (c *Cache) Get(key string) (*profile.Profile, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]
 	if !ok {
-		c.misses++
+		c.misses.Add(1)
 		return nil, false
 	}
-	c.hits++
+	c.hits.Add(1)
 	c.ll.MoveToFront(el)
 	return el.Value.(*cacheEntry).prof, true
 }
@@ -79,8 +81,9 @@ func (c *Cache) Put(key string, p *profile.Profile) {
 // Stats returns the cumulative hit and miss counts and the current size.
 func (c *Cache) Stats() (hits, misses uint64, size int) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses, c.ll.Len()
+	n := c.ll.Len()
+	c.mu.Unlock()
+	return c.hits.Load(), c.misses.Load(), n
 }
 
 var _ core.EvalCache = (*Cache)(nil)

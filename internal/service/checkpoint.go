@@ -28,6 +28,7 @@ type persistedJob struct {
 	Checkpoint core.Checkpoint `json:"checkpoint"`
 	Result     *JobResult      `json:"result,omitempty"`
 	Created    time.Time       `json:"created"`
+	Started    time.Time       `json:"started,omitempty"`
 	Finished   time.Time       `json:"finished,omitempty"`
 }
 
@@ -46,6 +47,7 @@ func (s *Server) persist(job *Job) {
 		Checkpoint: job.checkpoint.Clone(),
 		Result:     job.result,
 		Created:    job.created,
+		Started:    job.started,
 		Finished:   job.finished,
 	}
 	job.mu.Unlock()
@@ -114,6 +116,7 @@ func (s *Server) loadCheckpoints() error {
 			result:     p.Result,
 			done:       make(chan struct{}),
 			created:    p.Created,
+			started:    p.Started,
 			finished:   p.Finished,
 		}
 		if seq := jobSeq(p.ID); seq >= s.nextID {

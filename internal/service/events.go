@@ -1,0 +1,164 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"datamime/internal/core"
+	"datamime/internal/telemetry"
+)
+
+// evalTelemetryEvent converts one core.EvalEvent into the telemetry event
+// that enters the job's event log, carrying the artifact attribute
+// conventions: error/best_error, 0/1 flags, per-metric EMD attribution, and
+// per-phase wall-clock timings.
+func evalTelemetryEvent(jobID string, ev core.EvalEvent) telemetry.Event {
+	attrs := make(map[string]float64, 4+len(ev.Record.Components)+len(ev.PhaseNS))
+	if !ev.Skipped {
+		attrs[telemetry.AttrError] = ev.Record.Error
+		attrs[telemetry.AttrBestError] = ev.Record.BestError
+	}
+	if ev.CacheHit {
+		attrs[telemetry.AttrCacheHit] = 1
+	}
+	if ev.Retried {
+		attrs[telemetry.AttrRetried] = 1
+	}
+	if ev.Replayed {
+		attrs[telemetry.AttrReplayed] = 1
+	}
+	if ev.SimCycles > 0 {
+		attrs[telemetry.AttrSimCycles] = ev.SimCycles
+	}
+	for k, v := range ev.Record.Components {
+		attrs[telemetry.EMDPrefix+k] = v
+	}
+	for ph, ns := range ev.PhaseNS {
+		attrs[telemetry.PhaseNSPrefix+ph+"_ns"] = float64(ns)
+	}
+	return telemetry.Event{
+		Type:    telemetry.TypeEval,
+		Job:     jobID,
+		Iter:    ev.Record.Iteration,
+		TimeNS:  time.Now().UnixNano(),
+		Skipped: ev.Skipped,
+		Msg:     ev.Err,
+		Params:  ev.Record.Params,
+		Attrs:   attrs,
+	}
+}
+
+// evalEventFromRecord synthesizes an eval event from a bare trace record,
+// for artifacts of jobs restored from disk (whose in-memory event log is
+// gone; checkpoints persist the trace but not cache/timing detail).
+func evalEventFromRecord(jobID string, rec core.IterationRecord) telemetry.Event {
+	attrs := make(map[string]float64, 2+len(rec.Components))
+	attrs[telemetry.AttrError] = rec.Error
+	attrs[telemetry.AttrBestError] = rec.BestError
+	for k, v := range rec.Components {
+		attrs[telemetry.EMDPrefix+k] = v
+	}
+	return telemetry.Event{
+		Type:   telemetry.TypeEval,
+		Job:    jobID,
+		Iter:   rec.Iteration,
+		Params: rec.Params,
+		Attrs:  attrs,
+	}
+}
+
+// handleEvents streams a job's telemetry events as Server-Sent Events:
+// one `event: eval` per iteration in iteration order, interleaved with
+// `event: span` phase timings when the job runs with telemetry, closing
+// with `event: done` once the job reaches a terminal state. Subscribers
+// joining mid-run first receive the full backlog.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	s.sseActive.Add(1)
+	defer s.sseActive.Add(-1)
+
+	idx := 0
+	for {
+		j.mu.Lock()
+		if idx > len(j.events) {
+			idx = 0 // the event log was reset by a resume; restart
+		}
+		batch := append([]telemetry.Event(nil), j.events[idx:]...)
+		idx = len(j.events)
+		state := j.state
+		sig := j.sigLocked()
+		j.mu.Unlock()
+
+		for _, ev := range batch {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data); err != nil {
+				return
+			}
+		}
+		if len(batch) > 0 {
+			fl.Flush()
+		}
+		if state.terminal() {
+			fmt.Fprintf(w, "event: done\ndata: {\"state\":%q}\n\n", state)
+			fl.Flush()
+			return
+		}
+		select {
+		case <-sig:
+		case <-r.Context().Done():
+			return
+		case <-s.rootCtx.Done():
+			return
+		}
+	}
+}
+
+// handleArtifact exports a job's JSONL run artifact: a log header line
+// followed by every recorded event. telemetry.ReplayBestTrace over the
+// artifact reconstructs the job's best-error series exactly. Jobs restored
+// from disk (no in-memory event log) get eval events synthesized from the
+// checkpoint-rebuilt trace.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+		return
+	}
+	j.mu.Lock()
+	events := append([]telemetry.Event(nil), j.events...)
+	trace := append([]core.IterationRecord(nil), j.trace...)
+	state := j.state
+	j.mu.Unlock()
+	if len(events) == 0 {
+		for _, rec := range trace {
+			events = append(events, evalEventFromRecord(j.ID(), rec))
+		}
+	}
+	header := telemetry.Event{
+		Type: telemetry.TypeLog,
+		Job:  j.ID(),
+		Msg:  fmt.Sprintf("datamime run artifact: state=%s events=%d", state, len(events)),
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%q", j.ID()+".jsonl"))
+	_ = telemetry.WriteJSONL(w, append([]telemetry.Event{header}, events...))
+}

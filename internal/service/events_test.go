@@ -1,0 +1,281 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"datamime/internal/datagen"
+	"datamime/internal/telemetry"
+)
+
+// newTelemetryServer is newTestServer with per-job telemetry enabled.
+func newTelemetryServer(t *testing.T, dir string) *Server {
+	t.Helper()
+	s, err := New(Config{
+		Workers:       1,
+		CheckpointDir: dir,
+		Generators:    []datagen.Generator{testGenerator()},
+		Telemetry:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// sseFrame is one parsed server-sent event.
+type sseFrame struct {
+	event string
+	data  string
+}
+
+// readSSE consumes an SSE stream until EOF, returning the frames.
+func readSSE(t *testing.T, resp *http.Response) []sseFrame {
+	t.Helper()
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+	var frames []sseFrame
+	var cur sseFrame
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.event != "" || cur.data != "" {
+				frames = append(frames, cur)
+			}
+			cur = sseFrame{}
+		case strings.HasPrefix(line, "event: "):
+			cur.event = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			cur.data = line[len("data: "):]
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading SSE stream: %v", err)
+	}
+	return frames
+}
+
+// TestSSEStreamsEventsInOrder: a live job's /events stream delivers one eval
+// event per iteration in iteration order, interleaves phase spans when
+// telemetry is on, and closes cleanly with a done frame at completion.
+func TestSSEStreamsEventsInOrder(t *testing.T) {
+	svc := newTelemetryServer(t, "")
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	const iterations = 12
+	var submitted struct {
+		ID string `json:"id"`
+	}
+	if code := httpJSON(t, ts, "POST", "/jobs", testSpec(iterations, 21), &submitted); code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/jobs/" + submitted.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := readSSE(t, resp)
+	if len(frames) == 0 {
+		t.Fatal("no SSE frames received")
+	}
+	last := frames[len(frames)-1]
+	if last.event != "done" || !strings.Contains(last.data, "succeeded") {
+		t.Fatalf("stream did not end with done/succeeded: %+v", last)
+	}
+
+	var evalIters []int
+	spans := 0
+	for _, fr := range frames[:len(frames)-1] {
+		var ev telemetry.Event
+		if err := json.Unmarshal([]byte(fr.data), &ev); err != nil {
+			t.Fatalf("frame %q: %v", fr.data, err)
+		}
+		if fr.event != ev.Type {
+			t.Fatalf("SSE event name %q != payload type %q", fr.event, ev.Type)
+		}
+		if ev.Job != submitted.ID {
+			t.Fatalf("event for job %q on %q's stream", ev.Job, submitted.ID)
+		}
+		switch ev.Type {
+		case telemetry.TypeEval:
+			evalIters = append(evalIters, ev.Iter)
+			if !ev.Skipped {
+				if _, ok := ev.Attrs[telemetry.AttrBestError]; !ok {
+					t.Fatalf("eval event without best_error: %+v", ev)
+				}
+			}
+		case telemetry.TypeSpan:
+			spans++
+		}
+	}
+	if len(evalIters) != iterations {
+		t.Fatalf("streamed %d eval events, want %d (%v)", len(evalIters), iterations, evalIters)
+	}
+	for i, it := range evalIters {
+		if it != i {
+			t.Fatalf("eval events out of iteration order: %v", evalIters)
+		}
+	}
+	if spans == 0 {
+		t.Fatal("no phase spans streamed with telemetry enabled")
+	}
+}
+
+// TestSSEClientDisconnect: an abandoned subscription is cleaned up (the
+// handler returns and the subscriber gauge drops) without affecting the job.
+func TestSSEClientDisconnect(t *testing.T) {
+	svc := newTelemetryServer(t, "")
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	var submitted struct {
+		ID string `json:"id"`
+	}
+	if code := httpJSON(t, ts, "POST", "/jobs", testSpec(500, 8), &submitted); code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "GET", ts.URL+"/jobs/"+submitted.ID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "subscriber to register", func() bool { return svc.sseActive.Load() == 1 })
+	cancel()
+	resp.Body.Close()
+	waitFor(t, "subscriber cleanup after disconnect", func() bool { return svc.sseActive.Load() == 0 })
+
+	if code := httpJSON(t, ts, "POST", "/jobs/"+submitted.ID+"/cancel", nil, nil); code != http.StatusOK {
+		t.Fatalf("cancel = %d", code)
+	}
+	waitFor(t, "job to cancel", func() bool {
+		var st JobStatus
+		httpJSON(t, ts, "GET", "/jobs/"+submitted.ID, nil, &st)
+		return st.State == JobCanceled
+	})
+}
+
+// TestArtifactReplaysJobTrace: the acceptance criterion at the service
+// level — the exported JSONL artifact replays to exactly the job's
+// best-error series.
+func TestArtifactReplaysJobTrace(t *testing.T) {
+	svc := newTelemetryServer(t, "")
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	var submitted struct {
+		ID string `json:"id"`
+	}
+	if code := httpJSON(t, ts, "POST", "/jobs", testSpec(10, 4), &submitted); code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	var st JobStatus
+	waitFor(t, "job to succeed", func() bool {
+		st = JobStatus{}
+		httpJSON(t, ts, "GET", "/jobs/"+submitted.ID, nil, &st)
+		return st.State == JobSucceeded
+	})
+	want := make([]float64, len(st.Trace))
+	for i, rec := range st.Trace {
+		want[i] = rec.BestError
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/jobs/" + submitted.ID + "/artifact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("artifact = %d", resp.StatusCode)
+	}
+	replayed, err := telemetry.ReplayBestTrace(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(replayed, want) {
+		t.Fatalf("artifact replay diverged:\nreplayed %v\njob      %v", replayed, want)
+	}
+
+	// The job status carries wall-clock fields now that it finished.
+	if st.Started == nil || st.Finished == nil || st.DurationSeconds <= 0 {
+		t.Fatalf("missing timing fields: started=%v finished=%v duration=%g",
+			st.Started, st.Finished, st.DurationSeconds)
+	}
+
+	// Duration also appears in the listing.
+	var listing struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	httpJSON(t, ts, "GET", "/jobs", nil, &listing)
+	if len(listing.Jobs) != 1 {
+		t.Fatalf("listing has %d jobs", len(listing.Jobs))
+	}
+	if listing.Jobs[0].DurationSeconds <= 0 || listing.Jobs[0].Started == nil {
+		t.Fatalf("listing missing timing fields: %+v", listing.Jobs[0])
+	}
+}
+
+// TestArtifactFromRestoredJob: a finished job restored from disk (whose
+// in-memory event log is gone) still exports a replayable artifact,
+// synthesized from its checkpoint-rebuilt trace.
+func TestArtifactFromRestoredJob(t *testing.T) {
+	dir := t.TempDir()
+	svc := newTelemetryServer(t, dir)
+	ts := httptest.NewServer(svc.Handler())
+
+	var submitted struct {
+		ID string `json:"id"`
+	}
+	if code := httpJSON(t, ts, "POST", "/jobs", testSpec(6, 13), &submitted); code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	var st JobStatus
+	waitFor(t, "job to succeed", func() bool {
+		st = JobStatus{}
+		httpJSON(t, ts, "GET", "/jobs/"+submitted.ID, nil, &st)
+		return st.State == JobSucceeded
+	})
+	want := make([]float64, len(st.Trace))
+	for i, rec := range st.Trace {
+		want[i] = rec.BestError
+	}
+	ts.Close()
+	svc.Close()
+
+	svc2 := newTelemetryServer(t, dir)
+	defer svc2.Close()
+	ts2 := httptest.NewServer(svc2.Handler())
+	defer ts2.Close()
+	resp, err := ts2.Client().Get(ts2.URL + fmt.Sprintf("/jobs/%s/artifact", submitted.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	replayed, err := telemetry.ReplayBestTrace(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(replayed, want) {
+		t.Fatalf("restored artifact diverged:\nreplayed %v\nwant     %v", replayed, want)
+	}
+}

@@ -14,6 +14,9 @@ import (
 //	GET  /jobs/{id}          full status + convergence trace (?since=N
 //	                         returns only trace records from index N)
 //	GET  /jobs/{id}/result   the final result (409 until the job is done)
+//	GET  /jobs/{id}/events   live SSE stream of eval events + phase spans
+//	GET  /jobs/{id}/artifact JSONL run artifact (telemetry.ReplayBestTrace
+//	                         reconstructs the convergence series from it)
 //	POST /jobs/{id}/cancel   cancel a queued or running job
 //	GET  /metrics            stdlib text-format operational metrics
 //	GET  /healthz            liveness probe
@@ -23,6 +26,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /jobs/{id}/artifact", s.handleArtifact)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {

@@ -13,6 +13,7 @@ import (
 	"datamime/internal/opt"
 	"datamime/internal/profile"
 	"datamime/internal/sim"
+	"datamime/internal/telemetry"
 )
 
 // JobState is a job's lifecycle phase.
@@ -133,10 +134,10 @@ type JobResult struct {
 
 // JobStatus is the JSON view of a job returned by GET /jobs/{id}.
 type JobStatus struct {
-	ID    string  `json:"id"`
+	ID    string   `json:"id"`
 	State JobState `json:"state"`
-	Error string  `json:"error,omitempty"`
-	Spec  JobSpec `json:"spec"`
+	Error string   `json:"error,omitempty"`
+	Spec  JobSpec  `json:"spec"`
 	// Iterations counts finished iterations (trace records + skips);
 	// Total is the budget.
 	Iterations int `json:"iterations_done"`
@@ -153,9 +154,15 @@ type JobStatus struct {
 	Trace    []core.IterationRecord `json:"trace,omitempty"`
 	TraceLen int                    `json:"trace_len"`
 	Result   *JobResult             `json:"result,omitempty"`
-	Created  time.Time              `json:"created"`
-	Started  *time.Time             `json:"started,omitempty"`
-	Finished *time.Time             `json:"finished,omitempty"`
+	Created  time.Time              `json:"created_at"`
+	Started  *time.Time             `json:"started_at,omitempty"`
+	Finished *time.Time             `json:"finished_at,omitempty"`
+	// DurationSeconds is the job's wall-clock run time: finished−started
+	// for terminal jobs, time since start for running ones, 0 before start.
+	DurationSeconds float64 `json:"duration_seconds,omitempty"`
+	// TelemetryEvents counts telemetry events the job's recorder has seen
+	// over its lifetime (0 when the server runs without -telemetry).
+	TelemetryEvents uint64 `json:"telemetry_events,omitempty"`
 }
 
 // Job is one tracked search. All mutable fields are guarded by mu; the
@@ -185,6 +192,16 @@ type Job struct {
 	created  time.Time
 	started  time.Time
 	finished time.Time
+
+	// events is the append-only telemetry event log backing
+	// GET /jobs/{id}/events and /artifact: one eval event per iteration
+	// (always, even with telemetry disabled) interleaved with phase spans
+	// when the job runs with telemetry. eventsSig is closed and replaced
+	// whenever events grows or the job reaches a terminal state, waking
+	// SSE subscribers.
+	events    []telemetry.Event
+	eventsSig chan struct{}
+	recorder  *telemetry.Recorder
 }
 
 // ID returns the job's identifier.
@@ -199,19 +216,20 @@ func (j *Job) status(since int) JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := JobStatus{
-		ID:          j.id,
-		State:       j.state,
-		Error:       j.errMsg,
-		Spec:        j.spec,
-		Iterations:  len(j.trace) + j.skipped,
-		Total:       j.spec.Iterations,
-		Evaluations: j.evals,
-		CacheHits:   j.cacheHits,
-		Skipped:     j.skipped,
-		SimCycles:   j.simCycles,
-		TraceLen:    len(j.trace),
-		Result:      j.result,
-		Created:     j.created,
+		ID:              j.id,
+		State:           j.state,
+		Error:           j.errMsg,
+		Spec:            j.spec,
+		Iterations:      len(j.trace) + j.skipped,
+		Total:           j.spec.Iterations,
+		Evaluations:     j.evals,
+		CacheHits:       j.cacheHits,
+		Skipped:         j.skipped,
+		SimCycles:       j.simCycles,
+		TraceLen:        len(j.trace),
+		Result:          j.result,
+		Created:         j.created,
+		TelemetryEvents: j.recorder.Total(), // nil-safe when telemetry is off
 	}
 	if len(j.trace) > 0 {
 		st.BestError = j.trace[len(j.trace)-1].BestError
@@ -225,12 +243,43 @@ func (j *Job) status(since int) JobStatus {
 	if !j.started.IsZero() {
 		t := j.started
 		st.Started = &t
+		if !j.finished.IsZero() {
+			st.DurationSeconds = j.finished.Sub(j.started).Seconds()
+		} else {
+			st.DurationSeconds = time.Since(j.started).Seconds()
+		}
 	}
 	if !j.finished.IsZero() {
 		t := j.finished
 		st.Finished = &t
 	}
 	return st
+}
+
+// appendEvent appends one telemetry event to the job's event log and wakes
+// SSE subscribers.
+func (j *Job) appendEvent(ev telemetry.Event) {
+	j.mu.Lock()
+	j.events = append(j.events, ev)
+	j.wakeLocked()
+	j.mu.Unlock()
+}
+
+// wakeLocked signals event subscribers. Callers hold j.mu.
+func (j *Job) wakeLocked() {
+	if j.eventsSig != nil {
+		close(j.eventsSig)
+	}
+	j.eventsSig = make(chan struct{})
+}
+
+// sigLocked returns the channel the next wake will close, creating it on
+// first use. Callers hold j.mu.
+func (j *Job) sigLocked() chan struct{} {
+	if j.eventsSig == nil {
+		j.eventsSig = make(chan struct{})
+	}
+	return j.eventsSig
 }
 
 // buildSearch resolves a spec into a runnable core.SearchConfig. The

@@ -3,13 +3,15 @@ package service
 import (
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 )
 
 // handleMetrics renders operational gauges and counters in the Prometheus
 // text exposition format, using only the standard library: jobs by state,
-// worker-pool occupancy, evaluation-cache effectiveness, and cumulative
-// simulated work.
+// worker-pool occupancy, evaluation-cache effectiveness, cumulative
+// simulated work, search-phase latency histograms, and per-job progress
+// gauges for jobs that are still queued or running.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 
@@ -48,14 +50,100 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE datamimed_evaluations_retried_total counter\n")
 	fmt.Fprintf(w, "datamimed_evaluations_retried_total %d\n", s.retriedTotal.Load())
 
-	s.cyclesMu.Lock()
-	cycles := s.cyclesTotal
-	s.cyclesMu.Unlock()
 	fmt.Fprintf(w, "# HELP datamimed_simulated_cycles_total Estimated simulated cycles spent profiling.\n")
 	fmt.Fprintf(w, "# TYPE datamimed_simulated_cycles_total counter\n")
-	fmt.Fprintf(w, "datamimed_simulated_cycles_total %g\n", cycles)
+	fmt.Fprintf(w, "datamimed_simulated_cycles_total %g\n", s.cyclesTotal.Load())
+
+	fmt.Fprintf(w, "# HELP datamimed_sse_subscribers Open /events subscriptions.\n")
+	fmt.Fprintf(w, "# TYPE datamimed_sse_subscribers gauge\n")
+	fmt.Fprintf(w, "datamimed_sse_subscribers %d\n", s.sseActive.Load())
+
+	s.writePhaseHistograms(w)
+	s.writeJobGauges(w)
 
 	fmt.Fprintf(w, "# HELP datamimed_uptime_seconds Seconds since the server started.\n")
 	fmt.Fprintf(w, "# TYPE datamimed_uptime_seconds gauge\n")
 	fmt.Fprintf(w, "datamimed_uptime_seconds %g\n", time.Since(s.started).Seconds())
+}
+
+// writePhaseHistograms renders the search-phase latency histogram family
+// (one series set per observed phase). Empty until a telemetry-enabled job
+// has run a phase.
+func (s *Server) writePhaseHistograms(w http.ResponseWriter) {
+	labels := s.phaseHist.Labels()
+	if len(labels) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP datamimed_phase_seconds Search phase latency, by phase.\n")
+	fmt.Fprintf(w, "# TYPE datamimed_phase_seconds histogram\n")
+	for _, phase := range labels {
+		h := s.phaseHist.Get(phase)
+		if h == nil {
+			continue
+		}
+		snap := h.Snapshot()
+		for i, b := range snap.Bounds {
+			fmt.Fprintf(w, "datamimed_phase_seconds_bucket{phase=%q,le=%q} %d\n",
+				phase, formatBound(b), snap.Cumulative[i])
+		}
+		fmt.Fprintf(w, "datamimed_phase_seconds_bucket{phase=%q,le=\"+Inf\"} %d\n",
+			phase, snap.Count)
+		fmt.Fprintf(w, "datamimed_phase_seconds_sum{phase=%q} %g\n", phase, snap.Sum)
+		fmt.Fprintf(w, "datamimed_phase_seconds_count{phase=%q} %d\n", phase, snap.Count)
+	}
+}
+
+// writeJobGauges renders per-job progress gauges for non-terminal jobs
+// (terminal jobs drop out so the label set stays bounded by the queue).
+func (s *Server) writeJobGauges(w http.ResponseWriter) {
+	type row struct {
+		id        string
+		iters     int
+		best      float64
+		hasBest   bool
+		simCycles float64
+	}
+	var rows []row
+	for _, j := range s.Jobs() {
+		j.mu.Lock()
+		if !j.state.terminal() {
+			rw := row{
+				id:        j.id,
+				iters:     len(j.trace) + j.skipped,
+				simCycles: j.simCycles,
+			}
+			if len(j.trace) > 0 {
+				rw.best = j.trace[len(j.trace)-1].BestError
+				rw.hasBest = true
+			}
+			rows = append(rows, rw)
+		}
+		j.mu.Unlock()
+	}
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP datamimed_job_iterations_done Finished iterations of each active job.\n")
+	fmt.Fprintf(w, "# TYPE datamimed_job_iterations_done gauge\n")
+	for _, rw := range rows {
+		fmt.Fprintf(w, "datamimed_job_iterations_done{job=%q} %d\n", rw.id, rw.iters)
+	}
+	fmt.Fprintf(w, "# HELP datamimed_job_best_error Running minimum objective value of each active job.\n")
+	fmt.Fprintf(w, "# TYPE datamimed_job_best_error gauge\n")
+	for _, rw := range rows {
+		if rw.hasBest {
+			fmt.Fprintf(w, "datamimed_job_best_error{job=%q} %g\n", rw.id, rw.best)
+		}
+	}
+	fmt.Fprintf(w, "# HELP datamimed_job_sim_cycles Estimated simulated cycles spent by each active job.\n")
+	fmt.Fprintf(w, "# TYPE datamimed_job_sim_cycles gauge\n")
+	for _, rw := range rows {
+		fmt.Fprintf(w, "datamimed_job_sim_cycles{job=%q} %g\n", rw.id, rw.simCycles)
+	}
+}
+
+// formatBound renders a histogram upper bound the way Prometheus clients
+// expect (shortest round-trippable decimal).
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
 }

@@ -4,12 +4,14 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"datamime/internal/core"
 	"datamime/internal/datagen"
+	"datamime/internal/telemetry"
 )
 
 // Config configures a Server.
@@ -31,8 +33,18 @@ type Config struct {
 	// Generators registers extra dataset generators beyond the built-in
 	// Table III set (datagen.All), e.g. custom §III-B generators.
 	Generators []datagen.Generator
-	// Log, when non-nil, receives one line per job state transition.
+	// Log, when non-nil, receives one line per job state transition
+	// (rendered by telemetry.NewLineLogger).
 	Log io.Writer
+	// Telemetry enables per-job span recording: each running job gets a
+	// telemetry.Recorder whose phase spans feed the /metrics latency
+	// histograms and the job's SSE event stream. Off by default; eval
+	// events (and therefore /events and /artifact) work either way —
+	// telemetry only adds the phase spans.
+	Telemetry bool
+	// TelemetryRingCapacity bounds each job's flight-recorder ring
+	// (default 512 events). Only meaningful with Telemetry set.
+	TelemetryRingCapacity int
 }
 
 // Server schedules and tracks search jobs. Create with New, serve its
@@ -61,9 +73,15 @@ type Server struct {
 	evalsTotal   atomic.Int64
 	skippedTotal atomic.Int64
 	retriedTotal atomic.Int64
-	cyclesMu     sync.Mutex
-	cyclesTotal  float64
+	cyclesTotal  telemetry.Float64
 
+	// phaseHist aggregates search-phase latencies across all jobs for the
+	// /metrics histogram family; populated only when telemetry is on.
+	phaseHist *telemetry.HistogramVec
+	// sseActive counts open /events subscriptions.
+	sseActive atomic.Int64
+
+	logger  *slog.Logger
 	started time.Time
 }
 
@@ -86,7 +104,11 @@ func New(cfg Config) (*Server, error) {
 		queue:      make(chan *Job, cfg.QueueDepth),
 		rootCtx:    ctx,
 		rootCancel: cancel,
+		phaseHist:  telemetry.NewHistogramVec(nil),
 		started:    time.Now(),
+	}
+	if cfg.Log != nil {
+		s.logger = telemetry.NewLineLogger(cfg.Log)
 	}
 	for _, g := range datagen.All() {
 		s.gens[g.Name] = g
@@ -258,10 +280,32 @@ func (s *Server) runJob(job *Job) {
 		return
 	}
 	cfg.Cache = s.cache
+	if s.cfg.Telemetry {
+		rec := telemetry.New(telemetry.Options{
+			Capacity: s.cfg.TelemetryRingCapacity,
+			OnEvent: func(ev telemetry.Event) {
+				// Eval events are built uniformly in OnEval below (they
+				// flow with telemetry off too); only spans pass through.
+				if ev.Type != telemetry.TypeSpan {
+					return
+				}
+				ev.Job = job.id
+				s.phaseHist.Observe(ev.Phase, time.Duration(ev.DurNS))
+				job.appendEvent(ev)
+			},
+		})
+		job.mu.Lock()
+		job.recorder = rec
+		job.mu.Unlock()
+		cfg.Telemetry = rec
+		cfg.Profiler.Telemetry = rec
+	}
 	if len(resume.Entries) > 0 {
 		job.mu.Lock()
-		// The replay rebuilds the trace and counters from iteration 0.
+		// The replay rebuilds the trace, counters, and event log from
+		// iteration 0.
 		job.trace = nil
+		job.events = nil
 		job.evals, job.cacheHits, job.skipped, job.simCycles = 0, 0, 0, 0
 		job.mu.Unlock()
 		cfg.Resume = &resume
@@ -279,6 +323,7 @@ func (s *Server) runJob(job *Job) {
 			job.simCycles += ev.SimCycles
 		}
 		job.mu.Unlock()
+		job.appendEvent(evalTelemetryEvent(job.id, ev))
 		if !ev.Replayed {
 			if ev.Skipped {
 				s.skippedTotal.Add(1)
@@ -289,9 +334,7 @@ func (s *Server) runJob(job *Job) {
 				s.retriedTotal.Add(1)
 			}
 			if ev.SimCycles > 0 {
-				s.cyclesMu.Lock()
-				s.cyclesTotal += ev.SimCycles
-				s.cyclesMu.Unlock()
+				s.cyclesTotal.Add(ev.SimCycles)
 			}
 		}
 	}
@@ -358,6 +401,7 @@ func (s *Server) finish(job *Job, state JobState, errMsg string) {
 	job.errMsg = errMsg
 	job.finished = time.Now()
 	done := job.done
+	job.wakeLocked() // SSE subscribers observe the terminal state
 	job.mu.Unlock()
 	close(done)
 	s.persist(job)
@@ -380,8 +424,29 @@ func (s *Server) jobCounts() map[JobState]int {
 }
 
 func (s *Server) logf(format string, args ...interface{}) {
-	if s.cfg.Log != nil {
-		fmt.Fprintf(s.cfg.Log, "datamimed: "+format+"\n", args...)
+	if s.logger != nil {
+		s.logger.Info("datamimed: " + fmt.Sprintf(format, args...))
+	}
+}
+
+// DebugVars snapshots the server's operational state for expvar publication
+// (cmd/datamimed -debug exposes it at /debug/vars under "datamimed").
+func (s *Server) DebugVars() interface{} {
+	hits, misses, size := s.cache.Stats()
+	return map[string]interface{}{
+		"jobs":              s.jobCounts(),
+		"workers":           s.cfg.Workers,
+		"workers_busy":      s.busyWorkers.Load(),
+		"cache_hits":        hits,
+		"cache_misses":      misses,
+		"cache_entries":     size,
+		"evaluations_total": s.evalsTotal.Load(),
+		"skipped_total":     s.skippedTotal.Load(),
+		"retried_total":     s.retriedTotal.Load(),
+		"sim_cycles_total":  s.cyclesTotal.Load(),
+		"sse_subscribers":   s.sseActive.Load(),
+		"telemetry_enabled": s.cfg.Telemetry,
+		"uptime_seconds":    time.Since(s.started).Seconds(),
 	}
 }
 

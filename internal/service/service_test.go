@@ -364,11 +364,11 @@ func TestCacheLRU(t *testing.T) {
 func TestSpecValidation(t *testing.T) {
 	bad := []JobSpec{
 		{},
-		{Iterations: 5},                                                          // no objective
-		{Iterations: 5, Metric: "ipc", Workload: "mem-fb"},                       // two objectives
-		{Iterations: 5, Metric: "ipc"},                                           // no generator
-		{Iterations: 5, Metric: "ipc", Generator: "g", OnEvalError: "explode"},   // bad policy
-		{Iterations: 5, Metric: "ipc", Generator: "g", Optimizer: "gradient"},    // bad optimizer
+		{Iterations: 5}, // no objective
+		{Iterations: 5, Metric: "ipc", Workload: "mem-fb"},                     // two objectives
+		{Iterations: 5, Metric: "ipc"},                                         // no generator
+		{Iterations: 5, Metric: "ipc", Generator: "g", OnEvalError: "explode"}, // bad policy
+		{Iterations: 5, Metric: "ipc", Generator: "g", Optimizer: "gradient"},  // bad optimizer
 	}
 	for i, spec := range bad {
 		if err := spec.Validate(); err == nil {

@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// The JSONL run artifact is a newline-delimited stream of Event objects:
+// one eval event per iteration (in iteration order) interleaved with span
+// events. It is self-describing enough for offline analysis — convergence
+// plots, phase-latency breakdowns, per-metric EMD attribution — without the
+// in-memory Result, and ReplayBestTrace reconstructs the Fig. 10 series
+// from it exactly.
+
+// Attribute keys used by eval events in the artifact.
+const (
+	// AttrError and AttrBestError carry the iteration's objective value
+	// and the running minimum (the Fig. 10 series).
+	AttrError     = "error"
+	AttrBestError = "best_error"
+	// AttrCacheHit, AttrRetried, AttrReplayed are 0/1 flags.
+	AttrCacheHit = "cache_hit"
+	AttrRetried  = "retried"
+	AttrReplayed = "replayed"
+	// AttrSimCycles is the estimated simulated cycles the evaluation cost.
+	AttrSimCycles = "sim_cycles"
+	// EMDPrefix prefixes per-component EMD attribution attributes
+	// ("emd_l1d_mpki", "emd_ipc_curve", ...).
+	EMDPrefix = "emd_"
+	// PhaseNSPrefix prefixes per-phase wall-clock attributes on eval
+	// events ("phase_generate_ns", "phase_profile_ns").
+	PhaseNSPrefix = "phase_"
+)
+
+// WriteJSONL writes events to w, one JSON object per line.
+func WriteJSONL(w io.Writer, events []Event) error {
+	enc := json.NewEncoder(w)
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return fmt.Errorf("telemetry: encoding artifact line %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// NewJSONLSink returns an OnEvent sink that streams every event to w as a
+// JSONL line. Writes are serialized; errors are dropped (telemetry must
+// never fail the search).
+func NewJSONLSink(w io.Writer) func(Event) {
+	enc := json.NewEncoder(w)
+	var mu sync.Mutex
+	return func(ev Event) {
+		mu.Lock()
+		_ = enc.Encode(&ev)
+		mu.Unlock()
+	}
+}
+
+// ReplayBestTrace reads a JSONL run artifact and reconstructs the
+// best-error-so-far series: the best_error attribute of every non-skipped
+// eval event, in stream order. Unknown line types are ignored, so artifacts
+// may carry extra header or span lines.
+func ReplayBestTrace(r io.Reader) ([]float64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []float64
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return nil, fmt.Errorf("telemetry: artifact line %d: %w", line, err)
+		}
+		if ev.Type != TypeEval || ev.Skipped {
+			continue
+		}
+		best, ok := ev.Attrs[AttrBestError]
+		if !ok {
+			return nil, fmt.Errorf("telemetry: artifact line %d: eval event without %s", line, AttrBestError)
+		}
+		out = append(out, best)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: reading artifact: %w", err)
+	}
+	return out, nil
+}

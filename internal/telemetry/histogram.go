@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Float64 is an atomic float64 built on uint64 bit patterns: a lock-free
+// replacement for mutex-guarded float accumulators on hot paths.
+type Float64 struct {
+	bits atomic.Uint64
+}
+
+// Add atomically adds v.
+func (f *Float64) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Load atomically reads the current value.
+func (f *Float64) Load() float64 {
+	return math.Float64frombits(f.bits.Load())
+}
+
+// Store atomically replaces the current value.
+func (f *Float64) Store(v float64) {
+	f.bits.Store(math.Float64bits(v))
+}
+
+// DefaultLatencyBounds are exponential bucket upper bounds in seconds,
+// 10 µs to ~21 s doubling, suited to phase latencies from GP fits (µs–ms)
+// to full profiling runs (ms–s).
+func DefaultLatencyBounds() []float64 {
+	bounds := make([]float64, 0, 22)
+	for b := 10e-6; b < 30; b *= 2 {
+		bounds = append(bounds, b)
+	}
+	return bounds
+}
+
+// Histogram is a fixed-bucket latency histogram with atomic counters: safe
+// for concurrent Observe and Snapshot without locks.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds in seconds; +Inf is implicit
+	counts []atomic.Uint64
+	sum    Float64
+	count  atomic.Uint64
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds (in
+// seconds). Nil or empty bounds select DefaultLatencyBounds.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBounds()
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	i := sort.SearchFloat64s(h.bounds, s) // first bound >= s; len(bounds) = +Inf
+	h.counts[i].Add(1)
+	h.sum.Add(s)
+	h.count.Add(1)
+}
+
+// HistogramSnapshot is a consistent-enough point-in-time view for
+// exposition: cumulative bucket counts per bound (ending with the +Inf
+// bucket equal to Count), total sum of observed seconds, and count.
+type HistogramSnapshot struct {
+	Bounds     []float64 // upper bounds; the final +Inf is implicit
+	Cumulative []uint64  // len(Bounds)+1; last entry is the +Inf bucket
+	Sum        float64
+	Count      uint64
+}
+
+// Snapshot reads the histogram. Concurrent observations may straddle the
+// read; the +Inf bucket is forced to the bucket total so the exposition
+// stays internally consistent.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	snap := HistogramSnapshot{
+		Bounds:     append([]float64(nil), h.bounds...),
+		Cumulative: make([]uint64, len(h.counts)),
+		Sum:        h.sum.Load(),
+		Count:      h.count.Load(),
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		snap.Cumulative[i] = cum
+	}
+	// Force bucket-total consistency under concurrent writers.
+	snap.Count = snap.Cumulative[len(snap.Cumulative)-1]
+	return snap
+}
+
+// HistogramVec groups histograms by a single label value (e.g. phase name),
+// creating them lazily on first observation.
+type HistogramVec struct {
+	mu     sync.RWMutex
+	bounds []float64
+	m      map[string]*Histogram
+}
+
+// NewHistogramVec builds a vector whose member histograms share bounds
+// (nil selects DefaultLatencyBounds).
+func NewHistogramVec(bounds []float64) *HistogramVec {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBounds()
+	}
+	return &HistogramVec{
+		bounds: append([]float64(nil), bounds...),
+		m:      make(map[string]*Histogram),
+	}
+}
+
+// Observe records one duration under the given label.
+func (v *HistogramVec) Observe(label string, d time.Duration) {
+	v.mu.RLock()
+	h := v.m[label]
+	v.mu.RUnlock()
+	if h == nil {
+		v.mu.Lock()
+		h = v.m[label]
+		if h == nil {
+			h = NewHistogram(v.bounds)
+			v.m[label] = h
+		}
+		v.mu.Unlock()
+	}
+	h.Observe(d)
+}
+
+// Labels returns the observed label values, sorted.
+func (v *HistogramVec) Labels() []string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make([]string, 0, len(v.m))
+	for l := range v.m {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns the histogram for a label, or nil if never observed.
+func (v *HistogramVec) Get(label string) *Histogram {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.m[label]
+}

@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync"
+)
+
+// NewLineLogger returns a structured logger that renders each record as one
+// deterministic line on w — "msg key=val key=val" with no timestamps or
+// levels — so example and CLI output stays reproducible run to run. It is
+// the routing target for the legacy io.Writer log fields
+// (core.SearchConfig.Log, service.Config.Log).
+func NewLineLogger(w io.Writer) *slog.Logger {
+	return slog.New(&lineHandler{w: w, mu: &sync.Mutex{}})
+}
+
+// lineHandler is a minimal slog.Handler writing single plain-text lines.
+// Groups are flattened with a dot prefix.
+type lineHandler struct {
+	mu     *sync.Mutex
+	w      io.Writer
+	prefix string
+	attrs  []slog.Attr
+}
+
+func (h *lineHandler) Enabled(_ context.Context, level slog.Level) bool {
+	return level >= slog.LevelInfo
+}
+
+func (h *lineHandler) Handle(_ context.Context, rec slog.Record) error {
+	var b strings.Builder
+	b.WriteString(rec.Message)
+	for _, a := range h.attrs {
+		writeAttr(&b, h.prefix, a)
+	}
+	rec.Attrs(func(a slog.Attr) bool {
+		writeAttr(&b, h.prefix, a)
+		return true
+	})
+	b.WriteByte('\n')
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, err := io.WriteString(h.w, b.String())
+	return err
+}
+
+func writeAttr(b *strings.Builder, prefix string, a slog.Attr) {
+	if a.Value.Kind() == slog.KindGroup {
+		p := prefix + a.Key + "."
+		for _, ga := range a.Value.Group() {
+			writeAttr(b, p, ga)
+		}
+		return
+	}
+	v := a.Value.String()
+	b.WriteByte(' ')
+	b.WriteString(prefix)
+	b.WriteString(a.Key)
+	b.WriteByte('=')
+	if strings.ContainsAny(v, " \t\"") {
+		fmt.Fprintf(b, "%q", v)
+	} else {
+		b.WriteString(v)
+	}
+}
+
+func (h *lineHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	out := *h
+	out.attrs = append(append([]slog.Attr(nil), h.attrs...), attrs...)
+	return &out
+}
+
+func (h *lineHandler) WithGroup(name string) slog.Handler {
+	out := *h
+	out.prefix = h.prefix + name + "."
+	return &out
+}

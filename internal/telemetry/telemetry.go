@@ -1,0 +1,220 @@
+// Package telemetry is the dependency-free tracing and metrics core behind
+// Datamime's observability: a span recorder with monotonic phase timings, a
+// bounded flight-recorder ring buffer of recent events, a JSONL run-artifact
+// format (see artifact.go), lock-free latency histograms (histogram.go), and
+// a deterministic slog-based line logger (logger.go).
+//
+// Telemetry is off by default and near-zero-cost when disabled: every
+// Recorder method is safe on a nil receiver and returns after a single nil
+// check without reading the clock or allocating, so instrumented code paths
+// (the search loop, the profiler) carry a nil *Recorder with no overhead.
+// Telemetry never feeds back into the search: enabling it cannot perturb
+// proposals, seeds, or results.
+package telemetry
+
+import (
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// Canonical phase names emitted by the search pipeline. Span consumers
+// (phase histograms, SSE streams) key on these.
+const (
+	// PhasePropose covers one batch proposal (optimizer.Next/NextBatch).
+	PhasePropose = "propose"
+	// PhaseGPFit and PhaseAcquisition are the optimizer-internal phases of
+	// a Bayesian-optimization proposal, surfaced via opt.TimingReporter.
+	PhaseGPFit       = "gp_fit"
+	PhaseAcquisition = "acquisition"
+	// PhaseGenerate covers dataset generation (Generator.Benchmark).
+	PhaseGenerate = "generate"
+	// PhaseProfile covers one full candidate measurement (app run + sim).
+	PhaseProfile = "profile"
+	// PhaseProfileRun and PhaseProfileCurves are the profiler-internal
+	// phases: the main counter-window run and the cache-sensitivity sweep.
+	PhaseProfileRun    = "profile.run"
+	PhaseProfileCurves = "profile.curves"
+	// PhaseObserve covers feeding a batch's results back to the optimizer.
+	PhaseObserve = "observe"
+)
+
+// Event types.
+const (
+	// TypeSpan is a closed span: a phase with a duration.
+	TypeSpan = "span"
+	// TypeEval is one finished search iteration.
+	TypeEval = "eval"
+	// TypeLog is a free-form message.
+	TypeLog = "log"
+)
+
+// Event is one telemetry record: a closed span, a finished evaluation, or a
+// log message. Events marshal one-per-line into the JSONL run artifact.
+// TimeNS is informational wall-clock (UnixNano); DurNS is measured on the
+// monotonic clock.
+type Event struct {
+	Type    string             `json:"type"`
+	Job     string             `json:"job,omitempty"`
+	Iter    int                `json:"iter,omitempty"`
+	Phase   string             `json:"phase,omitempty"`
+	DurNS   int64              `json:"dur_ns,omitempty"`
+	TimeNS  int64              `json:"time_ns,omitempty"`
+	Skipped bool               `json:"skipped,omitempty"`
+	Msg     string             `json:"msg,omitempty"`
+	Params  []float64          `json:"params,omitempty"`
+	Attrs   map[string]float64 `json:"attrs,omitempty"`
+}
+
+// Options configures a Recorder.
+type Options struct {
+	// Capacity bounds the flight-recorder ring (default 512 events).
+	Capacity int
+	// OnEvent, when non-nil, is called synchronously for every event.
+	// Events emitted by one goroutine arrive in emission order; events
+	// from concurrent emitters (parallel evaluations) may interleave.
+	OnEvent func(Event)
+	// Logger, when non-nil, receives every event at Debug level.
+	Logger *slog.Logger
+}
+
+// Recorder collects spans and events. A nil Recorder is valid and disabled:
+// all methods are nil-safe no-ops, so instrumented code needs no branches
+// beyond the receiver check the calls already perform.
+type Recorder struct {
+	mu    sync.Mutex
+	ring  []Event
+	next  int
+	full  bool
+	total uint64
+
+	onEvent func(Event)
+	logger  *slog.Logger
+}
+
+// New builds a Recorder.
+func New(opts Options) *Recorder {
+	if opts.Capacity <= 0 {
+		opts.Capacity = 512
+	}
+	return &Recorder{
+		ring:    make([]Event, opts.Capacity),
+		onEvent: opts.OnEvent,
+		logger:  opts.Logger,
+	}
+}
+
+// Enabled reports whether the recorder records (i.e. is non-nil). Guard
+// attribute-map construction with it so the disabled path allocates nothing.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Emit records one event: it enters the ring, the OnEvent sink, and the
+// debug logger. Safe on a nil receiver.
+func (r *Recorder) Emit(ev Event) {
+	if r == nil {
+		return
+	}
+	if ev.TimeNS == 0 {
+		ev.TimeNS = time.Now().UnixNano()
+	}
+	r.mu.Lock()
+	r.ring[r.next] = ev
+	r.next++
+	if r.next == len(r.ring) {
+		r.next = 0
+		r.full = true
+	}
+	r.total++
+	r.mu.Unlock()
+	if r.onEvent != nil {
+		r.onEvent(ev)
+	}
+	if r.logger != nil {
+		r.logger.Debug("telemetry",
+			slog.String("type", ev.Type), slog.String("phase", ev.Phase),
+			slog.Int("iter", ev.Iter), slog.Int64("dur_ns", ev.DurNS))
+	}
+}
+
+// Recent returns the flight-recorder contents, oldest first. The returned
+// slice is a copy.
+func (r *Recorder) Recent() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]Event(nil), r.ring[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.ring))
+	out = append(out, r.ring[r.next:]...)
+	out = append(out, r.ring[:r.next]...)
+	return out
+}
+
+// Total returns the number of events emitted over the recorder's lifetime,
+// including ones the ring has since evicted.
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Span is an open phase timing started by StartSpan. The zero Span (from a
+// nil Recorder) is valid; End on it is a no-op.
+type Span struct {
+	r     *Recorder
+	phase string
+	iter  int
+	start time.Time
+}
+
+// StartSpan opens a span for one phase of one iteration (pass iter 0 when
+// there is no iteration context). On a nil receiver it returns the zero
+// Span without reading the clock.
+func (r *Recorder) StartSpan(phase string, iter int) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{r: r, phase: phase, iter: iter, start: time.Now()}
+}
+
+// End closes the span, emitting a span event with the monotonic elapsed
+// time, and returns that duration. attrs may be nil; when attaching
+// attributes, build the map under an Enabled() guard so the disabled path
+// does not allocate.
+func (s Span) End(attrs map[string]float64) time.Duration {
+	if s.r == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.r.Emit(Event{
+		Type:  TypeSpan,
+		Iter:  s.iter,
+		Phase: s.phase,
+		DurNS: d.Nanoseconds(),
+		Attrs: attrs,
+	})
+	return d
+}
+
+// RecordSpan emits a span event for an externally timed phase (e.g. the
+// optimizer's internal GP-fit time, measured inside internal/opt).
+func (r *Recorder) RecordSpan(phase string, iter int, d time.Duration, attrs map[string]float64) {
+	if r == nil {
+		return
+	}
+	r.Emit(Event{Type: TypeSpan, Iter: iter, Phase: phase, DurNS: d.Nanoseconds(), Attrs: attrs})
+}
+
+// RecordEval emits an evaluation event for one finished search iteration.
+func (r *Recorder) RecordEval(iter int, skipped bool, params []float64, attrs map[string]float64) {
+	if r == nil {
+		return
+	}
+	r.Emit(Event{Type: TypeEval, Iter: iter, Skipped: skipped, Params: params, Attrs: attrs})
+}

@@ -1,0 +1,273 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRingBufferEvictsOldestFirst(t *testing.T) {
+	r := New(Options{Capacity: 4})
+	for i := 0; i < 7; i++ {
+		r.Emit(Event{Type: TypeSpan, Iter: i})
+	}
+	if got := r.Total(); got != 7 {
+		t.Fatalf("Total = %d, want 7", got)
+	}
+	recent := r.Recent()
+	if len(recent) != 4 {
+		t.Fatalf("Recent holds %d events, want 4", len(recent))
+	}
+	for i, ev := range recent {
+		if want := 3 + i; ev.Iter != want {
+			t.Fatalf("Recent[%d].Iter = %d, want %d (oldest first)", i, ev.Iter, want)
+		}
+	}
+}
+
+func TestRecentPartialRing(t *testing.T) {
+	r := New(Options{Capacity: 8})
+	r.Emit(Event{Type: TypeEval, Iter: 0})
+	r.Emit(Event{Type: TypeEval, Iter: 1})
+	recent := r.Recent()
+	if len(recent) != 2 || recent[0].Iter != 0 || recent[1].Iter != 1 {
+		t.Fatalf("partial ring Recent = %+v", recent)
+	}
+}
+
+func TestSpanEmitsDuration(t *testing.T) {
+	var got []Event
+	r := New(Options{OnEvent: func(ev Event) { got = append(got, ev) }})
+	sp := r.StartSpan(PhasePropose, 3)
+	time.Sleep(time.Millisecond)
+	d := sp.End(map[string]float64{"batch": 2})
+	if d <= 0 {
+		t.Fatalf("span duration = %v, want > 0", d)
+	}
+	if len(got) != 1 {
+		t.Fatalf("OnEvent called %d times, want 1", len(got))
+	}
+	ev := got[0]
+	if ev.Type != TypeSpan || ev.Phase != PhasePropose || ev.Iter != 3 {
+		t.Fatalf("span event = %+v", ev)
+	}
+	if ev.DurNS != d.Nanoseconds() {
+		t.Fatalf("DurNS = %d, want %d", ev.DurNS, d.Nanoseconds())
+	}
+	if ev.Attrs["batch"] != 2 {
+		t.Fatalf("attrs = %v", ev.Attrs)
+	}
+	if ev.TimeNS == 0 {
+		t.Fatalf("TimeNS not stamped")
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	r.Emit(Event{Type: TypeLog})
+	r.RecordSpan(PhaseGPFit, 0, time.Second, nil)
+	r.RecordEval(0, false, nil, nil)
+	if d := r.StartSpan(PhaseProfile, 1).End(nil); d != 0 {
+		t.Fatalf("nil span duration = %v, want 0", d)
+	}
+	if r.Recent() != nil || r.Total() != 0 {
+		t.Fatal("nil recorder returned state")
+	}
+}
+
+// TestDisabledSpanNoAllocs demonstrates the acceptance criterion: the
+// disabled telemetry path is a nil check with zero allocations.
+func TestDisabledSpanNoAllocs(t *testing.T) {
+	var r *Recorder
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := r.StartSpan(PhaseProfile, 7)
+		sp.End(nil)
+		r.RecordEval(7, false, nil, nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func BenchmarkDisabledSpan(b *testing.B) {
+	var r *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := r.StartSpan(PhaseProfile, i)
+		sp.End(nil)
+	}
+}
+
+func BenchmarkEnabledSpan(b *testing.B) {
+	r := New(Options{Capacity: 64})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := r.StartSpan(PhaseProfile, i)
+		sp.End(nil)
+	}
+}
+
+func TestRecorderConcurrentEmit(t *testing.T) {
+	r := New(Options{Capacity: 16})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.RecordSpan(PhaseProfile, i, time.Microsecond, nil)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Total(); got != 800 {
+		t.Fatalf("Total = %d, want 800", got)
+	}
+	if got := len(r.Recent()); got != 16 {
+		t.Fatalf("Recent = %d events, want 16", got)
+	}
+}
+
+func TestFloat64Atomic(t *testing.T) {
+	var f Float64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				f.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := f.Load(); got != 4000 {
+		t.Fatalf("Load = %g, want 4000", got)
+	}
+	f.Store(-1.25)
+	if got := f.Load(); got != -1.25 {
+		t.Fatalf("Load after Store = %g, want -1.25", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1})
+	h.Observe(500 * time.Microsecond) // bucket 0
+	h.Observe(5 * time.Millisecond)   // bucket 1
+	h.Observe(5 * time.Millisecond)   // bucket 1
+	h.Observe(time.Second)            // +Inf
+	snap := h.Snapshot()
+	if snap.Count != 4 {
+		t.Fatalf("Count = %d, want 4", snap.Count)
+	}
+	wantCum := []uint64{1, 3, 3, 4}
+	for i, want := range wantCum {
+		if snap.Cumulative[i] != want {
+			t.Fatalf("Cumulative = %v, want %v", snap.Cumulative, wantCum)
+		}
+	}
+	// Cumulative counts must be monotone and end at Count.
+	for i := 1; i < len(snap.Cumulative); i++ {
+		if snap.Cumulative[i] < snap.Cumulative[i-1] {
+			t.Fatalf("Cumulative not monotone: %v", snap.Cumulative)
+		}
+	}
+	if snap.Cumulative[len(snap.Cumulative)-1] != snap.Count {
+		t.Fatalf("+Inf bucket %d != Count %d", snap.Cumulative[len(snap.Cumulative)-1], snap.Count)
+	}
+	wantSum := 0.0005 + 0.005 + 0.005 + 1
+	if diff := snap.Sum - wantSum; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("Sum = %g, want %g", snap.Sum, wantSum)
+	}
+}
+
+func TestHistogramVec(t *testing.T) {
+	v := NewHistogramVec(nil)
+	v.Observe(PhasePropose, time.Millisecond)
+	v.Observe(PhaseProfile, time.Millisecond)
+	v.Observe(PhaseProfile, 2*time.Millisecond)
+	labels := v.Labels()
+	if len(labels) != 2 || labels[0] != PhaseProfile || labels[1] != PhasePropose {
+		t.Fatalf("Labels = %v", labels)
+	}
+	if got := v.Get(PhaseProfile).Snapshot().Count; got != 2 {
+		t.Fatalf("profile count = %d, want 2", got)
+	}
+	if v.Get("never-observed") != nil {
+		t.Fatal("Get on unobserved label returned a histogram")
+	}
+}
+
+func TestLineLoggerDeterministicOutput(t *testing.T) {
+	var buf bytes.Buffer
+	lg := NewLineLogger(&buf)
+	lg.Info("iter", "n", 3, "err", "0.1234", "params", "qps=10 ratio=0.5")
+	lg.Debug("hidden") // below the Info threshold
+	lg.WithGroup("job").With("id", "job-1").Info("running")
+	got := buf.String()
+	want := "iter n=3 err=0.1234 params=\"qps=10 ratio=0.5\"\n" +
+		"running job.id=job-1\n"
+	if got != want {
+		t.Fatalf("log output:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestJSONLRoundTripReplay(t *testing.T) {
+	events := []Event{
+		{Type: TypeLog, Msg: "header line"},
+		{Type: TypeSpan, Phase: PhasePropose, Iter: 0, DurNS: 100},
+		{Type: TypeEval, Iter: 0, Attrs: map[string]float64{AttrError: 0.9, AttrBestError: 0.9}},
+		{Type: TypeEval, Iter: 1, Skipped: true},
+		{Type: TypeEval, Iter: 2, Attrs: map[string]float64{AttrError: 0.4, AttrBestError: 0.4}},
+		{Type: TypeEval, Iter: 3, Attrs: map[string]float64{AttrError: 0.7, AttrBestError: 0.4}},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	trace, err := ReplayBestTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.9, 0.4, 0.4}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestReplayBestTraceRejectsMalformedEval(t *testing.T) {
+	in := strings.NewReader(`{"type":"eval","iter":0}` + "\n")
+	if _, err := ReplayBestTrace(in); err == nil {
+		t.Fatal("eval event without best_error accepted")
+	}
+	if _, err := ReplayBestTrace(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+}
+
+func TestJSONLSinkStreams(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	r := New(Options{OnEvent: sink})
+	for i := 0; i < 3; i++ {
+		r.RecordEval(i, false, nil, map[string]float64{AttrBestError: float64(i)})
+	}
+	trace, err := ReplayBestTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(trace) != "[0 1 2]" {
+		t.Fatalf("trace = %v", trace)
+	}
+}
