@@ -1,0 +1,203 @@
+// Command datamime-inspect is the introspection CLI over Datamime run
+// artifacts: it renders reports, diffs runs for CI gating, and follows live
+// job event streams.
+//
+// Usage:
+//
+//	datamime-inspect report -artifact run.jsonl [-profiles profiles.json] [-html report.html]
+//	datamime-inspect diff -a baseline.jsonl -b candidate.jsonl [-exact] [-json]
+//	datamime-inspect tail -server http://localhost:8080 -job job-1
+//
+// Exit codes: 0 success; 1 the diff crossed a regression threshold (or any
+// difference under -exact); 2 usage or input errors.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+
+	"datamime/internal/buildinfo"
+	"datamime/internal/inspect"
+)
+
+func main() {
+	flag.Usage = usage
+	version := flag.Bool("version", false, "print build information and exit")
+	flag.Parse()
+	if *version {
+		fmt.Println("datamime-inspect", buildinfo.Read())
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch args[0] {
+	case "report":
+		err = runReport(args[1:])
+	case "diff":
+		err = runDiff(args[1:])
+	case "tail":
+		err = runTail(args[1:])
+	default:
+		fmt.Fprintf(os.Stderr, "datamime-inspect: unknown command %q\n\n", args[0])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		if err == errRegressed {
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "datamime-inspect:", err)
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `datamime-inspect — run-artifact introspection
+
+commands:
+  report   render a run artifact as a terminal summary and optional HTML
+  diff     compare two run artifacts; exit 1 on regression (CI gate)
+  tail     follow a live datamimed job's SSE event stream
+
+run "datamime-inspect <command> -h" for command flags.
+`)
+}
+
+// errRegressed maps a diff regression onto exit code 1 (distinct from the
+// exit-2 input errors).
+var errRegressed = fmt.Errorf("regressed")
+
+func runReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	artifact := fs.String("artifact", "", "run artifact (JSONL) to report on (required)")
+	profiles := fs.String("profiles", "", "profiles doc (JSON pair of target/best profiles) enabling eCDF overlays and quantile-band attribution")
+	htmlOut := fs.String("html", "", "also write the self-contained HTML report to this file")
+	title := fs.String("title", "", "report title (default: the artifact's job ID)")
+	quiet := fs.Bool("quiet", false, "suppress the terminal summary (useful with -html)")
+	_ = fs.Parse(args)
+	if *artifact == "" {
+		return fmt.Errorf("report: -artifact is required")
+	}
+	run, err := inspect.LoadRunFile(*artifact)
+	if err != nil {
+		return err
+	}
+	var doc *inspect.ProfilesDoc
+	if *profiles != "" {
+		data, err := os.ReadFile(*profiles)
+		if err != nil {
+			return err
+		}
+		doc, err = inspect.DecodeProfilesDoc(data)
+		if err != nil {
+			return err
+		}
+	}
+	report := inspect.NewReport(run, doc, inspect.ReportOptions{Title: *title})
+	if !*quiet {
+		if err := report.RenderText(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if *htmlOut != "" {
+		f, err := os.Create(*htmlOut)
+		if err != nil {
+			return err
+		}
+		if err := report.RenderHTML(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *htmlOut)
+	}
+	return nil
+}
+
+func runDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	aPath := fs.String("a", "", "baseline run artifact (required)")
+	bPath := fs.String("b", "", "candidate run artifact (required)")
+	tol := fs.Float64("tolerance", 0, "absolute numeric tolerance (default 1e-9)")
+	errTol := fs.Float64("error-tolerance", 0, "allowed best-error drift before it counts as a regression (default: -tolerance)")
+	exact := fs.Bool("exact", false, "treat ANY difference as a failure (determinism gate), not just regressions")
+	asJSON := fs.Bool("json", false, "emit the machine-readable RunDiff JSON instead of text")
+	_ = fs.Parse(args)
+	if *aPath == "" || *bPath == "" {
+		return fmt.Errorf("diff: -a and -b are required")
+	}
+	a, err := inspect.LoadRunFile(*aPath)
+	if err != nil {
+		return err
+	}
+	b, err := inspect.LoadRunFile(*bPath)
+	if err != nil {
+		return err
+	}
+	d := inspect.DiffRuns(a, b, inspect.DiffOptions{Tolerance: *tol, ErrorTolerance: *errTol})
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(d); err != nil {
+			return err
+		}
+	} else {
+		printDiff(d, *aPath, *bPath)
+	}
+	if d.Regressed() || (*exact && !d.Identical()) {
+		return errRegressed
+	}
+	return nil
+}
+
+func printDiff(d *inspect.RunDiff, aPath, bPath string) {
+	fmt.Printf("diff %s -> %s: %s\n", aPath, bPath, strings.ToUpper(d.Verdict))
+	fmt.Printf("  best error %g -> %g (%+g), iterations %d -> %d\n",
+		d.BestError.A, d.BestError.B, d.BestError.Delta, d.Iterations[0], d.Iterations[1])
+	if len(d.Differences) == 0 {
+		fmt.Println("  no differences beyond tolerance")
+		return
+	}
+	for _, msg := range d.Differences {
+		fmt.Printf("  - %s\n", msg)
+	}
+}
+
+func runTail(args []string) error {
+	fs := flag.NewFlagSet("tail", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:8080", "datamimed base URL")
+	job := fs.String("job", "", "job ID to follow (required unless -url)")
+	rawURL := fs.String("url", "", "full SSE endpoint URL (overrides -server/-job)")
+	_ = fs.Parse(args)
+	url := *rawURL
+	if url == "" {
+		if *job == "" {
+			return fmt.Errorf("tail: -job (or -url) is required")
+		}
+		url = strings.TrimRight(*server, "/") + "/jobs/" + *job + "/events"
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	st, err := inspect.Follow(ctx, http.DefaultClient, url, os.Stdout)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "followed %d evals, %d spans", st.Evals, st.Spans)
+	if st.FinalState != "" {
+		fmt.Fprintf(os.Stderr, "; job %s", st.FinalState)
+	}
+	fmt.Fprintln(os.Stderr)
+	return nil
+}

@@ -7,6 +7,12 @@
 //
 //	datamime -workload mem-fb -iterations 200
 //	datamime -workload silo -iterations 60 -seed 7 -quiet
+//	datamime -workload mem-fb -quick -artifact run.jsonl -profiles profiles.json
+//
+// The -artifact and -profiles outputs feed cmd/datamime-inspect: the JSONL
+// artifact carries the evaluation history (report/diff inputs), the profiles
+// doc carries the target and best-candidate distributions behind the report's
+// eCDF overlays.
 package main
 
 import (
@@ -17,6 +23,9 @@ import (
 	"strings"
 
 	"datamime"
+	"datamime/internal/buildinfo"
+	"datamime/internal/inspect"
+	"datamime/internal/telemetry"
 )
 
 func main() {
@@ -28,10 +37,18 @@ func main() {
 		quick        = flag.Bool("quick", false, "use reduced profiling budgets (faster, noisier)")
 		parallel     = flag.Int("parallel", 4, "concurrent candidate evaluations per batch (1 = the paper's serial loop)")
 		targetFile   = flag.String("target-profile", "", "load the target profile from a JSON file (as produced by cmd/profiler) instead of profiling the workload — the paper's share-profiles-not-data workflow")
+		artifactOut  = flag.String("artifact", "", "stream a JSONL run artifact to this file (datamime-inspect report/diff input)")
+		profilesOut  = flag.String("profiles", "", "write the target/best profile pair to this JSON file (datamime-inspect -profiles input)")
+		version      = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("datamime", buildinfo.Read())
+		return
+	}
 
-	if err := run(*workloadName, *iterations, *seed, *quiet, *quick, *parallel, *targetFile); err != nil {
+	if err := run(*workloadName, *iterations, *seed, *quiet, *quick, *parallel,
+		*targetFile, *artifactOut, *profilesOut); err != nil {
 		fmt.Fprintln(os.Stderr, "datamime:", err)
 		os.Exit(1)
 	}
@@ -48,7 +65,8 @@ func workloadNames() []string {
 	return names
 }
 
-func run(name string, iterations int, seed uint64, quiet, quick bool, parallel int, targetFile string) error {
+func run(name string, iterations int, seed uint64, quiet, quick bool, parallel int,
+	targetFile, artifactOut, profilesOut string) error {
 	w, err := datamime.WorkloadByName(name)
 	if err != nil {
 		return err
@@ -64,6 +82,23 @@ func run(name string, iterations int, seed uint64, quiet, quick bool, parallel i
 	profiler.WarmupWindows = st.WarmupWindows
 	profiler.CurveWindows = st.CurveWindows
 	profiler.CurvePoints = st.CurvePoints
+
+	var rec *telemetry.Recorder
+	if artifactOut != "" {
+		f, err := os.Create(artifactOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sink := telemetry.NewJSONLSink(f)
+		sink(telemetry.Event{
+			Type: telemetry.TypeLog,
+			Msg: fmt.Sprintf("datamime run artifact: workload=%s iterations=%d seed=%d parallel=%d",
+				name, iterations, seed, parallel),
+		})
+		rec = telemetry.New(telemetry.Options{OnEvent: sink})
+		profiler.Telemetry = rec
+	}
 
 	var target *datamime.Profile
 	if targetFile != "" {
@@ -103,6 +138,7 @@ func run(name string, iterations int, seed uint64, quiet, quick bool, parallel i
 		Seed:       seed,
 		Log:        log,
 		Parallel:   parallel,
+		Telemetry:  rec,
 	})
 	if err != nil {
 		return err
@@ -117,6 +153,24 @@ func run(name string, iterations int, seed uint64, quiet, quick bool, parallel i
 	} {
 		fmt.Printf("  %-12s target %8.3f   datamime %8.3f\n",
 			m, target.Mean(m), res.BestProfile.Mean(m))
+	}
+	if profilesOut != "" {
+		doc := &inspect.ProfilesDoc{
+			Components: res.BestComponents(),
+			Target:     target,
+			Best:       res.BestProfile,
+		}
+		data, err := doc.EncodeJSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(profilesOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote profiles doc %s\n", profilesOut)
+	}
+	if artifactOut != "" {
+		fmt.Printf("wrote run artifact %s\n", artifactOut)
 	}
 	return nil
 }

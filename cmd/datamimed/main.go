@@ -16,6 +16,8 @@
 //	curl localhost:8080/jobs/job-1/result     # best dataset parameters
 //	curl localhost:8080/jobs/job-1/events     # live SSE event stream
 //	curl localhost:8080/jobs/job-1/artifact   # JSONL run artifact
+//	curl localhost:8080/jobs/job-1/report     # self-contained HTML run report
+//	curl localhost:8080/jobs/job-1/profiles   # target + best profiles (JSON)
 //	curl -X POST localhost:8080/jobs/job-1/cancel
 //	curl localhost:8080/metrics
 //
@@ -37,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"datamime/internal/buildinfo"
 	"datamime/internal/service"
 )
 
@@ -50,8 +53,13 @@ func main() {
 		quiet         = flag.Bool("quiet", false, "suppress job lifecycle logs")
 		telemetry     = flag.Bool("telemetry", false, "record per-job phase spans (latency histograms in /metrics, spans in /events)")
 		debug         = flag.Bool("debug", false, "expose net/http/pprof and expvar under /debug/")
+		version       = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("datamimed", buildinfo.Read())
+		return
+	}
 
 	if err := run(options{
 		addr:          *addr,

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"datamime"
+	"datamime/internal/buildinfo"
 	"datamime/internal/harness"
 	"datamime/internal/sim"
 )
@@ -25,8 +26,13 @@ func main() {
 		scheme       = flag.String("scheme", "target", "scheme: target or public")
 		seed         = flag.Uint64("seed", 1, "profiling seed")
 		quick        = flag.Bool("quick", false, "use reduced profiling budgets")
+		version      = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("profiler", buildinfo.Read())
+		return
+	}
 
 	if err := run(*workloadName, *machineName, *scheme, *seed, *quick); err != nil {
 		fmt.Fprintln(os.Stderr, "profiler:", err)

@@ -39,6 +39,23 @@ type Checkpoint struct {
 	Entries []CheckpointEntry `json:"entries"`
 }
 
+// Best returns the checkpoint's best evaluation: the earliest non-skipped
+// entry with the minimum observed error. ok is false when every entry was
+// skipped (or there are none). Introspection tools use this to locate the
+// best point — and its per-metric Components attribution — without
+// replaying the search.
+func (c Checkpoint) Best() (best CheckpointEntry, ok bool) {
+	for _, e := range c.Entries {
+		if e.Skipped {
+			continue
+		}
+		if !ok || e.Y < best.Y {
+			best, ok = e, true
+		}
+	}
+	return best, ok
+}
+
 // Clone deep-copies the checkpoint so callers can retain it across batches.
 func (c Checkpoint) Clone() Checkpoint {
 	out := Checkpoint{Entries: make([]CheckpointEntry, len(c.Entries))}

@@ -505,6 +505,27 @@ func SearchContext(ctx context.Context, cfg SearchConfig) (*Result, error) {
 	return res, nil
 }
 
+// BestComponents returns the per-metric error attribution of the best
+// iteration (the trace record whose Error equals BestError, earliest
+// first), or nil when the objective attributes nothing.
+func (r Result) BestComponents() map[string]float64 {
+	for _, rec := range r.Trace {
+		if rec.Error == r.BestError {
+			return rec.Components
+		}
+	}
+	return nil
+}
+
+// IterationSeed returns the deterministic profiling seed of one iteration
+// of a search configured with seed. It is the content-address ingredient a
+// caller needs to look a past evaluation up in an EvalCache (together with
+// EvalKey) without re-running the search — e.g. to recover the best
+// candidate's profile from a checkpoint after a restart.
+func IterationSeed(seed uint64, it int, retry bool) uint64 {
+	return iterSeed(seed, it, retry)
+}
+
 // iterSeed derives the profiling seed for one iteration; the retry stream
 // is disjoint so a flaky measurement is re-attempted under different noise.
 func iterSeed(seed uint64, it int, retry bool) uint64 {

@@ -1,0 +1,235 @@
+package inspect
+
+import (
+	"math"
+	"sort"
+
+	"datamime/internal/core"
+	"datamime/internal/profile"
+	"datamime/internal/stats"
+)
+
+// Attribution kinds.
+const (
+	// KindDistribution marks a scalar-metric component whose bands are
+	// quantile regions of the sample distribution.
+	KindDistribution = "distribution"
+	// KindCurve marks a cache-sensitivity-curve component whose bands are
+	// curve points (cache allocations).
+	KindCurve = "curve"
+)
+
+// DefaultBands are the quantile-band boundaries used when none are given:
+// body bands plus dedicated head and tail bands, so tail-dominated errors
+// (the tail-latency story of §V) stand out in the attribution table.
+var DefaultBands = []float64{0, 0.10, 0.25, 0.50, 0.75, 0.90, 1}
+
+// Band is one region's share of a component's error: for distributions the
+// [Lo, Hi) quantile range of the merged distribution, for curves the
+// fraction of the curve covered by one point.
+type Band struct {
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+	// Contribution is the normalized error mass inside the band; the bands
+	// of a component sum exactly to its Distance.
+	Contribution float64 `json:"contribution"`
+	// Share is Contribution / Distance (0 when the distance is 0).
+	Share float64 `json:"share"`
+}
+
+// Attribution decomposes one error-model component: its total normalized
+// distance and where in the distribution (or curve) that distance lives.
+type Attribution struct {
+	// Component is the error-model component name ("llc_mpki_curve", ...).
+	Component string `json:"component"`
+	// Kind is KindDistribution or KindCurve.
+	Kind string `json:"kind"`
+	// Distance is the component's normalized distance — the same quantity
+	// the objective sums (stats.NormalizedEMD for distributions,
+	// core.CurveDistance for curves), reconstructed as the exact sum of the
+	// band contributions.
+	Distance float64 `json:"distance"`
+	// Bands is the per-region decomposition, in band order.
+	Bands []Band `json:"bands"`
+}
+
+// DominantBand returns the index of the band contributing the most error
+// (the lowest index on ties, -1 when there are no bands).
+func (a Attribution) DominantBand() int {
+	best := -1
+	for i, b := range a.Bands {
+		if best < 0 || b.Contribution > a.Bands[best].Contribution {
+			best = i
+		}
+	}
+	return best
+}
+
+// AttributeProfiles decomposes every component of the paper's error model
+// between a target and a candidate profile. bounds are the quantile-band
+// boundaries (nil selects DefaultBands); they must be strictly increasing
+// from 0 to 1. The result is ranked by Distance, largest first (component
+// name breaks ties), so row 0 names the metric dominating the remaining
+// error.
+func AttributeProfiles(target, cand *profile.Profile, bounds []float64) []Attribution {
+	if bounds == nil {
+		bounds = DefaultBands
+	}
+	out := make([]Attribution, 0, len(core.Components))
+	for _, c := range core.Components {
+		var a Attribution
+		switch c {
+		case core.CompLLCCurve:
+			a = attributeCurve(string(c), target.LLCCurve(), cand.LLCCurve())
+		case core.CompIPCCurve:
+			a = attributeCurve(string(c), target.IPCCurve(), cand.IPCCurve())
+		default:
+			id := scalarMetric(c)
+			a = attributeDistribution(string(c), target.Samples[id], cand.Samples[id], bounds)
+		}
+		out = append(out, a)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Distance != out[j].Distance {
+			return out[i].Distance > out[j].Distance
+		}
+		return out[i].Component < out[j].Component
+	})
+	return out
+}
+
+// scalarMetric maps a distribution component to its profiled metric. The
+// names coincide by construction (see core's component constants).
+func scalarMetric(c core.Component) profile.MetricID {
+	return profile.MetricID(c)
+}
+
+// attributeDistribution decomposes the normalized EMD between two sample
+// sets into quantile bands. The decomposition uses the inverse-CDF form of
+// the 1-D EMD,
+//
+//	EMD = ∫₀¹ |Qa(q) − Qb(q)| dq,
+//
+// which equals the area between the two CDFs that stats.EMD integrates
+// (both measure the region between the step curves, one along each axis).
+// Each band [lo, hi) receives the integral restricted to q ∈ [lo, hi), so
+// the bands sum to the total exactly; the whole quantity is then scaled by
+// the same max-|x| factor stats.NormalizedEMD uses, keeping Distance equal
+// to the objective's component term.
+func attributeDistribution(name string, target, cand []float64, bounds []float64) Attribution {
+	a := Attribution{Component: name, Kind: KindDistribution}
+	if len(target) == 0 || len(cand) == 0 {
+		// Degenerate profiles: fall back to the objective's own value with
+		// no band structure.
+		a.Distance = stats.NormalizedEMD(target, cand)
+		return a
+	}
+	maxAbs := 0.0
+	for _, v := range target {
+		maxAbs = math.Max(maxAbs, math.Abs(v))
+	}
+	for _, v := range cand {
+		maxAbs = math.Max(maxAbs, math.Abs(v))
+	}
+	masses := quantileBandEMD(target, cand, bounds)
+	if maxAbs > 0 {
+		for i := range masses {
+			masses[i] /= maxAbs
+		}
+	} else {
+		for i := range masses {
+			masses[i] = 0
+		}
+	}
+	var total float64
+	for _, m := range masses {
+		total += m
+	}
+	a.Distance = total
+	a.Bands = makeBands(bounds, masses, total)
+	return a
+}
+
+// quantileBandEMD integrates |Qa − Qb| over each quantile band, where Qa
+// and Qb are the empirical quantile functions of the two sample sets (step
+// functions with steps at i/n). It sweeps the merged breakpoints of both
+// step functions and the band boundaries, so each piece is constant and the
+// integral is exact.
+func quantileBandEMD(a, b []float64, bounds []float64) []float64 {
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	n, m := len(as), len(bs)
+	masses := make([]float64, len(bounds)-1)
+
+	band := 0
+	ia, ib := 0, 0
+	q := bounds[0]
+	for q < 1 {
+		for band < len(masses)-1 && bounds[band+1] <= q {
+			band++
+		}
+		qa := float64(ia+1) / float64(n)
+		qb := float64(ib+1) / float64(m)
+		next := math.Min(qa, qb)
+		if e := bounds[band+1]; e < next {
+			next = e
+		}
+		masses[band] += math.Abs(as[ia]-bs[ib]) * (next - q)
+		q = next
+		if next >= qa && ia < n-1 {
+			ia++
+		}
+		if next >= qb && ib < m-1 {
+			ib++
+		}
+	}
+	return masses
+}
+
+// attributeCurve decomposes core.CurveDistance point by point: each curve
+// point's |Δ| / n / max contribution becomes one band covering its fraction
+// of the curve, summing exactly to the component's distance.
+func attributeCurve(name string, target, cand []float64) Attribution {
+	a := Attribution{Component: name, Kind: KindCurve}
+	n := len(target)
+	if len(cand) < n {
+		n = len(cand)
+	}
+	if n == 0 {
+		a.Distance = core.CurveDistance(target, cand)
+		return a
+	}
+	var maxV float64
+	for i := 0; i < n; i++ {
+		maxV = math.Max(maxV, math.Max(math.Abs(target[i]), math.Abs(cand[i])))
+	}
+	masses := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		if maxV > 0 {
+			masses[i] = math.Abs(target[i]-cand[i]) / float64(n) / maxV
+		}
+		total += masses[i]
+	}
+	bounds := make([]float64, n+1)
+	for i := range bounds {
+		bounds[i] = float64(i) / float64(n)
+	}
+	a.Distance = total
+	a.Bands = makeBands(bounds, masses, total)
+	return a
+}
+
+// makeBands assembles Band records from boundary and mass slices.
+func makeBands(bounds, masses []float64, total float64) []Band {
+	out := make([]Band, len(masses))
+	for i := range masses {
+		out[i] = Band{Lo: bounds[i], Hi: bounds[i+1], Contribution: masses[i]}
+		if total > 0 {
+			out[i].Share = masses[i] / total
+		}
+	}
+	return out
+}

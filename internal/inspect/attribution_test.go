@@ -1,0 +1,168 @@
+package inspect
+
+import (
+	"math"
+	"testing"
+
+	"datamime/internal/core"
+	"datamime/internal/profile"
+	"datamime/internal/stats"
+)
+
+// lcg is a tiny deterministic generator for test sample sets (no global
+// rand, so tests are reproducible byte for byte).
+type lcg uint64
+
+func (g *lcg) next() float64 {
+	*g = *g*6364136223846793005 + 1442695040888963407
+	return float64(*g>>11) / float64(1<<53)
+}
+
+func samples(seed lcg, n int, scale, offset float64) []float64 {
+	g := seed
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = offset + scale*g.next()
+	}
+	return out
+}
+
+// TestQuantileBandEMDMatchesEMD checks the core identity: the band masses of
+// the inverse-CDF decomposition sum exactly to stats.EMD's area between the
+// eCDFs, for same-size and different-size sample sets.
+func TestQuantileBandEMDMatchesEMD(t *testing.T) {
+	cases := []struct{ a, b []float64 }{
+		{samples(1, 40, 3, 0), samples(2, 40, 3, 0.5)},
+		{samples(3, 17, 10, -4), samples(4, 53, 8, -3)},
+		{samples(5, 1, 1, 0), samples(6, 9, 2, 1)},
+		{[]float64{1, 1, 1}, []float64{1, 1, 1}},
+		{[]float64{0, 10}, []float64{5}},
+	}
+	for i, tc := range cases {
+		for _, bounds := range [][]float64{DefaultBands, {0, 0.5, 1}, {0, 1}} {
+			masses := quantileBandEMD(tc.a, tc.b, bounds)
+			if len(masses) != len(bounds)-1 {
+				t.Fatalf("case %d: %d masses for %d bounds", i, len(masses), len(bounds))
+			}
+			var sum float64
+			for _, m := range masses {
+				if m < 0 {
+					t.Fatalf("case %d: negative band mass %g", i, m)
+				}
+				sum += m
+			}
+			want := stats.EMD(tc.a, tc.b)
+			if math.Abs(sum-want) > 1e-12*(1+math.Abs(want)) {
+				t.Errorf("case %d bounds %v: band sum %g, stats.EMD %g", i, bounds, sum, want)
+			}
+		}
+	}
+}
+
+// TestAttributeDistributionMatchesObjective checks that Distance equals the
+// objective's own component term (stats.NormalizedEMD) and that shares sum
+// to one.
+func TestAttributeDistributionMatchesObjective(t *testing.T) {
+	a := samples(7, 64, 5, 1)
+	b := samples(8, 48, 6, 0.5)
+	at := attributeDistribution("l2_mpki", a, b, DefaultBands)
+	want := stats.NormalizedEMD(a, b)
+	if math.Abs(at.Distance-want) > 1e-12 {
+		t.Fatalf("Distance %g, NormalizedEMD %g", at.Distance, want)
+	}
+	var share, contrib float64
+	for _, band := range at.Bands {
+		share += band.Share
+		contrib += band.Contribution
+	}
+	if math.Abs(share-1) > 1e-9 {
+		t.Errorf("band shares sum to %g, want 1", share)
+	}
+	if math.Abs(contrib-at.Distance) > 1e-12 {
+		t.Errorf("band contributions sum to %g, want %g", contrib, at.Distance)
+	}
+}
+
+// TestAttributeDistributionDegenerate covers empty and all-zero sample sets.
+func TestAttributeDistributionDegenerate(t *testing.T) {
+	if a := attributeDistribution("x", nil, []float64{1, 2}, DefaultBands); len(a.Bands) != 0 {
+		t.Errorf("empty target: got %d bands, want none", len(a.Bands))
+	}
+	a := attributeDistribution("x", []float64{0, 0}, []float64{0, 0, 0}, DefaultBands)
+	if a.Distance != 0 {
+		t.Errorf("all-zero samples: Distance %g, want 0", a.Distance)
+	}
+	for _, b := range a.Bands {
+		if b.Contribution != 0 || b.Share != 0 {
+			t.Errorf("all-zero samples: nonzero band %+v", b)
+		}
+	}
+}
+
+// TestAttributeCurveMatchesObjective checks the per-point decomposition
+// against core.CurveDistance.
+func TestAttributeCurveMatchesObjective(t *testing.T) {
+	a := []float64{4, 3.2, 2.5, 2.1, 1.9, 1.85}
+	b := []float64{4.4, 3.0, 2.6, 2.0, 1.7, 1.86}
+	at := attributeCurve("llc_mpki_curve", a, b)
+	want := core.CurveDistance(a, b)
+	if math.Abs(at.Distance-want) > 1e-12 {
+		t.Fatalf("Distance %g, CurveDistance %g", at.Distance, want)
+	}
+	if len(at.Bands) != len(a) {
+		t.Fatalf("%d bands for %d-point curve", len(at.Bands), len(a))
+	}
+	// The dominant band must be the point with the largest |delta|.
+	if di := at.DominantBand(); di != 0 {
+		t.Errorf("dominant band %d, want 0 (|delta|=0.4)", di)
+	}
+	if a := attributeCurve("x", nil, nil); a.Distance != 0 || len(a.Bands) != 0 {
+		t.Errorf("empty curves: %+v", a)
+	}
+}
+
+func testProfilePair() (*profile.Profile, *profile.Profile) {
+	mk := func(seed lcg, shift float64) *profile.Profile {
+		p := &profile.Profile{
+			Benchmark: "test",
+			Machine:   "m",
+			Samples:   make(map[profile.MetricID][]float64),
+		}
+		for i, id := range profile.ScalarMetrics {
+			p.Samples[id] = samples(seed+lcg(i), 32, float64(i+1), shift)
+		}
+		g := seed + 100
+		for w := 1; w <= 4; w++ {
+			p.Curve = append(p.Curve, profile.CurvePoint{
+				Ways:    w,
+				IPC:     1 + g.next() + shift/10,
+				LLCMPKI: 5 - float64(w) + g.next(),
+			})
+		}
+		return p
+	}
+	return mk(11, 0), mk(23, 0.3)
+}
+
+// TestAttributeProfilesRankedAndComplete checks every error-model component
+// appears once and the ranking is by descending distance.
+func TestAttributeProfilesRankedAndComplete(t *testing.T) {
+	target, cand := testProfilePair()
+	attrs := AttributeProfiles(target, cand, nil)
+	if len(attrs) != len(core.Components) {
+		t.Fatalf("%d attributions for %d components", len(attrs), len(core.Components))
+	}
+	seen := make(map[string]bool)
+	for i, a := range attrs {
+		seen[a.Component] = true
+		if i > 0 && attrs[i-1].Distance < a.Distance {
+			t.Errorf("rank %d (%s %g) above %d (%s %g)", i-1, attrs[i-1].Component,
+				attrs[i-1].Distance, i, a.Component, a.Distance)
+		}
+	}
+	for _, c := range core.Components {
+		if !seen[string(c)] {
+			t.Errorf("component %s missing from attribution", c)
+		}
+	}
+}

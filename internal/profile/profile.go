@@ -253,16 +253,8 @@ func (pr *Profiler) ProfileContext(ctx context.Context, b workload.Benchmark, se
 	samples, wall, requests, compressRatio := pr.run(b, seed, 0, pr.Windows)
 	var runAttrs map[string]float64
 	if pr.Telemetry.Enabled() {
-		sum := sim.SummarizeWindows(samples)
-		runAttrs = map[string]float64{
-			"windows":       float64(sum.Windows),
-			"requests":      float64(requests),
-			"instructions":  float64(sum.Instructions),
-			"mean_ipc":      sum.MeanIPC,
-			"mean_llc_mpki": sum.MeanLLCMPKI,
-			"mean_cpu_util": sum.MeanCPUUtil,
-			"mean_bw_gbs":   sum.MeanMemBWGBs,
-		}
+		runAttrs = sim.SummarizeWindows(samples).Attrs()
+		runAttrs["requests"] = float64(requests)
 	}
 	runSpan.End(runAttrs)
 	p.Requests = requests

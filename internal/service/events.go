@@ -131,17 +131,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleArtifact exports a job's JSONL run artifact: a log header line
-// followed by every recorded event. telemetry.ReplayBestTrace over the
-// artifact reconstructs the job's best-error series exactly. Jobs restored
-// from disk (no in-memory event log) get eval events synthesized from the
+// artifactEvents assembles a job's complete artifact event sequence: the
+// header log line followed by every recorded event. Jobs restored from disk
+// (no in-memory event log) get eval events synthesized from the
 // checkpoint-rebuilt trace.
-func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.Job(r.PathValue("id"))
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
-		return
-	}
+func artifactEvents(j *Job) []telemetry.Event {
 	j.mu.Lock()
 	events := append([]telemetry.Event(nil), j.events...)
 	trace := append([]core.IterationRecord(nil), j.trace...)
@@ -157,8 +151,20 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 		Job:  j.ID(),
 		Msg:  fmt.Sprintf("datamime run artifact: state=%s events=%d", state, len(events)),
 	}
+	return append([]telemetry.Event{header}, events...)
+}
+
+// handleArtifact exports a job's JSONL run artifact: a log header line
+// followed by every recorded event. telemetry.ReplayBestTrace over the
+// artifact reconstructs the job's best-error series exactly.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+		return
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Content-Disposition",
 		fmt.Sprintf("attachment; filename=%q", j.ID()+".jsonl"))
-	_ = telemetry.WriteJSONL(w, append([]telemetry.Event{header}, events...))
+	_ = telemetry.WriteJSONL(w, artifactEvents(j))
 }

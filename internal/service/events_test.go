@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -163,6 +164,70 @@ func TestSSEClientDisconnect(t *testing.T) {
 	cancel()
 	resp.Body.Close()
 	waitFor(t, "subscriber cleanup after disconnect", func() bool { return svc.sseActive.Load() == 0 })
+
+	if code := httpJSON(t, ts, "POST", "/jobs/"+submitted.ID+"/cancel", nil, nil); code != http.StatusOK {
+		t.Fatalf("cancel = %d", code)
+	}
+	waitFor(t, "job to cancel", func() bool {
+		var st JobStatus
+		httpJSON(t, ts, "GET", "/jobs/"+submitted.ID, nil, &st)
+		return st.State == JobCanceled
+	})
+}
+
+// TestSSESubscriberLifecycle: repeated connect/drop cycles leak nothing —
+// after the subscribers disconnect, both the sse_subscribers gauge and the
+// process goroutine count return to their pre-subscription baseline.
+func TestSSESubscriberLifecycle(t *testing.T) {
+	svc := newTelemetryServer(t, "")
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	var submitted struct {
+		ID string `json:"id"`
+	}
+	if code := httpJSON(t, ts, "POST", "/jobs", testSpec(100_000, 5), &submitted); code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	waitFor(t, "job to run", func() bool {
+		var st JobStatus
+		httpJSON(t, ts, "GET", "/jobs/"+submitted.ID, nil, &st)
+		return st.State == JobRunning
+	})
+	// The running job's batch goroutines come and go, so the baseline is a
+	// low-water mark the post-drop count only has to dip back to.
+	baseline := runtime.NumGoroutine()
+
+	const subscribers = 4
+	for round := 0; round < 2; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		var resps []*http.Response
+		for i := 0; i < subscribers; i++ {
+			req, err := http.NewRequestWithContext(ctx, "GET", ts.URL+"/jobs/"+submitted.ID+"/events", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := ts.Client().Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resps = append(resps, resp)
+		}
+		waitFor(t, "subscribers to register", func() bool {
+			return svc.sseActive.Load() == subscribers
+		})
+		cancel()
+		for _, resp := range resps {
+			resp.Body.Close()
+		}
+		waitFor(t, "subscriber gauge to return to baseline", func() bool {
+			return svc.sseActive.Load() == 0
+		})
+		waitFor(t, "goroutine count to return to baseline", func() bool {
+			return runtime.NumGoroutine() <= baseline+2
+		})
+	}
 
 	if code := httpJSON(t, ts, "POST", "/jobs/"+submitted.ID+"/cancel", nil, nil); code != http.StatusOK {
 		t.Fatalf("cancel = %d", code)

@@ -130,6 +130,10 @@ type JobResult struct {
 	Evaluations int `json:"evaluations"`
 	CacheHits   int `json:"cache_hits"`
 	Skipped     int `json:"skipped"`
+	// Components is the best iteration's per-metric error attribution
+	// (unweighted normalized distances), when the objective records one.
+	// It persists with the result, so attribution survives restarts.
+	Components map[string]float64 `json:"components,omitempty"`
 }
 
 // JobStatus is the JSON view of a job returned by GET /jobs/{id}.
@@ -177,6 +181,14 @@ type Job struct {
 	trace      []core.IterationRecord
 	checkpoint core.Checkpoint
 	result     *JobResult
+
+	// targetProf is the profile the search matches (nil for single-metric
+	// objectives); bestProf is the profile measured at the best parameters.
+	// Both back GET /jobs/{id}/profiles and the HTML report's eCDF
+	// overlays. Not persisted: restarts recover them from the shared
+	// evaluation cache when possible (see jobProfiles).
+	targetProf *profile.Profile
+	bestProf   *profile.Profile
 
 	evals     int
 	cacheHits int
@@ -282,20 +294,18 @@ func (j *Job) sigLocked() chan struct{} {
 	return j.eventsSig
 }
 
-// buildSearch resolves a spec into a runnable core.SearchConfig. The
-// returned config has no Cache/Resume/callbacks; the worker wires those.
-// Profiling the hidden target of a workload-sourced job happens here (via
-// the shared cache when possible), so it counts toward the running state.
-func (s *Server) buildSearch(ctx context.Context, spec JobSpec) (core.SearchConfig, error) {
-	var cfg core.SearchConfig
-
+// specProfiler builds the profiler a spec describes: the machine plus any
+// per-job budget overrides. It is deterministic in the spec, so a restarted
+// server rebuilds the exact profiler a job ran with — which is what makes
+// cache-key reconstruction (jobProfiles) possible.
+func specProfiler(spec JobSpec) (*profile.Profiler, error) {
 	machineName := spec.Machine
 	if machineName == "" {
 		machineName = "broadwell"
 	}
 	machine, err := sim.MachineByName(machineName)
 	if err != nil {
-		return cfg, err
+		return nil, err
 	}
 	profiler := profile.New(machine)
 	if p := spec.Profiling; p != nil {
@@ -318,6 +328,20 @@ func (s *Server) buildSearch(ctx context.Context, spec JobSpec) (core.SearchConf
 			profiler.MaxRequestsPerRun = p.MaxRequestsPerRun
 		}
 		profiler.SkipCurves = p.SkipCurves
+	}
+	return profiler, nil
+}
+
+// buildSearch resolves a spec into a runnable core.SearchConfig. The
+// returned config has no Cache/Resume/callbacks; the worker wires those.
+// Profiling the hidden target of a workload-sourced job happens here (via
+// the shared cache when possible), so it counts toward the running state.
+func (s *Server) buildSearch(ctx context.Context, spec JobSpec) (core.SearchConfig, error) {
+	var cfg core.SearchConfig
+
+	profiler, err := specProfiler(spec)
+	if err != nil {
+		return cfg, err
 	}
 	cfg.Profiler = profiler
 

@@ -1,0 +1,127 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+
+	"datamime/internal/core"
+	"datamime/internal/harness"
+	"datamime/internal/inspect"
+	"datamime/internal/telemetry"
+)
+
+// jobProfiles assembles the target/best profile pair behind a job's eCDF
+// overlays. Live jobs carry both in memory; for jobs restored from a
+// checkpoint after a restart, the profiles are recovered through the shared
+// evaluation cache by reconstructing the content addresses the original run
+// used (the profiler, seeds, and best point are all deterministic functions
+// of the spec + checkpoint). Recovery is best-effort: a cold cache yields a
+// partial doc, and the report degrades to artifact totals.
+func (s *Server) jobProfiles(j *Job) *inspect.ProfilesDoc {
+	j.mu.Lock()
+	doc := &inspect.ProfilesDoc{
+		Job:    j.id,
+		Target: j.targetProf,
+		Best:   j.bestProf,
+	}
+	if j.result != nil && len(j.result.Components) > 0 {
+		doc.Components = j.result.Components
+	}
+	spec := j.spec
+	checkpoint := j.checkpoint.Clone()
+	j.mu.Unlock()
+
+	if doc.Components == nil {
+		if best, ok := checkpoint.Best(); ok {
+			doc.Components = best.Components
+		}
+	}
+	if doc.Target != nil && doc.Best != nil {
+		return doc
+	}
+
+	// Recovery path: rebuild the cache keys the run used.
+	profiler, err := specProfiler(spec)
+	if err != nil {
+		return doc
+	}
+	if doc.Target == nil && spec.Workload != "" {
+		key := core.EvalKey("target/"+spec.Workload, profiler, nil, spec.Seed)
+		if p, ok := s.cache.Get(key); ok {
+			doc.Target = p
+		}
+	}
+	if doc.Best == nil {
+		best, ok := checkpoint.Best()
+		if !ok {
+			return doc
+		}
+		space, err := s.specSpace(spec)
+		if err != nil {
+			return doc
+		}
+		genName := spec.Generator
+		if genName == "" {
+			genName = s.workloadGenerator(spec.Workload)
+		}
+		if genName == "" {
+			return doc
+		}
+		x := space.Denormalize(best.U)
+		seed := core.IterationSeed(spec.Seed, best.Iteration, best.Retried)
+		if p, ok := s.cache.Get(core.EvalKey(genName, profiler, x, seed)); ok {
+			doc.Best = p
+		}
+	}
+	return doc
+}
+
+// workloadGenerator resolves the default generator name of a workload ("" on
+// unknown workloads).
+func (s *Server) workloadGenerator(workload string) string {
+	if workload == "" {
+		return ""
+	}
+	w, err := harness.WorkloadByName(workload)
+	if err != nil {
+		return ""
+	}
+	return w.Generator.Name
+}
+
+// handleProfiles serves GET /jobs/{id}/profiles: the target and best-
+// candidate profiles (per-metric sample distributions, from which clients
+// compute eCDFs) plus the final per-component error attribution.
+func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobProfiles(j))
+}
+
+// handleReport serves GET /jobs/{id}/report: the self-contained HTML run
+// report (convergence plot, quantile-band EMD attribution, target-vs-best
+// eCDF overlays) rendered from the job's artifact and profiles.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+		return
+	}
+	var buf bytes.Buffer
+	if err := telemetry.WriteJSONL(&buf, artifactEvents(j)); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	run, err := inspect.LoadRun(&buf)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	report := inspect.NewReport(run, s.jobProfiles(j), inspect.ReportOptions{Title: j.ID()})
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_ = report.RenderHTML(w)
+}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"datamime/internal/buildinfo"
 	"datamime/internal/core"
 	"datamime/internal/datagen"
 	"datamime/internal/telemetry"
@@ -280,6 +281,11 @@ func (s *Server) runJob(job *Job) {
 		return
 	}
 	cfg.Cache = s.cache
+	if po, ok := cfg.Objective.(core.ProfileObjective); ok {
+		job.mu.Lock()
+		job.targetProf = po.Target
+		job.mu.Unlock()
+	}
 	if s.cfg.Telemetry {
 		rec := telemetry.New(telemetry.Options{
 			Capacity: s.cfg.TelemetryRingCapacity,
@@ -354,12 +360,14 @@ func (s *Server) runJob(job *Job) {
 			Evaluations: res.Evaluations,
 			CacheHits:   res.CacheHits,
 			Skipped:     res.Skipped,
+			Components:  res.BestComponents(),
 		}
 		if res.BestParams != nil {
 			result.BestValues = cfg.Generator.Space.Values(res.BestParams)
 		}
 		job.mu.Lock()
 		job.result = result
+		job.bestProf = res.BestProfile
 		job.mu.Unlock()
 		s.finish(job, JobSucceeded, "")
 	case ctx.Err() != nil:
@@ -434,6 +442,7 @@ func (s *Server) logf(format string, args ...interface{}) {
 func (s *Server) DebugVars() interface{} {
 	hits, misses, size := s.cache.Stats()
 	return map[string]interface{}{
+		"build":             buildinfo.Read().Vars(),
 		"jobs":              s.jobCounts(),
 		"workers":           s.cfg.Workers,
 		"workers_busy":      s.busyWorkers.Load(),

@@ -18,6 +18,21 @@ type WindowSummary struct {
 	MeanMemBWGBs   float64
 }
 
+// Attrs renders the summary as telemetry span attributes, using the
+// attribute names the run artifacts and SSE streams carry. Keeping the
+// mapping here means every span producer labels the same statistics the
+// same way.
+func (s WindowSummary) Attrs() map[string]float64 {
+	return map[string]float64{
+		"windows":       float64(s.Windows),
+		"instructions":  float64(s.Instructions),
+		"mean_ipc":      s.MeanIPC,
+		"mean_llc_mpki": s.MeanLLCMPKI,
+		"mean_cpu_util": s.MeanCPUUtil,
+		"mean_bw_gbs":   s.MeanMemBWGBs,
+	}
+}
+
 // SummarizeWindows aggregates counter windows. An empty slice yields the
 // zero summary.
 func SummarizeWindows(samples []WindowSample) WindowSummary {

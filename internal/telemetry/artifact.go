@@ -59,14 +59,37 @@ func NewJSONLSink(w io.Writer) func(Event) {
 	}
 }
 
+// ReplayStats reports what ReplayBestTraceStats consumed.
+type ReplayStats struct {
+	// Evals counts eval events contributing to the series (skipped
+	// iterations excluded).
+	Evals int
+	// Malformed counts lines that did not parse as JSON events — usually a
+	// trailing line truncated by a writer that died mid-flush. Callers that
+	// care should warn when this is nonzero.
+	Malformed int
+}
+
 // ReplayBestTrace reads a JSONL run artifact and reconstructs the
 // best-error-so-far series: the best_error attribute of every non-skipped
 // eval event, in stream order. Unknown line types are ignored, so artifacts
-// may carry extra header or span lines.
+// may carry extra header or span lines; lines that do not parse as JSON
+// (e.g. truncated by a dying writer) are skipped — use
+// ReplayBestTraceStats to observe how many.
 func ReplayBestTrace(r io.Reader) ([]float64, error) {
+	out, _, err := ReplayBestTraceStats(r)
+	return out, err
+}
+
+// ReplayBestTraceStats is ReplayBestTrace plus consumption statistics.
+// Malformed (unparseable) lines are tolerated and counted; a syntactically
+// valid eval event missing best_error is still a hard error, because it
+// means the artifact convention was broken, not the file truncated.
+func ReplayBestTraceStats(r io.Reader) ([]float64, ReplayStats, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	var out []float64
+	var st ReplayStats
 	line := 0
 	for sc.Scan() {
 		line++
@@ -76,19 +99,21 @@ func ReplayBestTrace(r io.Reader) ([]float64, error) {
 		}
 		var ev Event
 		if err := json.Unmarshal(raw, &ev); err != nil {
-			return nil, fmt.Errorf("telemetry: artifact line %d: %w", line, err)
+			st.Malformed++
+			continue
 		}
 		if ev.Type != TypeEval || ev.Skipped {
 			continue
 		}
 		best, ok := ev.Attrs[AttrBestError]
 		if !ok {
-			return nil, fmt.Errorf("telemetry: artifact line %d: eval event without %s", line, AttrBestError)
+			return nil, st, fmt.Errorf("telemetry: artifact line %d: eval event without %s", line, AttrBestError)
 		}
 		out = append(out, best)
+		st.Evals++
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("telemetry: reading artifact: %w", err)
+		return nil, st, fmt.Errorf("telemetry: reading artifact: %w", err)
 	}
-	return out, nil
+	return out, st, nil
 }

@@ -246,13 +246,52 @@ func TestJSONLRoundTripReplay(t *testing.T) {
 	}
 }
 
-func TestReplayBestTraceRejectsMalformedEval(t *testing.T) {
+func TestReplayBestTraceRejectsBrokenEval(t *testing.T) {
+	// A syntactically valid eval without best_error breaks the artifact
+	// convention — that stays a hard error.
 	in := strings.NewReader(`{"type":"eval","iter":0}` + "\n")
 	if _, err := ReplayBestTrace(in); err == nil {
 		t.Fatal("eval event without best_error accepted")
 	}
-	if _, err := ReplayBestTrace(strings.NewReader("not json\n")); err == nil {
-		t.Fatal("malformed line accepted")
+}
+
+// TestReplayBestTraceTruncatedArtifact simulates a writer dying mid-flush:
+// the trailing line is cut inside a JSON object. The replay must keep the
+// intact prefix and count the loss rather than fail.
+func TestReplayBestTraceTruncatedArtifact(t *testing.T) {
+	events := []Event{
+		{Type: TypeLog, Msg: "header"},
+		{Type: TypeEval, Iter: 0, Attrs: map[string]float64{AttrBestError: 0.9}},
+		{Type: TypeEval, Iter: 1, Attrs: map[string]float64{AttrBestError: 0.5}},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.String()
+	// Append a final event and cut it mid-object.
+	var tail bytes.Buffer
+	if err := WriteJSONL(&tail, []Event{{Type: TypeEval, Iter: 2,
+		Attrs: map[string]float64{AttrBestError: 0.3}}}); err != nil {
+		t.Fatal(err)
+	}
+	truncated := full + tail.String()[:tail.Len()/2]
+
+	trace, st, err := ReplayBestTraceStats(strings.NewReader(truncated))
+	if err != nil {
+		t.Fatalf("truncated artifact should replay: %v", err)
+	}
+	if fmt.Sprint(trace) != "[0.9 0.5]" {
+		t.Fatalf("trace = %v", trace)
+	}
+	if st.Evals != 2 || st.Malformed != 1 {
+		t.Fatalf("stats = %+v, want 2 evals, 1 malformed", st)
+	}
+
+	// Non-JSON garbage lines are tolerated the same way.
+	trace, st, err = ReplayBestTraceStats(strings.NewReader("not json\n" + full))
+	if err != nil || len(trace) != 2 || st.Malformed != 1 {
+		t.Fatalf("garbage line: trace=%v stats=%+v err=%v", trace, st, err)
 	}
 }
 
