@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"datamime"
@@ -36,6 +37,7 @@ func main() {
 		quiet        = flag.Bool("quiet", false, "suppress per-iteration progress")
 		quick        = flag.Bool("quick", false, "use reduced profiling budgets (faster, noisier)")
 		parallel     = flag.Int("parallel", 4, "concurrent candidate evaluations per batch (1 = the paper's serial loop)")
+		profWorkers  = flag.Int("profile-workers", runtime.GOMAXPROCS(0), "concurrent simulator runs per profile (the way-curve sweep); profiles are bit-identical at any setting")
 		targetFile   = flag.String("target-profile", "", "load the target profile from a JSON file (as produced by cmd/profiler) instead of profiling the workload — the paper's share-profiles-not-data workflow")
 		artifactOut  = flag.String("artifact", "", "stream a JSONL run artifact to this file (datamime-inspect report/diff input)")
 		profilesOut  = flag.String("profiles", "", "write the target/best profile pair to this JSON file (datamime-inspect -profiles input)")
@@ -47,8 +49,13 @@ func main() {
 		return
 	}
 
+	if *profWorkers < 0 {
+		fmt.Fprintln(os.Stderr, "datamime: -profile-workers must be >= 0")
+		os.Exit(1)
+	}
+
 	if err := run(*workloadName, *iterations, *seed, *quiet, *quick, *parallel,
-		*targetFile, *artifactOut, *profilesOut); err != nil {
+		*profWorkers, *targetFile, *artifactOut, *profilesOut); err != nil {
 		fmt.Fprintln(os.Stderr, "datamime:", err)
 		os.Exit(1)
 	}
@@ -65,7 +72,7 @@ func workloadNames() []string {
 	return names
 }
 
-func run(name string, iterations int, seed uint64, quiet, quick bool, parallel int,
+func run(name string, iterations int, seed uint64, quiet, quick bool, parallel, profileWorkers int,
 	targetFile, artifactOut, profilesOut string) error {
 	w, err := datamime.WorkloadByName(name)
 	if err != nil {
@@ -82,6 +89,7 @@ func run(name string, iterations int, seed uint64, quiet, quick bool, parallel i
 	profiler.WarmupWindows = st.WarmupWindows
 	profiler.CurveWindows = st.CurveWindows
 	profiler.CurvePoints = st.CurvePoints
+	profiler.Workers = profileWorkers
 
 	var rec *telemetry.Recorder
 	if artifactOut != "" {
@@ -93,8 +101,8 @@ func run(name string, iterations int, seed uint64, quiet, quick bool, parallel i
 		sink := telemetry.NewJSONLSink(f)
 		sink(telemetry.Event{
 			Type: telemetry.TypeLog,
-			Msg: fmt.Sprintf("datamime run artifact: workload=%s iterations=%d seed=%d parallel=%d",
-				name, iterations, seed, parallel),
+			Msg: fmt.Sprintf("datamime run artifact: workload=%s iterations=%d seed=%d parallel=%d profile_workers=%d",
+				name, iterations, seed, parallel, profileWorkers),
 		})
 		rec = telemetry.New(telemetry.Options{OnEvent: sink})
 		profiler.Telemetry = rec
@@ -131,14 +139,15 @@ func run(name string, iterations int, seed uint64, quiet, quick bool, parallel i
 	fmt.Printf("searching %s's %d-parameter space for %d iterations...\n",
 		w.Generator.Name, w.Generator.Space.Dim(), iterations)
 	res, err := datamime.Search(datamime.SearchConfig{
-		Generator:  w.Generator,
-		Objective:  datamime.ProfileObjective{Target: target, Model: datamime.NewErrorModel()},
-		Profiler:   profiler,
-		Iterations: iterations,
-		Seed:       seed,
-		Log:        log,
-		Parallel:   parallel,
-		Telemetry:  rec,
+		Generator:      w.Generator,
+		Objective:      datamime.NewProfileObjective(target, datamime.NewErrorModel()),
+		Profiler:       profiler,
+		Iterations:     iterations,
+		Seed:           seed,
+		Log:            log,
+		Parallel:       parallel,
+		ProfileWorkers: profileWorkers,
+		Telemetry:      rec,
 	})
 	if err != nil {
 		return err

@@ -36,6 +36,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -50,6 +51,7 @@ func main() {
 		queueDepth    = flag.Int("queue-depth", 1024, "maximum queued jobs")
 		checkpointDir = flag.String("checkpoint-dir", "", "directory for job checkpoints (empty disables persistence and resume)")
 		cacheCapacity = flag.Int("cache-capacity", 4096, "evaluation-cache capacity (profiles)")
+		profWorkers   = flag.Int("profile-workers", runtime.GOMAXPROCS(0), "default concurrent simulator runs per profile for jobs that do not set profiling.profile_workers; profiles are bit-identical at any setting")
 		quiet         = flag.Bool("quiet", false, "suppress job lifecycle logs")
 		telemetry     = flag.Bool("telemetry", false, "record per-job phase spans (latency histograms in /metrics, spans in /events)")
 		debug         = flag.Bool("debug", false, "expose net/http/pprof and expvar under /debug/")
@@ -60,6 +62,10 @@ func main() {
 		fmt.Println("datamimed", buildinfo.Read())
 		return
 	}
+	if *profWorkers < 0 {
+		fmt.Fprintln(os.Stderr, "datamimed: -profile-workers must be >= 0")
+		os.Exit(1)
+	}
 
 	if err := run(options{
 		addr:          *addr,
@@ -67,6 +73,7 @@ func main() {
 		queueDepth:    *queueDepth,
 		checkpointDir: *checkpointDir,
 		cacheCapacity: *cacheCapacity,
+		profWorkers:   *profWorkers,
 		quiet:         *quiet,
 		telemetry:     *telemetry,
 		debug:         *debug,
@@ -82,6 +89,7 @@ type options struct {
 	queueDepth    int
 	checkpointDir string
 	cacheCapacity int
+	profWorkers   int
 	quiet         bool
 	telemetry     bool
 	debug         bool
@@ -89,11 +97,12 @@ type options struct {
 
 func run(o options) error {
 	cfg := service.Config{
-		Workers:       o.workers,
-		QueueDepth:    o.queueDepth,
-		CheckpointDir: o.checkpointDir,
-		CacheCapacity: o.cacheCapacity,
-		Telemetry:     o.telemetry,
+		Workers:               o.workers,
+		QueueDepth:            o.queueDepth,
+		CheckpointDir:         o.checkpointDir,
+		CacheCapacity:         o.cacheCapacity,
+		DefaultProfileWorkers: o.profWorkers,
+		Telemetry:             o.telemetry,
 	}
 	if !o.quiet {
 		cfg.Log = os.Stdout

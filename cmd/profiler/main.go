@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"datamime"
 	"datamime/internal/buildinfo"
@@ -26,6 +27,7 @@ func main() {
 		scheme       = flag.String("scheme", "target", "scheme: target or public")
 		seed         = flag.Uint64("seed", 1, "profiling seed")
 		quick        = flag.Bool("quick", false, "use reduced profiling budgets")
+		profWorkers  = flag.Int("profile-workers", runtime.GOMAXPROCS(0), "concurrent simulator runs for the way-curve sweep; the profile is bit-identical at any setting")
 		version      = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
@@ -33,14 +35,18 @@ func main() {
 		fmt.Println("profiler", buildinfo.Read())
 		return
 	}
+	if *profWorkers < 0 {
+		fmt.Fprintln(os.Stderr, "profiler: -profile-workers must be >= 0")
+		os.Exit(1)
+	}
 
-	if err := run(*workloadName, *machineName, *scheme, *seed, *quick); err != nil {
+	if err := run(*workloadName, *machineName, *scheme, *seed, *quick, *profWorkers); err != nil {
 		fmt.Fprintln(os.Stderr, "profiler:", err)
 		os.Exit(1)
 	}
 }
 
-func run(workloadName, machineName, scheme string, seed uint64, quick bool) error {
+func run(workloadName, machineName, scheme string, seed uint64, quick bool, profileWorkers int) error {
 	w, err := harness.WorkloadByName(workloadName)
 	if err != nil {
 		return err
@@ -62,6 +68,7 @@ func run(workloadName, machineName, scheme string, seed uint64, quick bool) erro
 	}
 
 	pr := datamime.NewProfiler(machine)
+	pr.Workers = profileWorkers
 	if quick {
 		st := datamime.QuickSettings()
 		pr.WindowCycles = st.WindowCycles

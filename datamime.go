@@ -24,7 +24,7 @@
 //	gen := datamime.MemcachedGenerator()          // Table III parameter space
 //	res, _ := datamime.Search(datamime.SearchConfig{
 //	    Generator:  gen,
-//	    Objective:  datamime.ProfileObjective{Target: prof, Model: datamime.NewErrorModel()},
+//	    Objective:  datamime.NewProfileObjective(prof, datamime.NewErrorModel()),
 //	    Profiler:   datamime.NewProfiler(datamime.Broadwell()),
 //	    Iterations: 200,
 //	})
@@ -217,6 +217,15 @@ func NewTelemetry(opts TelemetryOptions) *TelemetryRecorder { return telemetry.N
 
 // NewErrorModel returns the default equal-weight Eq. 1 error model.
 func NewErrorModel() *ErrorModel { return core.NewErrorModel() }
+
+// NewProfileObjective builds a profile-matching objective with the target's
+// sample distributions pre-sorted, so a long search sorts the fixed target
+// side once instead of once per evaluation. The literal
+// ProfileObjective{Target: t, Model: m} form remains supported and produces
+// bit-identical errors.
+func NewProfileObjective(target *Profile, model *ErrorModel) ProfileObjective {
+	return core.NewProfileObjective(target, model)
+}
 
 // NewBayesOpt builds the paper's Bayesian optimizer over a space.
 func NewBayesOpt(space *Space, seed uint64) Optimizer {

@@ -171,7 +171,7 @@ func main() {
 
 	res, err := datamime.Search(datamime.SearchConfig{
 		Generator:  gen,
-		Objective:  datamime.ProfileObjective{Target: target, Model: datamime.NewErrorModel()},
+		Objective:  datamime.NewProfileObjective(target, datamime.NewErrorModel()),
 		Profiler:   profiler,
 		Iterations: 40,
 		Seed:       5,

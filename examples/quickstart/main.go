@@ -48,7 +48,7 @@ func main() {
 	fmt.Printf("searching %d parameters: %v\n", gen.Space.Dim(), gen.Space.Names())
 	result, err := datamime.Search(datamime.SearchConfig{
 		Generator:  gen,
-		Objective:  datamime.ProfileObjective{Target: targetProfile, Model: datamime.NewErrorModel()},
+		Objective:  datamime.NewProfileObjective(targetProfile, datamime.NewErrorModel()),
 		Profiler:   profiler,
 		Iterations: 40, // the paper uses 200; 40 keeps the quickstart short
 		Seed:       1,

@@ -123,17 +123,39 @@ func (em *ErrorModel) WithDistance(kind DistanceKind) *ErrorModel {
 	return out
 }
 
-// distDistance applies the selected statistic to two sample sets.
-func (em *ErrorModel) distDistance(a, b []float64) float64 {
+// distDistanceSorted applies the selected statistic to two ascending-sorted
+// sample sets. Both statistics reduce to a merge sweep over sorted inputs,
+// so the distance path sorts each side exactly once — and the target side
+// not at all when the caller passes a precomputed sorted map (see
+// NewProfileObjective).
+func (em *ErrorModel) distDistanceSorted(as, bs []float64) float64 {
 	if em.Stat == DistKS {
-		return stats.KSDistance(a, b)
+		return stats.KSSorted(as, bs)
 	}
-	return stats.NormalizedEMD(a, b)
+	return stats.NormalizedEMDSorted(as, bs)
+}
+
+// scalarDistance computes one scalar component's distance, reusing a cached
+// sorted target distribution when available.
+func (em *ErrorModel) scalarDistance(target, cand *profile.Profile, id profile.MetricID, targetSorted map[profile.MetricID][]float64) float64 {
+	ts, ok := targetSorted[id]
+	if !ok {
+		ts = stats.SortedCopy(target.Samples[id])
+	}
+	return em.distDistanceSorted(ts, stats.SortedCopy(cand.Samples[id]))
 }
 
 // Distance returns the total weighted error between a target and a
 // candidate profile, plus the per-component breakdown (before weighting).
 func (em *ErrorModel) Distance(target, cand *profile.Profile) (float64, map[Component]float64) {
+	return em.distance(target, cand, nil)
+}
+
+// distance is Distance with an optional precomputed sorted-target cache.
+// The sorted fast path is bit-identical to sorting inline (pinned by
+// stats.TestSortedVariantsMatchUnsorted and TestProfileObjectiveSortedCache),
+// so cached and uncached objectives produce the same error stream.
+func (em *ErrorModel) distance(target, cand *profile.Profile, targetSorted map[profile.MetricID][]float64) (float64, map[Component]float64) {
 	per := make(map[Component]float64, len(Components))
 	var total float64
 	for _, c := range Components {
@@ -144,15 +166,14 @@ func (em *ErrorModel) Distance(target, cand *profile.Profile) (float64, map[Comp
 		case CompIPCCurve:
 			d = CurveDistance(target.IPCCurve(), cand.IPCCurve())
 		default:
-			id := scalarFor[c]
-			d = em.distDistance(target.Samples[id], cand.Samples[id])
+			d = em.scalarDistance(target, cand, scalarFor[c], targetSorted)
 		}
 		per[c] = d
 		total += em.Weights[c] * d
 	}
 	// Optional extension component: only when explicitly weighted in.
 	if w, ok := em.Weights[CompCompression]; ok && w > 0 {
-		d := em.distDistance(target.Samples[profile.MetricCompress], cand.Samples[profile.MetricCompress])
+		d := em.scalarDistance(target, cand, profile.MetricCompress, targetSorted)
 		per[CompCompression] = d
 		total += w * d
 	}
@@ -211,21 +232,41 @@ type AttributedObjective interface {
 }
 
 // ProfileObjective matches a full target profile under an error model.
+//
+// The literal form ProfileObjective{Target: t, Model: m} works and stays
+// supported; NewProfileObjective additionally precomputes sorted copies of
+// the target's sample distributions, so a search evaluating hundreds of
+// candidates sorts the (fixed) target side once instead of once per
+// evaluation. Both forms produce bit-identical errors.
 type ProfileObjective struct {
 	Target *profile.Profile
 	Model  *ErrorModel
+
+	// sortedTarget caches ascending-sorted copies of Target.Samples, keyed
+	// by metric. nil (literal construction) sorts the target per evaluation.
+	sortedTarget map[profile.MetricID][]float64
+}
+
+// NewProfileObjective builds a ProfileObjective with the target's sample
+// distributions pre-sorted for the EMD/KS merge sweeps.
+func NewProfileObjective(target *profile.Profile, model *ErrorModel) ProfileObjective {
+	sorted := make(map[profile.MetricID][]float64, len(target.Samples))
+	for id, s := range target.Samples {
+		sorted[id] = stats.SortedCopy(s)
+	}
+	return ProfileObjective{Target: target, Model: model, sortedTarget: sorted}
 }
 
 // Evaluate implements Objective.
 func (o ProfileObjective) Evaluate(cand *profile.Profile) float64 {
-	total, _ := o.Model.Distance(o.Target, cand)
+	total, _ := o.Model.distance(o.Target, cand, o.sortedTarget)
 	return total
 }
 
 // EvaluateAttributed implements AttributedObjective: the per-component EMD
 // terms of Eq. 1, keyed by Component name.
 func (o ProfileObjective) EvaluateAttributed(cand *profile.Profile) (float64, map[string]float64) {
-	total, per := o.Model.Distance(o.Target, cand)
+	total, per := o.Model.distance(o.Target, cand, o.sortedTarget)
 	out := make(map[string]float64, len(per))
 	for c, d := range per {
 		out[string(c)] = d

@@ -1,10 +1,123 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"datamime/internal/profile"
+	"datamime/internal/stats"
 )
+
+// randomProfile builds a profile with unsorted random samples, so the
+// sorted-target fast path actually has sorting work to skip.
+func randomProfile(seed uint64) *profile.Profile {
+	rng := stats.NewRNG(seed)
+	p := &profile.Profile{
+		Benchmark: "random",
+		Machine:   "broadwell",
+		Samples:   make(map[profile.MetricID][]float64),
+	}
+	for _, id := range profile.ScalarMetrics {
+		s := make([]float64, 40)
+		for i := range s {
+			s[i] = rng.NormFloat64() * 3
+		}
+		p.Samples[id] = s
+	}
+	for w := 1; w <= 6; w++ {
+		p.Curve = append(p.Curve, profile.CurvePoint{
+			Ways: w, SizeBytes: w << 20, IPC: 0.5 + rng.Float64(), LLCMPKI: 10 * rng.Float64(),
+		})
+	}
+	return p
+}
+
+// TestProfileObjectiveSortedCache: NewProfileObjective's precomputed sorted
+// targets must be invisible in the results — bit-identical totals and
+// per-component attributions versus the literal (uncached) form, under both
+// distance statistics and with the optional compression component on.
+func TestProfileObjectiveSortedCache(t *testing.T) {
+	target := randomProfile(5)
+	models := []*ErrorModel{
+		NewErrorModel(),
+		NewErrorModel().WithDistance(DistKS),
+		NewErrorModel().WithWeight(CompCompression, 2),
+	}
+	for mi, m := range models {
+		plain := ProfileObjective{Target: target, Model: m}
+		cached := NewProfileObjective(target, m)
+		for s := uint64(20); s < 26; s++ {
+			cand := randomProfile(s)
+			if a, b := plain.Evaluate(cand), cached.Evaluate(cand); a != b {
+				t.Fatalf("model %d seed %d: plain %v != cached %v", mi, s, a, b)
+			}
+			ta, pa := plain.EvaluateAttributed(cand)
+			tb, pb := cached.EvaluateAttributed(cand)
+			if ta != tb || !reflect.DeepEqual(pa, pb) {
+				t.Fatalf("model %d seed %d: attribution diverged", mi, s)
+			}
+		}
+		// Self-distance stays exactly zero through the cached path.
+		if d := cached.Evaluate(target); d != 0 {
+			t.Fatalf("model %d: cached self-distance %g", mi, d)
+		}
+	}
+}
+
+// TestSearchProfileWorkersIdentical: a search is bit-for-bit identical at
+// any ProfileWorkers setting — same trace, same best, same checkpoint.
+func TestSearchProfileWorkersIdentical(t *testing.T) {
+	gen := smallKVGenerator()
+	hidden := gen.Benchmark([]float64{90_000, 0.8, 400})
+	target, err := fastProfiler().Profile(hidden, 321)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) *Result {
+		res, err := Search(SearchConfig{
+			Generator:      gen,
+			Objective:      NewProfileObjective(target, NewErrorModel()),
+			Profiler:       fastProfiler(),
+			Iterations:     6,
+			Seed:           13,
+			ProfileWorkers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	parallel := run(3)
+	if !reflect.DeepEqual(serial.Trace, parallel.Trace) {
+		t.Fatalf("traces diverged:\nserial:   %+v\nparallel: %+v", serial.Trace, parallel.Trace)
+	}
+	if serial.BestError != parallel.BestError ||
+		!reflect.DeepEqual(serial.BestParams, parallel.BestParams) {
+		t.Fatal("best result diverged across ProfileWorkers settings")
+	}
+	if !reflect.DeepEqual(serial.BestProfile, parallel.BestProfile) {
+		t.Fatal("best profile diverged across ProfileWorkers settings")
+	}
+	if !reflect.DeepEqual(serial.Checkpoint, parallel.Checkpoint) {
+		t.Fatal("checkpoints diverged across ProfileWorkers settings")
+	}
+}
+
+// TestSearchRejectsNegativeProfileWorkers pins the validation contract the
+// CLI flags rely on.
+func TestSearchRejectsNegativeProfileWorkers(t *testing.T) {
+	_, err := Search(SearchConfig{
+		Generator:      smallKVGenerator(),
+		Objective:      MetricObjective{Metric: profile.MetricIPC, Value: 1},
+		Profiler:       fastProfiler(),
+		Iterations:     1,
+		ProfileWorkers: -1,
+	})
+	if err == nil {
+		t.Fatal("negative ProfileWorkers accepted")
+	}
+}
 
 func TestParallelSearchMatchesBudget(t *testing.T) {
 	gen := smallKVGenerator()

@@ -73,6 +73,16 @@ type SearchConfig struct {
 	// structure either way: the trace holds one record per evaluation, and
 	// the run is deterministic for a given (Seed, Parallel).
 	Parallel int
+	// ProfileWorkers bounds the intra-evaluation profiler parallelism: each
+	// candidate's way-curve sweep runs its independent partition simulations
+	// on up to this many workers (see profile.Profiler.Workers). 0 leaves
+	// the Profiler's own setting; 1 forces serial sweeps. Profiles are
+	// bit-identical at any worker count, so this knob — like Parallel — can
+	// never change a search's results, only its wall-clock time. The two
+	// levels compose under one shared budget of max(Parallel,
+	// ProfileWorkers) concurrent simulations, so Parallel×ProfileWorkers
+	// goroutines never oversubscribe the machine.
+	ProfileWorkers int
 	// OnEvalError selects the failure policy (default EvalFailFast).
 	OnEvalError EvalErrorPolicy
 	// Cache, when non-nil, is consulted before profiling each candidate
@@ -107,6 +117,9 @@ func (c *SearchConfig) Validate() error {
 	}
 	if c.Iterations <= 0 {
 		return fmt.Errorf("core: Iterations must be positive, got %d", c.Iterations)
+	}
+	if c.ProfileWorkers < 0 {
+		return fmt.Errorf("core: ProfileWorkers must be >= 0, got %d", c.ProfileWorkers)
 	}
 	return nil
 }
@@ -247,6 +260,28 @@ func SearchContext(ctx context.Context, cfg SearchConfig) (*Result, error) {
 	if parallel < 1 {
 		parallel = 1
 	}
+
+	// Apply the profile-level parallelism knob on a copy, leaving the
+	// caller's Profiler untouched, and cap the total number of concurrent
+	// simulations across candidate batching × way-curve sweeps with one
+	// shared budget. Neither Workers nor Budget enters EvalKey: they cannot
+	// change measured profiles (see profile.Profiler.Workers).
+	profiler := cfg.Profiler
+	if cfg.ProfileWorkers > 0 || parallel > 1 {
+		pc := *cfg.Profiler
+		if cfg.ProfileWorkers > 0 {
+			pc.Workers = cfg.ProfileWorkers
+		}
+		simCap := parallel
+		if pc.Workers > simCap {
+			simCap = pc.Workers
+		}
+		if simCap > 1 && pc.Budget == nil {
+			pc.Budget = profile.NewBudget(simCap)
+		}
+		profiler = &pc
+	}
+
 	batchRNG := stats.NewRNG(stats.HashSeed(cfg.Seed, "batch-fallback"))
 
 	var replay []CheckpointEntry
@@ -287,7 +322,7 @@ func SearchContext(ctx context.Context, cfg SearchConfig) (*Result, error) {
 	profileAt := func(it int, x []float64, seed uint64, tm *evalTimings) (prof *profile.Profile, hit bool, err error) {
 		var key string
 		if cfg.Cache != nil {
-			key = EvalKey(cfg.Generator.Name, cfg.Profiler, x, seed)
+			key = EvalKey(cfg.Generator.Name, profiler, x, seed)
 			if p, ok := cfg.Cache.Get(key); ok {
 				return p, true, nil
 			}
@@ -296,7 +331,7 @@ func SearchContext(ctx context.Context, cfg SearchConfig) (*Result, error) {
 		bench := cfg.Generator.Benchmark(x)
 		genDur := genSpan.End(nil)
 		profSpan := rec.StartSpan(telemetry.PhaseProfile, it)
-		p, err := cfg.Profiler.ProfileContext(ctx, bench, seed)
+		p, err := profiler.ProfileContext(ctx, bench, seed)
 		profDur := profSpan.End(nil)
 		if tm != nil {
 			tm.generateNS += genDur.Nanoseconds()
@@ -344,7 +379,7 @@ func SearchContext(ctx context.Context, cfg SearchConfig) (*Result, error) {
 		}
 		r := evalResult{prof: prof, e: e, x: x, comps: comps, cacheHit: hit, retried: retried, phases: tm.toMap()}
 		if !hit {
-			r.cycles = estimateCycles(cfg.Profiler, prof)
+			r.cycles = estimateCycles(profiler, prof)
 		}
 		return r
 	}

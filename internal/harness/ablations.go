@@ -35,7 +35,7 @@ func (r *Runner) AblationOptimizers(out io.Writer) error {
 	for _, o := range optimizers {
 		res, err := core.Search(core.SearchConfig{
 			Generator:  w.Generator,
-			Objective:  core.ProfileObjective{Target: target, Model: model},
+			Objective:  core.NewProfileObjective(target, model),
 			Profiler:   r.profiler(sim.Broadwell()),
 			Iterations: r.st.Iterations,
 			Optimizer:  o,
@@ -101,7 +101,7 @@ func (r *Runner) AblationErrorModel(out io.Writer) error {
 			Parallel:   r.st.Parallel,
 		})
 	}
-	emdRes, err := run(core.ProfileObjective{Target: target, Model: model}, r.st.Seed)
+	emdRes, err := run(core.NewProfileObjective(target, model), r.st.Seed)
 	if err != nil {
 		return err
 	}
@@ -182,7 +182,7 @@ func (r *Runner) AblationDistance(out io.Writer) error {
 	for _, kind := range []core.DistanceKind{core.DistEMD, core.DistKS} {
 		res, err := core.Search(core.SearchConfig{
 			Generator:  w.Generator,
-			Objective:  core.ProfileObjective{Target: target, Model: emdModel.WithDistance(kind)},
+			Objective:  core.NewProfileObjective(target, emdModel.WithDistance(kind)),
 			Profiler:   r.profiler(sim.Broadwell()),
 			Iterations: r.st.Iterations,
 			Seed:       r.st.Seed,

@@ -31,7 +31,7 @@ func (r *Runner) ExtCompression(out io.Writer) error {
 	search := func(model *core.ErrorModel, seed uint64) (*core.Result, error) {
 		return core.Search(core.SearchConfig{
 			Generator:  gen,
-			Objective:  core.ProfileObjective{Target: target, Model: model},
+			Objective:  core.NewProfileObjective(target, model),
 			Profiler:   pr,
 			Iterations: r.st.Iterations,
 			Seed:       seed,

@@ -220,7 +220,7 @@ func (r *Runner) Search(w Workload, model *core.ErrorModel) (*core.Result, error
 	r.logf("searching %s (%d iterations)", w.Name, r.st.Iterations)
 	res, err := core.Search(core.SearchConfig{
 		Generator:  w.Generator,
-		Objective:  core.ProfileObjective{Target: target, Model: model},
+		Objective:  core.NewProfileObjective(target, model),
 		Profiler:   r.profiler(sim.Broadwell()),
 		Iterations: r.st.Iterations,
 		Seed:       r.st.Seed,

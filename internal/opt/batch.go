@@ -32,12 +32,21 @@ func (b *BayesOpt) NextBatch(k int) [][]float64 {
 		return batch
 	}
 	// Constant liar: temporarily append lies to the history, then roll
-	// them back.
+	// them back. The surrogate cache is snapshotted alongside — factors
+	// are immutable, so the snapshot is just the entry structs — and
+	// restored with the rollback, discarding lie rows (and any jitter
+	// escalation the lies provoked) so the cache state a later Observe
+	// extends is exactly the pre-batch state.
 	_, bestY, haveBest := b.Best()
+	if b.cache == nil {
+		b.cache = newSurrogateCache()
+	}
+	saved := b.cache.snapshot()
 	lieCount := 0
 	defer func() {
 		if lieCount > 0 {
 			b.obs = b.obs[:len(b.obs)-lieCount]
+			b.cache.restore(saved)
 		}
 	}()
 	for len(batch) < k {

@@ -1,0 +1,36 @@
+package opt
+
+import "testing"
+
+// BenchmarkGPFit compares the per-iteration cost of the surrogate fit: the
+// incremental cache (one bordered append per hyperparameter candidate, then
+// an O(n²) scale-and-solve each) against the from-scratch grid search (24
+// O(n³) refactorizations). The incremental case restores a snapshot each
+// iteration so every b.N loop performs exactly one append per entry — the
+// steady-state cost the search pays per new observation.
+func BenchmarkGPFit(b *testing.B) {
+	const n, dim = 64, 4
+	xs, ys := randomObs(21, n, dim)
+
+	b.Run("incremental", func(b *testing.B) {
+		cache := newSurrogateCache()
+		cache.sync(xs[:n-1])
+		warm := cache.snapshot()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cache.restore(warm)
+			if _, err := cache.fit(xs, ys); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scratch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := fitBestGP(xs, ys); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

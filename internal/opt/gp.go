@@ -86,6 +86,43 @@ func FitGP(kernel Kernel, noiseVar float64, xs [][]float64, ys []float64) (*GP, 
 	}, nil
 }
 
+// GPFromCholesky builds a GP from a precomputed Cholesky factor of the
+// kernel matrix (plus jitter) over xs. It is the fast-path constructor
+// behind the optimizer's incremental surrogate cache: the O(n³)
+// factorization is skipped and only the O(n²) solve for alpha runs. The
+// caller guarantees that chol factors kernel(xs, xs) + jitter·I.
+func GPFromCholesky(kernel Kernel, noiseVar float64, xs [][]float64, ys []float64, chol *linalg.Matrix) (*GP, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("opt: GPFromCholesky got %d points but %d observations", len(xs), len(ys))
+	}
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("opt: GPFromCholesky needs at least one observation")
+	}
+	if chol.Rows != len(xs) || chol.Cols != len(xs) {
+		return nil, fmt.Errorf("opt: GPFromCholesky factor is %dx%d for %d points", chol.Rows, chol.Cols, len(xs))
+	}
+	n := len(xs)
+	mean := 0.0
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= float64(n)
+	centered := make([]float64, n)
+	for i, y := range ys {
+		centered[i] = y - mean
+	}
+	alpha := linalg.CholeskySolve(chol, centered)
+	return &GP{
+		kernel:   kernel,
+		noiseVar: noiseVar,
+		xs:       xs,
+		ys:       ys,
+		mean:     mean,
+		chol:     chol,
+		alpha:    alpha,
+	}, nil
+}
+
 // Predict returns the posterior mean and variance at x.
 func (g *GP) Predict(x []float64) (mu, sigma2 float64) {
 	n := len(g.xs)
@@ -122,22 +159,31 @@ type hyperCandidate struct {
 	lengthScale, signalVar, noiseVar float64
 }
 
+// hyperLengthScales and hyperNoiseFracs form the hyperparameter grid both
+// the from-scratch fit (fitBestGP) and the incremental surrogate cache
+// search; the two must iterate the same grid in the same order so their
+// first-best tie-breaking matches.
+var (
+	hyperLengthScales = []float64{0.05, 0.1, 0.2, 0.4, 0.8, 1.6}
+	hyperNoiseFracs   = []float64{1e-4, 1e-3, 1e-2, 0.1}
+)
+
 // fitBestGP selects kernel hyperparameters by maximizing the log marginal
 // likelihood over a small log-spaced grid. Gradient-free selection is
 // deliberately simple: the grid spans the plausible range for unit-cube
 // inputs and normalized objectives, and grid ML selection is robust to the
-// noisy objectives Datamime faces.
+// noisy objectives Datamime faces. It refactorizes every candidate from
+// scratch (O(n³) each); the optimizer's hot path uses the incremental
+// surrogate cache instead and keeps this as its reference implementation.
 func fitBestGP(xs [][]float64, ys []float64) (*GP, error) {
 	varY := variance(ys)
 	if varY < 1e-12 {
 		varY = 1e-12
 	}
-	lengthScales := []float64{0.05, 0.1, 0.2, 0.4, 0.8, 1.6}
-	noiseFracs := []float64{1e-4, 1e-3, 1e-2, 0.1}
 	var best *GP
 	bestLML := math.Inf(-1)
-	for _, ls := range lengthScales {
-		for _, nf := range noiseFracs {
+	for _, ls := range hyperLengthScales {
+		for _, nf := range hyperNoiseFracs {
 			cand := hyperCandidate{lengthScale: ls, signalVar: varY, noiseVar: nf * varY}
 			gp, err := FitGP(Matern52{Variance: cand.signalVar, LengthScale: cand.lengthScale}, cand.noiseVar, xs, ys)
 			if err != nil {

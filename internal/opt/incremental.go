@@ -1,0 +1,243 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"datamime/internal/opt/linalg"
+)
+
+// The incremental surrogate fit exploits two structural facts about
+// fitBestGP's grid search:
+//
+//  1. Every candidate's covariance is K = varY·(C + nf·I), where C is the
+//     unit-variance Matérn-5/2 correlation matrix — only varY changes
+//     between iterations. Since chol(s²·A) = s·chol(A) exactly in real
+//     arithmetic, one cached factor of C + jitter·I per (lengthScale,
+//     noiseFrac) candidate serves every iteration: the per-iteration work
+//     is an O(n²) bordered append (linalg.CholeskyAppend) plus an O(n²)
+//     scale-and-solve, instead of 24 O(n³) refactorizations.
+//  2. CholeskyAppend is bit-identical to refactorizing from scratch at the
+//     same jitter, so the cached state is a pure function of the
+//     observation sequence — append-by-append and rebuilt-after-resume
+//     paths land on the same factor bit for bit, preserving the
+//     checkpoint/resume determinism guarantee.
+//
+// Jitter escalation breaks fact 1's cheap path: once an entry needs more
+// than its base jitter, new observations trigger an exact refactorization
+// from the base level (so the resulting level stays a function of the
+// observation set, not of the path that reached it).
+
+// surrogateEntry caches one hyperparameter candidate's unit-variance
+// factorization state.
+type surrogateEntry struct {
+	ls, nf float64
+	chol   *linalg.Matrix // factor of C_n + jitter·I; nil until first sync
+	jitter float64        // current diagonal jitter (unit-variance space)
+	level  int            // escalation level: jitter = base·10^level
+	n      int            // observations covered by chol
+	ok     bool           // false when no jitter level factorized at n
+}
+
+// surrogateCache holds one entry per hyperparameter grid candidate, in grid
+// order.
+type surrogateCache struct {
+	entries []surrogateEntry
+}
+
+func newSurrogateCache() *surrogateCache {
+	c := &surrogateCache{}
+	for _, ls := range hyperLengthScales {
+		for _, nf := range hyperNoiseFracs {
+			c.entries = append(c.entries, surrogateEntry{ls: ls, nf: nf})
+		}
+	}
+	return c
+}
+
+// snapshot captures the cache state. Factors are immutable (appends
+// allocate), so copying the entry structs is a full snapshot.
+func (c *surrogateCache) snapshot() []surrogateEntry {
+	return append([]surrogateEntry(nil), c.entries...)
+}
+
+// restore rewinds the cache to a snapshot — the constant-liar rollback.
+func (c *surrogateCache) restore(s []surrogateEntry) {
+	copy(c.entries, s)
+}
+
+// sync brings every entry's factor up to the observation set xs.
+func (c *surrogateCache) sync(xs [][]float64) {
+	for i := range c.entries {
+		c.entries[i].sync(xs)
+	}
+}
+
+// unitJitter is the base diagonal jitter in unit-variance space: the noise
+// fraction itself (FitGP's absolute floor of 1e-10 translates to a relative
+// floor here).
+func unitJitter(nf float64) float64 {
+	if nf < 1e-10 {
+		return 1e-10
+	}
+	return nf
+}
+
+func (e *surrogateEntry) sync(xs [][]float64) {
+	n := len(xs)
+	if e.n == n {
+		return // state for this observation set already decided
+	}
+	if e.ok && e.level == 0 && e.n == n-1 {
+		// Fast path: border the cached factor with the newest observation.
+		k := Matern52{Variance: 1, LengthScale: e.ls}
+		row := make([]float64, n)
+		x := xs[n-1]
+		for j := 0; j < n-1; j++ {
+			row[j] = k.Eval(x, xs[j])
+		}
+		row[n-1] = k.Eval(x, x) + e.jitter
+		if f, err := linalg.CholeskyAppend(e.chol, row); err == nil {
+			e.chol, e.n = f, n
+			return
+		}
+	}
+	e.rebuild(xs)
+}
+
+// rebuild refactorizes from scratch, escalating jitter from the base level
+// until the matrix factorizes (mirroring FitGP's escalation). Starting from
+// the base — not the current level — keeps the resulting level a function
+// of the observation set alone.
+func (e *surrogateEntry) rebuild(xs [][]float64) {
+	n := len(xs)
+	e.n, e.ok, e.chol = n, false, nil
+	if n == 0 {
+		return
+	}
+	k := Matern52{Variance: 1, LengthScale: e.ls}
+	m := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := k.Eval(xs[i], xs[j])
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	jitter := unitJitter(e.nf)
+	for level := 0; level < 8; level++ {
+		mj := m.Clone()
+		for i := 0; i < n; i++ {
+			mj.Set(i, i, mj.At(i, i)+jitter)
+		}
+		if f, err := linalg.Cholesky(mj); err == nil {
+			e.chol, e.jitter, e.level, e.ok = f, jitter, level, true
+			return
+		}
+		jitter *= 10
+	}
+}
+
+// scaleFactor returns s·L — the Cholesky factor of s²·A given the factor L
+// of A, exact in real arithmetic — which is how one unit-variance factor
+// serves every iteration's signal variance.
+func scaleFactor(l *linalg.Matrix, s float64) *linalg.Matrix {
+	out := l.Clone()
+	for i := range out.Data {
+		out.Data[i] *= s
+	}
+	return out
+}
+
+// fitSurrogateIncremental is the cache-backed replacement for fitBestGP:
+// same grid, same first-best LML selection, but each candidate's factor is
+// extended in O(n²) instead of rebuilt in O(n³).
+func (c *surrogateCache) fit(xs [][]float64, ys []float64) (*GP, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("opt: surrogate fit needs at least one observation")
+	}
+	c.sync(xs)
+	varY := variance(ys)
+	if varY < 1e-12 {
+		varY = 1e-12
+	}
+	sd := math.Sqrt(varY)
+	var best *GP
+	bestLML := math.Inf(-1)
+	for i := range c.entries {
+		e := &c.entries[i]
+		if !e.ok {
+			continue
+		}
+		gp, err := GPFromCholesky(
+			Matern52{Variance: varY, LengthScale: e.ls}, e.nf*varY,
+			xs, ys, scaleFactor(e.chol, sd))
+		if err != nil {
+			continue
+		}
+		if lml := gp.LogMarginalLikelihood(); lml > bestLML {
+			bestLML = lml
+			best = gp
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("opt: no GP hyperparameters produced a valid fit")
+	}
+	return best, nil
+}
+
+// argmaxEI scores every candidate's Expected Improvement — in parallel when
+// the optimizer has workers — and returns the first index attaining the
+// maximum, i.e. exactly the winner the serial consider() loop used to pick.
+// Candidates were generated before scoring starts, so the RNG draw order
+// and the chosen proposal are identical at any worker count.
+func (b *BayesOpt) argmaxEI(gp *GP, cands [][]float64, bestY float64) int {
+	if len(cands) == 0 {
+		return -1
+	}
+	eis := make([]float64, len(cands))
+	workers := b.workers
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers <= 1 {
+		for i, x := range cands {
+			eis[i] = ExpectedImprovement(gp, x, bestY, b.xi)
+		}
+	} else {
+		const chunk = 64
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					start := int(next.Add(chunk)) - chunk
+					if start >= len(cands) {
+						return
+					}
+					end := start + chunk
+					if end > len(cands) {
+						end = len(cands)
+					}
+					for i := start; i < end; i++ {
+						eis[i] = ExpectedImprovement(gp, cands[i], bestY, b.xi)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	best := -1
+	bestEI := math.Inf(-1)
+	for i, ei := range eis {
+		if ei > bestEI {
+			bestEI = ei
+			best = i
+		}
+	}
+	return best
+}

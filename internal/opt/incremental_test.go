@@ -1,0 +1,272 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"datamime/internal/opt/linalg"
+	"datamime/internal/stats"
+)
+
+// randomObs builds a deterministic observation stream over the unit cube.
+func randomObs(seed uint64, n, dim int) ([][]float64, []float64) {
+	rng := stats.NewRNG(seed)
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		x := make([]float64, dim)
+		for d := range x {
+			x[d] = rng.Float64()
+		}
+		xs[i] = x
+		// A smooth multimodal objective plus noise.
+		ys[i] = math.Sin(5*x[0]) + x[1]*x[1] + 0.05*rng.NormFloat64()
+	}
+	return xs, ys
+}
+
+// TestIncrementalFitMatchesFromScratch is the tentpole agreement test: the
+// cache-backed fit (bordered Cholesky appends + scaled unit factors) must
+// agree with the from-scratch fitBestGP reference to 1e-9 in posterior
+// mean, variance, and log marginal likelihood — at every history length as
+// observations stream in one at a time.
+func TestIncrementalFitMatchesFromScratch(t *testing.T) {
+	xs, ys := randomObs(3, 40, 3)
+	probes, _ := randomObs(4, 10, 3)
+	cache := newSurrogateCache()
+	for n := 2; n <= len(xs); n++ {
+		inc, err := cache.fit(xs[:n], ys[:n])
+		if err != nil {
+			t.Fatalf("n=%d: incremental fit: %v", n, err)
+		}
+		ref, err := fitBestGP(xs[:n], ys[:n])
+		if err != nil {
+			t.Fatalf("n=%d: reference fit: %v", n, err)
+		}
+		if d := math.Abs(inc.LogMarginalLikelihood() - ref.LogMarginalLikelihood()); d > 1e-9 {
+			t.Fatalf("n=%d: LML diverged by %g", n, d)
+		}
+		for pi, p := range probes {
+			mi, si := inc.Predict(p)
+			mr, sr := ref.Predict(p)
+			if math.Abs(mi-mr) > 1e-9 || math.Abs(si-sr) > 1e-9 {
+				t.Fatalf("n=%d probe %d: incremental (%.12g, %.12g) vs scratch (%.12g, %.12g)",
+					n, pi, mi, si, mr, sr)
+			}
+		}
+	}
+}
+
+// TestAppendBitIdenticalToRefactorization pins the stronger property the
+// resume guarantee leans on: appending rows one at a time produces exactly
+// the factor a from-scratch factorization of the full matrix yields.
+func TestAppendBitIdenticalToRefactorization(t *testing.T) {
+	xs, _ := randomObs(9, 25, 4)
+	k := Matern52{Variance: 1, LengthScale: 0.4}
+	const jitter = 1e-3
+
+	grow := func() *linalg.Matrix {
+		var f *linalg.Matrix
+		for n := 1; n <= len(xs); n++ {
+			row := make([]float64, n)
+			for j := 0; j < n-1; j++ {
+				row[j] = k.Eval(xs[n-1], xs[j])
+			}
+			row[n-1] = k.Eval(xs[n-1], xs[n-1]) + jitter
+			if n == 1 {
+				m := linalg.NewMatrix(1, 1)
+				m.Set(0, 0, row[0])
+				var err error
+				if f, err = linalg.Cholesky(m); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			var err error
+			if f, err = linalg.CholeskyAppend(f, row); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return f
+	}
+	scratch := func() *linalg.Matrix {
+		n := len(xs)
+		m := linalg.NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				v := k.Eval(xs[i], xs[j])
+				m.Set(i, j, v)
+				m.Set(j, i, v)
+			}
+			m.Set(i, i, m.At(i, i)+jitter)
+		}
+		f, err := linalg.Cholesky(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	a, b := grow(), scratch()
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j <= i; j++ {
+			if a.At(i, j) != b.At(i, j) {
+				t.Fatalf("factor (%d,%d): appended %v != scratch %v", i, j, a.At(i, j), b.At(i, j))
+			}
+		}
+	}
+}
+
+// TestCholeskyAppendRejectsNonPD: appending an exact duplicate row with no
+// jitter makes the Schur complement zero, which must be rejected — the
+// trigger for the exact-refactorization fallback.
+func TestCholeskyAppendRejectsNonPD(t *testing.T) {
+	m := linalg.NewMatrix(1, 1)
+	m.Set(0, 0, 1)
+	f, err := linalg.Cholesky(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := linalg.CholeskyAppend(f, []float64{1, 1}); err != linalg.ErrNotPositiveDefinite {
+		t.Fatalf("err = %v, want ErrNotPositiveDefinite", err)
+	}
+	if _, err := linalg.CholeskyAppend(f, []float64{1}); err == nil {
+		t.Fatal("short row accepted")
+	}
+}
+
+// TestEntryFallbackOnAppendFailure: when the bordered append hits a
+// non-positive pivot, the entry must recover via a full refactorization
+// (escalating jitter as needed) and end bit-identical to a from-scratch
+// rebuild.
+func TestEntryFallbackOnAppendFailure(t *testing.T) {
+	xs := [][]float64{{0.3, 0.7}, {0.9, 0.1}, {0.3, 0.7}} // last duplicates the first
+	// Hand-craft an entry whose factor carries no jitter, so appending the
+	// duplicate row fails, forcing the rebuild path.
+	k := Matern52{Variance: 1, LengthScale: 0.4}
+	m := linalg.NewMatrix(2, 2)
+	for i := 0; i < 2; i++ {
+		for j := 0; j <= i; j++ {
+			v := k.Eval(xs[i], xs[j])
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	f, err := linalg.Cholesky(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := surrogateEntry{ls: 0.4, nf: 1e-4, chol: f, jitter: 0, level: 0, n: 2, ok: true}
+	e.sync(xs)
+	if !e.ok || e.n != 3 {
+		t.Fatalf("entry did not recover: ok=%v n=%d", e.ok, e.n)
+	}
+	if e.jitter < unitJitter(e.nf) {
+		t.Fatalf("rebuild used jitter %g below the base", e.jitter)
+	}
+	// The recovered factor must equal a pure from-scratch rebuild.
+	ref := surrogateEntry{ls: 0.4, nf: 1e-4}
+	ref.rebuild(xs)
+	if !ref.ok || ref.level != e.level || ref.jitter != e.jitter {
+		t.Fatalf("fallback state (%d, %g) != scratch state (%d, %g)", e.level, e.jitter, ref.level, ref.jitter)
+	}
+	for i := range e.chol.Data {
+		if e.chol.Data[i] != ref.chol.Data[i] {
+			t.Fatal("fallback factor diverged from scratch rebuild")
+		}
+	}
+}
+
+// TestEscalatedEntryRefactorizesFromBase: once an entry sits above the base
+// jitter level, new observations must refactorize from the base level so
+// the landing state is a function of the observation set, not the path.
+func TestEscalatedEntryRefactorizesFromBase(t *testing.T) {
+	xs, _ := randomObs(12, 6, 2)
+	e := surrogateEntry{ls: 0.4, nf: 1e-3}
+	e.rebuild(xs[:5])
+	if !e.ok {
+		t.Fatal("initial rebuild failed")
+	}
+	e.level, e.jitter = 2, e.jitter*100 // simulate prior escalation
+	e.sync(xs[:6])
+	if !e.ok {
+		t.Fatal("sync failed")
+	}
+	if e.level != 0 {
+		t.Fatalf("level %d after rebuild of well-conditioned points, want 0 (base)", e.level)
+	}
+	ref := surrogateEntry{ls: 0.4, nf: 1e-3}
+	ref.rebuild(xs[:6])
+	for i := range e.chol.Data {
+		if e.chol.Data[i] != ref.chol.Data[i] {
+			t.Fatal("escalated-entry rebuild diverged from scratch")
+		}
+	}
+}
+
+// TestParallelScoringDeterminism: two optimizers differing only in
+// acquisition worker count must emit identical proposal streams.
+func TestParallelScoringDeterminism(t *testing.T) {
+	mk := func(workers int) *BayesOpt {
+		space, err := NewSpace(
+			Param{Name: "a", Lo: 0, Hi: 1},
+			Param{Name: "b", Lo: 0, Hi: 1},
+			Param{Name: "c", Lo: 0, Hi: 1},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewBayesOpt(space, BayesOptConfig{Seed: 11, Candidates: 128, Workers: workers})
+	}
+	serial, parallel := mk(1), mk(8)
+	obj := func(x []float64) float64 { return math.Sin(4*x[0]) + x[1] - x[2]*x[2] }
+	for step := 0; step < 18; step++ {
+		xa, xb := serial.Next(), parallel.Next()
+		for d := range xa {
+			if xa[d] != xb[d] {
+				t.Fatalf("step %d dim %d: serial %v != parallel %v", step, d, xa, xb)
+			}
+		}
+		y := obj(xa)
+		serial.Observe(xa, y)
+		parallel.Observe(xb, y)
+	}
+}
+
+// TestNextBatchRollsBackSurrogateCache: after a constant-liar batch, the
+// cache must be bit-identical to one that never saw the lies.
+func TestNextBatchRollsBackSurrogateCache(t *testing.T) {
+	space, err := NewSpace(
+		Param{Name: "a", Lo: 0, Hi: 1},
+		Param{Name: "b", Lo: 0, Hi: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBayesOpt(space, BayesOptConfig{Seed: 3, Candidates: 64, InitPoints: 4, Workers: 1})
+	// Burn through the initial design with real observations.
+	for i := 0; i < 6; i++ {
+		x := b.Next()
+		b.Observe(x, math.Cos(3*x[0])+x[1])
+	}
+	if _, err := b.fitSurrogate(); err != nil { // populate the cache
+		t.Fatal(err)
+	}
+	before := b.cache.snapshot()
+	if got := b.NextBatch(4); len(got) != 4 {
+		t.Fatalf("batch size %d", len(got))
+	}
+	after := b.cache.entries
+	if len(after) != len(before) {
+		t.Fatalf("entry count changed: %d -> %d", len(before), len(after))
+	}
+	for i := range after {
+		if after[i].n != before[i].n || after[i].jitter != before[i].jitter ||
+			after[i].level != before[i].level || after[i].ok != before[i].ok ||
+			after[i].chol != before[i].chol {
+			t.Fatalf("entry %d not rolled back: %+v vs %+v", i, after[i], before[i])
+		}
+	}
+	if len(b.obs) != 6 {
+		t.Fatalf("%d observations after rollback, want 6", len(b.obs))
+	}
+}

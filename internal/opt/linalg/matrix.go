@@ -89,6 +89,46 @@ func Cholesky(a *Matrix) (*Matrix, error) {
 	return l, nil
 }
 
+// CholeskyAppend extends a Cholesky factorization by one bordered row:
+// given the lower-triangular factor L of an n×n matrix A and row holding
+// (A_{n,0}, …, A_{n,n}) including the new diagonal, it returns the factor
+// of the (n+1)×(n+1) bordered matrix in O(n²) instead of the O(n³) full
+// refactorization. The new row is computed with exactly the recurrence
+// Cholesky uses, so the result is bit-identical to factorizing the bordered
+// matrix from scratch; the input factor is never modified (the returned
+// matrix is fresh), which lets callers keep old factors as rollback
+// snapshots. Returns ErrNotPositiveDefinite when the Schur complement of
+// the new diagonal is non-positive — the caller's cue to fall back to a
+// full refactorization with escalated jitter.
+func CholeskyAppend(l *Matrix, row []float64) (*Matrix, error) {
+	n := l.Rows
+	if l.Cols != n {
+		return nil, fmt.Errorf("linalg: CholeskyAppend of non-square %dx%d factor", l.Rows, l.Cols)
+	}
+	if len(row) != n+1 {
+		return nil, fmt.Errorf("linalg: CholeskyAppend row has %d entries, want %d", len(row), n+1)
+	}
+	out := NewMatrix(n+1, n+1)
+	for i := 0; i < n; i++ {
+		copy(out.Data[i*(n+1):i*(n+1)+i+1], l.Data[i*n:i*n+i+1])
+	}
+	for j := 0; j <= n; j++ {
+		sum := row[j]
+		for k := 0; k < j; k++ {
+			sum -= out.At(n, k) * out.At(j, k)
+		}
+		if j == n {
+			if sum <= 0 || math.IsNaN(sum) {
+				return nil, ErrNotPositiveDefinite
+			}
+			out.Set(n, n, math.Sqrt(sum))
+		} else {
+			out.Set(n, j, sum/out.At(j, j))
+		}
+	}
+	return out, nil
+}
+
 // SolveLower solves L·y = b for lower-triangular L by forward substitution.
 func SolveLower(l *Matrix, b []float64) []float64 {
 	n := l.Rows

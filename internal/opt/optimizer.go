@@ -2,6 +2,7 @@ package opt
 
 import (
 	"math"
+	"runtime"
 	"time"
 
 	"datamime/internal/stats"
@@ -94,8 +95,10 @@ type BayesOpt struct {
 	initPoints int
 	candidates int
 	xi         float64
+	workers    int
 	pending    [][]float64
 	timings    Timings
+	cache      *surrogateCache
 }
 
 // BayesOptConfig tunes the optimizer. Zero values select defaults.
@@ -110,6 +113,12 @@ type BayesOptConfig struct {
 	Xi float64
 	// Seed seeds the proposal RNG.
 	Seed uint64
+	// Workers bounds concurrent acquisition-candidate scoring (default
+	// GOMAXPROCS; 1 runs serially). The proposal stream is identical at
+	// any worker count: candidates are generated sequentially in a fixed
+	// RNG order, scored into an indexed slice, and reduced by a serial
+	// first-index argmax.
+	Workers int
 }
 
 // NewBayesOpt builds a Bayesian optimizer over space.
@@ -126,6 +135,9 @@ func NewBayesOpt(space *Space, cfg BayesOptConfig) *BayesOpt {
 	if cfg.Xi <= 0 {
 		cfg.Xi = 0.01
 	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
 	rng := stats.NewRNG(stats.HashSeed(cfg.Seed, "bayesopt"))
 	b := &BayesOpt{
 		space:      space,
@@ -133,6 +145,7 @@ func NewBayesOpt(space *Space, cfg BayesOptConfig) *BayesOpt {
 		initPoints: cfg.InitPoints,
 		candidates: cfg.Candidates,
 		xi:         cfg.Xi,
+		workers:    cfg.Workers,
 	}
 	b.pending = LatinHypercube(cfg.InitPoints, space.Dim(), rng)
 	return b
@@ -162,33 +175,28 @@ func (b *BayesOpt) Next() []float64 {
 	defer func() { b.timings.Acquisition += time.Since(acqStart) }()
 	_, bestY, _ := b.Best()
 
-	bestEI := math.Inf(-1)
-	var bestX []float64
-	consider := func(x []float64) {
-		if ei := ExpectedImprovement(gp, x, bestY, b.xi); ei > bestEI {
-			bestEI = ei
-			bestX = x
-		}
-	}
+	// Candidate generation stays sequential so the RNG draw order never
+	// depends on the worker count; only scoring fans out.
+	radii := []float64{0.2, 0.05, 0.01}
+	cands := make([][]float64, 0, b.candidates+3*len(radii)*(b.candidates/8))
 	// Global random candidates.
 	for i := 0; i < b.candidates; i++ {
-		consider(b.space.Sample(b.rng))
+		cands = append(cands, b.space.Sample(b.rng))
 	}
 	// Local candidates around the incumbent and previously-observed good
 	// points, at shrinking perturbation radii: EI surfaces are often peaked
 	// near the incumbent when the objective is locally improvable.
-	anchors := b.topAnchors(3)
-	for _, anchor := range anchors {
-		for _, radius := range []float64{0.2, 0.05, 0.01} {
+	for _, anchor := range b.topAnchors(3) {
+		for _, radius := range radii {
 			for i := 0; i < b.candidates/8; i++ {
-				consider(b.perturb(anchor, radius))
+				cands = append(cands, b.perturb(anchor, radius))
 			}
 		}
 	}
-	if bestX == nil {
-		return b.space.Sample(b.rng)
+	if idx := b.argmaxEI(gp, cands, bestY); idx >= 0 {
+		return cands[idx]
 	}
-	return bestX
+	return b.space.Sample(b.rng)
 }
 
 // TakeTimings implements TimingReporter.
@@ -198,9 +206,12 @@ func (b *BayesOpt) TakeTimings() (Timings, bool) {
 	return t, t.Proposals > 0
 }
 
-// fitSurrogate fits the GP to the normalized observation history. The
-// objective is standardized implicitly by the GP's empirical-mean prior and
-// the ML-selected signal variance.
+// fitSurrogate fits the GP to the normalized observation history via the
+// incremental surrogate cache (see incremental.go): each hyperparameter
+// candidate's Cholesky factor is extended by one bordered row per new
+// observation instead of refactorized from scratch. The objective is
+// standardized implicitly by the GP's empirical-mean prior and the
+// ML-selected signal variance.
 func (b *BayesOpt) fitSurrogate() (*GP, error) {
 	xs := make([][]float64, len(b.obs))
 	ys := make([]float64, len(b.obs))
@@ -208,7 +219,10 @@ func (b *BayesOpt) fitSurrogate() (*GP, error) {
 		xs[i] = o.X
 		ys[i] = o.Y
 	}
-	return fitBestGP(xs, ys)
+	if b.cache == nil {
+		b.cache = newSurrogateCache()
+	}
+	return b.cache.fit(xs, ys)
 }
 
 // topAnchors returns the k lowest-error observed points.

@@ -1,0 +1,27 @@
+package profile
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkProfilerSweep measures one full profile — the main run plus the
+// way-curve sweep — at different worker counts. This is the CI-gated
+// benchmark: on a multi-core runner workers=4 must beat workers=1 by ~2×
+// (the sweep is embarrassingly parallel); on a single core the two are
+// within noise. The profile itself is identical at every worker count.
+func BenchmarkProfilerSweep(b *testing.B) {
+	bench := kvBenchmark(256, 60_000)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			pr := fastProfiler()
+			pr.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := pr.Profile(bench, 7); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,47 @@
+package profile
+
+// Budget is a shared cap on simulation runs in flight. The search core
+// parallelizes along two axes — candidate evaluations (SearchConfig.Parallel)
+// and partition runs within one profile (Profiler.Workers) — and without a
+// shared cap their product could oversubscribe the machine. All profilers of
+// one search share a single Budget sized to the larger of the two knobs;
+// every run acquires one token for the duration of the simulation, so total
+// concurrency never exceeds the budget regardless of how the axes compose.
+//
+// Tokens are held per run, never across runs, so acquisition order cannot
+// deadlock. A nil *Budget is valid and imposes no cap.
+type Budget struct {
+	tokens chan struct{}
+}
+
+// NewBudget returns a budget admitting up to n concurrent runs (minimum 1).
+func NewBudget(n int) *Budget {
+	if n < 1 {
+		n = 1
+	}
+	return &Budget{tokens: make(chan struct{}, n)}
+}
+
+// Acquire blocks until a token is free. No-op on a nil budget.
+func (b *Budget) Acquire() {
+	if b == nil {
+		return
+	}
+	b.tokens <- struct{}{}
+}
+
+// Release returns a token. No-op on a nil budget.
+func (b *Budget) Release() {
+	if b == nil {
+		return
+	}
+	<-b.tokens
+}
+
+// Cap returns the budget size (0 for nil).
+func (b *Budget) Cap() int {
+	if b == nil {
+		return 0
+	}
+	return cap(b.tokens)
+}

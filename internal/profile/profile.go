@@ -9,6 +9,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"datamime/internal/sim"
 	"datamime/internal/stats"
@@ -158,6 +160,18 @@ type Profiler struct {
 	// SkipCurves disables the sensitivity-curve measurement (used by the
 	// single-metric range sweeps of Fig. 11, which only target one scalar).
 	SkipCurves bool
+	// Workers bounds how many of one profile's partition runs (the main run
+	// plus one run per sensitivity-curve point) execute concurrently. Each
+	// run is an independent simulation — fresh dataset, derived seed,
+	// worker-local machine — so results collected by index are bit-for-bit
+	// identical to the serial order. <= 1 runs serially. Workers has no
+	// effect on measured values and is excluded from core.EvalKey.
+	Workers int
+	// Budget, when non-nil, caps simulation runs in flight across *all*
+	// profilers sharing it — the knob that composes intra-profile Workers
+	// with candidate-level batch parallelism under one machine-wide limit.
+	// Each run holds one token while it executes.
+	Budget *Budget
 	// Telemetry, when non-nil, receives one span per main profiling run
 	// ("profile.run") and one per sensitivity-curve sweep
 	// ("profile.curves"), carrying per-window counter summaries as
@@ -196,9 +210,10 @@ func (pr *Profiler) Validate() error {
 }
 
 // curveWays returns the way allocations to sweep: up to CurvePoints (or 12)
-// allocations, always including 1 way and the full cache.
+// allocations, always including 1 way and the full cache. It is derived from
+// the machine configuration alone — no simulator state is built.
 func (pr *Profiler) curveWays() []int {
-	total := sim.NewMachine(pr.Machine, pr.WindowCycles).LLCWays()
+	total := pr.Machine.LLCWays()
 	points := pr.CurvePoints
 	if points <= 0 || points > total {
 		points = total
@@ -225,9 +240,25 @@ func (pr *Profiler) Profile(b workload.Benchmark, seed uint64) (*Profile, error)
 	return pr.ProfileContext(context.Background(), b, seed)
 }
 
+// runJob describes one partition run of a profile: the main run (ways == 0,
+// full cache) or one sensitivity-curve point.
+type runJob struct {
+	ways    int
+	windows int
+}
+
+// runResult carries one run's measurements. Sample slices are copies owned
+// by the result, so worker-local machines can be reused across jobs.
+type runResult struct {
+	samples  []sim.WindowSample
+	wall     []sim.WallSample
+	requests int
+	ratio    float64
+}
+
 // ProfileContext is Profile with cancellation: the context is checked
-// before the main run and between curve points, so a canceled or expired
-// context aborts the measurement within one run and returns ctx's error.
+// before every partition run, so a canceled or expired context aborts the
+// measurement within one run and returns ctx's error.
 func (pr *Profiler) ProfileContext(ctx context.Context, b workload.Benchmark, seed uint64) (*Profile, error) {
 	if err := pr.Validate(); err != nil {
 		return nil, err
@@ -236,6 +267,35 @@ func (pr *Profiler) ProfileContext(ctx context.Context, b workload.Benchmark, se
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Every partition run — the main run and each curve point — is an
+	// independent simulation with its own machine, server, and derived
+	// seed, so the full set can execute on a worker pool and be collected
+	// by index with bit-identical results.
+	jobs := make([]runJob, 0, 13)
+	jobs = append(jobs, runJob{ways: 0, windows: pr.Windows})
+	if !pr.SkipCurves {
+		for _, ways := range pr.curveWays() {
+			jobs = append(jobs, runJob{ways: ways, windows: pr.CurveWindows})
+		}
+	}
+	workers := pr.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	runSpan := pr.Telemetry.StartSpan(telemetry.PhaseProfileRun, 0)
+	var curveSpan telemetry.Span
+	if !pr.SkipCurves {
+		curveSpan = pr.Telemetry.StartSpan(telemetry.PhaseProfileCurves, 0)
+	}
+	results, err := pr.execute(ctx, b, seed, jobs, workers)
+	if err != nil {
 		return nil, err
 	}
 
@@ -249,41 +309,41 @@ func (pr *Profiler) ProfileContext(ctx context.Context, b workload.Benchmark, se
 	// come from busy-cycle windows (hardware sampling semantics); CPU
 	// utilization and memory bandwidth come from wall-clock windows, since
 	// they are defined over elapsed time.
-	runSpan := pr.Telemetry.StartSpan(telemetry.PhaseProfileRun, 0)
-	samples, wall, requests, compressRatio := pr.run(b, seed, 0, pr.Windows)
+	main := results[0]
 	var runAttrs map[string]float64
 	if pr.Telemetry.Enabled() {
-		runAttrs = sim.SummarizeWindows(samples).Attrs()
-		runAttrs["requests"] = float64(requests)
+		runAttrs = sim.SummarizeWindows(main.samples).Attrs()
+		runAttrs["requests"] = float64(main.requests)
+		runAttrs["workers"] = float64(workers)
 	}
 	runSpan.End(runAttrs)
-	p.Requests = requests
-	if compressRatio > 0 {
+	p.Requests = main.requests
+	if main.ratio > 0 {
 		// A snapshot property, not a time series: record one sample per
 		// window for stable EMD semantics.
 		ratios := make([]float64, pr.Windows)
 		for i := range ratios {
-			ratios[i] = compressRatio
+			ratios[i] = main.ratio
 		}
 		p.Samples[MetricCompress] = ratios
 	}
 	for _, id := range ScalarMetrics {
 		switch id {
 		case MetricCPUUtil:
-			vals := make([]float64, len(wall))
-			for i, w := range wall {
+			vals := make([]float64, len(main.wall))
+			for i, w := range main.wall {
 				vals[i] = w.CPUUtil
 			}
 			p.Samples[id] = vals
 		case MetricMemBW:
-			vals := make([]float64, len(wall))
-			for i, w := range wall {
+			vals := make([]float64, len(main.wall))
+			for i, w := range main.wall {
 				vals[i] = w.MemBWGBs
 			}
 			p.Samples[id] = vals
 		default:
-			vals := make([]float64, len(samples))
-			for i, s := range samples {
+			vals := make([]float64, len(main.samples))
+			for i, s := range main.samples {
 				vals[i] = FromSample(s, id)
 			}
 			p.Samples[id] = vals
@@ -293,17 +353,11 @@ func (pr *Profiler) ProfileContext(ctx context.Context, b workload.Benchmark, se
 	if pr.SkipCurves {
 		return p, nil
 	}
-	// Sensitivity curves: re-run per allocation with warm state.
-	curveSpan := pr.Telemetry.StartSpan(telemetry.PhaseProfileCurves, 0)
-	ref := sim.NewMachine(pr.Machine, pr.WindowCycles)
-	bytesPerWay := ref.LLCPartitionBytes() / ref.LLCWays()
-	for _, ways := range pr.curveWays() {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		cs, _, _, _ := pr.run(b, seed, ways, pr.CurveWindows)
+	// Sensitivity curves: aggregate each allocation's run, in way order.
+	bytesPerWay := pr.Machine.LLC().Sets() * trace.LineSize
+	for i, r := range results[1:] {
 		var instrs, llcMisses, busy float64
-		for _, s := range cs {
+		for _, s := range r.samples {
 			k := float64(s.Instructions)
 			instrs += k
 			llcMisses += s.LLCMPKI * k / 1000
@@ -312,8 +366,8 @@ func (pr *Profiler) ProfileContext(ctx context.Context, b workload.Benchmark, se
 			}
 		}
 		pt := CurvePoint{
-			Ways:      ways,
-			SizeBytes: bytesPerWay * ways,
+			Ways:      jobs[i+1].ways,
+			SizeBytes: bytesPerWay * jobs[i+1].ways,
 		}
 		if instrs > 0 {
 			pt.LLCMPKI = llcMisses / instrs * 1000
@@ -328,21 +382,70 @@ func (pr *Profiler) ProfileContext(ctx context.Context, b workload.Benchmark, se
 		curveAttrs = map[string]float64{
 			"points":          float64(len(p.Curve)),
 			"windows_per_pt":  float64(pr.CurveWindows),
-			"full_cache_ways": float64(ref.LLCWays()),
+			"full_cache_ways": float64(pr.Machine.LLCWays()),
 			"bytes_per_way":   float64(bytesPerWay),
+			"workers":         float64(workers),
 		}
 	}
 	curveSpan.End(curveAttrs)
 	return p, nil
 }
 
-// run executes one profiling run: fresh machine and server, optional LLC
-// partition, warmup, then measured windows.
-func (pr *Profiler) run(b workload.Benchmark, seed uint64, partitionWays, windows int) ([]sim.WindowSample, []sim.WallSample, int, float64) {
-	m := sim.NewMachine(pr.Machine, pr.WindowCycles)
-	if partitionWays > 0 {
-		m.SetLLCPartition(partitionWays)
+// execute runs every job and collects results by index. With one worker it
+// runs inline in job order; otherwise a pool of workers pulls jobs from a
+// shared counter, each reusing one worker-local machine across its jobs.
+// Either way each run holds a Budget token (when one is shared) while the
+// simulation executes.
+func (pr *Profiler) execute(ctx context.Context, b workload.Benchmark, seed uint64, jobs []runJob, workers int) ([]runResult, error) {
+	results := make([]runResult, len(jobs))
+	if workers <= 1 {
+		m := sim.NewMachine(pr.Machine, pr.WindowCycles)
+		for i, job := range jobs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			pr.Budget.Acquire()
+			results[i] = pr.runOn(m, b, seed, job)
+			pr.Budget.Release()
+		}
+		return results, nil
 	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := sim.NewMachine(pr.Machine, pr.WindowCycles)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) || ctx.Err() != nil {
+					return
+				}
+				pr.Budget.Acquire()
+				results[i] = pr.runOn(m, b, seed, jobs[i])
+				pr.Budget.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// runOn executes one profiling run on a reused machine: Reset to the cold
+// state, optional LLC partition, fresh server, warmup, then measured
+// windows. Reset is bit-for-bit equivalent to a fresh machine (pinned by
+// internal/sim's reset-equivalence test), so reuse does not perturb
+// measurements.
+func (pr *Profiler) runOn(m *sim.Machine, b workload.Benchmark, seed uint64, job runJob) runResult {
+	m.Reset()
+	if job.ways > 0 {
+		m.SetLLCPartition(job.ways)
+	}
+	m.ReserveSamples(job.windows + 1)
 	layout := trace.NewCodeLayout()
 	srv := b.NewServer(layout, stats.HashSeed(seed, "dataset"))
 	if w, ok := srv.(workload.Warmable); ok {
@@ -353,12 +456,17 @@ func (pr *Profiler) run(b workload.Benchmark, seed uint64, partitionWays, window
 		workload.Run(m, b, srv, pr.WarmupWindows, stats.HashSeed(seed, "warmup"), pr.MaxRequestsPerRun)
 		m.FlushSamples()
 	}
-	res := workload.Run(m, b, srv, windows, stats.HashSeed(seed, fmt.Sprintf("measure-%d", partitionWays)), pr.MaxRequestsPerRun)
+	res := workload.Run(m, b, srv, job.windows, stats.HashSeed(seed, fmt.Sprintf("measure-%d", job.ways)), pr.MaxRequestsPerRun)
 	ratio := 0.0
 	if c, ok := srv.(workload.Compressible); ok {
 		ratio = c.CompressionRatio()
 	}
-	return m.Samples(), m.WallSamples(), res.Requests, ratio
+	return runResult{
+		samples:  append([]sim.WindowSample(nil), m.Samples()...),
+		wall:     append([]sim.WallSample(nil), m.WallSamples()...),
+		requests: res.Requests,
+		ratio:    ratio,
+	}
 }
 
 func maxInt(a, b int) int {

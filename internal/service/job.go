@@ -47,6 +47,12 @@ type ProfilingSpec struct {
 	CurvePoints       int     `json:"curve_points,omitempty"`
 	MaxRequestsPerRun int     `json:"max_requests_per_run,omitempty"`
 	SkipCurves        bool    `json:"skip_curves,omitempty"`
+	// ProfileWorkers bounds concurrent simulator runs inside each profile
+	// (the way-curve sweep). 0 uses the server's -profile-workers default;
+	// profiles are bit-identical at any setting, so this knob never changes
+	// a job's results — only its wall-clock time. It is excluded from
+	// evaluation cache keys (see core.EvalKey).
+	ProfileWorkers int `json:"profile_workers,omitempty"`
 }
 
 // JobSpec describes one search job, as submitted over POST /jobs. Exactly
@@ -115,6 +121,9 @@ func (s *JobSpec) Validate() error {
 	default:
 		return fmt.Errorf("service: unknown optimizer %q (want bayesopt, random, or anneal)", s.Optimizer)
 	}
+	if s.Profiling != nil && s.Profiling.ProfileWorkers < 0 {
+		return fmt.Errorf("service: profiling.profile_workers must be >= 0, got %d", s.Profiling.ProfileWorkers)
+	}
 	return nil
 }
 
@@ -167,6 +176,9 @@ type JobStatus struct {
 	// TelemetryEvents counts telemetry events the job's recorder has seen
 	// over its lifetime (0 when the server runs without -telemetry).
 	TelemetryEvents uint64 `json:"telemetry_events,omitempty"`
+	// ProfileWorkers is the effective intra-profile parallelism the job
+	// runs with (spec override or server default); 0 until the job starts.
+	ProfileWorkers int `json:"profile_workers,omitempty"`
 }
 
 // Job is one tracked search. All mutable fields are guarded by mu; the
@@ -194,6 +206,10 @@ type Job struct {
 	cacheHits int
 	skipped   int
 	simCycles float64
+
+	// profileWorkers is the effective intra-profile parallelism, resolved
+	// from the spec and server default when the job starts running.
+	profileWorkers int
 
 	// canceled marks a client cancel request (distinguishes a canceled
 	// job from a server shutdown, which re-queues instead).
@@ -242,6 +258,7 @@ func (j *Job) status(since int) JobStatus {
 		Result:          j.result,
 		Created:         j.created,
 		TelemetryEvents: j.recorder.Total(), // nil-safe when telemetry is off
+		ProfileWorkers:  j.profileWorkers,
 	}
 	if len(j.trace) > 0 {
 		st.BestError = j.trace[len(j.trace)-1].BestError
@@ -328,6 +345,9 @@ func specProfiler(spec JobSpec) (*profile.Profiler, error) {
 			profiler.MaxRequestsPerRun = p.MaxRequestsPerRun
 		}
 		profiler.SkipCurves = p.SkipCurves
+		if p.ProfileWorkers > 0 {
+			profiler.Workers = p.ProfileWorkers
+		}
 	}
 	return profiler, nil
 }
@@ -375,7 +395,7 @@ func (s *Server) buildSearch(ctx context.Context, spec JobSpec) (core.SearchConf
 		if err != nil {
 			return cfg, err
 		}
-		cfg.Objective = core.ProfileObjective{Target: target, Model: core.NewErrorModel()}
+		cfg.Objective = core.NewProfileObjective(target, core.NewErrorModel())
 	default:
 		// Profile the hidden target; content-address it through the shared
 		// cache so restarts and resubmissions skip this too.
@@ -388,7 +408,7 @@ func (s *Server) buildSearch(ctx context.Context, spec JobSpec) (core.SearchConf
 			}
 			s.cache.Put(key, target)
 		}
-		cfg.Objective = core.ProfileObjective{Target: target, Model: core.NewErrorModel()}
+		cfg.Objective = core.NewProfileObjective(target, core.NewErrorModel())
 	}
 
 	switch spec.Optimizer {
@@ -404,8 +424,18 @@ func (s *Server) buildSearch(ctx context.Context, spec JobSpec) (core.SearchConf
 	}
 	cfg.Iterations = spec.Iterations
 	cfg.Parallel = spec.Parallel
+	cfg.ProfileWorkers = s.effectiveProfileWorkers(spec)
 	cfg.Seed = spec.Seed
 	return cfg, nil
+}
+
+// effectiveProfileWorkers resolves a job's intra-profile parallelism: the
+// spec's explicit setting wins, otherwise the server's default applies.
+func (s *Server) effectiveProfileWorkers(spec JobSpec) int {
+	if spec.Profiling != nil && spec.Profiling.ProfileWorkers > 0 {
+		return spec.Profiling.ProfileWorkers
+	}
+	return s.cfg.DefaultProfileWorkers
 }
 
 // traceFromCheckpoint rebuilds the convergence trace of a persisted job

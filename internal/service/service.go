@@ -27,6 +27,11 @@ type Config struct {
 	// CacheCapacity bounds the shared evaluation cache (default 4096
 	// profiles).
 	CacheCapacity int
+	// DefaultProfileWorkers is the intra-profile parallelism (concurrent
+	// way-curve simulator runs) for jobs whose spec does not set
+	// profiling.profile_workers. 0 leaves profiles serial. Profiles are
+	// bit-identical at any setting.
+	DefaultProfileWorkers int
 	// CheckpointDir, when non-empty, enables persistence: every job is
 	// checkpointed there after each batch, and New resumes unfinished
 	// jobs found in it.
@@ -281,6 +286,9 @@ func (s *Server) runJob(job *Job) {
 		return
 	}
 	cfg.Cache = s.cache
+	job.mu.Lock()
+	job.profileWorkers = cfg.ProfileWorkers
+	job.mu.Unlock()
 	if po, ok := cfg.Objective.(core.ProfileObjective); ok {
 		job.mu.Lock()
 		job.targetProf = po.Target

@@ -369,6 +369,8 @@ func TestSpecValidation(t *testing.T) {
 		{Iterations: 5, Metric: "ipc"},                                         // no generator
 		{Iterations: 5, Metric: "ipc", Generator: "g", OnEvalError: "explode"}, // bad policy
 		{Iterations: 5, Metric: "ipc", Generator: "g", Optimizer: "gradient"},  // bad optimizer
+		{Iterations: 5, Metric: "ipc", Generator: "g",
+			Profiling: &ProfilingSpec{ProfileWorkers: -2}}, // negative workers
 	}
 	for i, spec := range bad {
 		if err := spec.Validate(); err == nil {
@@ -378,5 +380,29 @@ func TestSpecValidation(t *testing.T) {
 	good := testSpec(5, 1)
 	if err := good.Validate(); err != nil {
 		t.Fatal(err)
+	}
+	good.Profiling = &ProfilingSpec{ProfileWorkers: 4}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEffectiveProfileWorkers: a spec override wins; otherwise the server
+// default applies, and specProfiler applies the spec value to the profiler.
+func TestEffectiveProfileWorkers(t *testing.T) {
+	s := &Server{cfg: Config{DefaultProfileWorkers: 3}}
+	if got := s.effectiveProfileWorkers(JobSpec{}); got != 3 {
+		t.Fatalf("server default not applied: %d", got)
+	}
+	spec := JobSpec{Profiling: &ProfilingSpec{ProfileWorkers: 8}}
+	if got := s.effectiveProfileWorkers(spec); got != 8 {
+		t.Fatalf("spec override lost: %d", got)
+	}
+	pr, err := specProfiler(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Workers != 8 {
+		t.Fatalf("specProfiler.Workers = %d, want 8", pr.Workers)
 	}
 }

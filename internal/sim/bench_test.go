@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"testing"
+
+	"datamime/internal/stats"
+	"datamime/internal/trace"
+)
+
+// BenchmarkSimRun measures one simulated measurement run: a mixed event
+// stream the size of a fast profiler window sweep, on a machine reused via
+// Reset — the per-run cost the way-curve sweep pays at every partition
+// point. The reuse/rebuild split isolates the allocation churn Reset
+// removes.
+func BenchmarkSimRun(b *testing.B) {
+	const events = 50_000
+	cfg := Broadwell()
+	b.Run("reset-reuse", func(b *testing.B) {
+		b.ReportAllocs()
+		m := NewMachine(cfg, 40_000)
+		for i := 0; i < b.N; i++ {
+			m.Reset()
+			driveBench(m, events)
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := NewMachine(cfg, 40_000)
+			driveBench(m, events)
+		}
+	})
+}
+
+// driveBench replays a fixed-seed event stream heavy on the data-side
+// hierarchy, where the set-index split sits on the hot path.
+func driveBench(m *Machine, events int) {
+	rng := stats.NewRNG(17)
+	cl := trace.NewCodeLayout()
+	code := cl.Region("bench", 16<<10)
+	for i := 0; i < events; i++ {
+		switch rng.IntN(4) {
+		case 0:
+			m.Load(uint64(0x10000000+rng.IntN(32<<20)), 64)
+		case 1:
+			m.Store(uint64(0x20000000+rng.IntN(1<<20)), 8)
+		case 2:
+			m.Exec(code, 100)
+		case 3:
+			m.Branch(uint64(rng.IntN(128)), rng.Bool(0.4))
+		}
+	}
+}

@@ -65,11 +65,16 @@ type cacheLine struct {
 
 // Cache is a set-associative cache over 64-byte lines.
 type Cache struct {
-	cfg        CacheConfig
-	sets       int
-	ways       int
-	lines      []cacheLine // sets × ways
-	partWays   int         // ways visible to the workload (CAT partition); 0 = all
+	cfg      CacheConfig
+	sets     int
+	ways     int
+	lines    []cacheLine // sets × ways
+	partWays int         // ways visible to the workload (CAT partition); 0 = all
+	// setMask/setShift replace the per-access modulo and division of the
+	// set/tag split when the set count is a power of two (true for every
+	// Table II cache level); setShift < 0 selects the general path.
+	setMask    uint64
+	setShift   int
 	lruClock   uint32
 	accesses   uint64
 	misses     uint64
@@ -90,15 +95,32 @@ func NewCache(cfg CacheConfig) *Cache {
 		panic(fmt.Sprintf("sim: invalid cache config %+v", cfg))
 	}
 	sets := cfg.Sets()
-	return &Cache{
+	c := &Cache{
 		cfg:      cfg,
 		sets:     sets,
 		ways:     cfg.Ways,
 		lines:    make([]cacheLine, sets*cfg.Ways),
 		partWays: cfg.Ways,
+		setMask:  uint64(sets - 1),
+		setShift: log2OrMinusOne(sets),
 		duelMask: 31, // every 32nd set leads a policy
 		isDRRIP:  cfg.Policy == DRRIP,
 	}
+	return c
+}
+
+// log2OrMinusOne returns log2(n) when n is a positive power of two and -1
+// otherwise, signalling that the general modulo path must be used.
+func log2OrMinusOne(n int) int {
+	if n <= 0 || n&(n-1) != 0 {
+		return -1
+	}
+	s := 0
+	for n > 1 {
+		n >>= 1
+		s++
+	}
+	return s
 }
 
 // Config returns the cache's configuration.
@@ -137,8 +159,15 @@ func (c *Cache) PartitionBytes() int {
 func (c *Cache) Access(addr uint64) (hit bool) {
 	c.accesses++
 	lineAddr := addr / trace.LineSize
-	set := int(lineAddr % uint64(c.sets))
-	tag := lineAddr / uint64(c.sets)
+	var set int
+	var tag uint64
+	if c.setShift >= 0 {
+		set = int(lineAddr & c.setMask)
+		tag = lineAddr >> uint(c.setShift)
+	} else {
+		set = int(lineAddr % uint64(c.sets))
+		tag = lineAddr / uint64(c.sets)
+	}
 	base := set * c.ways
 	ways := c.lines[base : base+c.partWays]
 
@@ -261,4 +290,14 @@ func (c *Cache) Flush() {
 	}
 	c.accesses, c.misses = 0, 0
 	c.psel, c.brripCount = 0, 0
+}
+
+// Reset restores the cache to the exact state of a freshly-constructed one:
+// Flush plus the full way partition and a zeroed LRU clock. Flush alone is
+// not enough for run-to-run byte identity — the LRU clock keeps counting
+// across flushes, and installed-line stamps embed it.
+func (c *Cache) Reset() {
+	c.Flush()
+	c.partWays = c.ways
+	c.lruClock = 0
 }

@@ -138,11 +138,44 @@ func (m *Machine) LLCPartitionBytes() int {
 
 // LLCWays returns the associativity of the last-level cache, i.e. the
 // number of CAT partitions the platform supports.
-func (m *Machine) LLCWays() int {
+func (m *Machine) LLCWays() int { return m.cfg.LLCWays() }
+
+// Reset restores the machine to the exact state NewMachine would produce,
+// while keeping allocated sample buffers and cache arrays. A profiler worker
+// can therefore reuse one Machine across partition runs and produce samples
+// byte-identical to building a fresh machine per run — the property the
+// parallel sweep's determinism test pins down.
+func (m *Machine) Reset() {
+	m.l1i.Reset()
+	m.l1d.Reset()
+	m.l2.Reset()
 	if m.l3 != nil {
-		return m.l3.Config().Ways
+		m.l3.Reset()
 	}
-	return m.l2.Config().Ways
+	m.itlb.Reset()
+	m.dtlb.Reset()
+	m.bp.Flush()
+	m.win = windowCounters{}
+	m.wall = wallCounters{}
+	m.samples = m.samples[:0]
+	m.wallSamples = m.wallSamples[:0]
+	m.totalBusy, m.totalIdle = 0, 0
+	m.burstMiss = 0
+}
+
+// ReserveSamples grows the sample buffers to hold at least windows entries
+// without reallocating, so a measured run appends into preallocated space.
+func (m *Machine) ReserveSamples(windows int) {
+	if cap(m.samples) < windows {
+		s := make([]WindowSample, len(m.samples), windows)
+		copy(s, m.samples)
+		m.samples = s
+	}
+	if cap(m.wallSamples) < windows {
+		w := make([]WallSample, len(m.wallSamples), windows)
+		copy(w, m.wallSamples)
+		m.wallSamples = w
+	}
 }
 
 // busy advances busy time by cyc cycles.

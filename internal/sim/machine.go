@@ -37,6 +37,19 @@ type MachineConfig struct {
 // BaseCPI returns the no-stall cycles-per-instruction floor.
 func (c MachineConfig) BaseCPI() float64 { return 1 / float64(c.Width) }
 
+// LLCWays returns the associativity of the last-level cache — the number of
+// CAT partitions the platform supports — without building a Machine.
+func (c MachineConfig) LLCWays() int { return c.LLC().Ways }
+
+// LLC returns the configuration of the last-level cache (the L3, or the L2
+// on machines without one).
+func (c MachineConfig) LLC() CacheConfig {
+	if c.L3 != nil {
+		return *c.L3
+	}
+	return c.L2
+}
+
 // CyclesPerSecond converts the clock frequency to cycles/second.
 func (c MachineConfig) CyclesPerSecond() float64 { return c.FreqGHz * 1e9 }
 

@@ -12,15 +12,21 @@ type TLBConfig struct {
 
 // TLB is a set-associative TLB with LRU replacement.
 type TLB struct {
-	cfg      TLBConfig
-	sets     int
-	ways     int
-	tags     []uint64
-	valid    []bool
-	stamps   []uint32
-	clock    uint32
-	accesses uint64
-	misses   uint64
+	cfg  TLBConfig
+	sets int
+	ways int
+	// pageShift/setShift select shift-and-mask address splitting when page
+	// size / set count are powers of two; -1 falls back to division. Page
+	// sizes always are; Silvermont's 48-entry TLBs give a non-pow2 12 sets.
+	pageShift int
+	setMask   uint64
+	setShift  int
+	tags      []uint64
+	valid     []bool
+	stamps    []uint32
+	clock     uint32
+	accesses  uint64
+	misses    uint64
 }
 
 // NewTLB builds a TLB. It panics on invalid configuration.
@@ -34,12 +40,15 @@ func NewTLB(cfg TLBConfig) *TLB {
 	}
 	n := sets * cfg.Ways
 	return &TLB{
-		cfg:    cfg,
-		sets:   sets,
-		ways:   cfg.Ways,
-		tags:   make([]uint64, n),
-		valid:  make([]bool, n),
-		stamps: make([]uint32, n),
+		cfg:       cfg,
+		sets:      sets,
+		ways:      cfg.Ways,
+		pageShift: log2OrMinusOne(cfg.PageBytes),
+		setMask:   uint64(sets - 1),
+		setShift:  log2OrMinusOne(sets),
+		tags:      make([]uint64, n),
+		valid:     make([]bool, n),
+		stamps:    make([]uint32, n),
 	}
 }
 
@@ -50,9 +59,21 @@ func (t *TLB) Config() TLBConfig { return t.cfg }
 // pages are installed with LRU replacement.
 func (t *TLB) Access(addr uint64) (hit bool) {
 	t.accesses++
-	page := addr / uint64(t.cfg.PageBytes)
-	set := int(page % uint64(t.sets))
-	tag := page / uint64(t.sets)
+	var page uint64
+	if t.pageShift >= 0 {
+		page = addr >> uint(t.pageShift)
+	} else {
+		page = addr / uint64(t.cfg.PageBytes)
+	}
+	var set int
+	var tag uint64
+	if t.setShift >= 0 {
+		set = int(page & t.setMask)
+		tag = page >> uint(t.setShift)
+	} else {
+		set = int(page % uint64(t.sets))
+		tag = page / uint64(t.sets)
+	}
 	base := set * t.ways
 	t.clock++
 	victim, victimStamp := base, t.stamps[base]
@@ -83,4 +104,16 @@ func (t *TLB) Flush() {
 		t.valid[i] = false
 	}
 	t.accesses, t.misses = 0, 0
+}
+
+// Reset restores the TLB to the exact state of a freshly-constructed one.
+// Unlike Flush it also rewinds the LRU clock and clears stale stamps, so a
+// reused TLB replays replacement decisions identically to a fresh one.
+func (t *TLB) Reset() {
+	t.Flush()
+	for i := range t.stamps {
+		t.stamps[i] = 0
+		t.tags[i] = 0
+	}
+	t.clock = 0
 }

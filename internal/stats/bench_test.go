@@ -1,0 +1,38 @@
+package stats
+
+import "testing"
+
+// benchSamples builds two deterministic sample sets the size of a real
+// profile metric distribution (the paper's profiler collects a few dozen
+// windows per metric; we bench a generous 256).
+func benchSamples(n int) (a, b []float64) {
+	rng := NewRNG(1)
+	a = make([]float64, n)
+	b = make([]float64, n)
+	for i := range a {
+		a[i] = rng.Range(0, 40)
+		b[i] = rng.Range(0, 40)
+	}
+	return a, b
+}
+
+// BenchmarkEMD measures the distribution-distance hot path of the error
+// model: the sorting entry point (one sort per side per call — the old
+// behavior for every evaluation) against the sorted fast path the search
+// core now uses for its cached target distributions.
+func BenchmarkEMD(b *testing.B) {
+	x, y := benchSamples(256)
+	xs, ys := sortedCopy(x), sortedCopy(y)
+	b.Run("unsorted", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			NormalizedEMD(x, y)
+		}
+	})
+	b.Run("sorted", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			NormalizedEMDSorted(xs, ys)
+		}
+	})
+}

@@ -90,6 +90,21 @@ func (e *ECDF) Points() (xs, ys []float64) {
 	return xs, ys
 }
 
+// EMDTo returns the Earth Mover's Distance between this eCDF and another,
+// reusing both sides' sorted sample arrays (no allocation, no re-sort) —
+// the fast path for comparing one fixed distribution against many.
+func (e *ECDF) EMDTo(o *ECDF) float64 { return EMDSorted(e.sorted, o.sorted) }
+
+// NormalizedEMDTo is EMDTo with the paper's x-axis normalization (see
+// NormalizedEMD).
+func (e *ECDF) NormalizedEMDTo(o *ECDF) float64 {
+	return NormalizedEMDSorted(e.sorted, o.sorted)
+}
+
+// KSTo returns the Kolmogorov–Smirnov statistic between this eCDF and
+// another, reusing both sides' sorted sample arrays.
+func (e *ECDF) KSTo(o *ECDF) float64 { return KSSorted(e.sorted, o.sorted) }
+
 func (e *ECDF) String() string {
 	if len(e.sorted) == 0 {
 		return "ECDF(empty)"

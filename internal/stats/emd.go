@@ -15,28 +15,30 @@ import (
 // The cost of moving one sample a unit distance is 1/N, matching the
 // paper's definition. The two sample sets may have different sizes; the
 // implementation integrates |F_a - F_b| exactly over the merged support.
+//
+// EMD sorts copies of both inputs on every call. Callers that hold one (or
+// both) distributions fixed across many comparisons — the search loop
+// compares every candidate against the same target — should sort once and
+// use EMDSorted instead.
 func EMD(a, b []float64) float64 {
-	if len(a) == 0 && len(b) == 0 {
-		return 0
-	}
 	if len(a) == 0 || len(b) == 0 {
-		// One distribution is empty: the distance is undefined in the
-		// transport sense; treat it as the full spread of the non-empty one
-		// so the optimizer strongly penalizes missing profiles.
-		s := a
-		if len(s) == 0 {
-			s = b
-		}
-		mn, mx := minMax(s)
-		return mx - mn
+		return emdDegenerate(a, b)
 	}
+	return EMDSorted(sortedCopy(a), sortedCopy(b))
+}
 
-	as := sortedCopy(a)
-	bs := sortedCopy(b)
-
+// EMDSorted is EMD over sample sets that are already sorted ascending. It
+// performs no allocation and no sorting: one merge sweep over both inputs.
+// Passing unsorted data yields an undefined result; in race/debug builds
+// callers are expected to sort via NewECDF or sortedCopy.
+func EMDSorted(as, bs []float64) float64 {
+	if len(as) == 0 || len(bs) == 0 {
+		return emdDegenerate(as, bs)
+	}
 	// Sweep the merged sorted support, integrating |F_a(x) - F_b(x)| over
 	// each interval between consecutive distinct sample values.
 	i, j := 0, 0
+	na, nb := float64(len(as)), float64(len(bs))
 	var total float64
 	prev := math.Min(as[0], bs[0])
 	for i < len(as) || j < len(bs) {
@@ -49,8 +51,8 @@ func EMD(a, b []float64) float64 {
 		default:
 			x = math.Min(as[i], bs[j])
 		}
-		fa := float64(i) / float64(len(as))
-		fb := float64(j) / float64(len(bs))
+		fa := float64(i) / na
+		fb := float64(j) / nb
 		total += math.Abs(fa-fb) * (x - prev)
 		prev = x
 		for i < len(as) && as[i] == x {
@@ -63,6 +65,21 @@ func EMD(a, b []float64) float64 {
 	return total
 }
 
+// emdDegenerate handles empty sample sets: the distance is undefined in the
+// transport sense; treat it as the full spread of the non-empty one so the
+// optimizer strongly penalizes missing profiles.
+func emdDegenerate(a, b []float64) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	s := a
+	if len(s) == 0 {
+		s = b
+	}
+	mn, mx := minMax(s)
+	return mx - mn
+}
+
 // NormalizedEMD computes the EMD after normalizing both the x-axis and
 // y-axis to [0, 1], exactly as Fig. 10's caption describes: "the x- and
 // y-axes are normalized ... by dividing them by maximum x and y values
@@ -72,17 +89,23 @@ func EMD(a, b []float64) float64 {
 // perfectly matching pair scores 0 and maximally separated distributions
 // approach 1.
 func NormalizedEMD(a, b []float64) float64 {
-	maxAbs := 0.0
-	for _, v := range a {
-		maxAbs = math.Max(maxAbs, math.Abs(v))
-	}
-	for _, v := range b {
-		maxAbs = math.Max(maxAbs, math.Abs(v))
-	}
+	maxAbs := math.Max(maxAbsUnsorted(a), maxAbsUnsorted(b))
 	if maxAbs == 0 {
 		return 0
 	}
 	return EMD(a, b) / maxAbs
+}
+
+// NormalizedEMDSorted is NormalizedEMD over pre-sorted sample sets. The
+// x-axis scale comes from the slice ends (the largest absolute value of a
+// sorted set is at one of them), so the whole computation is a single
+// allocation-free sweep.
+func NormalizedEMDSorted(as, bs []float64) float64 {
+	maxAbs := math.Max(maxAbsSorted(as), maxAbsSorted(bs))
+	if maxAbs == 0 {
+		return 0
+	}
+	return EMDSorted(as, bs) / maxAbs
 }
 
 // KSDistance returns the Kolmogorov–Smirnov statistic between two sample
@@ -96,9 +119,20 @@ func KSDistance(a, b []float64) float64 {
 		}
 		return 1
 	}
-	as := sortedCopy(a)
-	bs := sortedCopy(b)
+	return KSSorted(sortedCopy(a), sortedCopy(b))
+}
+
+// KSSorted is KSDistance over sample sets that are already sorted
+// ascending; like EMDSorted it allocates nothing.
+func KSSorted(as, bs []float64) float64 {
+	if len(as) == 0 || len(bs) == 0 {
+		if len(as) == 0 && len(bs) == 0 {
+			return 0
+		}
+		return 1
+	}
 	i, j := 0, 0
+	na, nb := float64(len(as)), float64(len(bs))
 	var maxDiff float64
 	for i < len(as) && j < len(bs) {
 		x := math.Min(as[i], bs[j])
@@ -108,11 +142,19 @@ func KSDistance(a, b []float64) float64 {
 		for j < len(bs) && bs[j] <= x {
 			j++
 		}
-		fa := float64(i) / float64(len(as))
-		fb := float64(j) / float64(len(bs))
+		fa := float64(i) / na
+		fb := float64(j) / nb
 		maxDiff = math.Max(maxDiff, math.Abs(fa-fb))
 	}
 	return maxDiff
+}
+
+// SortedCopy returns an ascending-sorted copy of s, leaving s untouched.
+// Callers that compare one distribution against many (e.g. a search target
+// against every candidate) sort it once with SortedCopy and use the
+// *Sorted distance variants.
+func SortedCopy(s []float64) []float64 {
+	return sortedCopy(s)
 }
 
 func sortedCopy(s []float64) []float64 {
@@ -129,4 +171,22 @@ func minMax(s []float64) (mn, mx float64) {
 		mx = math.Max(mx, v)
 	}
 	return mn, mx
+}
+
+// maxAbsUnsorted scans for the largest absolute value.
+func maxAbsUnsorted(s []float64) float64 {
+	maxAbs := 0.0
+	for _, v := range s {
+		maxAbs = math.Max(maxAbs, math.Abs(v))
+	}
+	return maxAbs
+}
+
+// maxAbsSorted reads the largest absolute value of a sorted set off its
+// ends.
+func maxAbsSorted(s []float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	return math.Max(math.Abs(s[0]), math.Abs(s[len(s)-1]))
 }

@@ -147,6 +147,68 @@ func TestKSDistance(t *testing.T) {
 	}
 }
 
+func TestSortedVariantsMatchUnsorted(t *testing.T) {
+	// EMDSorted/NormalizedEMDSorted/KSSorted over pre-sorted inputs must
+	// equal the sorting entry points bit for bit — they are the same sweep,
+	// minus the sort. This is the fast path internal/core's distance
+	// function relies on.
+	rng := NewRNG(47)
+	for trial := 0; trial < 300; trial++ {
+		n, m := 1+rng.IntN(40), 1+rng.IntN(40)
+		a := make([]float64, n)
+		b := make([]float64, m)
+		for i := range a {
+			a[i] = rng.Range(-20, 20)
+		}
+		for i := range b {
+			b[i] = rng.Range(-20, 20)
+		}
+		as, bs := sortedCopy(a), sortedCopy(b)
+		if got, want := EMDSorted(as, bs), EMD(a, b); got != want {
+			t.Fatalf("EMDSorted = %g, EMD = %g", got, want)
+		}
+		if got, want := NormalizedEMDSorted(as, bs), NormalizedEMD(a, b); got != want {
+			t.Fatalf("NormalizedEMDSorted = %g, NormalizedEMD = %g", got, want)
+		}
+		if got, want := KSSorted(as, bs), KSDistance(a, b); got != want {
+			t.Fatalf("KSSorted = %g, KSDistance = %g", got, want)
+		}
+	}
+	// Degenerate cases mirror the unsorted entry points.
+	if d := EMDSorted(nil, nil); d != 0 {
+		t.Fatalf("EMDSorted(nil, nil) = %g", d)
+	}
+	if d := EMDSorted([]float64{1, 5}, nil); math.Abs(d-4) > 1e-12 {
+		t.Fatalf("EMDSorted(a, nil) = %g, want 4", d)
+	}
+	if d := KSSorted([]float64{1}, nil); d != 1 {
+		t.Fatalf("KSSorted(a, nil) = %g, want 1", d)
+	}
+	if d := KSSorted(nil, nil); d != 0 {
+		t.Fatalf("KSSorted(nil, nil) = %g, want 0", d)
+	}
+	if d := NormalizedEMDSorted(nil, nil); d != 0 {
+		t.Fatalf("NormalizedEMDSorted(nil, nil) = %g, want 0", d)
+	}
+}
+
+func TestECDFDistances(t *testing.T) {
+	a := NewECDF([]float64{3, 1, 2})
+	b := NewECDF([]float64{5, 1, 2})
+	if got, want := a.EMDTo(b), EMD([]float64{1, 2, 3}, []float64{1, 2, 5}); got != want {
+		t.Fatalf("ECDF.EMDTo = %g, want %g", got, want)
+	}
+	if got, want := a.NormalizedEMDTo(b), NormalizedEMD([]float64{1, 2, 3}, []float64{1, 2, 5}); got != want {
+		t.Fatalf("ECDF.NormalizedEMDTo = %g, want %g", got, want)
+	}
+	if got, want := a.KSTo(b), KSDistance([]float64{1, 2, 3}, []float64{1, 2, 5}); got != want {
+		t.Fatalf("ECDF.KSTo = %g, want %g", got, want)
+	}
+	if d := a.EMDTo(a); d != 0 {
+		t.Fatalf("ECDF.EMDTo(self) = %g", d)
+	}
+}
+
 func TestKSBoundedProperty(t *testing.T) {
 	rng := NewRNG(33)
 	for trial := 0; trial < 200; trial++ {
