@@ -6,10 +6,12 @@
 //
 //	datamime-inspect report -artifact run.jsonl [-profiles profiles.json] [-html report.html]
 //	datamime-inspect diff -a baseline.jsonl -b candidate.jsonl [-exact] [-json]
+//	datamime-inspect timeline -artifact run.jsonl [-trace trace.json] [-min-efficiency 1.3]
 //	datamime-inspect tail -server http://localhost:8080 -job job-1
 //
-// Exit codes: 0 success; 1 the diff crossed a regression threshold (or any
-// difference under -exact); 2 usage or input errors.
+// Exit codes: 0 success; 1 the diff crossed a regression threshold (any
+// difference under -exact) or the timeline missed -min-efficiency; 2 usage
+// or input errors.
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 
 	"datamime/internal/buildinfo"
 	"datamime/internal/inspect"
+	"datamime/internal/telemetry"
 )
 
 func main() {
@@ -45,6 +48,8 @@ func main() {
 		err = runReport(args[1:])
 	case "diff":
 		err = runDiff(args[1:])
+	case "timeline":
+		err = runTimeline(args[1:])
 	case "tail":
 		err = runTail(args[1:])
 	default:
@@ -65,9 +70,11 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `datamime-inspect — run-artifact introspection
 
 commands:
-  report   render a run artifact as a terminal summary and optional HTML
-  diff     compare two run artifacts; exit 1 on regression (CI gate)
-  tail     follow a live datamimed job's SSE event stream
+  report    render a run artifact as a terminal summary and optional HTML
+  diff      compare two run artifacts; exit 1 on regression (CI gate)
+  timeline  profiler utilization report from a run's timed spans; validates
+            a -trace file and gates on -min-efficiency (CI gate)
+  tail      follow a live datamimed job's SSE event stream
 
 run "datamime-inspect <command> -h" for command flags.
 `)
@@ -173,6 +180,50 @@ func printDiff(d *inspect.RunDiff, aPath, bPath string) {
 	for _, msg := range d.Differences {
 		fmt.Printf("  - %s\n", msg)
 	}
+}
+
+func runTimeline(args []string) error {
+	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
+	artifact := fs.String("artifact", "", "run artifact (JSONL) with timed spans (required)")
+	trace := fs.String("trace", "", "also validate this Chrome/Perfetto trace-event JSON file")
+	minSpeedup := fs.Float64("min-efficiency", 0, "fail (exit 1) when the profiler pool's speedup over serial falls below this factor")
+	_ = fs.Parse(args)
+	if *artifact == "" {
+		return fmt.Errorf("timeline: -artifact is required")
+	}
+	run, err := inspect.LoadRunFile(*artifact)
+	if err != nil {
+		return err
+	}
+	tl := inspect.NewTimeline(run)
+	if err := tl.RenderText(os.Stdout); err != nil {
+		return err
+	}
+	if *trace != "" {
+		f, err := os.Open(*trace)
+		if err != nil {
+			return err
+		}
+		st, err := telemetry.ValidateTrace(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("timeline: %s: %w", *trace, err)
+		}
+		fmt.Printf("\ntrace %s ok: %d events (%d spans, %d instants) on %d tracks (%d workers)\n",
+			*trace, st.Events, st.Spans, st.Instants, st.Tracks, st.WorkerTracks)
+	}
+	if *minSpeedup > 0 {
+		if len(tl.Workers) == 0 {
+			fmt.Fprintf(os.Stderr, "timeline: no timed profile.sim spans to gate on\n")
+			return errRegressed
+		}
+		if sp := tl.Speedup(); sp < *minSpeedup {
+			fmt.Fprintf(os.Stderr, "timeline: speedup %.2fx below the %.2fx gate\n", sp, *minSpeedup)
+			return errRegressed
+		}
+		fmt.Printf("efficiency gate passed: speedup %.2fx >= %.2fx\n", tl.Speedup(), *minSpeedup)
+	}
+	return nil
 }
 
 func runTail(args []string) error {

@@ -8,17 +8,19 @@
 //	datamime -workload mem-fb -iterations 200
 //	datamime -workload silo -iterations 60 -seed 7 -quiet
 //	datamime -workload mem-fb -quick -artifact run.jsonl -profiles profiles.json
+//	datamime -workload mem-fb -quick -trace trace.json
 //
 // The -artifact and -profiles outputs feed cmd/datamime-inspect: the JSONL
 // artifact carries the evaluation history (report/diff inputs), the profiles
 // doc carries the target and best-candidate distributions behind the report's
-// eCDF overlays.
+// eCDF overlays. The -trace output is Chrome/Perfetto trace-event JSON of
+// the run's span timeline (load it at https://ui.perfetto.dev).
 package main
 
 import (
 	"flag"
 	"fmt"
-	"io"
+	"log/slog"
 	"os"
 	"runtime"
 	"strings"
@@ -41,6 +43,7 @@ func main() {
 		targetFile   = flag.String("target-profile", "", "load the target profile from a JSON file (as produced by cmd/profiler) instead of profiling the workload — the paper's share-profiles-not-data workflow")
 		artifactOut  = flag.String("artifact", "", "stream a JSONL run artifact to this file (datamime-inspect report/diff input)")
 		profilesOut  = flag.String("profiles", "", "write the target/best profile pair to this JSON file (datamime-inspect -profiles input)")
+		traceOut     = flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON timeline of the run to this file")
 		version      = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
@@ -55,7 +58,7 @@ func main() {
 	}
 
 	if err := run(*workloadName, *iterations, *seed, *quiet, *quick, *parallel,
-		*profWorkers, *targetFile, *artifactOut, *profilesOut); err != nil {
+		*profWorkers, *targetFile, *artifactOut, *profilesOut, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "datamime:", err)
 		os.Exit(1)
 	}
@@ -73,7 +76,7 @@ func workloadNames() []string {
 }
 
 func run(name string, iterations int, seed uint64, quiet, quick bool, parallel, profileWorkers int,
-	targetFile, artifactOut, profilesOut string) error {
+	targetFile, artifactOut, profilesOut, traceOut string) error {
 	w, err := datamime.WorkloadByName(name)
 	if err != nil {
 		return err
@@ -91,7 +94,13 @@ func run(name string, iterations int, seed uint64, quiet, quick bool, parallel, 
 	profiler.CurvePoints = st.CurvePoints
 	profiler.Workers = profileWorkers
 
+	// The artifact sink streams events to disk as they happen; the trace
+	// collector retains the full stream in memory (the flight-recorder ring
+	// evicts) for end-of-run trace-event export. Either output wants a
+	// recorder; both can share one.
 	var rec *telemetry.Recorder
+	var collector *telemetry.Collector
+	var sinks []func(telemetry.Event)
 	if artifactOut != "" {
 		f, err := os.Create(artifactOut)
 		if err != nil {
@@ -104,7 +113,18 @@ func run(name string, iterations int, seed uint64, quiet, quick bool, parallel, 
 			Msg: fmt.Sprintf("datamime run artifact: workload=%s iterations=%d seed=%d parallel=%d profile_workers=%d",
 				name, iterations, seed, parallel, profileWorkers),
 		})
-		rec = telemetry.New(telemetry.Options{OnEvent: sink})
+		sinks = append(sinks, sink)
+	}
+	if traceOut != "" {
+		collector = &telemetry.Collector{}
+		sinks = append(sinks, collector.Record)
+	}
+	if len(sinks) > 0 {
+		rec = telemetry.New(telemetry.Options{OnEvent: func(ev telemetry.Event) {
+			for _, s := range sinks {
+				s(ev)
+			}
+		}})
 		profiler.Telemetry = rec
 	}
 
@@ -132,9 +152,11 @@ func run(name string, iterations int, seed uint64, quiet, quick bool, parallel, 
 		target.Mean(datamime.MetricIPC), target.Mean(datamime.MetricLLC),
 		target.Mean(datamime.MetricCPUUtil))
 
-	var log io.Writer
+	// Per-iteration progress lines ride on OnEval through the telemetry
+	// line logger (the old SearchConfig.Log path, now fully outside core).
+	var logger *slog.Logger
 	if !quiet {
-		log = os.Stdout
+		logger = telemetry.NewLineLogger(os.Stdout)
 	}
 	fmt.Printf("searching %s's %d-parameter space for %d iterations...\n",
 		w.Generator.Name, w.Generator.Space.Dim(), iterations)
@@ -144,10 +166,24 @@ func run(name string, iterations int, seed uint64, quiet, quick bool, parallel, 
 		Profiler:       profiler,
 		Iterations:     iterations,
 		Seed:           seed,
-		Log:            log,
 		Parallel:       parallel,
 		ProfileWorkers: profileWorkers,
 		Telemetry:      rec,
+		OnEval: func(ev datamime.EvalEvent) {
+			if logger == nil {
+				return
+			}
+			if ev.Skipped {
+				logger.Warn("iter skipped",
+					slog.Int("n", ev.Record.Iteration), slog.String("err", ev.Err))
+				return
+			}
+			logger.Info("iter",
+				slog.Int("n", ev.Record.Iteration),
+				slog.String("err", fmt.Sprintf("%.4f", ev.Record.Error)),
+				slog.String("best", fmt.Sprintf("%.4f", ev.Record.BestError)),
+				slog.String("params", w.Generator.Space.Values(ev.Record.Params)))
+		},
 	})
 	if err != nil {
 		return err
@@ -180,6 +216,20 @@ func run(name string, iterations int, seed uint64, quiet, quick bool, parallel, 
 	}
 	if artifactOut != "" {
 		fmt.Printf("wrote run artifact %s\n", artifactOut)
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := telemetry.WriteTrace(f, collector.Events()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote trace %s (open at https://ui.perfetto.dev)\n", traceOut)
 	}
 	return nil
 }

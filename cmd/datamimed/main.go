@@ -18,12 +18,14 @@
 //	curl localhost:8080/jobs/job-1/artifact   # JSONL run artifact
 //	curl localhost:8080/jobs/job-1/report     # self-contained HTML run report
 //	curl localhost:8080/jobs/job-1/profiles   # target + best profiles (JSON)
+//	curl localhost:8080/jobs/job-1/trace      # Chrome/Perfetto trace-event JSON
 //	curl -X POST localhost:8080/jobs/job-1/cancel
-//	curl localhost:8080/metrics
+//	curl localhost:8080/metrics               # Prometheus text metrics
 //
 // -telemetry enables per-job phase spans (feeding the /metrics latency
-// histograms and the /events stream); -debug mounts net/http/pprof and
-// expvar under /debug/ for live profiling of the server itself.
+// histograms, the /events stream, and the per-job /trace timeline — open
+// it at https://ui.perfetto.dev); -debug mounts net/http/pprof and expvar
+// under /debug/ for live profiling of the server itself.
 package main
 
 import (

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
 	"strings"
 	"testing"
@@ -12,6 +13,7 @@ import (
 	"datamime/internal/profile"
 	"datamime/internal/sim"
 	"datamime/internal/stats"
+	"datamime/internal/telemetry"
 	"datamime/internal/trace"
 	"datamime/internal/workload"
 )
@@ -216,14 +218,21 @@ func TestSearchEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// Progress logging is the caller's job now (SearchConfig.Log is gone):
+	// mirror cmd/datamime's OnEval line logger and assert it sees every
+	// iteration.
 	var log strings.Builder
+	logger := telemetry.NewLineLogger(&log)
 	res, err := Search(SearchConfig{
 		Generator:  gen,
 		Objective:  ProfileObjective{Target: target, Model: NewErrorModel()},
 		Profiler:   pr,
 		Iterations: 16,
 		Seed:       7,
-		Log:        &log,
+		OnEval: func(ev EvalEvent) {
+			logger.Info("iter", slog.Int("n", ev.Record.Iteration),
+				slog.String("err", fmt.Sprintf("%.4f", ev.Record.Error)))
+		},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -3,8 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"io"
-	"log/slog"
 	"sync"
 
 	"datamime/internal/datagen"
@@ -52,12 +50,6 @@ type SearchConfig struct {
 	// per-iteration profiling seeds (so repeated evaluations of the same
 	// point measure with noise, as on real hardware).
 	Seed uint64
-	// Log, when non-nil, receives one line per iteration.
-	//
-	// Deprecated: Log is kept for existing callers and is now routed
-	// through telemetry.NewLineLogger. New code should observe the search
-	// through Telemetry (spans + eval events) or OnEval instead.
-	Log io.Writer
 	// Telemetry, when non-nil, receives spans for every pipeline phase
 	// (propose / generate / profile / observe, plus the optimizer's GP-fit
 	// and acquisition timings) and one eval event per iteration, carrying
@@ -250,12 +242,6 @@ func SearchContext(ctx context.Context, cfg SearchConfig) (*Result, error) {
 	space := cfg.Generator.Space
 	rec := cfg.Telemetry
 
-	// The legacy io.Writer log path rides on the telemetry line logger.
-	var logger *slog.Logger
-	if cfg.Log != nil {
-		logger = telemetry.NewLineLogger(cfg.Log)
-	}
-
 	parallel := cfg.Parallel
 	if parallel < 1 {
 		parallel = 1
@@ -308,13 +294,6 @@ func SearchContext(ctx context.Context, cfg SearchConfig) (*Result, error) {
 			BestError:  res.BestError,
 			Components: comps,
 		})
-		if logger != nil {
-			logger.Info("iter",
-				slog.Int("n", it),
-				slog.String("err", fmt.Sprintf("%.4f", e)),
-				slog.String("best", fmt.Sprintf("%.4f", res.BestError)),
-				slog.String("params", space.Values(x)))
-		}
 	}
 
 	// profileAt measures (or recalls) the candidate x under one seed,
@@ -432,7 +411,11 @@ func SearchContext(ctx context.Context, cfg SearchConfig) (*Result, error) {
 			proposeAttrs = map[string]float64{"batch": float64(len(batch))}
 			if tr, ok := optimizer.(opt.TimingReporter); ok {
 				if t, ok := tr.TakeTimings(); ok {
-					rec.RecordSpan(telemetry.PhaseGPFit, it, t.GPFit, nil)
+					rec.RecordSpan(telemetry.PhaseGPFit, it, t.GPFit, map[string]float64{
+						telemetry.AttrCholeskyAppends:  float64(t.CholeskyAppends),
+						telemetry.AttrCholeskyRebuilds: float64(t.CholeskyRebuilds),
+						telemetry.AttrJitterLevelMax:   float64(t.MaxJitterLevel),
+					})
 					rec.RecordSpan(telemetry.PhaseAcquisition, it, t.Acquisition,
 						map[string]float64{"proposals": float64(t.Proposals)})
 					proposeAttrs["gp_fit_ns"] = float64(t.GPFit.Nanoseconds())
@@ -503,10 +486,6 @@ func SearchContext(ctx context.Context, cfg SearchConfig) (*Result, error) {
 				ent.Err = r.err.Error()
 				ev.Err = ent.Err
 				ev.Record = IterationRecord{Iteration: gi}
-				if logger != nil {
-					logger.Warn("iter skipped",
-						slog.Int("n", gi), slog.String("err", r.err.Error()))
-				}
 			} else {
 				optimizer.Observe(u, r.e)
 				record(gi, r.x, r.prof, r.e, r.retried, r.comps)

@@ -214,3 +214,49 @@ func TestResumeDeterministicWithTelemetry(t *testing.T) {
 		t.Fatalf("BestError %g != resumed %g", full.BestError, resumed.BestError)
 	}
 }
+
+// TestTraceExportTelemetryBitIdentical is the -trace determinism gate:
+// running the full parallel pipeline with the trace-collector sink attached
+// (cmd/datamime's -trace path: collector + profiler instrumentation,
+// profile.sim and budget.wait spans included) must produce results
+// bit-identical to an uninstrumented run, and the collected stream must
+// export as a structurally valid Perfetto trace. Run under -race this also
+// proves the collector is safe against the pool's concurrent emitters.
+func TestTraceExportTelemetryBitIdentical(t *testing.T) {
+	plain, err := Search(metricSearchConfig(8, 2, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var collector telemetry.Collector
+	rec := telemetry.New(telemetry.Options{OnEvent: collector.Record})
+	cfg := metricSearchConfig(8, 2, 42)
+	cfg.ProfileWorkers = 2
+	cfg.Telemetry = rec
+	cfg.Profiler.Telemetry = rec
+	cfg.Profiler.Workers = 2
+	traced, err := Search(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(plain.Trace, traced.Trace) {
+		t.Fatalf("trace instrumentation perturbed the search:\nplain  %v\ntraced %v",
+			plain.Trace, traced.Trace)
+	}
+	if !reflect.DeepEqual(plain.Checkpoint, traced.Checkpoint) {
+		t.Fatal("trace instrumentation perturbed the checkpoint")
+	}
+
+	var buf bytes.Buffer
+	if err := telemetry.WriteTrace(&buf, collector.Events()); err != nil {
+		t.Fatal(err)
+	}
+	st, err := telemetry.ValidateTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Spans == 0 || st.WorkerTracks == 0 {
+		t.Fatalf("exported trace missing spans or worker tracks: %+v", st)
+	}
+}

@@ -77,6 +77,7 @@ func (r *Report) RenderHTML(w io.Writer) error {
 	r.writeAttributionHTML(&b)
 	r.writeOverlaysHTML(&b)
 	r.writePhasesHTML(&b)
+	r.writeTimelineHTML(&b)
 	b.WriteString("</body>\n</html>\n")
 	_, err := io.WriteString(w, b.String())
 	return err
@@ -93,8 +94,9 @@ func (r *Report) writeSummaryHTML(b *strings.Builder) {
 	if run.Job != "" {
 		row("Job", run.Job)
 	}
-	row("Iterations", fmt.Sprintf("%d (evals %d, skipped %d, cache hits %d, retried %d, replayed %d)",
-		len(run.Evals), c.Evals, c.Skipped, c.CacheHits, c.Retried, c.Replayed))
+	row("Iterations", fmt.Sprintf("%d (evals %d, skipped %d, retried %d, replayed %d)",
+		len(run.Evals), c.Evals, c.Skipped, c.Retried, c.Replayed))
+	row("Eval cache", fmt.Sprintf("%d hits, %d misses%s", c.CacheHits, c.Misses, hitRateSuffix(c)))
 	if best, ok := run.Best(); ok {
 		row("Best error", fmt.Sprintf("%s at iteration %d", fnum(best.Error), best.Iter))
 		if len(best.Params) > 0 {
@@ -296,4 +298,33 @@ func (r *Report) writePhasesHTML(b *strings.Builder) {
 			htmlEscape(name), st.Count, fms(st.TotalNS), fms(mean))
 	}
 	b.WriteString("</tbody>\n</table>\n")
+}
+
+// writeTimelineHTML renders the profiler utilization section: per-worker
+// occupancy bars (reusing the band-strip styling) and the pool's overlap
+// summary. Omitted when the artifact carries no timed simulation spans.
+func (r *Report) writeTimelineHTML(b *strings.Builder) {
+	tl := NewTimeline(r.Run)
+	if len(tl.Workers) == 0 {
+		return
+	}
+	b.WriteString("<h2>Profiler utilization</h2>\n")
+	fmt.Fprintf(b, "<p class=\"sub\">%s simulated across %d workers over %s of wall-clock — speedup %.2f×, parallel efficiency %s, single-worker share %s.</p>\n",
+		fms(tl.BusyNS), len(tl.Workers), fms(tl.WallNS), tl.Speedup(), fpct(tl.Efficiency()), fpct(tl.SerialShare()))
+	b.WriteString("<table>\n<thead><tr><th>worker</th><th class=\"num\">runs</th><th class=\"num\">busy</th><th class=\"num\">occupancy</th><th>utilization</th></tr></thead>\n<tbody>\n")
+	for _, ws := range tl.Workers {
+		occ := 0.0
+		if tl.WallNS > 0 {
+			occ = float64(ws.BusyNS) / float64(tl.WallNS)
+		}
+		strip := fmt.Sprintf(`<div class="bandstrip"><span style="width:%.1f%%;background:%s"></span></div>`,
+			occ*100, bandRamp[4])
+		fmt.Fprintf(b, "<tr><td>worker %d</td><td class=\"num\">%d</td><td class=\"num\">%s</td><td class=\"num\">%s</td><td>%s</td></tr>\n",
+			ws.Worker, ws.Runs, fms(ws.BusyNS), fpct(occ), strip)
+	}
+	b.WriteString("</tbody>\n</table>\n")
+	if tl.BudgetWaits > 0 {
+		fmt.Fprintf(b, "<p class=\"sub\">Budget-semaphore stalls: %d totaling %s.</p>\n",
+			tl.BudgetWaits, fms(tl.BudgetWaitNS))
+	}
 }

@@ -169,8 +169,22 @@ func (r *Report) RenderText(w io.Writer) error {
 		r.renderAttributionText(&b)
 	}
 	r.renderPhasesText(&b)
+	if tl := NewTimeline(run); len(tl.Workers) > 0 {
+		fmt.Fprintf(&b, "\nprofiler utilization: %d workers, speedup %.2fx, parallel efficiency %s\n",
+			len(tl.Workers), tl.Speedup(), fpct(tl.Efficiency()))
+	}
+	fmt.Fprintf(&b, "\neval cache: %d hits, %d misses%s\n",
+		c.CacheHits, c.Misses, hitRateSuffix(c))
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// hitRateSuffix renders the cache hit rate when the run evaluated anything.
+func hitRateSuffix(c Counts) string {
+	if c.Evals == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" (%s hit rate)", fpct(float64(c.CacheHits)/float64(c.Evals)))
 }
 
 // renderAttributionText writes the ranked error-attribution table.

@@ -38,6 +38,17 @@ type PhaseStat struct {
 	TotalNS int64
 }
 
+// SpanRecord is one timed span event retained for timeline analysis. Spans
+// without a wall-clock stamp (synthesized artifacts of disk-restored jobs)
+// are aggregated into Phases but not retained here.
+type SpanRecord struct {
+	Phase   string
+	Iter    int
+	StartNS int64 // wall-clock start (TimeNS − DurNS)
+	EndNS   int64 // wall-clock end (TimeNS)
+	Attrs   map[string]float64
+}
+
 // Run is a parsed JSONL run artifact: the evaluation history plus
 // aggregated phase timings. It is the unit the diff engine compares and the
 // report renderer consumes.
@@ -53,6 +64,9 @@ type Run struct {
 	Phases map[string]PhaseStat
 	// Spans counts span events consumed.
 	Spans int
+	// SpanLog holds the timed spans in stream order, feeding NewTimeline's
+	// worker-occupancy and parallel-efficiency analysis.
+	SpanLog []SpanRecord
 	// Malformed counts skipped lines that did not parse as events (e.g. a
 	// line truncated by a dying writer).
 	Malformed int
@@ -93,6 +107,15 @@ func LoadRun(r io.Reader) (*Run, error) {
 			st.TotalNS += ev.DurNS
 			run.Phases[ev.Phase] = st
 			run.Spans++
+			if ev.TimeNS > 0 {
+				run.SpanLog = append(run.SpanLog, SpanRecord{
+					Phase:   ev.Phase,
+					Iter:    ev.Iter,
+					StartNS: ev.TimeNS - ev.DurNS,
+					EndNS:   ev.TimeNS,
+					Attrs:   ev.Attrs,
+				})
+			}
 		case telemetry.TypeEval:
 			rec, err := evalRecord(ev)
 			if err != nil {
@@ -190,8 +213,11 @@ type Counts struct {
 	Evals     int // non-skipped evaluations
 	Skipped   int
 	CacheHits int
-	Retried   int
-	Replayed  int
+	// Misses counts non-skipped evaluations that simulated a fresh profile
+	// (CacheHits + Misses = Evals).
+	Misses   int
+	Retried  int
+	Replayed int
 }
 
 // Counts tallies the run's evaluation records.
@@ -202,9 +228,11 @@ func (r *Run) Counts() Counts {
 			c.Skipped++
 		} else {
 			c.Evals++
-		}
-		if e.CacheHit {
-			c.CacheHits++
+			if e.CacheHit {
+				c.CacheHits++
+			} else {
+				c.Misses++
+			}
 		}
 		if e.Retried {
 			c.Retried++

@@ -1,0 +1,171 @@
+package inspect
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"datamime/internal/telemetry"
+)
+
+// WorkerStat is one profiler-pool worker's occupancy over the run.
+type WorkerStat struct {
+	// Worker is the pool index (0 also covers the serial path).
+	Worker int
+	// Runs counts profile.sim spans the worker executed.
+	Runs int
+	// BusyNS is the summed span duration.
+	BusyNS int64
+}
+
+// Timeline is the utilization analysis of a run's profile.sim spans: how
+// long each profiler worker was busy, how much wall-clock the simulation
+// phase covered, and how well the pool overlapped work. All figures derive
+// from the artifact's wall-clock stamps, so the analysis needs a run that
+// was recorded live (restored jobs synthesize unstamped events and yield an
+// empty timeline).
+type Timeline struct {
+	// Workers lists per-worker occupancy, ordered by pool index.
+	Workers []WorkerStat
+	// BusyNS is the summed simulation time across all workers.
+	BusyNS int64
+	// WallNS is the union length of all simulation intervals — the
+	// wall-clock time during which at least one worker was simulating.
+	WallNS int64
+	// SerialNS is the portion of WallNS with exactly one busy worker: the
+	// simulation phase's critical-path-like share that no amount of pool
+	// width can compress.
+	SerialNS int64
+	// BudgetWaits and BudgetWaitNS total the budget-semaphore stalls.
+	BudgetWaits  int
+	BudgetWaitNS int64
+	// SpanNS is the run's full first-to-last span extent (any phase),
+	// giving the share of the run the simulation phase accounts for.
+	SpanNS int64
+}
+
+// NewTimeline builds the utilization analysis from a run's retained spans.
+func NewTimeline(run *Run) *Timeline {
+	t := &Timeline{}
+	byWorker := make(map[int]*WorkerStat)
+	type boundary struct {
+		at    int64
+		delta int
+	}
+	var bounds []boundary
+	var lo, hi int64
+	for i, sp := range run.SpanLog {
+		if i == 0 || sp.StartNS < lo {
+			lo = sp.StartNS
+		}
+		if i == 0 || sp.EndNS > hi {
+			hi = sp.EndNS
+		}
+		t.SpanNS = hi - lo
+		switch sp.Phase {
+		case telemetry.PhaseSimRun:
+			w := int(sp.Attrs[telemetry.AttrWorker])
+			ws := byWorker[w]
+			if ws == nil {
+				ws = &WorkerStat{Worker: w}
+				byWorker[w] = ws
+			}
+			ws.Runs++
+			ws.BusyNS += sp.EndNS - sp.StartNS
+			t.BusyNS += sp.EndNS - sp.StartNS
+			bounds = append(bounds, boundary{sp.StartNS, 1}, boundary{sp.EndNS, -1})
+		case telemetry.PhaseBudgetWait:
+			t.BudgetWaits++
+			t.BudgetWaitNS += sp.EndNS - sp.StartNS
+		}
+	}
+	for _, ws := range byWorker {
+		t.Workers = append(t.Workers, *ws)
+	}
+	sort.Slice(t.Workers, func(i, j int) bool { return t.Workers[i].Worker < t.Workers[j].Worker })
+
+	// Sweep the simulation interval boundaries to measure the covered union
+	// and its single-worker (serial) share. Ends sort before starts at the
+	// same instant so zero-length touching intervals don't inflate depth.
+	sort.Slice(bounds, func(i, j int) bool {
+		if bounds[i].at != bounds[j].at {
+			return bounds[i].at < bounds[j].at
+		}
+		return bounds[i].delta < bounds[j].delta
+	})
+	depth := 0
+	var prev int64
+	for _, bd := range bounds {
+		if depth > 0 {
+			t.WallNS += bd.at - prev
+		}
+		if depth == 1 {
+			t.SerialNS += bd.at - prev
+		}
+		depth += bd.delta
+		prev = bd.at
+	}
+	return t
+}
+
+// Speedup is the parallel speedup the pool achieved over running the same
+// simulations serially: total busy time divided by covered wall-clock.
+func (t *Timeline) Speedup() float64 {
+	if t.WallNS <= 0 {
+		return 0
+	}
+	return float64(t.BusyNS) / float64(t.WallNS)
+}
+
+// Efficiency is the speedup per observed worker (1.0 = perfect overlap).
+func (t *Timeline) Efficiency() float64 {
+	if len(t.Workers) == 0 {
+		return 0
+	}
+	return t.Speedup() / float64(len(t.Workers))
+}
+
+// SerialShare is the fraction of the simulation wall-clock spent with only
+// one worker busy.
+func (t *Timeline) SerialShare() float64 {
+	if t.WallNS <= 0 {
+		return 0
+	}
+	return float64(t.SerialNS) / float64(t.WallNS)
+}
+
+// RenderText writes the terminal utilization report: per-worker occupancy
+// with bars, then the pool-level overlap summary.
+func (t *Timeline) RenderText(w io.Writer) error {
+	var b strings.Builder
+	if len(t.Workers) == 0 {
+		b.WriteString("no timed profile.sim spans in the artifact\n")
+		b.WriteString("(record the run live with -trace/-artifact; restored jobs carry no timings)\n")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	fmt.Fprintf(&b, "profiler worker occupancy (%d workers, %s simulated over %s wall):\n",
+		len(t.Workers), fms(t.BusyNS), fms(t.WallNS))
+	fmt.Fprintf(&b, "  %-10s %6s %12s %10s\n", "worker", "runs", "busy", "occupancy")
+	for _, ws := range t.Workers {
+		occ := 0.0
+		if t.WallNS > 0 {
+			occ = float64(ws.BusyNS) / float64(t.WallNS)
+		}
+		fmt.Fprintf(&b, "  %-10s %6d %12s %10s  |%s|\n",
+			fmt.Sprintf("worker %d", ws.Worker), ws.Runs, fms(ws.BusyNS), fpct(occ), asciiBar(occ, 24))
+	}
+	fmt.Fprintf(&b, "\nspeedup %.2fx over %d workers — parallel efficiency %s\n",
+		t.Speedup(), len(t.Workers), fpct(t.Efficiency()))
+	fmt.Fprintf(&b, "single-worker (serial) share of sim wall-clock: %s\n", fpct(t.SerialShare()))
+	if t.BudgetWaits > 0 {
+		fmt.Fprintf(&b, "budget-semaphore stalls: %d totaling %s\n", t.BudgetWaits, fms(t.BudgetWaitNS))
+	}
+	if t.SpanNS > 0 {
+		fmt.Fprintf(&b, "simulation covers %s of the run's %s span extent\n",
+			fpct(float64(t.WallNS)/float64(t.SpanNS)), fms(t.SpanNS))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

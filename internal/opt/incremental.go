@@ -45,6 +45,13 @@ type surrogateEntry struct {
 // order.
 type surrogateCache struct {
 	entries []surrogateEntry
+	// Fit diagnostics since the last takeFitStats drain: how many entries
+	// took the O(n²) append fast path vs the O(n³) rebuild fallback, and
+	// the worst jitter-escalation level seen. Counters live on the cache,
+	// not the entries, so constant-liar rollbacks never un-count work done.
+	appends  int
+	rebuilds int
+	maxLevel int
 }
 
 func newSurrogateCache() *surrogateCache {
@@ -68,11 +75,28 @@ func (c *surrogateCache) restore(s []surrogateEntry) {
 	copy(c.entries, s)
 }
 
-// sync brings every entry's factor up to the observation set xs.
+// sync brings every entry's factor up to the observation set xs, counting
+// how each one got there.
 func (c *surrogateCache) sync(xs [][]float64) {
 	for i := range c.entries {
-		c.entries[i].sync(xs)
+		switch c.entries[i].sync(xs) {
+		case syncAppended:
+			c.appends++
+		case syncRebuilt:
+			c.rebuilds++
+		}
+		if c.entries[i].level > c.maxLevel {
+			c.maxLevel = c.entries[i].level
+		}
 	}
+}
+
+// takeFitStats returns the diagnostics accumulated since the previous call
+// and resets them; the optimizer drains them into its Timings window.
+func (c *surrogateCache) takeFitStats() (appends, rebuilds, maxLevel int) {
+	appends, rebuilds, maxLevel = c.appends, c.rebuilds, c.maxLevel
+	c.appends, c.rebuilds, c.maxLevel = 0, 0, 0
+	return appends, rebuilds, maxLevel
 }
 
 // unitJitter is the base diagonal jitter in unit-variance space: the noise
@@ -85,10 +109,17 @@ func unitJitter(nf float64) float64 {
 	return nf
 }
 
-func (e *surrogateEntry) sync(xs [][]float64) {
+// Outcomes of one entry sync, for the cache's fit diagnostics.
+const (
+	syncNoop = iota
+	syncAppended
+	syncRebuilt
+)
+
+func (e *surrogateEntry) sync(xs [][]float64) int {
 	n := len(xs)
 	if e.n == n {
-		return // state for this observation set already decided
+		return syncNoop // state for this observation set already decided
 	}
 	if e.ok && e.level == 0 && e.n == n-1 {
 		// Fast path: border the cached factor with the newest observation.
@@ -101,10 +132,11 @@ func (e *surrogateEntry) sync(xs [][]float64) {
 		row[n-1] = k.Eval(x, x) + e.jitter
 		if f, err := linalg.CholeskyAppend(e.chol, row); err == nil {
 			e.chol, e.n = f, n
-			return
+			return syncAppended
 		}
 	}
 	e.rebuild(xs)
+	return syncRebuilt
 }
 
 // rebuild refactorizes from scratch, escalating jitter from the base level

@@ -39,6 +39,16 @@ type Timings struct {
 	// Proposals counts surrogate-backed proposals in the window
 	// (initial-design points cost neither phase and are not counted).
 	Proposals int
+	// CholeskyAppends and CholeskyRebuilds count how surrogate factors were
+	// brought up to date in the window: O(n²) incremental bordered appends
+	// versus O(n³) refactorization fallbacks. A rising rebuild share means
+	// the fast path is being defeated (jitter escalation or failed appends).
+	CholeskyAppends  int
+	CholeskyRebuilds int
+	// MaxJitterLevel is the worst jitter-escalation level any hyperparameter
+	// candidate needed in the window (0 = all factorized at base jitter) —
+	// a GP conditioning diagnostic.
+	MaxJitterLevel int
 }
 
 // TimingReporter is implemented by optimizers that track internal phase
@@ -166,6 +176,14 @@ func (b *BayesOpt) Next() []float64 {
 	gp, err := b.fitSurrogate()
 	b.timings.GPFit += time.Since(fitStart)
 	b.timings.Proposals++
+	if b.cache != nil {
+		app, reb, lvl := b.cache.takeFitStats()
+		b.timings.CholeskyAppends += app
+		b.timings.CholeskyRebuilds += reb
+		if lvl > b.timings.MaxJitterLevel {
+			b.timings.MaxJitterLevel = lvl
+		}
+	}
 	if err != nil {
 		// Surrogate fit failed (degenerate observations); fall back to
 		// random exploration rather than aborting the search.

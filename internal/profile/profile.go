@@ -404,9 +404,7 @@ func (pr *Profiler) execute(ctx context.Context, b workload.Benchmark, seed uint
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			pr.Budget.Acquire()
-			results[i] = pr.runOn(m, b, seed, job)
-			pr.Budget.Release()
+			results[i] = pr.runInstrumented(m, b, seed, job, 0)
 		}
 		return results, nil
 	}
@@ -414,7 +412,7 @@ func (pr *Profiler) execute(ctx context.Context, b workload.Benchmark, seed uint
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			m := sim.NewMachine(pr.Machine, pr.WindowCycles)
 			for {
@@ -422,17 +420,47 @@ func (pr *Profiler) execute(ctx context.Context, b workload.Benchmark, seed uint
 				if i >= len(jobs) || ctx.Err() != nil {
 					return
 				}
-				pr.Budget.Acquire()
-				results[i] = pr.runOn(m, b, seed, jobs[i])
-				pr.Budget.Release()
+				results[i] = pr.runInstrumented(m, b, seed, jobs[i], worker)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	return results, nil
+}
+
+// runInstrumented wraps one runOn in the per-run telemetry spans: a
+// budget.wait span for time blocked on the shared simulation budget (only
+// when a budget is actually shared — a nil Budget never waits) and a
+// profile.sim span tagged with the pool worker index and way allocation,
+// the raw material of the per-worker trace timelines and the utilization
+// report. Telemetry never affects which jobs run or in what order, so
+// results stay bit-identical with it on or off.
+func (pr *Profiler) runInstrumented(m *sim.Machine, b workload.Benchmark, seed uint64, job runJob, worker int) runResult {
+	if pr.Budget != nil {
+		wait := pr.Telemetry.StartSpan(telemetry.PhaseBudgetWait, 0)
+		pr.Budget.Acquire()
+		wait.End(pr.runAttrs(worker, job))
+		defer pr.Budget.Release()
+	}
+	span := pr.Telemetry.StartSpan(telemetry.PhaseSimRun, 0)
+	res := pr.runOn(m, b, seed, job)
+	span.End(pr.runAttrs(worker, job))
+	return res
+}
+
+// runAttrs builds the worker/ways attribute map for one run's spans, or nil
+// when telemetry is disabled so the hot path does not allocate.
+func (pr *Profiler) runAttrs(worker int, job runJob) map[string]float64 {
+	if !pr.Telemetry.Enabled() {
+		return nil
+	}
+	return map[string]float64{
+		telemetry.AttrWorker: float64(worker),
+		telemetry.AttrWays:   float64(job.ways),
+	}
 }
 
 // runOn executes one profiling run on a reused machine: Reset to the cold

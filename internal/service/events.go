@@ -89,8 +89,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
-	s.sseActive.Add(1)
-	defer s.sseActive.Add(-1)
+	s.metrics.sseActive.Add(1)
+	defer s.metrics.sseActive.Add(-1)
 
 	idx := 0
 	for {
@@ -98,12 +98,29 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		if idx > len(j.events) {
 			idx = 0 // the event log was reset by a resume; restart
 		}
+		// Slow-consumer backpressure: the search goroutine only ever
+		// appends to the log and never waits for subscribers, so a stalled
+		// connection shows up here as an oversized pending batch. Cap it by
+		// dropping the oldest events and telling the subscriber how many it
+		// missed, instead of ballooning the copy (and this handler's write
+		// time) without bound.
+		dropped := 0
+		if backlog := len(j.events) - idx; backlog > s.cfg.SSEMaxBacklog {
+			dropped = backlog - s.cfg.SSEMaxBacklog
+			idx += dropped
+		}
 		batch := append([]telemetry.Event(nil), j.events[idx:]...)
 		idx = len(j.events)
 		state := j.state
 		sig := j.sigLocked()
 		j.mu.Unlock()
 
+		if dropped > 0 {
+			s.metrics.sseDropped.Add(float64(dropped))
+			if _, err := fmt.Fprintf(w, "event: dropped\ndata: {\"dropped\":%d}\n\n", dropped); err != nil {
+				return
+			}
+		}
 		for _, ev := range batch {
 			data, err := json.Marshal(ev)
 			if err != nil {
@@ -167,4 +184,20 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Disposition",
 		fmt.Sprintf("attachment; filename=%q", j.ID()+".jsonl"))
 	_ = telemetry.WriteJSONL(w, artifactEvents(j))
+}
+
+// handleTrace exports a job's event log as Chrome/Perfetto trace-event JSON
+// (load it at https://ui.perfetto.dev). Jobs restored from disk have no
+// timed events, so their traces are empty by design — the checkpoint
+// persists results, not wall-clock timings.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%q", j.ID()+".trace.json"))
+	_ = telemetry.WriteTrace(w, artifactEvents(j))
 }

@@ -160,10 +160,10 @@ func TestSSEClientDisconnect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	waitFor(t, "subscriber to register", func() bool { return svc.sseActive.Load() == 1 })
+	waitFor(t, "subscriber to register", func() bool { return svc.metrics.sseActive.Value() == 1 })
 	cancel()
 	resp.Body.Close()
-	waitFor(t, "subscriber cleanup after disconnect", func() bool { return svc.sseActive.Load() == 0 })
+	waitFor(t, "subscriber cleanup after disconnect", func() bool { return svc.metrics.sseActive.Value() == 0 })
 
 	if code := httpJSON(t, ts, "POST", "/jobs/"+submitted.ID+"/cancel", nil, nil); code != http.StatusOK {
 		t.Fatalf("cancel = %d", code)
@@ -215,14 +215,14 @@ func TestSSESubscriberLifecycle(t *testing.T) {
 			resps = append(resps, resp)
 		}
 		waitFor(t, "subscribers to register", func() bool {
-			return svc.sseActive.Load() == subscribers
+			return svc.metrics.sseActive.Value() == subscribers
 		})
 		cancel()
 		for _, resp := range resps {
 			resp.Body.Close()
 		}
 		waitFor(t, "subscriber gauge to return to baseline", func() bool {
-			return svc.sseActive.Load() == 0
+			return svc.metrics.sseActive.Value() == 0
 		})
 		waitFor(t, "goroutine count to return to baseline", func() bool {
 			return runtime.NumGoroutine() <= baseline+2

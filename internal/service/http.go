@@ -17,11 +17,13 @@ import (
 //	GET  /jobs/{id}/events   live SSE stream of eval events + phase spans
 //	GET  /jobs/{id}/artifact JSONL run artifact (telemetry.ReplayBestTrace
 //	                         reconstructs the convergence series from it)
+//	GET  /jobs/{id}/trace    Chrome/Perfetto trace-event JSON timeline of
+//	                         the job's spans (open at ui.perfetto.dev)
 //	GET  /jobs/{id}/report   self-contained HTML run report (convergence
 //	                         plot, EMD attribution, eCDF overlays)
 //	GET  /jobs/{id}/profiles target + best-candidate profiles as JSON
 //	POST /jobs/{id}/cancel   cancel a queued or running job
-//	GET  /metrics            stdlib text-format operational metrics
+//	GET  /metrics            Prometheus text-format metrics registry
 //	GET  /healthz            liveness probe
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -31,6 +33,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /jobs/{id}/artifact", s.handleArtifact)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /jobs/{id}/report", s.handleReport)
 	mux.HandleFunc("GET /jobs/{id}/profiles", s.handleProfiles)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)

@@ -155,9 +155,12 @@ type JobStatus struct {
 	// Total is the budget.
 	Iterations int `json:"iterations_done"`
 	Total      int `json:"iterations_total"`
-	// Evaluations/CacheHits/Skipped/SimCycles are live counters.
+	// Evaluations/CacheHits/CacheMisses/Skipped/SimCycles are live
+	// counters. CacheHits+CacheMisses = Evaluations: every non-skipped
+	// iteration either reused a cached profile or simulated a fresh one.
 	Evaluations int     `json:"evaluations"`
 	CacheHits   int     `json:"cache_hits"`
+	CacheMisses int     `json:"cache_misses"`
 	Skipped     int     `json:"skipped"`
 	SimCycles   float64 `json:"sim_cycles"`
 	// BestError is the running minimum (meaningful once Evaluations > 0).
@@ -202,10 +205,11 @@ type Job struct {
 	targetProf *profile.Profile
 	bestProf   *profile.Profile
 
-	evals     int
-	cacheHits int
-	skipped   int
-	simCycles float64
+	evals       int
+	cacheHits   int
+	cacheMisses int
+	skipped     int
+	simCycles   float64
 
 	// profileWorkers is the effective intra-profile parallelism, resolved
 	// from the spec and server default when the job starts running.
@@ -252,6 +256,7 @@ func (j *Job) status(since int) JobStatus {
 		Total:           j.spec.Iterations,
 		Evaluations:     j.evals,
 		CacheHits:       j.cacheHits,
+		CacheMisses:     j.cacheMisses,
 		Skipped:         j.skipped,
 		SimCycles:       j.simCycles,
 		TraceLen:        len(j.trace),

@@ -1,113 +1,180 @@
 package service
 
 import (
-	"fmt"
 	"net/http"
 	"strconv"
 	"time"
+
+	"datamime/internal/telemetry"
 )
 
-// handleMetrics renders operational gauges and counters in the Prometheus
-// text exposition format, using only the standard library: jobs by state,
-// worker-pool occupancy, evaluation-cache effectiveness, cumulative
-// simulated work, search-phase latency histograms, and per-job progress
-// gauges for jobs that are still queued or running.
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+// serverMetrics is the server's unified metrics registry: every operational
+// counter, gauge, and histogram /metrics exports lives here, registered once
+// at startup. Hot-path code increments the typed handles; state that is
+// already tracked elsewhere (the job table, the evaluation cache, per-job
+// progress) is read at scrape time through collector callbacks, so the
+// dynamic label sets — jobs by state, per-job gauges — stay exact without
+// double bookkeeping.
+type serverMetrics struct {
+	reg *telemetry.Registry
 
-	counts := s.jobCounts()
-	fmt.Fprintf(w, "# HELP datamimed_jobs Jobs tracked by the server, by state.\n")
-	fmt.Fprintf(w, "# TYPE datamimed_jobs gauge\n")
-	for _, st := range allStates() {
-		fmt.Fprintf(w, "datamimed_jobs{state=%q} %d\n", st, counts[st])
-	}
+	// Worker-pool and evaluation counters (incremented by the job workers).
+	workersBusy  *telemetry.Gauge
+	evalsTotal   *telemetry.Counter
+	skippedTotal *telemetry.Counter
+	retriedTotal *telemetry.Counter
+	cyclesTotal  *telemetry.Counter
 
-	fmt.Fprintf(w, "# HELP datamimed_workers Worker-pool size.\n")
-	fmt.Fprintf(w, "# TYPE datamimed_workers gauge\n")
-	fmt.Fprintf(w, "datamimed_workers %d\n", s.cfg.Workers)
-	fmt.Fprintf(w, "# HELP datamimed_workers_busy Workers currently running a job.\n")
-	fmt.Fprintf(w, "# TYPE datamimed_workers_busy gauge\n")
-	fmt.Fprintf(w, "datamimed_workers_busy %d\n", s.busyWorkers.Load())
+	// SSE subscription gauge and slow-consumer drop counter.
+	sseActive  *telemetry.Gauge
+	sseDropped *telemetry.Counter
 
-	hits, misses, size := s.cache.Stats()
-	fmt.Fprintf(w, "# HELP datamimed_eval_cache_hits_total Evaluation-cache hits.\n")
-	fmt.Fprintf(w, "# TYPE datamimed_eval_cache_hits_total counter\n")
-	fmt.Fprintf(w, "datamimed_eval_cache_hits_total %d\n", hits)
-	fmt.Fprintf(w, "# HELP datamimed_eval_cache_misses_total Evaluation-cache misses.\n")
-	fmt.Fprintf(w, "# TYPE datamimed_eval_cache_misses_total counter\n")
-	fmt.Fprintf(w, "datamimed_eval_cache_misses_total %d\n", misses)
-	fmt.Fprintf(w, "# HELP datamimed_eval_cache_entries Profiles currently cached.\n")
-	fmt.Fprintf(w, "# TYPE datamimed_eval_cache_entries gauge\n")
-	fmt.Fprintf(w, "datamimed_eval_cache_entries %d\n", size)
+	// Parallel-search contention metrics, fed from telemetry spans by
+	// observeSpan: profiler-pool occupancy per worker, budget-semaphore
+	// wait time, and the GP surrogate's incremental-vs-refactorization
+	// balance with its conditioning diagnostic.
+	simRuns           *telemetry.Counter
+	workerBusySeconds *telemetry.CounterVec
+	budgetWaitSeconds *telemetry.Counter
+	gpAppends         *telemetry.Counter
+	gpRebuilds        *telemetry.Counter
+	gpJitterLevel     *telemetry.Gauge
 
-	fmt.Fprintf(w, "# HELP datamimed_evaluations_total Fresh candidate evaluations completed.\n")
-	fmt.Fprintf(w, "# TYPE datamimed_evaluations_total counter\n")
-	fmt.Fprintf(w, "datamimed_evaluations_total %d\n", s.evalsTotal.Load())
-	fmt.Fprintf(w, "# HELP datamimed_evaluations_skipped_total Evaluations dropped by the retry-skip policy.\n")
-	fmt.Fprintf(w, "# TYPE datamimed_evaluations_skipped_total counter\n")
-	fmt.Fprintf(w, "datamimed_evaluations_skipped_total %d\n", s.skippedTotal.Load())
-	fmt.Fprintf(w, "# HELP datamimed_evaluations_retried_total Evaluations that succeeded on their perturbed-seed retry.\n")
-	fmt.Fprintf(w, "# TYPE datamimed_evaluations_retried_total counter\n")
-	fmt.Fprintf(w, "datamimed_evaluations_retried_total %d\n", s.retriedTotal.Load())
-
-	fmt.Fprintf(w, "# HELP datamimed_simulated_cycles_total Estimated simulated cycles spent profiling.\n")
-	fmt.Fprintf(w, "# TYPE datamimed_simulated_cycles_total counter\n")
-	fmt.Fprintf(w, "datamimed_simulated_cycles_total %g\n", s.cyclesTotal.Load())
-
-	fmt.Fprintf(w, "# HELP datamimed_sse_subscribers Open /events subscriptions.\n")
-	fmt.Fprintf(w, "# TYPE datamimed_sse_subscribers gauge\n")
-	fmt.Fprintf(w, "datamimed_sse_subscribers %d\n", s.sseActive.Load())
-
-	s.writePhaseHistograms(w)
-	s.writeJobGauges(w)
-
-	fmt.Fprintf(w, "# HELP datamimed_uptime_seconds Seconds since the server started.\n")
-	fmt.Fprintf(w, "# TYPE datamimed_uptime_seconds gauge\n")
-	fmt.Fprintf(w, "datamimed_uptime_seconds %g\n", time.Since(s.started).Seconds())
+	// phaseHist aggregates search-phase latencies across all jobs;
+	// populated only when telemetry is on.
+	phaseHist *telemetry.HistogramVec
 }
 
-// writePhaseHistograms renders the search-phase latency histogram family
-// (one series set per observed phase). Empty until a telemetry-enabled job
-// has run a phase.
-func (s *Server) writePhaseHistograms(w http.ResponseWriter) {
-	labels := s.phaseHist.Labels()
-	if len(labels) == 0 {
-		return
-	}
-	fmt.Fprintf(w, "# HELP datamimed_phase_seconds Search phase latency, by phase.\n")
-	fmt.Fprintf(w, "# TYPE datamimed_phase_seconds histogram\n")
-	for _, phase := range labels {
-		h := s.phaseHist.Get(phase)
-		if h == nil {
-			continue
+// newServerMetrics builds the registry. Collector callbacks close over the
+// server and run at scrape time; they take the same locks the HTTP handlers
+// do and never touch the search hot path.
+func newServerMetrics(s *Server) *serverMetrics {
+	reg := telemetry.NewRegistry()
+	m := &serverMetrics{reg: reg}
+
+	reg.NewCollector("datamimed_jobs", "Jobs tracked by the server, by state.",
+		"gauge", []string{"state"}, func() []telemetry.Sample {
+			counts := s.jobCounts()
+			out := make([]telemetry.Sample, 0, len(allStates()))
+			for _, st := range allStates() {
+				out = append(out, telemetry.Sample{Labels: []string{string(st)}, Value: float64(counts[st])})
+			}
+			return out
+		})
+	reg.NewGaugeFunc("datamimed_workers", "Worker-pool size.",
+		func() float64 { return float64(s.cfg.Workers) })
+	m.workersBusy = reg.NewGauge("datamimed_workers_busy", "Workers currently running a job.")
+
+	reg.NewCounterFunc("datamimed_eval_cache_hits_total", "Evaluation-cache hits.",
+		func() float64 { hits, _, _ := s.cache.Stats(); return float64(hits) })
+	reg.NewCounterFunc("datamimed_eval_cache_misses_total", "Evaluation-cache misses.",
+		func() float64 { _, misses, _ := s.cache.Stats(); return float64(misses) })
+	reg.NewGaugeFunc("datamimed_eval_cache_entries", "Profiles currently cached.",
+		func() float64 { _, _, size := s.cache.Stats(); return float64(size) })
+
+	m.evalsTotal = reg.NewCounter("datamimed_evaluations_total",
+		"Fresh candidate evaluations completed.")
+	m.skippedTotal = reg.NewCounter("datamimed_evaluations_skipped_total",
+		"Evaluations dropped by the retry-skip policy.")
+	m.retriedTotal = reg.NewCounter("datamimed_evaluations_retried_total",
+		"Evaluations that succeeded on their perturbed-seed retry.")
+	m.cyclesTotal = reg.NewCounter("datamimed_simulated_cycles_total",
+		"Estimated simulated cycles spent profiling.")
+
+	m.sseActive = reg.NewGauge("datamimed_sse_subscribers", "Open /events subscriptions.")
+	m.sseDropped = reg.NewCounter("datamimed_sse_dropped_total",
+		"Events dropped from slow SSE subscribers' backlogs.")
+
+	m.simRuns = reg.NewCounter("datamimed_sim_runs_total",
+		"Partition simulations executed by the profiler pools.")
+	m.workerBusySeconds = reg.NewCounterVec("datamimed_profile_worker_busy_seconds_total",
+		"Simulation time per profiler-pool worker index.", "worker")
+	m.budgetWaitSeconds = reg.NewCounter("datamimed_budget_wait_seconds_total",
+		"Time profiler runs spent blocked on the shared simulation budget.")
+	m.gpAppends = reg.NewCounter("datamimed_gp_cholesky_appends_total",
+		"GP surrogate factor updates taking the incremental append fast path.")
+	m.gpRebuilds = reg.NewCounter("datamimed_gp_cholesky_rebuilds_total",
+		"GP surrogate factor updates falling back to full refactorization.")
+	m.gpJitterLevel = reg.NewGauge("datamimed_gp_jitter_level_max",
+		"Highest GP jitter-escalation level observed (conditioning diagnostic).")
+
+	m.phaseHist = reg.NewHistogramVec("datamimed_phase_seconds",
+		"Search phase latency, by phase.", "phase", nil)
+
+	reg.NewCollector("datamimed_job_iterations_done",
+		"Finished iterations of each active job.",
+		"gauge", []string{"job"}, func() []telemetry.Sample {
+			var out []telemetry.Sample
+			for _, rw := range s.activeJobRows() {
+				out = append(out, telemetry.Sample{Labels: []string{rw.id}, Value: float64(rw.iters)})
+			}
+			return out
+		})
+	reg.NewCollector("datamimed_job_best_error",
+		"Running minimum objective value of each active job.",
+		"gauge", []string{"job"}, func() []telemetry.Sample {
+			var out []telemetry.Sample
+			for _, rw := range s.activeJobRows() {
+				if rw.hasBest {
+					out = append(out, telemetry.Sample{Labels: []string{rw.id}, Value: rw.best})
+				}
+			}
+			return out
+		})
+	reg.NewCollector("datamimed_job_sim_cycles",
+		"Estimated simulated cycles spent by each active job.",
+		"gauge", []string{"job"}, func() []telemetry.Sample {
+			var out []telemetry.Sample
+			for _, rw := range s.activeJobRows() {
+				out = append(out, telemetry.Sample{Labels: []string{rw.id}, Value: rw.simCycles})
+			}
+			return out
+		})
+
+	reg.NewGaugeFunc("datamimed_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(s.started).Seconds() })
+
+	return m
+}
+
+// observeSpan feeds one job span into the contention metrics: phase latency
+// always, plus the phase-specific families. Runs on the search goroutines
+// (the recorder's OnEvent is synchronous), so it only touches atomics.
+func (m *serverMetrics) observeSpan(ev telemetry.Event) {
+	m.phaseHist.Observe(ev.Phase, time.Duration(ev.DurNS))
+	secs := float64(ev.DurNS) / 1e9
+	switch ev.Phase {
+	case telemetry.PhaseSimRun:
+		m.simRuns.Inc()
+		m.workerBusySeconds.With(strconv.Itoa(int(ev.Attrs[telemetry.AttrWorker]))).Add(secs)
+	case telemetry.PhaseBudgetWait:
+		m.budgetWaitSeconds.Add(secs)
+	case telemetry.PhaseGPFit:
+		m.gpAppends.Add(ev.Attrs[telemetry.AttrCholeskyAppends])
+		m.gpRebuilds.Add(ev.Attrs[telemetry.AttrCholeskyRebuilds])
+		if lvl := ev.Attrs[telemetry.AttrJitterLevelMax]; lvl > m.gpJitterLevel.Value() {
+			m.gpJitterLevel.Set(lvl)
 		}
-		snap := h.Snapshot()
-		for i, b := range snap.Bounds {
-			fmt.Fprintf(w, "datamimed_phase_seconds_bucket{phase=%q,le=%q} %d\n",
-				phase, formatBound(b), snap.Cumulative[i])
-		}
-		fmt.Fprintf(w, "datamimed_phase_seconds_bucket{phase=%q,le=\"+Inf\"} %d\n",
-			phase, snap.Count)
-		fmt.Fprintf(w, "datamimed_phase_seconds_sum{phase=%q} %g\n", phase, snap.Sum)
-		fmt.Fprintf(w, "datamimed_phase_seconds_count{phase=%q} %d\n", phase, snap.Count)
 	}
 }
 
-// writeJobGauges renders per-job progress gauges for non-terminal jobs
-// (terminal jobs drop out so the label set stays bounded by the queue).
-func (s *Server) writeJobGauges(w http.ResponseWriter) {
-	type row struct {
-		id        string
-		iters     int
-		best      float64
-		hasBest   bool
-		simCycles float64
-	}
-	var rows []row
+// activeJobRow is one non-terminal job's progress snapshot for the per-job
+// gauge collectors (terminal jobs drop out so the label set stays bounded by
+// the queue).
+type activeJobRow struct {
+	id        string
+	iters     int
+	best      float64
+	hasBest   bool
+	simCycles float64
+}
+
+func (s *Server) activeJobRows() []activeJobRow {
+	var rows []activeJobRow
 	for _, j := range s.Jobs() {
 		j.mu.Lock()
 		if !j.state.terminal() {
-			rw := row{
+			rw := activeJobRow{
 				id:        j.id,
 				iters:     len(j.trace) + j.skipped,
 				simCycles: j.simCycles,
@@ -120,30 +187,12 @@ func (s *Server) writeJobGauges(w http.ResponseWriter) {
 		}
 		j.mu.Unlock()
 	}
-	if len(rows) == 0 {
-		return
-	}
-	fmt.Fprintf(w, "# HELP datamimed_job_iterations_done Finished iterations of each active job.\n")
-	fmt.Fprintf(w, "# TYPE datamimed_job_iterations_done gauge\n")
-	for _, rw := range rows {
-		fmt.Fprintf(w, "datamimed_job_iterations_done{job=%q} %d\n", rw.id, rw.iters)
-	}
-	fmt.Fprintf(w, "# HELP datamimed_job_best_error Running minimum objective value of each active job.\n")
-	fmt.Fprintf(w, "# TYPE datamimed_job_best_error gauge\n")
-	for _, rw := range rows {
-		if rw.hasBest {
-			fmt.Fprintf(w, "datamimed_job_best_error{job=%q} %g\n", rw.id, rw.best)
-		}
-	}
-	fmt.Fprintf(w, "# HELP datamimed_job_sim_cycles Estimated simulated cycles spent by each active job.\n")
-	fmt.Fprintf(w, "# TYPE datamimed_job_sim_cycles gauge\n")
-	for _, rw := range rows {
-		fmt.Fprintf(w, "datamimed_job_sim_cycles{job=%q} %g\n", rw.id, rw.simCycles)
-	}
+	return rows
 }
 
-// formatBound renders a histogram upper bound the way Prometheus clients
-// expect (shortest round-trippable decimal).
-func formatBound(b float64) string {
-	return strconv.FormatFloat(b, 'g', -1, 64)
+// handleMetrics serves the registry in the Prometheus text exposition
+// format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.reg.WritePrometheus(w)
 }

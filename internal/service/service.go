@@ -6,7 +6,6 @@ import (
 	"io"
 	"log/slog"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"datamime/internal/buildinfo"
@@ -51,6 +50,11 @@ type Config struct {
 	// TelemetryRingCapacity bounds each job's flight-recorder ring
 	// (default 512 events). Only meaningful with Telemetry set.
 	TelemetryRingCapacity int
+	// SSEMaxBacklog bounds how many undelivered events a slow /events
+	// subscriber may accumulate before the oldest are dropped (default
+	// 4096). Dropping never blocks the search goroutine; the subscriber
+	// receives a "dropped" SSE frame carrying the count.
+	SSEMaxBacklog int
 }
 
 // Server schedules and tracks search jobs. Create with New, serve its
@@ -73,19 +77,12 @@ type Server struct {
 	rootCancel context.CancelFunc
 	wg         sync.WaitGroup
 
-	busyWorkers atomic.Int64
-	// Global metrics, accumulated across all jobs (including finished
-	// ones, which drop out of per-job counters when the map is inspected).
-	evalsTotal   atomic.Int64
-	skippedTotal atomic.Int64
-	retriedTotal atomic.Int64
-	cyclesTotal  telemetry.Float64
-
-	// phaseHist aggregates search-phase latencies across all jobs for the
-	// /metrics histogram family; populated only when telemetry is on.
-	phaseHist *telemetry.HistogramVec
-	// sseActive counts open /events subscriptions.
-	sseActive atomic.Int64
+	// metrics is the unified registry behind /metrics: global counters
+	// accumulated across all jobs (including finished ones, which drop out
+	// of per-job counters when the map is inspected), worker/contention
+	// metrics fed from telemetry spans, and scrape-time collectors over
+	// the job table and evaluation cache.
+	metrics *serverMetrics
 
 	logger  *slog.Logger
 	started time.Time
@@ -100,6 +97,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 1024
 	}
+	if cfg.SSEMaxBacklog <= 0 {
+		cfg.SSEMaxBacklog = 4096
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
@@ -110,9 +110,9 @@ func New(cfg Config) (*Server, error) {
 		queue:      make(chan *Job, cfg.QueueDepth),
 		rootCtx:    ctx,
 		rootCancel: cancel,
-		phaseHist:  telemetry.NewHistogramVec(nil),
 		started:    time.Now(),
 	}
+	s.metrics = newServerMetrics(s)
 	if cfg.Log != nil {
 		s.logger = telemetry.NewLineLogger(cfg.Log)
 	}
@@ -255,9 +255,9 @@ func (s *Server) worker() {
 		if skip {
 			continue
 		}
-		s.busyWorkers.Add(1)
+		s.metrics.workersBusy.Add(1)
 		s.runJob(job)
-		s.busyWorkers.Add(-1)
+		s.metrics.workersBusy.Add(-1)
 	}
 }
 
@@ -304,7 +304,7 @@ func (s *Server) runJob(job *Job) {
 					return
 				}
 				ev.Job = job.id
-				s.phaseHist.Observe(ev.Phase, time.Duration(ev.DurNS))
+				s.metrics.observeSpan(ev)
 				job.appendEvent(ev)
 			},
 		})
@@ -320,7 +320,7 @@ func (s *Server) runJob(job *Job) {
 		// iteration 0.
 		job.trace = nil
 		job.events = nil
-		job.evals, job.cacheHits, job.skipped, job.simCycles = 0, 0, 0, 0
+		job.evals, job.cacheHits, job.cacheMisses, job.skipped, job.simCycles = 0, 0, 0, 0, 0
 		job.mu.Unlock()
 		cfg.Resume = &resume
 	}
@@ -333,6 +333,8 @@ func (s *Server) runJob(job *Job) {
 			job.evals++
 			if ev.CacheHit {
 				job.cacheHits++
+			} else {
+				job.cacheMisses++
 			}
 			job.simCycles += ev.SimCycles
 		}
@@ -340,15 +342,15 @@ func (s *Server) runJob(job *Job) {
 		job.appendEvent(evalTelemetryEvent(job.id, ev))
 		if !ev.Replayed {
 			if ev.Skipped {
-				s.skippedTotal.Add(1)
+				s.metrics.skippedTotal.Inc()
 			} else {
-				s.evalsTotal.Add(1)
+				s.metrics.evalsTotal.Inc()
 			}
 			if ev.Retried {
-				s.retriedTotal.Add(1)
+				s.metrics.retriedTotal.Inc()
 			}
 			if ev.SimCycles > 0 {
-				s.cyclesTotal.Add(ev.SimCycles)
+				s.metrics.cyclesTotal.Add(ev.SimCycles)
 			}
 		}
 	}
@@ -453,15 +455,15 @@ func (s *Server) DebugVars() interface{} {
 		"build":             buildinfo.Read().Vars(),
 		"jobs":              s.jobCounts(),
 		"workers":           s.cfg.Workers,
-		"workers_busy":      s.busyWorkers.Load(),
+		"workers_busy":      int64(s.metrics.workersBusy.Value()),
 		"cache_hits":        hits,
 		"cache_misses":      misses,
 		"cache_entries":     size,
-		"evaluations_total": s.evalsTotal.Load(),
-		"skipped_total":     s.skippedTotal.Load(),
-		"retried_total":     s.retriedTotal.Load(),
-		"sim_cycles_total":  s.cyclesTotal.Load(),
-		"sse_subscribers":   s.sseActive.Load(),
+		"evaluations_total": int64(s.metrics.evalsTotal.Value()),
+		"skipped_total":     int64(s.metrics.skippedTotal.Value()),
+		"retried_total":     int64(s.metrics.retriedTotal.Value()),
+		"sim_cycles_total":  s.metrics.cyclesTotal.Value(),
+		"sse_subscribers":   int64(s.metrics.sseActive.Value()),
 		"telemetry_enabled": s.cfg.Telemetry,
 		"uptime_seconds":    time.Since(s.started).Seconds(),
 	}

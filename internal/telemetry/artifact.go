@@ -27,6 +27,19 @@ const (
 	AttrReplayed = "replayed"
 	// AttrSimCycles is the estimated simulated cycles the evaluation cost.
 	AttrSimCycles = "sim_cycles"
+	// AttrWorker and AttrWays identify, on PhaseSimRun and PhaseBudgetWait
+	// spans, which profiler-pool worker ran the simulation and which LLC
+	// way allocation it measured (0 = the full-cache main run).
+	AttrWorker = "worker"
+	AttrWays   = "ways"
+	// AttrCholeskyAppends, AttrCholeskyRebuilds, and AttrJitterLevelMax
+	// ride on PhaseGPFit spans: how many incremental O(n²) factor appends
+	// vs O(n³) refactorization fallbacks the surrogate update needed, and
+	// the worst jitter-escalation level any hyperparameter candidate hit
+	// (a GP conditioning diagnostic; 0 = well-conditioned).
+	AttrCholeskyAppends  = "cholesky_appends"
+	AttrCholeskyRebuilds = "cholesky_rebuilds"
+	AttrJitterLevelMax   = "jitter_level_max"
 	// EMDPrefix prefixes per-component EMD attribution attributes
 	// ("emd_l1d_mpki", "emd_ipc_curve", ...).
 	EMDPrefix = "emd_"

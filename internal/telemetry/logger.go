@@ -11,9 +11,8 @@ import (
 
 // NewLineLogger returns a structured logger that renders each record as one
 // deterministic line on w — "msg key=val key=val" with no timestamps or
-// levels — so example and CLI output stays reproducible run to run. It is
-// the routing target for the legacy io.Writer log fields
-// (core.SearchConfig.Log, service.Config.Log).
+// levels — so example and CLI output stays reproducible run to run. It
+// backs service.Config.Log and cmd/datamime's per-iteration progress lines.
 func NewLineLogger(w io.Writer) *slog.Logger {
 	return slog.New(&lineHandler{w: w, mu: &sync.Mutex{}})
 }

@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryPrometheusExposition(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("demo_evals_total", "Evaluations.")
+	c.Add(3)
+	g := reg.NewGauge("demo_busy", "Busy workers.")
+	g.Set(2)
+	reg.NewGaugeFunc("demo_uptime", "Uptime.", func() float64 { return 1.5 })
+	vec := reg.NewCounterVec("demo_worker_seconds_total", "Per-worker time.", "worker")
+	vec.With("1").Add(0.25)
+	vec.With("0").Add(0.5)
+	reg.NewCollector("demo_jobs", "Jobs by state.", "gauge", []string{"state"},
+		func() []Sample {
+			return []Sample{
+				{Labels: []string{"running"}, Value: 1},
+				{Labels: []string{"queued"}, Value: 4},
+			}
+		})
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+
+	want := `# HELP demo_busy Busy workers.
+# TYPE demo_busy gauge
+demo_busy 2
+# HELP demo_evals_total Evaluations.
+# TYPE demo_evals_total counter
+demo_evals_total 3
+# HELP demo_jobs Jobs by state.
+# TYPE demo_jobs gauge
+demo_jobs{state="queued"} 4
+demo_jobs{state="running"} 1
+# HELP demo_uptime Uptime.
+# TYPE demo_uptime gauge
+demo_uptime 1.5
+# HELP demo_worker_seconds_total Per-worker time.
+# TYPE demo_worker_seconds_total counter
+demo_worker_seconds_total{worker="0"} 0.5
+demo_worker_seconds_total{worker="1"} 0.25
+`
+	if out != want {
+		t.Errorf("exposition drifted:\n--- got ---\n%s--- want ---\n%s", out, want)
+	}
+}
+
+func TestRegistryHistogramExposition(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewHistogramVec("demo_phase_seconds", "Phase latency.", "phase",
+		[]float64{0.01, 0.1})
+	h.Observe("profile", 5*time.Millisecond)
+	h.Observe("profile", 50*time.Millisecond)
+	h.Observe("profile", 500*time.Millisecond)
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for _, line := range []string{
+		`demo_phase_seconds_bucket{phase="profile",le="0.01"} 1`,
+		`demo_phase_seconds_bucket{phase="profile",le="0.1"} 2`,
+		`demo_phase_seconds_bucket{phase="profile",le="+Inf"} 3`,
+		`demo_phase_seconds_count{phase="profile"} 3`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("missing %q in:\n%s", line, out)
+		}
+	}
+}
+
+func TestRegistryEmptyFamiliesRenderNothing(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounterVec("demo_unused_total", "Never incremented.", "worker")
+	reg.NewHistogramVec("demo_unused_seconds", "Never observed.", "phase", nil)
+	reg.NewCollector("demo_unused_jobs", "Empty collector.", "gauge", []string{"state"},
+		func() []Sample { return nil })
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	if b.Len() != 0 {
+		t.Errorf("empty families rendered output:\n%s", b.String())
+	}
+}
+
+func TestRegistryDuplicateNamePanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("demo_total", "First.")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	reg.NewGauge("demo_total", "Second.")
+}
+
+func TestCounterVecArityPanics(t *testing.T) {
+	reg := NewRegistry()
+	vec := reg.NewCounterVec("demo_total", "Two labels.", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("label arity mismatch did not panic")
+		}
+	}()
+	vec.With("only-one")
+}
+
+func TestCounterRejectsNegativeAdd(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("demo_total", "Counter.")
+	c.Add(2)
+	c.Add(-5)
+	if got := c.Value(); got != 2 {
+		t.Errorf("Value = %g after negative Add, want 2", got)
+	}
+}

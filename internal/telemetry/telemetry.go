@@ -35,6 +35,14 @@ const (
 	// phases: the main counter-window run and the cache-sensitivity sweep.
 	PhaseProfileRun    = "profile.run"
 	PhaseProfileCurves = "profile.curves"
+	// PhaseSimRun is one partition simulation inside a profile (the main
+	// run or one way-curve point), emitted per run by the profiler worker
+	// pool with AttrWorker/AttrWays attributes — the raw material of the
+	// per-worker trace timelines and utilization reports.
+	PhaseSimRun = "profile.sim"
+	// PhaseBudgetWait is the time one run spent blocked on the shared
+	// simulation budget before starting — the contention signal.
+	PhaseBudgetWait = "budget.wait"
 	// PhaseObserve covers feeding a batch's results back to the optimizer.
 	PhaseObserve = "observe"
 )
@@ -217,4 +225,27 @@ func (r *Recorder) RecordEval(iter int, skipped bool, params []float64, attrs ma
 		return
 	}
 	r.Emit(Event{Type: TypeEval, Iter: iter, Skipped: skipped, Params: params, Attrs: attrs})
+}
+
+// Collector is an unbounded OnEvent sink that retains every event for
+// end-of-run export (trace-event JSON, artifact rewriting) — unlike the
+// flight-recorder ring, which evicts. Compose its Record method into
+// Options.OnEvent, possibly alongside other sinks.
+type Collector struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Record appends one event. Safe for concurrent use.
+func (c *Collector) Record(ev Event) {
+	c.mu.Lock()
+	c.events = append(c.events, ev)
+	c.mu.Unlock()
+}
+
+// Events returns a copy of everything recorded so far, in arrival order.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
 }

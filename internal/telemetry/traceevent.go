@@ -1,0 +1,350 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Trace-event export: WriteTrace turns a run's event stream into the
+// Chrome/Perfetto trace-event JSON object format, loadable in
+// https://ui.perfetto.dev or chrome://tracing.
+//
+// Track layout (all under pid 1 "datamime"):
+//
+//	tid 1      "search"      — propose/observe spans; instant events for
+//	                           each finished eval and each cache hit
+//	tid 2      "optimizer"   — gp_fit/acquisition spans; instant events
+//	                           when a GP fit fell back to a Cholesky
+//	                           refactorization
+//	tid 10+L   "eval lane L" — per-candidate spans (generate, profile,
+//	                           profile.run, profile.curves), greedily
+//	                           packed into as few non-overlapping lanes
+//	                           as the run's parallelism needed
+//	tid 100+   "worker W"    — one track per profiler-pool worker, carrying
+//	                           its profile.sim spans; budget-semaphore
+//	                           waits appear as instant events. When
+//	                           concurrent candidates make one worker's
+//	                           spans overlap, extra "(+k)" lanes absorb
+//	                           the overflow.
+//
+// Timestamps are microseconds from the earliest event in the stream, so
+// traces from different runs all start at zero. The exporter is a pure
+// function of the event stream: it never touches the search.
+
+const (
+	tracePID          = 1
+	traceTIDSearch    = 1
+	traceTIDOptimizer = 2
+	traceTIDEvalBase  = 10
+	traceTIDWorker    = 100
+	// workerLaneStride spaces per-worker overflow lanes; lanes beyond it
+	// fold into the last one (overlap is legal in the format).
+	workerLaneStride = 8
+)
+
+// traceEvent is one entry of the trace-event JSON array.
+type traceEvent struct {
+	Name  string                 `json:"name"`
+	Phase string                 `json:"ph"`
+	PID   int                    `json:"pid"`
+	TID   int                    `json:"tid,omitempty"`
+	TS    float64                `json:"ts"`
+	Dur   float64                `json:"dur,omitempty"`
+	Scope string                 `json:"s,omitempty"`
+	Args  map[string]interface{} `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// spanInterval is a span event with resolved start/end nanoseconds.
+type spanInterval struct {
+	ev         Event
+	start, end int64
+}
+
+func spanBounds(ev Event) spanInterval {
+	return spanInterval{ev: ev, start: ev.TimeNS - ev.DurNS, end: ev.TimeNS}
+}
+
+// WriteTrace renders events (a run artifact's stream, in any order) as
+// trace-event JSON. Events without wall-clock stamps (TimeNS == 0, e.g.
+// evals synthesized from a restored checkpoint) are dropped — they have no
+// place on a timeline.
+func WriteTrace(w io.Writer, events []Event) error {
+	var base int64 = -1
+	for _, ev := range events {
+		if ev.TimeNS == 0 {
+			continue
+		}
+		start := ev.TimeNS
+		if ev.Type == TypeSpan {
+			start = ev.TimeNS - ev.DurNS
+		}
+		if base < 0 || start < base {
+			base = start
+		}
+	}
+	if base < 0 {
+		base = 0
+	}
+	us := func(ns int64) float64 { return float64(ns-base) / 1e3 }
+
+	var out []traceEvent
+	meta := func(tid int, name string, sortIndex int) {
+		out = append(out,
+			traceEvent{Name: "thread_name", Phase: "M", PID: tracePID, TID: tid,
+				Args: map[string]interface{}{"name": name}},
+			traceEvent{Name: "thread_sort_index", Phase: "M", PID: tracePID, TID: tid,
+				Args: map[string]interface{}{"sort_index": sortIndex}},
+		)
+	}
+	out = append(out, traceEvent{Name: "process_name", Phase: "M", PID: tracePID,
+		Args: map[string]interface{}{"name": "datamime"}})
+	meta(traceTIDSearch, "search", traceTIDSearch)
+	meta(traceTIDOptimizer, "optimizer", traceTIDOptimizer)
+
+	span := func(tid int, iv spanInterval, args map[string]interface{}) {
+		out = append(out, traceEvent{
+			Name: iv.ev.Phase, Phase: "X", PID: tracePID, TID: tid,
+			TS: us(iv.start), Dur: float64(iv.ev.DurNS) / 1e3, Args: args,
+		})
+	}
+	instant := func(tid int, name string, ns int64, args map[string]interface{}) {
+		out = append(out, traceEvent{
+			Name: name, Phase: "i", PID: tracePID, TID: tid,
+			TS: us(ns), Scope: "t", Args: args,
+		})
+	}
+
+	var evalSpans []spanInterval
+	workerSpans := map[int][]spanInterval{}
+	for _, ev := range events {
+		if ev.TimeNS == 0 {
+			continue
+		}
+		switch ev.Type {
+		case TypeEval:
+			args := map[string]interface{}{"iter": ev.Iter}
+			if v, ok := ev.Attrs[AttrError]; ok {
+				args["error"] = v
+			}
+			if v, ok := ev.Attrs[AttrBestError]; ok {
+				args["best_error"] = v
+			}
+			if ev.Skipped {
+				args["skipped"] = true
+			}
+			instant(traceTIDSearch, "eval", ev.TimeNS, args)
+			if ev.Attrs[AttrCacheHit] > 0 {
+				instant(traceTIDSearch, "cache hit", ev.TimeNS,
+					map[string]interface{}{"iter": ev.Iter})
+			}
+		case TypeSpan:
+			iv := spanBounds(ev)
+			switch ev.Phase {
+			case PhasePropose, PhaseObserve:
+				span(traceTIDSearch, iv, spanArgs(ev))
+			case PhaseGPFit, PhaseAcquisition:
+				span(traceTIDOptimizer, iv, spanArgs(ev))
+				if ev.Phase == PhaseGPFit && ev.Attrs[AttrCholeskyRebuilds] > 0 {
+					instant(traceTIDOptimizer, "cholesky refactorization", ev.TimeNS,
+						map[string]interface{}{
+							"rebuilds":         ev.Attrs[AttrCholeskyRebuilds],
+							"jitter_level_max": ev.Attrs[AttrJitterLevelMax],
+						})
+				}
+			case PhaseGenerate, PhaseProfile, PhaseProfileRun, PhaseProfileCurves:
+				evalSpans = append(evalSpans, iv)
+			case PhaseSimRun:
+				wkr := int(ev.Attrs[AttrWorker])
+				workerSpans[wkr] = append(workerSpans[wkr], iv)
+			case PhaseBudgetWait:
+				wkr := int(ev.Attrs[AttrWorker])
+				instant(traceTIDWorker+wkr*workerLaneStride, "budget wait", iv.start,
+					map[string]interface{}{
+						"wait_ms": float64(ev.DurNS) / 1e6,
+						"worker":  wkr,
+						"iter":    ev.Iter,
+					})
+			default:
+				// Unknown phases land on the search track so nothing a
+				// future instrumentation site emits silently disappears.
+				span(traceTIDSearch, iv, spanArgs(ev))
+			}
+		}
+	}
+
+	// Per-candidate spans: greedy interval coloring into "eval lane" tracks.
+	lanes := assignLanes(evalSpans)
+	maxLane := -1
+	for i, iv := range evalSpans {
+		if lanes[i] > maxLane {
+			maxLane = lanes[i]
+		}
+		span(traceTIDEvalBase+lanes[i], iv, spanArgs(iv.ev))
+	}
+	for l := 0; l <= maxLane; l++ {
+		meta(traceTIDEvalBase+l, fmt.Sprintf("eval lane %d", l), traceTIDEvalBase+l)
+	}
+
+	// Worker tracks: one per pool worker, overflow lanes per worker when
+	// concurrent candidates overlap the same worker index.
+	workers := make([]int, 0, len(workerSpans))
+	for wkr := range workerSpans {
+		workers = append(workers, wkr)
+	}
+	sort.Ints(workers)
+	for _, wkr := range workers {
+		ivs := workerSpans[wkr]
+		ls := assignLanes(ivs)
+		maxL := 0
+		for i, iv := range ivs {
+			lane := ls[i]
+			if lane >= workerLaneStride {
+				lane = workerLaneStride - 1
+			}
+			if lane > maxL {
+				maxL = lane
+			}
+			span(traceTIDWorker+wkr*workerLaneStride+lane, iv, spanArgs(iv.ev))
+		}
+		base := traceTIDWorker + wkr*workerLaneStride
+		meta(base, fmt.Sprintf("worker %d", wkr), base)
+		for l := 1; l <= maxL; l++ {
+			meta(base+l, fmt.Sprintf("worker %d (+%d)", wkr, l), base+l)
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{TraceEvents: out, DisplayTimeUnit: "ms"})
+}
+
+// spanArgs copies a span's iteration and attributes into trace args.
+func spanArgs(ev Event) map[string]interface{} {
+	args := map[string]interface{}{"iter": ev.Iter}
+	for k, v := range ev.Attrs {
+		args[k] = v
+	}
+	return args
+}
+
+// assignLanes greedily packs possibly-overlapping intervals into lanes:
+// each interval takes the first lane whose previous occupant ended at or
+// before its start. Processing order is by (start, longest-first) so an
+// enclosing span claims its lane before its children; assignment is
+// deterministic for a given input. Returns one lane index per input
+// interval, in input order.
+func assignLanes(ivs []spanInterval) []int {
+	order := make([]int, len(ivs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ia, ib := ivs[order[a]], ivs[order[b]]
+		if ia.start != ib.start {
+			return ia.start < ib.start
+		}
+		return ia.end > ib.end
+	})
+	lanes := make([]int, len(ivs))
+	var lastEnd []int64
+	for _, idx := range order {
+		iv := ivs[idx]
+		placed := false
+		for l, end := range lastEnd {
+			if end <= iv.start {
+				lanes[idx] = l
+				lastEnd[l] = iv.end
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			lanes[idx] = len(lastEnd)
+			lastEnd = append(lastEnd, iv.end)
+		}
+	}
+	return lanes
+}
+
+// TraceStats summarizes a validated trace for gating and reporting.
+type TraceStats struct {
+	// Events is the total trace-event count, metadata included.
+	Events int
+	// Spans and Instants count "X" and "i" entries.
+	Spans    int
+	Instants int
+	// Tracks counts named thread tracks; WorkerTracks the "worker N" subset
+	// (overflow "(+k)" lanes excluded).
+	Tracks       int
+	WorkerTracks int
+}
+
+// ValidateTrace parses trace-event JSON (the object form WriteTrace emits)
+// and checks structural invariants: every event has a phase type, complete
+// events have non-negative timestamps and durations, and every referenced
+// track is named by a metadata event. It is the CI timeline gate's checker.
+func ValidateTrace(r io.Reader) (TraceStats, error) {
+	var tf traceFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&tf); err != nil {
+		return TraceStats{}, fmt.Errorf("telemetry: parsing trace JSON: %w", err)
+	}
+	var st TraceStats
+	st.Events = len(tf.TraceEvents)
+	named := map[int]string{}
+	used := map[int]bool{}
+	for i, ev := range tf.TraceEvents {
+		switch ev.Phase {
+		case "M":
+			if ev.Name == "thread_name" {
+				name, _ := ev.Args["name"].(string)
+				if name == "" {
+					return st, fmt.Errorf("telemetry: trace event %d: thread_name without a name", i)
+				}
+				named[ev.TID] = name
+			}
+		case "X":
+			st.Spans++
+			if ev.TS < 0 || ev.Dur < 0 {
+				return st, fmt.Errorf("telemetry: trace event %d (%s): negative ts or dur", i, ev.Name)
+			}
+			used[ev.TID] = true
+		case "i":
+			st.Instants++
+			if ev.TS < 0 {
+				return st, fmt.Errorf("telemetry: trace event %d (%s): negative ts", i, ev.Name)
+			}
+			used[ev.TID] = true
+		case "":
+			return st, fmt.Errorf("telemetry: trace event %d (%s): missing ph", i, ev.Name)
+		}
+	}
+	for tid := range used {
+		if _, ok := named[tid]; !ok {
+			return st, fmt.Errorf("telemetry: track %d carries events but has no thread_name", tid)
+		}
+	}
+	for _, name := range named {
+		st.Tracks++
+		var w int
+		if n, _ := fmt.Sscanf(name, "worker %d", &w); n == 1 && !containsPlus(name) {
+			st.WorkerTracks++
+		}
+	}
+	return st, nil
+}
+
+func containsPlus(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '(' {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,174 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// traceFixture builds a small event stream exercising every track type: two
+// overlapping eval-lane profiles, two workers with overlapping sim runs on
+// worker 0 (forcing an overflow lane), a budget wait, a GP fit with a
+// refactorization, and eval instants including a cache hit.
+func traceFixture() []Event {
+	ms := func(n int64) int64 { return n * int64(time.Millisecond) }
+	span := func(phase string, iter int, start, end int64, attrs map[string]float64) Event {
+		return Event{Type: TypeSpan, Phase: phase, Iter: iter,
+			TimeNS: ms(end), DurNS: ms(end - start), Attrs: attrs}
+	}
+	return []Event{
+		span(PhaseProfile, 0, 0, 30, nil),
+		span(PhaseProfile, 1, 10, 40, nil), // overlaps → second eval lane
+		span(PhaseSimRun, 0, 0, 10, map[string]float64{AttrWorker: 0, AttrWays: 4}),
+		span(PhaseSimRun, 0, 5, 15, map[string]float64{AttrWorker: 0, AttrWays: 8}), // overlap on worker 0 → overflow lane
+		span(PhaseSimRun, 1, 12, 22, map[string]float64{AttrWorker: 1, AttrWays: 4}),
+		span(PhaseBudgetWait, 1, 11, 12, map[string]float64{AttrWorker: 1}),
+		span(PhaseGPFit, 2, 41, 43, map[string]float64{
+			AttrCholeskyAppends: 3, AttrCholeskyRebuilds: 1, AttrJitterLevelMax: 2}),
+		span(PhaseAcquisition, 2, 43, 45, nil),
+		{Type: TypeEval, Iter: 0, TimeNS: ms(31),
+			Attrs: map[string]float64{AttrError: 0.5, AttrBestError: 0.5}},
+		{Type: TypeEval, Iter: 1, TimeNS: ms(41),
+			Attrs: map[string]float64{AttrError: 0.4, AttrBestError: 0.4, AttrCacheHit: 1}},
+	}
+}
+
+func TestWriteTraceValidates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, traceFixture()); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ValidateTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tracks: search, optimizer, eval lane 0+1, worker 0, worker 0 (+1),
+	// worker 1.
+	if st.Tracks != 7 {
+		t.Errorf("Tracks = %d, want 7", st.Tracks)
+	}
+	if st.WorkerTracks != 2 {
+		t.Errorf("WorkerTracks = %d, want 2 (overflow lanes excluded)", st.WorkerTracks)
+	}
+	// Spans: 2 profile + 3 sim + gp_fit + acquisition (budget.wait renders
+	// as an instant). Instants: 2 evals + cache hit + budget wait +
+	// cholesky refactorization.
+	if st.Spans != 7 {
+		t.Errorf("Spans = %d, want 7", st.Spans)
+	}
+	if st.Instants != 5 {
+		t.Errorf("Instants = %d, want 5", st.Instants)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"eval lane 1"`, `"worker 0 (+1)"`, `"cache hit"`, `"budget wait"`,
+		`"cholesky refactorization"`, `"displayTimeUnit":"ms"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace JSON missing %s", want)
+		}
+	}
+}
+
+func TestWriteTraceDropsUnstampedEvents(t *testing.T) {
+	var buf bytes.Buffer
+	events := []Event{
+		{Type: TypeEval, Iter: 0}, // synthesized from a checkpoint: no TimeNS
+		{Type: TypeLog, Msg: "header"},
+	}
+	if err := WriteTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ValidateTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Spans != 0 || st.Instants != 0 {
+		t.Errorf("unstamped events leaked into the trace: %+v", st)
+	}
+}
+
+func TestWriteTraceTimestampsRelativeToBase(t *testing.T) {
+	var buf bytes.Buffer
+	events := []Event{
+		{Type: TypeSpan, Phase: PhaseProfile, TimeNS: 5_000_000, DurNS: 2_000_000},
+	}
+	if err := WriteTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Phase string  `json:"ph"`
+			TS    float64 `json:"ts"`
+			Dur   float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range tf.TraceEvents {
+		if ev.Phase != "X" {
+			continue
+		}
+		if ev.TS != 0 {
+			t.Errorf("span ts = %g µs, want 0 (relative to earliest start)", ev.TS)
+		}
+		if ev.Dur != 2000 {
+			t.Errorf("span dur = %g µs, want 2000", ev.Dur)
+		}
+	}
+}
+
+func TestAssignLanesGreedyColoring(t *testing.T) {
+	ivs := []spanInterval{
+		{start: 0, end: 10},
+		{start: 5, end: 15},  // overlaps lane 0 → lane 1
+		{start: 10, end: 20}, // lane 0 free again
+		{start: 12, end: 14}, // both lanes busy → lane 2
+	}
+	lanes := assignLanes(ivs)
+	want := []int{0, 1, 0, 2}
+	for i := range want {
+		if lanes[i] != want[i] {
+			t.Errorf("lanes = %v, want %v", lanes, want)
+			break
+		}
+	}
+}
+
+func TestValidateTraceRejectsUnnamedTrack(t *testing.T) {
+	raw := `{"traceEvents":[{"name":"x","ph":"X","pid":1,"tid":42,"ts":0,"dur":1}],"displayTimeUnit":"ms"}`
+	if _, err := ValidateTrace(strings.NewReader(raw)); err == nil {
+		t.Fatal("trace with an unnamed track validated")
+	}
+}
+
+func BenchmarkTraceExport(b *testing.B) {
+	// A realistic mid-size run: 200 iterations with per-candidate phase
+	// spans, two workers' sim runs, and eval instants.
+	var events []Event
+	ms := func(n int64) int64 { return n * int64(time.Millisecond) }
+	for i := 0; i < 200; i++ {
+		t0 := int64(i) * 50
+		events = append(events,
+			Event{Type: TypeSpan, Phase: PhaseGenerate, Iter: i, TimeNS: ms(t0 + 5), DurNS: ms(5)},
+			Event{Type: TypeSpan, Phase: PhaseProfile, Iter: i, TimeNS: ms(t0 + 45), DurNS: ms(40)},
+			Event{Type: TypeSpan, Phase: PhaseSimRun, Iter: i, TimeNS: ms(t0 + 25), DurNS: ms(18),
+				Attrs: map[string]float64{AttrWorker: float64(i % 2), AttrWays: 4}},
+			Event{Type: TypeSpan, Phase: PhaseSimRun, Iter: i, TimeNS: ms(t0 + 44), DurNS: ms(18),
+				Attrs: map[string]float64{AttrWorker: float64((i + 1) % 2), AttrWays: 8}},
+			Event{Type: TypeEval, Iter: i, TimeNS: ms(t0 + 46),
+				Attrs: map[string]float64{AttrError: 0.5, AttrBestError: 0.5}},
+		)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, events); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
