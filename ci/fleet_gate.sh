@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# fleet_gate.sh — CI gate for the distributed evaluation plane.
+#
+# Starts a datamimed coordinator with a two-worker datamime-worker fleet,
+# runs a seeded search dispatched across it (killing one worker mid-job to
+# exercise graceful degradation), then runs the same seed on a SEPARATE
+# local-backend coordinator and requires `datamime-inspect diff -exact` to
+# find the two run artifacts identical. Separate coordinators matter: a
+# shared one would serve the second run entirely from the evaluation cache.
+#
+# Expects bin/datamimed, bin/datamime-worker, and bin/datamime-inspect to be
+# prebuilt (see .github/workflows/ci.yml), but builds them if missing so the
+# script also runs standalone from the repo root.
+set -euo pipefail
+
+COORD_A=127.0.0.1:18080
+COORD_B=127.0.0.1:18081
+WORKER_1=127.0.0.1:19091
+WORKER_2=127.0.0.1:19092
+
+for tool in datamimed datamime-worker datamime-inspect; do
+  [ -x "bin/$tool" ] || go build -o "bin/$tool" "./cmd/$tool"
+done
+
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]}"; do kill "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+# json FIELD: extract one top-level field from the JSON on stdin.
+json() {
+  python3 -c 'import json,sys; print(json.load(sys.stdin)["'"$1"'"])'
+}
+
+wait_http() { # wait_http URL [PATTERN]
+  for _ in $(seq 1 100); do
+    if body=$(curl -fs "$1" 2>/dev/null) && { [ -z "${2:-}" ] || grep -q "$2" <<<"$body"; }; then
+      return 0
+    fi
+    sleep 0.2
+  done
+  echo "timed out waiting for $1 ${2:+(pattern $2)}" >&2
+  return 1
+}
+
+# run_job COORDINATOR SPEC_FILE OUT_ARTIFACT: submit, poll to completion,
+# export the artifact. Prints the job ID.
+run_job() {
+  local coord=$1 spec=$2 out=$3 id state
+  id=$(curl -fs -X POST -H 'Content-Type: application/json' \
+    --data-binary "@$spec" "http://$coord/jobs" | json id)
+  for _ in $(seq 1 300); do
+    state=$(curl -fs "http://$coord/jobs/$id" | json state)
+    case "$state" in
+      succeeded) break ;;
+      failed|canceled)
+        echo "job $id on $coord ended $state:" >&2
+        curl -fs "http://$coord/jobs/$id" >&2
+        return 1 ;;
+    esac
+    sleep 1
+  done
+  [ "$state" = succeeded ] || { echo "job $id on $coord timed out in state $state" >&2; return 1; }
+  curl -fs "http://$coord/jobs/$id/artifact" > "$out"
+  echo "$id"
+}
+
+# The seeded search: small profiling budget keeps the gate fast; the seed
+# and spec are byte-identical between the two runs except for the backend.
+cat > spec-fleet.json <<'EOF'
+{
+  "generator": "memcached",
+  "iterations": 8,
+  "parallel": 2,
+  "seed": 1,
+  "optimizer": "random",
+  "metric": "cpu_util",
+  "metric_value": 0.15,
+  "backend": "remote",
+  "profiling": {"window_cycles": 60000, "windows": 4, "warmup_windows": 1, "skip_curves": true}
+}
+EOF
+sed 's/"backend": "remote"/"backend": "local"/' spec-fleet.json > spec-local.json
+
+echo "== starting coordinator A (fleet) on $COORD_A"
+bin/datamimed -addr "$COORD_A" -workers 1 -quiet &
+PIDS+=($!)
+wait_http "http://$COORD_A/healthz"
+
+echo "== starting 2 datamime-worker processes"
+bin/datamime-worker -addr "$WORKER_1" -name w1 -profile-workers 2 \
+  -coordinator "http://$COORD_A" -advertise "http://$WORKER_1" &
+PIDS+=($!)
+bin/datamime-worker -addr "$WORKER_2" -name w2 -profile-workers 2 \
+  -coordinator "http://$COORD_A" -advertise "http://$WORKER_2" &
+WORKER_2_PID=$!
+PIDS+=($WORKER_2_PID)
+wait_http "http://$COORD_A/v1/workers" '"w1"'
+wait_http "http://$COORD_A/v1/workers" '"w2"'
+
+echo "== running the seeded search on the fleet (worker 2 dies mid-job)"
+( sleep 3; echo "== killing worker 2"; kill "$WORKER_2_PID" 2>/dev/null || true ) &
+FLEET_JOB=$(run_job "$COORD_A" spec-fleet.json run-fleet.jsonl)
+echo "== fleet job $FLEET_JOB succeeded"
+curl -fs "http://$COORD_A/v1/workers"
+
+echo "== starting coordinator B (local backend) on $COORD_B"
+bin/datamimed -addr "$COORD_B" -workers 1 -quiet &
+PIDS+=($!)
+wait_http "http://$COORD_B/healthz"
+LOCAL_JOB=$(run_job "$COORD_B" spec-local.json run-local.jsonl)
+echo "== local job $LOCAL_JOB succeeded"
+
+echo "== determinism gate: fleet artifact must be exactly identical to local"
+bin/datamime-inspect diff -a run-local.jsonl -b run-fleet.jsonl -exact
+echo "== fleet gate passed"

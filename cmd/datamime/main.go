@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"datamime"
+	"datamime/internal/backend"
 	"datamime/internal/buildinfo"
 	"datamime/internal/inspect"
 	"datamime/internal/telemetry"
@@ -44,6 +45,7 @@ func main() {
 		artifactOut  = flag.String("artifact", "", "stream a JSONL run artifact to this file (datamime-inspect report/diff input)")
 		profilesOut  = flag.String("profiles", "", "write the target/best profile pair to this JSON file (datamime-inspect -profiles input)")
 		traceOut     = flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON timeline of the run to this file")
+		workerURLs   = flag.String("worker", "", "comma-separated datamime-worker base URLs to dispatch evaluations to (results are bit-identical to a local run of the same seed)")
 		version      = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
@@ -58,7 +60,7 @@ func main() {
 	}
 
 	if err := run(*workloadName, *iterations, *seed, *quiet, *quick, *parallel,
-		*profWorkers, *targetFile, *artifactOut, *profilesOut, *traceOut); err != nil {
+		*profWorkers, *targetFile, *artifactOut, *profilesOut, *traceOut, *workerURLs); err != nil {
 		fmt.Fprintln(os.Stderr, "datamime:", err)
 		os.Exit(1)
 	}
@@ -76,7 +78,7 @@ func workloadNames() []string {
 }
 
 func run(name string, iterations int, seed uint64, quiet, quick bool, parallel, profileWorkers int,
-	targetFile, artifactOut, profilesOut, traceOut string) error {
+	targetFile, artifactOut, profilesOut, traceOut, workerURLs string) error {
 	w, err := datamime.WorkloadByName(name)
 	if err != nil {
 		return err
@@ -152,6 +154,27 @@ func run(name string, iterations int, seed uint64, quiet, quick bool, parallel, 
 		target.Mean(datamime.MetricIPC), target.Mean(datamime.MetricLLC),
 		target.Mean(datamime.MetricCPUUtil))
 
+	// With -worker, candidate evaluations are sharded across the fleet
+	// (falling back in-process on worker failure); the dispatch layer's
+	// bit-identical-profile contract means results match a local run of the
+	// same seed exactly.
+	var evaluator datamime.Evaluator
+	if workerURLs != "" {
+		local := backend.NewLocalBackend()
+		local.ProfileWorkers = profileWorkers
+		dispatcher := backend.NewDispatcher(backend.DispatcherConfig{Local: local})
+		urls := strings.Split(workerURLs, ",")
+		for _, u := range urls {
+			if u = strings.TrimSpace(u); u != "" {
+				dispatcher.Register(backend.NewRemoteBackend(u, ""))
+			}
+		}
+		ev := backend.NewSearchEvaluator(dispatcher, w.Generator.Name, profiler)
+		ev.Telemetry = rec
+		evaluator = ev
+		fmt.Printf("dispatching evaluations to %d worker(s)\n", len(urls))
+	}
+
 	// Per-iteration progress lines ride on OnEval through the telemetry
 	// line logger (the old SearchConfig.Log path, now fully outside core).
 	var logger *slog.Logger
@@ -168,6 +191,7 @@ func run(name string, iterations int, seed uint64, quiet, quick bool, parallel, 
 		Seed:           seed,
 		Parallel:       parallel,
 		ProfileWorkers: profileWorkers,
+		Evaluator:      evaluator,
 		Telemetry:      rec,
 		OnEval: func(ev datamime.EvalEvent) {
 			if logger == nil {

@@ -58,7 +58,14 @@ func main() {
 		telemetry     = flag.Bool("telemetry", false, "record per-job phase spans (latency histograms in /metrics, spans in /events)")
 		debug         = flag.Bool("debug", false, "expose net/http/pprof and expvar under /debug/")
 		version       = flag.Bool("version", false, "print build information and exit")
+
+		dispatchTimeout = flag.Duration("dispatch-timeout", 5*time.Minute, "per-attempt timeout for remote evaluations")
+		dispatchRetries = flag.Int("dispatch-retries", 2, "remote attempts after a failure before an evaluation falls back in-process")
+		dispatchQueue   = flag.Int("dispatch-max-queue", 64, "evaluations waiting for a remote slot before admission control sheds to local")
+		healthInterval  = flag.Duration("worker-health-interval", 15*time.Second, "fleet health-probe period")
 	)
+	var workerURLs workerList
+	flag.Var(&workerURLs, "worker", "datamime-worker base URL to dispatch evaluations to (repeatable; workers may also self-register via POST /v1/workers)")
 	flag.Parse()
 	if *version {
 		fmt.Println("datamimed", buildinfo.Read())
@@ -70,15 +77,20 @@ func main() {
 	}
 
 	if err := run(options{
-		addr:          *addr,
-		workers:       *workers,
-		queueDepth:    *queueDepth,
-		checkpointDir: *checkpointDir,
-		cacheCapacity: *cacheCapacity,
-		profWorkers:   *profWorkers,
-		quiet:         *quiet,
-		telemetry:     *telemetry,
-		debug:         *debug,
+		addr:            *addr,
+		workers:         *workers,
+		queueDepth:      *queueDepth,
+		checkpointDir:   *checkpointDir,
+		cacheCapacity:   *cacheCapacity,
+		profWorkers:     *profWorkers,
+		quiet:           *quiet,
+		telemetry:       *telemetry,
+		debug:           *debug,
+		workerURLs:      workerURLs,
+		dispatchTimeout: *dispatchTimeout,
+		dispatchRetries: *dispatchRetries,
+		dispatchQueue:   *dispatchQueue,
+		healthInterval:  *healthInterval,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "datamimed:", err)
 		os.Exit(1)
@@ -95,6 +107,25 @@ type options struct {
 	quiet         bool
 	telemetry     bool
 	debug         bool
+
+	workerURLs      []string
+	dispatchTimeout time.Duration
+	dispatchRetries int
+	dispatchQueue   int
+	healthInterval  time.Duration
+}
+
+// workerList accumulates repeated -worker flags.
+type workerList []string
+
+func (w *workerList) String() string { return fmt.Sprint([]string(*w)) }
+
+func (w *workerList) Set(v string) error {
+	if v == "" {
+		return fmt.Errorf("empty worker URL")
+	}
+	*w = append(*w, v)
+	return nil
 }
 
 func run(o options) error {
@@ -105,6 +136,11 @@ func run(o options) error {
 		CacheCapacity:         o.cacheCapacity,
 		DefaultProfileWorkers: o.profWorkers,
 		Telemetry:             o.telemetry,
+		WorkerURLs:            o.workerURLs,
+		DispatchTimeout:       o.dispatchTimeout,
+		DispatchRetries:       o.dispatchRetries,
+		DispatchMaxQueue:      o.dispatchQueue,
+		WorkerHealthInterval:  o.healthInterval,
 	}
 	if !o.quiet {
 		cfg.Log = os.Stdout
@@ -128,6 +164,9 @@ func run(o options) error {
 	fmt.Printf("datamimed listening on %s (workers=%d", o.addr, o.workers)
 	if o.checkpointDir != "" {
 		fmt.Printf(", checkpoints in %s", o.checkpointDir)
+	}
+	if n := len(o.workerURLs); n > 0 {
+		fmt.Printf(", fleet of %d", n)
 	}
 	if o.telemetry {
 		fmt.Printf(", telemetry on")

@@ -100,6 +100,10 @@ type (
 	// EvalCache is a content-addressed store of measured profiles shared
 	// across searches (see NewEvalCache).
 	EvalCache = core.EvalCache
+	// Evaluator replaces where cache-missing candidate evaluations run
+	// (SearchConfig.Evaluator) — e.g. internal/backend's dispatcher for
+	// fleet execution. Results are bit-identical wherever they run.
+	Evaluator = core.Evaluator
 	// Checkpoint is the resumable state of a search (SearchConfig.Resume).
 	Checkpoint = core.Checkpoint
 	// CheckpointEntry is one recorded search iteration.

@@ -1,0 +1,189 @@
+// Package backend is Datamime's distributed evaluation plane: an
+// EvalBackend abstraction over "measure one candidate", with a LocalBackend
+// that wraps the in-process profiler and a RemoteBackend that speaks a
+// versioned JSON-over-HTTP protocol to cmd/datamime-worker processes. A
+// Dispatcher shards evaluations across a registered worker fleet with
+// retry, timeout, and backoff — always falling back to local evaluation, so
+// a job never dies with its fleet — and a TieredCache layers a worker-local
+// LRU over a coordinator-served shared cache endpoint so a fleet
+// deduplicates simulation work globally.
+//
+// The load-bearing design constraint is determinism: a profile is a pure
+// function of (generator, params, seed, machine, profiler budget) — exactly
+// the ingredients of core.EvalKey — and the simulator is bit-deterministic,
+// so a conforming backend returns byte-for-byte the profile the local
+// profiler would have measured. Go's encoding/json round-trips float64
+// values exactly (shortest-representation encoding), so shipping profiles
+// over the wire preserves that identity, and a search run against a fleet
+// produces bit-identical artifacts to a local run of the same seed. Which
+// backend served an evaluation is visible only in telemetry, never in
+// results.
+package backend
+
+import (
+	"context"
+	"fmt"
+
+	"datamime/internal/profile"
+	"datamime/internal/sim"
+)
+
+// ProtocolVersion is the wire-protocol version spoken between coordinators
+// and workers. Both sides reject mismatched versions outright: a silently
+// reinterpreted field could break bit-identity, the one failure mode this
+// subsystem must never have.
+const ProtocolVersion = 1
+
+// Evaluation kinds.
+const (
+	// KindCandidate evaluates one generator parameter vector (the search
+	// hot path).
+	KindCandidate = "candidate"
+	// KindTarget profiles a registered workload's hidden target (done once
+	// per workload-sourced job).
+	KindTarget = "target"
+)
+
+// ProfilerSpec is the serializable description of a profile.Profiler: the
+// machine by name plus every budget knob that enters core.EvalKey. Workers,
+// Budget, and Telemetry are deliberately absent — they change how fast a
+// profile is measured, never what is measured — so the receiving side is
+// free to pick its own parallelism. Zero-valued fields are meaningful
+// (e.g. WarmupWindows 0) and are always marshaled.
+type ProfilerSpec struct {
+	Machine           string  `json:"machine"`
+	WindowCycles      float64 `json:"window_cycles"`
+	Windows           int     `json:"windows"`
+	WarmupWindows     int     `json:"warmup_windows"`
+	CurveWindows      int     `json:"curve_windows"`
+	CurvePoints       int     `json:"curve_points"`
+	MaxRequestsPerRun int     `json:"max_requests_per_run"`
+	SkipCurves        bool    `json:"skip_curves"`
+}
+
+// SpecOf extracts the wire spec from a profiler.
+func SpecOf(pr *profile.Profiler) ProfilerSpec {
+	return ProfilerSpec{
+		Machine:           pr.Machine.Name,
+		WindowCycles:      pr.WindowCycles,
+		Windows:           pr.Windows,
+		WarmupWindows:     pr.WarmupWindows,
+		CurveWindows:      pr.CurveWindows,
+		CurvePoints:       pr.CurvePoints,
+		MaxRequestsPerRun: pr.MaxRequestsPerRun,
+		SkipCurves:        pr.SkipCurves,
+	}
+}
+
+// Profiler reconstructs the profiler a spec describes. Machines resolve by
+// name to their canonical Table II configurations, so a reconstructed
+// profiler produces the same core.EvalKey — and the same measurements — as
+// the coordinator's original.
+func (s ProfilerSpec) Profiler() (*profile.Profiler, error) {
+	machine, err := sim.MachineByName(s.Machine)
+	if err != nil {
+		return nil, err
+	}
+	return &profile.Profiler{
+		Machine:           machine,
+		WindowCycles:      s.WindowCycles,
+		Windows:           s.Windows,
+		WarmupWindows:     s.WarmupWindows,
+		CurveWindows:      s.CurveWindows,
+		CurvePoints:       s.CurvePoints,
+		MaxRequestsPerRun: s.MaxRequestsPerRun,
+		SkipCurves:        s.SkipCurves,
+	}, nil
+}
+
+// EvalRequest is one evaluation, as dispatched to a backend and as POSTed
+// to a worker's /v1/evaluate endpoint.
+type EvalRequest struct {
+	// Version is the protocol version (ProtocolVersion).
+	Version int `json:"version"`
+	// Kind selects what to measure: KindCandidate or KindTarget.
+	Kind string `json:"kind"`
+	// Generator names the registered dataset generator (candidate evals).
+	Generator string `json:"generator,omitempty"`
+	// Workload names the registered evaluation workload (target evals).
+	Workload string `json:"workload,omitempty"`
+	// Params is the denormalized candidate parameter vector.
+	Params []float64 `json:"params,omitempty"`
+	// Seed is the deterministic profiling seed (core.IterationSeed).
+	Seed uint64 `json:"seed"`
+	// Profiler is the measurement spec.
+	Profiler ProfilerSpec `json:"profiler"`
+	// Key, when set, is the evaluation's content address (core.EvalKey):
+	// workers consult their two-tier cache under it before simulating and
+	// publish fresh measurements back to the shared tier.
+	Key string `json:"key,omitempty"`
+}
+
+// Validate reports requests no backend can serve.
+func (r *EvalRequest) Validate() error {
+	if r.Version != ProtocolVersion {
+		return fmt.Errorf("backend: protocol version %d, want %d", r.Version, ProtocolVersion)
+	}
+	switch r.Kind {
+	case KindCandidate:
+		if r.Generator == "" {
+			return fmt.Errorf("backend: candidate request without a generator")
+		}
+	case KindTarget:
+		if r.Workload == "" {
+			return fmt.Errorf("backend: target request without a workload")
+		}
+	default:
+		return fmt.Errorf("backend: unknown request kind %q", r.Kind)
+	}
+	if r.Profiler.Machine == "" {
+		return fmt.Errorf("backend: request without a machine")
+	}
+	return nil
+}
+
+// EvalResult is one evaluation's outcome. Profile is the only field that
+// feeds back into the search; everything else is telemetry.
+type EvalResult struct {
+	// Profile is the measured (bit-deterministic) profile.
+	Profile *profile.Profile `json:"profile"`
+	// Worker is the self-reported name of the backend that measured (or
+	// recalled) the profile.
+	Worker string `json:"worker,omitempty"`
+	// CacheTier, when non-empty, names the cache tier that served the
+	// profile without simulating ("worker" or "shared").
+	CacheTier string `json:"cache_tier,omitempty"`
+	// DurationNS is the serving side's measured evaluation time.
+	DurationNS int64 `json:"duration_ns,omitempty"`
+
+	// The dispatcher annotates results with routing metadata; these fields
+	// never cross the wire.
+
+	// WorkerID is the dispatcher-assigned fleet ID of the serving worker,
+	// or -1 when the local fallback served the evaluation.
+	WorkerID int `json:"-"`
+	// Retries counts failed dispatch attempts before this result.
+	Retries int `json:"-"`
+	// Remote reports whether a fleet worker served the evaluation.
+	Remote bool `json:"-"`
+	// Fallback reports that remote attempts failed and the local backend
+	// served the evaluation instead.
+	Fallback bool `json:"-"`
+}
+
+// EvalBackend measures candidates. Implementations must uphold the
+// determinism contract: for a given request, return exactly the profile the
+// in-process profiler would measure.
+type EvalBackend interface {
+	// Name identifies the backend in telemetry and logs.
+	Name() string
+	// Evaluate measures one request. The context carries cancellation and
+	// per-attempt timeouts.
+	Evaluate(ctx context.Context, req EvalRequest) (EvalResult, error)
+	// Health probes liveness (and, for remote backends, refreshes the
+	// advertised capacity); a nil error means the backend can serve.
+	Health(ctx context.Context) error
+	// Capacity is the backend's advertised maximum concurrent evaluations;
+	// 0 means unknown or unbounded.
+	Capacity() int
+}

@@ -1,0 +1,374 @@
+package backend
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"datamime/internal/apps/kvstore"
+	"datamime/internal/core"
+	"datamime/internal/datagen"
+	"datamime/internal/opt"
+	"datamime/internal/profile"
+	"datamime/internal/sim"
+	"datamime/internal/stats"
+	"datamime/internal/trace"
+	"datamime/internal/workload"
+)
+
+// testGenerator is a fast memcached-style generator for backend tests.
+func testGenerator() datagen.Generator {
+	space := opt.MustSpace(
+		opt.Param{Name: "qps", Lo: 10_000, Hi: 200_000, Log: true},
+		opt.Param{Name: "get_ratio", Lo: 0, Hi: 1},
+		opt.Param{Name: "val_mu", Lo: 16, Hi: 3_000, Log: true, Integer: true},
+	)
+	return datagen.Generator{
+		Name:  "kv-backend-test",
+		Space: space,
+		Benchmark: func(x []float64) workload.Benchmark {
+			cfg := kvstore.Config{
+				NumKeys:   4_000,
+				KeySize:   stats.Normal{Mu: 24, Sigma: 6, Min: 4},
+				ValueSize: stats.Normal{Mu: x[2], Sigma: x[2] / 8, Min: 1},
+				GetRatio:  x[1],
+			}
+			return workload.Benchmark{
+				Name: "kv-backend-test",
+				QPS:  x[0],
+				NewServer: func(layout *trace.CodeLayout, seed uint64) workload.Server {
+					return kvstore.New(cfg, layout, seed)
+				},
+			}
+		},
+	}
+}
+
+// testProfiler is a reduced-budget profiler keeping these tests fast.
+func testProfiler() *profile.Profiler {
+	p := profile.New(sim.Broadwell())
+	p.WindowCycles = 60_000
+	p.Windows = 3
+	p.WarmupWindows = 1
+	p.SkipCurves = true
+	return p
+}
+
+func testRequest(pr *profile.Profiler) EvalRequest {
+	return EvalRequest{
+		Version:   ProtocolVersion,
+		Kind:      KindCandidate,
+		Generator: "kv-backend-test",
+		Params:    []float64{50_000, 0.9, 128},
+		Seed:      7,
+		Profiler:  SpecOf(pr),
+	}
+}
+
+// TestLocalBackendBitIdentical pins the determinism contract at its root:
+// the LocalBackend returns byte-for-byte the profile a direct profiler call
+// measures, and JSON round-tripping (the wire transport) preserves that
+// identity.
+func TestLocalBackendBitIdentical(t *testing.T) {
+	gen := testGenerator()
+	pr := testProfiler()
+	direct, err := pr.Profile(gen.Benchmark([]float64{50_000, 0.9, 128}), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lb := NewLocalBackend(gen)
+	res, err := lb.Evaluate(context.Background(), testRequest(pr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, _ := json.Marshal(direct)
+	gotJSON, _ := json.Marshal(res.Profile)
+	if string(wantJSON) != string(gotJSON) {
+		t.Fatal("LocalBackend profile differs from direct profiler measurement")
+	}
+
+	// Wire round trip: encode/decode like RemoteBackend does.
+	var decoded profile.Profile
+	if err := json.Unmarshal(gotJSON, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	reJSON, _ := json.Marshal(&decoded)
+	if string(reJSON) != string(wantJSON) {
+		t.Fatal("JSON round trip perturbed the profile")
+	}
+}
+
+// TestRequestValidation covers the requests no backend may serve.
+func TestRequestValidation(t *testing.T) {
+	pr := testProfiler()
+	good := testRequest(pr)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid request rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*EvalRequest)
+	}{
+		{"version mismatch", func(r *EvalRequest) { r.Version = 99 }},
+		{"unknown kind", func(r *EvalRequest) { r.Kind = "mystery" }},
+		{"candidate without generator", func(r *EvalRequest) { r.Generator = "" }},
+		{"no machine", func(r *EvalRequest) { r.Profiler.Machine = "" }},
+		{"target without workload", func(r *EvalRequest) { r.Kind = KindTarget; r.Workload = "" }},
+	}
+	for _, tc := range cases {
+		r := testRequest(pr)
+		tc.mutate(&r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestProtocolGoldenRequest pins the v1 request wire format. Changing this
+// encoding requires a ProtocolVersion bump: a silently reinterpreted field
+// could break bit-identity between coordinator and worker.
+func TestProtocolGoldenRequest(t *testing.T) {
+	req := EvalRequest{
+		Version:   1,
+		Kind:      KindCandidate,
+		Generator: "g",
+		Params:    []float64{0.5, 3},
+		Seed:      42,
+		Profiler: ProfilerSpec{
+			Machine:      "broadwell",
+			WindowCycles: 60000,
+			Windows:      3,
+			SkipCurves:   true,
+		},
+		Key: "k",
+	}
+	got, err := json.Marshal(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"version":1,"kind":"candidate","generator":"g","params":[0.5,3],"seed":42,` +
+		`"profiler":{"machine":"broadwell","window_cycles":60000,"windows":3,"warmup_windows":0,` +
+		`"curve_windows":0,"curve_points":0,"max_requests_per_run":0,"skip_curves":true},"key":"k"}`
+	if string(got) != want {
+		t.Fatalf("request encoding drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestProtocolGoldenHealth pins the v1 handshake wire format.
+func TestProtocolGoldenHealth(t *testing.T) {
+	h := WorkerHealth{Protocol: 1, Name: "w1", Capacity: 4, Inflight: 2, Evals: 17}
+	got, err := json.Marshal(&h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"protocol":1,"name":"w1","capacity":4,"inflight":2,"evals_total":17}`
+	if string(got) != want {
+		t.Fatalf("health encoding drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestLRUEvictionAccounting covers the shared cache's counters.
+func TestLRUEvictionAccounting(t *testing.T) {
+	c := NewLRU(2)
+	p := &profile.Profile{Benchmark: "x"}
+	c.Put("a", p)
+	c.Put("b", p)
+	c.Get("a") // a is MRU
+	c.Put("c", p)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// cacheServer is a fake coordinator /v1/cache endpoint for tiered tests.
+type cacheServer struct {
+	mu     sync.Mutex
+	stored map[string]*profile.Profile
+	gets   atomic.Int64
+	puts   atomic.Int64
+	fail   atomic.Bool
+}
+
+func newCacheServer() (*cacheServer, *httptest.Server) {
+	cs := &cacheServer{stored: map[string]*profile.Profile{}}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/cache/{key}", func(w http.ResponseWriter, r *http.Request) {
+		cs.gets.Add(1)
+		if cs.fail.Load() {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		cs.mu.Lock()
+		p, ok := cs.stored[r.PathValue("key")]
+		cs.mu.Unlock()
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(p)
+	})
+	mux.HandleFunc("PUT /v1/cache/{key}", func(w http.ResponseWriter, r *http.Request) {
+		cs.puts.Add(1)
+		if cs.fail.Load() {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		var p profile.Profile
+		if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		cs.mu.Lock()
+		cs.stored[r.PathValue("key")] = &p
+		cs.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return cs, httptest.NewServer(mux)
+}
+
+// TestTieredCacheRemoteHit covers local miss → shared hit → local fill.
+func TestTieredCacheRemoteHit(t *testing.T) {
+	cs, ts := newCacheServer()
+	defer ts.Close()
+	cs.stored["k"] = &profile.Profile{Benchmark: "remote"}
+
+	tc := NewTieredCache(NewLRU(8), NewCacheClient(ts.URL))
+	p, ok := tc.Get("k")
+	if !ok || p.Benchmark != "remote" {
+		t.Fatalf("remote hit missed: ok=%v p=%v", ok, p)
+	}
+	// Second lookup must be served locally.
+	if _, ok := tc.Get("k"); !ok {
+		t.Fatal("local fill missed")
+	}
+	if n := cs.gets.Load(); n != 1 {
+		t.Fatalf("remote GETs = %d, want 1 (local tier should have filled)", n)
+	}
+	st := tc.Stats()
+	if st.RemoteHits != 1 || st.LocalHits != 1 || st.Misses != 0 || st.RemoteErrors != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestTieredCachePutPublishes covers the write path: both tiers filled.
+func TestTieredCachePutPublishes(t *testing.T) {
+	cs, ts := newCacheServer()
+	defer ts.Close()
+	tc := NewTieredCache(NewLRU(8), NewCacheClient(ts.URL))
+	tc.Put("k", &profile.Profile{Benchmark: "fresh"})
+	if cs.puts.Load() != 1 {
+		t.Fatalf("remote PUTs = %d, want 1", cs.puts.Load())
+	}
+	cs.mu.Lock()
+	_, published := cs.stored["k"]
+	cs.mu.Unlock()
+	if !published {
+		t.Fatal("profile not published to the shared tier")
+	}
+}
+
+// TestTieredCacheDegradesOnRemoteErrors: a flaky shared tier is counted and
+// swallowed, never surfaced to the evaluation path.
+func TestTieredCacheDegradesOnRemoteErrors(t *testing.T) {
+	cs, ts := newCacheServer()
+	defer ts.Close()
+	cs.fail.Store(true)
+
+	tc := NewTieredCache(NewLRU(8), NewCacheClient(ts.URL))
+	if _, ok := tc.Get("k"); ok {
+		t.Fatal("errored remote get reported a hit")
+	}
+	tc.Put("k", &profile.Profile{Benchmark: "fresh"})
+	if _, ok := tc.Get("k"); !ok {
+		t.Fatal("local tier lost the put")
+	}
+	st := tc.Stats()
+	if st.RemoteErrors != 2 { // one failed get + one failed put
+		t.Fatalf("remote errors = %d, want 2", st.RemoteErrors)
+	}
+}
+
+// TestTieredCacheConcurrentRace hammers one key from many goroutines while
+// it exists only in the shared tier: every lookup must hit (local or
+// remote), and the local tier must converge to containing the key. Entries
+// are content-addressed, so racing fills are benign by design.
+func TestTieredCacheConcurrentRace(t *testing.T) {
+	cs, ts := newCacheServer()
+	defer ts.Close()
+	cs.stored["k"] = &profile.Profile{Benchmark: "remote"}
+
+	tc := NewTieredCache(NewLRU(8), NewCacheClient(ts.URL))
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make(chan string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p, ok := tc.Get("k")
+			if !ok {
+				errs <- "miss"
+				return
+			}
+			if p.Benchmark != "remote" {
+				errs <- "wrong profile"
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	st := tc.Stats()
+	if st.LocalHits+st.RemoteHits != n || st.Misses != 0 {
+		t.Fatalf("stats = %+v, want %d hits total", st, n)
+	}
+	if _, ok := tc.local.Get("k"); !ok {
+		t.Fatal("local tier not filled after the race")
+	}
+}
+
+// TestCacheClientMiss pins the 404-is-a-miss protocol rule.
+func TestCacheClientMiss(t *testing.T) {
+	_, ts := newCacheServer()
+	defer ts.Close()
+	cc := NewCacheClient(ts.URL)
+	p, ok, err := cc.Get(context.Background(), "absent")
+	if err != nil || ok || p != nil {
+		t.Fatalf("miss = (%v, %v, %v), want (nil, false, nil)", p, ok, err)
+	}
+}
+
+// TestSearchEvaluatorBuildsKeyedRequests: the adapter addresses every
+// request by the same core.EvalKey the search cache uses, so workers can
+// deduplicate against the shared tier.
+func TestSearchEvaluatorBuildsKeyedRequests(t *testing.T) {
+	pr := testProfiler()
+	var got EvalRequest
+	fb := &funcBackend{name: "fake", eval: func(ctx context.Context, req EvalRequest) (EvalResult, error) {
+		got = req
+		return EvalResult{Profile: &profile.Profile{Benchmark: "fake"}}, nil
+	}}
+	ev := NewSearchEvaluator(fb, "kv-backend-test", pr)
+	x := []float64{50_000, 0.9, 128}
+	p, err := ev.Evaluate(context.Background(), x, 7)
+	if err != nil || p.Benchmark != "fake" {
+		t.Fatalf("evaluate = (%v, %v)", p, err)
+	}
+	if got.Kind != KindCandidate || got.Generator != "kv-backend-test" || got.Seed != 7 {
+		t.Fatalf("request = %+v", got)
+	}
+	if want := core.EvalKey("kv-backend-test", pr, x, 7); got.Key != want || want == "" {
+		t.Fatalf("key = %q, want %q", got.Key, want)
+	}
+}

@@ -1,0 +1,93 @@
+package backend
+
+import (
+	"context"
+	"time"
+
+	"datamime/internal/core"
+	"datamime/internal/profile"
+	"datamime/internal/telemetry"
+)
+
+// SearchEvaluator adapts an EvalBackend (typically a Dispatcher) to
+// core.Evaluator: it wraps each candidate in a versioned EvalRequest keyed
+// by the same core.EvalKey the search's cache uses, so workers can
+// deduplicate against the shared tier. The search's own cache lookup,
+// seeds, and scoring stay in core — the evaluator only replaces where the
+// simulation runs, which is why a dispatched search stays bit-identical to
+// a local one.
+type SearchEvaluator struct {
+	// Backend serves the evaluations.
+	Backend EvalBackend
+	// Generator is the searched generator's registered name.
+	Generator string
+	// Profiler is the search's measurement spec (also the EvalKey
+	// ingredient).
+	Profiler *profile.Profiler
+	// Telemetry, when non-nil, records one eval.remote span per evaluation
+	// (with worker/retry attributes — the remote lanes of the trace
+	// export) plus dispatch.retry and dispatch.fallback instants. Like all
+	// telemetry it cannot affect results.
+	Telemetry *telemetry.Recorder
+	// OnResult, when non-nil, observes every evaluation's outcome (the
+	// coordinator feeds its dispatch metrics from here).
+	OnResult func(res EvalResult, err error, d time.Duration)
+
+	spec ProfilerSpec
+}
+
+// NewSearchEvaluator builds the adapter for one search.
+func NewSearchEvaluator(b EvalBackend, generator string, pr *profile.Profiler) *SearchEvaluator {
+	return &SearchEvaluator{
+		Backend:   b,
+		Generator: generator,
+		Profiler:  pr,
+		spec:      SpecOf(pr),
+	}
+}
+
+// Evaluate implements core.Evaluator.
+func (e *SearchEvaluator) Evaluate(ctx context.Context, x []float64, seed uint64) (*profile.Profile, error) {
+	req := EvalRequest{
+		Version:   ProtocolVersion,
+		Kind:      KindCandidate,
+		Generator: e.Generator,
+		Params:    x,
+		Seed:      seed,
+		Profiler:  e.spec,
+		Key:       core.EvalKey(e.Generator, e.Profiler, x, seed),
+	}
+	start := time.Now()
+	res, err := e.Backend.Evaluate(ctx, req)
+	d := time.Since(start)
+	if e.OnResult != nil {
+		e.OnResult(res, err, d)
+	}
+	if rec := e.Telemetry; rec.Enabled() && err == nil {
+		attrs := map[string]float64{
+			telemetry.AttrRemoteWorker: float64(res.WorkerID),
+			telemetry.AttrRetries:      float64(res.Retries),
+		}
+		if res.Remote {
+			attrs[telemetry.AttrRemote] = 1
+		}
+		rec.RecordSpan(telemetry.PhaseRemoteEval, 0, d, attrs)
+		if res.Retries > 0 {
+			rec.RecordSpan(telemetry.PhaseDispatchRetry, 0, 0, map[string]float64{
+				telemetry.AttrRemoteWorker: float64(res.WorkerID),
+				telemetry.AttrRetries:      float64(res.Retries),
+			})
+		}
+		if res.Fallback {
+			rec.RecordSpan(telemetry.PhaseDispatchFallback, 0, 0, map[string]float64{
+				telemetry.AttrRetries: float64(res.Retries),
+			})
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res.Profile, nil
+}
+
+var _ core.Evaluator = (*SearchEvaluator)(nil)

@@ -1,0 +1,297 @@
+package backend
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"datamime/internal/apps/kvstore"
+	"datamime/internal/datagen"
+	"datamime/internal/opt"
+	"datamime/internal/profile"
+	"datamime/internal/stats"
+	"datamime/internal/trace"
+	"datamime/internal/workload"
+)
+
+func newTestWorker(t *testing.T, cfg WorkerConfig) (*Worker, *RemoteBackend, *httptest.Server) {
+	t.Helper()
+	if cfg.Name == "" {
+		cfg.Name = "test-worker"
+	}
+	if cfg.ProfileWorkers == 0 {
+		cfg.ProfileWorkers = 1
+	}
+	if cfg.Generators == nil {
+		cfg.Generators = []datagen.Generator{testGenerator()}
+	}
+	w := NewWorker(cfg)
+	ts := httptest.NewServer(w.Handler())
+	t.Cleanup(ts.Close)
+	return w, NewRemoteBackend(ts.URL, cfg.Name), ts
+}
+
+// TestWorkerEvaluateOverWire: a real HTTP round trip returns the profile
+// the local profiler measures, byte for byte, and a repeated key is served
+// from the worker-local cache tier.
+func TestWorkerEvaluateOverWire(t *testing.T) {
+	_, rb, _ := newTestWorker(t, WorkerConfig{})
+	pr := testProfiler()
+	req := testRequest(pr)
+	req.Key = "eval-key"
+
+	res, err := rb.Evaluate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Worker != "test-worker" || res.CacheTier != "" {
+		t.Fatalf("first eval = worker %q tier %q", res.Worker, res.CacheTier)
+	}
+	direct, err := pr.Profile(testGenerator().Benchmark(req.Params), req.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, _ := json.Marshal(direct)
+	gotJSON, _ := json.Marshal(res.Profile)
+	if string(gotJSON) != string(wantJSON) {
+		t.Fatal("wire profile differs from direct measurement")
+	}
+
+	// Same key again: the worker-local tier serves without simulating.
+	res2, err := rb.Evaluate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.CacheTier != "worker" {
+		t.Fatalf("repeat eval tier = %q, want \"worker\"", res2.CacheTier)
+	}
+	got2, _ := json.Marshal(res2.Profile)
+	if string(got2) != string(wantJSON) {
+		t.Fatal("cached profile differs from measured profile")
+	}
+}
+
+// TestWorkerSharedCacheTier: a worker with a coordinator serves a key
+// pre-seeded in the shared cache without simulating, and publishes fresh
+// measurements back.
+func TestWorkerSharedCacheTier(t *testing.T) {
+	cs, coord := newCacheServer()
+	defer coord.Close()
+	seeded := testProfilerProfile(t)
+	cs.stored["seeded-key"] = seeded
+
+	w, rb, _ := newTestWorker(t, WorkerConfig{Coordinator: coord.URL})
+	pr := testProfiler()
+	req := testRequest(pr)
+	req.Key = "seeded-key"
+	res, err := rb.Evaluate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheTier != "worker" {
+		t.Fatalf("tier = %q, want cache-served", res.CacheTier)
+	}
+	got, _ := json.Marshal(res.Profile)
+	want, _ := json.Marshal(seeded)
+	if string(got) != string(want) {
+		t.Fatal("shared-tier profile was not served verbatim")
+	}
+	st := w.CacheStats()
+	if st.RemoteHits != 1 {
+		t.Fatalf("cache stats = %+v, want one shared hit", st)
+	}
+
+	// A fresh key simulates and publishes to the shared tier.
+	req.Key = "fresh-key"
+	if _, err := rb.Evaluate(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	cs.mu.Lock()
+	_, published := cs.stored["fresh-key"]
+	cs.mu.Unlock()
+	if !published {
+		t.Fatal("fresh measurement not published to the shared tier")
+	}
+}
+
+// testProfilerProfile measures one profile for seeding fake caches.
+func testProfilerProfile(t *testing.T) *profile.Profile {
+	t.Helper()
+	p, err := testProfiler().Profile(testGenerator().Benchmark([]float64{50_000, 0.9, 128}), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// blockingGenerator returns a generator whose Benchmark construction blocks
+// until release closes — it runs inside Worker evaluation while holding the
+// admission slot, which is exactly what the shed test needs.
+func blockingGenerator(started chan<- struct{}, release <-chan struct{}) datagen.Generator {
+	space := opt.MustSpace(opt.Param{Name: "qps", Lo: 1_000, Hi: 100_000})
+	return datagen.Generator{
+		Name:  "kv-blocking",
+		Space: space,
+		Benchmark: func(x []float64) workload.Benchmark {
+			started <- struct{}{}
+			<-release
+			cfg := kvstore.Config{
+				NumKeys:   1_000,
+				KeySize:   stats.Normal{Mu: 16, Sigma: 2, Min: 4},
+				ValueSize: stats.Normal{Mu: 64, Sigma: 8, Min: 1},
+				GetRatio:  0.9,
+			}
+			return workload.Benchmark{
+				Name: "kv-blocking",
+				QPS:  x[0],
+				NewServer: func(layout *trace.CodeLayout, seed uint64) workload.Server {
+					return kvstore.New(cfg, layout, seed)
+				},
+			}
+		},
+	}
+}
+
+// TestWorkerShedsAtCapacity: with Capacity 1 and MaxBacklog 1, the third
+// concurrent evaluation is shed with 503, which the RemoteBackend reports
+// as ErrBusy so the dispatcher re-routes without counting a failure.
+func TestWorkerShedsAtCapacity(t *testing.T) {
+	started := make(chan struct{}, 4)
+	release := make(chan struct{})
+	w, rb, _ := newTestWorker(t, WorkerConfig{
+		Capacity:   1,
+		MaxBacklog: 1,
+		Generators: []datagen.Generator{blockingGenerator(started, release)},
+	})
+
+	req := EvalRequest{
+		Version:   ProtocolVersion,
+		Kind:      KindCandidate,
+		Generator: "kv-blocking",
+		Params:    []float64{10_000},
+		Seed:      1,
+		Profiler:  SpecOf(testProfiler()),
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := rb.Evaluate(context.Background(), req); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	<-started // the first evaluation is running (and holding the slot)
+	waitUntil(t, "one queued request", func() bool { return w.Health().Inflight == 2 })
+
+	_, err := rb.Evaluate(context.Background(), req)
+	if !errors.Is(err, ErrBusy) {
+		t.Fatalf("err = %v, want ErrBusy", err)
+	}
+
+	close(release)
+	wg.Wait()
+	if got := w.Health().Evals; got != 2 {
+		t.Fatalf("evals = %d, want 2", got)
+	}
+}
+
+// TestWorkerHealthHandshake: /v1/healthz reports identity and protocol, and
+// RemoteBackend.Health refreshes the advertised capacity from it.
+func TestWorkerHealthHandshake(t *testing.T) {
+	_, rb, _ := newTestWorker(t, WorkerConfig{Name: "hs", Capacity: 3})
+	if err := rb.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if rb.Capacity() != 3 {
+		t.Fatalf("capacity after handshake = %d, want 3", rb.Capacity())
+	}
+}
+
+// TestRemoteBackendRejectsProtocolMismatch: a worker speaking another
+// protocol version fails the handshake instead of risking silently
+// reinterpreted requests.
+func TestRemoteBackendRejectsProtocolMismatch(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		writeWire(rw, http.StatusOK, WorkerHealth{Protocol: ProtocolVersion + 1, Name: "future"})
+	}))
+	defer ts.Close()
+	rb := NewRemoteBackend(ts.URL, "future")
+	err := rb.Health(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "protocol") {
+		t.Fatalf("err = %v, want protocol mismatch", err)
+	}
+}
+
+// TestWorkerRejectsBadRequests: version mismatches and malformed bodies get
+// HTTP 400 with a wire error, never an evaluation.
+func TestWorkerRejectsBadRequests(t *testing.T) {
+	_, _, ts := newTestWorker(t, WorkerConfig{})
+	bad := testRequest(testProfiler())
+	bad.Version = ProtocolVersion + 1
+	body, _ := json.Marshal(&bad)
+	resp, err := http.Post(ts.URL+PathEvaluate, "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	var we wireError
+	if err := json.NewDecoder(resp.Body).Decode(&we); err != nil || we.Error == "" {
+		t.Fatalf("wire error = %+v (%v)", we, err)
+	}
+
+	resp2, err := http.Post(ts.URL+PathEvaluate, "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body status = %d, want 400", resp2.StatusCode)
+	}
+}
+
+// TestWorkerMetrics: /metrics exposes the worker metric families with cache
+// accounting that matches the served traffic.
+func TestWorkerMetrics(t *testing.T) {
+	_, rb, ts := newTestWorker(t, WorkerConfig{})
+	req := testRequest(testProfiler())
+	req.Key = "metrics-key"
+	if _, err := rb.Evaluate(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rb.Evaluate(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"datamime_worker_capacity 1",
+		"datamime_worker_evaluations_total 2",
+		"datamime_worker_cache_local_hits_total 1",
+		"datamime_worker_cache_misses_total 1",
+		"datamime_worker_busy_rejects_total 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

@@ -27,6 +27,16 @@ const (
 	EvalRetrySkip
 )
 
+// Evaluator measures one candidate out of process. Implementations receive
+// the denormalized parameter vector and the deterministic per-iteration
+// profiling seed, and must return the profile the search's own Profiler
+// would have measured for them — the determinism contract that keeps
+// distributed runs bit-identical to local ones (internal/backend provides
+// conforming implementations). The context carries search cancellation.
+type Evaluator interface {
+	Evaluate(ctx context.Context, x []float64, seed uint64) (*profile.Profile, error)
+}
+
 // SearchConfig drives one Datamime search: find the generator parameters
 // whose benchmark minimizes the objective (Eq. 2).
 type SearchConfig struct {
@@ -80,6 +90,17 @@ type SearchConfig struct {
 	// Cache, when non-nil, is consulted before profiling each candidate
 	// and filled with every fresh measurement (see EvalCache).
 	Cache EvalCache
+	// Evaluator, when non-nil, replaces the in-process generate+profile path
+	// for fresh measurements: each cache-missing candidate is handed to it
+	// (typically a dispatcher sharding evaluations across a worker fleet)
+	// instead of Generator.Benchmark + Profiler.ProfileContext. The cache
+	// lookup, EvalKey derivation, per-iteration seeds, objective scoring,
+	// and optimizer feedback all stay in-process and unchanged, so a search
+	// with a deterministic Evaluator (one returning exactly what the local
+	// profiler would measure) is bit-for-bit identical to a local run.
+	// Profiler is still required: it defines the measurement spec the
+	// Evaluator must honor, and keys the cache.
+	Evaluator Evaluator
 	// Resume, when non-nil, warm-starts the search from a checkpoint:
 	// recorded iterations are replayed through the optimizer (identical
 	// proposals, Observe calls, and trace records) without re-profiling,
@@ -306,15 +327,28 @@ func SearchContext(ctx context.Context, cfg SearchConfig) (*Result, error) {
 				return p, true, nil
 			}
 		}
-		genSpan := rec.StartSpan(telemetry.PhaseGenerate, it)
-		bench := cfg.Generator.Benchmark(x)
-		genDur := genSpan.End(nil)
-		profSpan := rec.StartSpan(telemetry.PhaseProfile, it)
-		p, err := profiler.ProfileContext(ctx, bench, seed)
-		profDur := profSpan.End(nil)
-		if tm != nil {
-			tm.generateNS += genDur.Nanoseconds()
-			tm.profileNS += profDur.Nanoseconds()
+		var p *profile.Profile
+		if cfg.Evaluator != nil {
+			// Dispatched evaluation: generation and profiling both happen
+			// behind the Evaluator (possibly on another machine), so the
+			// whole round-trip is accounted to the profile phase.
+			profSpan := rec.StartSpan(telemetry.PhaseProfile, it)
+			p, err = cfg.Evaluator.Evaluate(ctx, x, seed)
+			profDur := profSpan.End(nil)
+			if tm != nil {
+				tm.profileNS += profDur.Nanoseconds()
+			}
+		} else {
+			genSpan := rec.StartSpan(telemetry.PhaseGenerate, it)
+			bench := cfg.Generator.Benchmark(x)
+			genDur := genSpan.End(nil)
+			profSpan := rec.StartSpan(telemetry.PhaseProfile, it)
+			p, err = profiler.ProfileContext(ctx, bench, seed)
+			profDur := profSpan.End(nil)
+			if tm != nil {
+				tm.generateNS += genDur.Nanoseconds()
+				tm.profileNS += profDur.Nanoseconds()
+			}
 		}
 		if err != nil {
 			return nil, false, err

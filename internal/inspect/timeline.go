@@ -43,12 +43,33 @@ type Timeline struct {
 	// SpanNS is the run's full first-to-last span extent (any phase),
 	// giving the share of the run the simulation phase accounts for.
 	SpanNS int64
+	// Remote lists per-remote-worker dispatch lanes (eval.remote spans),
+	// ordered by worker ID with the local fallback (ID -1) first; empty for
+	// runs that never dispatched. DispatchRetries and DispatchFallbacks
+	// total the run's dispatch churn instants.
+	Remote            []RemoteStat
+	DispatchRetries   int
+	DispatchFallbacks int
+}
+
+// RemoteStat is one remote evaluation worker's lane over the run.
+type RemoteStat struct {
+	// Worker is the dispatcher-assigned worker ID (-1 = local fallback).
+	Worker int
+	// Evals counts eval.remote round trips served by this worker.
+	Evals int
+	// BusyNS is the summed round-trip duration.
+	BusyNS int64
+	// Retries sums the failed attempts that preceded this worker's
+	// successful evaluations.
+	Retries int
 }
 
 // NewTimeline builds the utilization analysis from a run's retained spans.
 func NewTimeline(run *Run) *Timeline {
 	t := &Timeline{}
 	byWorker := make(map[int]*WorkerStat)
+	byRemote := make(map[int]*RemoteStat)
 	type boundary struct {
 		at    int64
 		delta int
@@ -78,8 +99,26 @@ func NewTimeline(run *Run) *Timeline {
 		case telemetry.PhaseBudgetWait:
 			t.BudgetWaits++
 			t.BudgetWaitNS += sp.EndNS - sp.StartNS
+		case telemetry.PhaseRemoteEval:
+			w := int(sp.Attrs[telemetry.AttrRemoteWorker])
+			rs := byRemote[w]
+			if rs == nil {
+				rs = &RemoteStat{Worker: w}
+				byRemote[w] = rs
+			}
+			rs.Evals++
+			rs.BusyNS += sp.EndNS - sp.StartNS
+			rs.Retries += int(sp.Attrs[telemetry.AttrRetries])
+		case telemetry.PhaseDispatchRetry:
+			t.DispatchRetries++
+		case telemetry.PhaseDispatchFallback:
+			t.DispatchFallbacks++
 		}
 	}
+	for _, rs := range byRemote {
+		t.Remote = append(t.Remote, *rs)
+	}
+	sort.Slice(t.Remote, func(i, j int) bool { return t.Remote[i].Worker < t.Remote[j].Worker })
 	for _, ws := range byWorker {
 		t.Workers = append(t.Workers, *ws)
 	}
@@ -165,6 +204,26 @@ func (t *Timeline) RenderText(w io.Writer) error {
 	if t.SpanNS > 0 {
 		fmt.Fprintf(&b, "simulation covers %s of the run's %s span extent\n",
 			fpct(float64(t.WallNS)/float64(t.SpanNS)), fms(t.SpanNS))
+	}
+	if len(t.Remote) > 0 {
+		var remoteBusy int64
+		for _, rs := range t.Remote {
+			remoteBusy += rs.BusyNS
+		}
+		fmt.Fprintf(&b, "\nremote dispatch lanes (%d lanes, %s of round trips):\n",
+			len(t.Remote), fms(remoteBusy))
+		fmt.Fprintf(&b, "  %-18s %6s %12s %8s\n", "lane", "evals", "busy", "retries")
+		for _, rs := range t.Remote {
+			name := fmt.Sprintf("remote worker %d", rs.Worker)
+			if rs.Worker < 0 {
+				name = "local fallback"
+			}
+			fmt.Fprintf(&b, "  %-18s %6d %12s %8d\n", name, rs.Evals, fms(rs.BusyNS), rs.Retries)
+		}
+		if t.DispatchRetries > 0 || t.DispatchFallbacks > 0 {
+			fmt.Fprintf(&b, "dispatch churn: %d retried evaluations, %d local fallbacks\n",
+				t.DispatchRetries, t.DispatchFallbacks)
+		}
 	}
 	_, err := io.WriteString(w, b.String())
 	return err

@@ -1,0 +1,193 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"datamime/internal/backend"
+	"datamime/internal/core"
+	"datamime/internal/harness"
+	"datamime/internal/profile"
+	"datamime/internal/telemetry"
+)
+
+// initDispatch builds the server's evaluation plane: a LocalBackend over the
+// registered generators (the fallback that keeps jobs alive with an empty or
+// dead fleet) and a Dispatcher that shards evaluations across registered
+// datamime-worker processes. Statically configured workers (-worker flags)
+// are registered immediately; dynamically announced ones arrive via
+// POST /v1/workers. A health loop probes the fleet and evicts workers that
+// stop answering.
+func (s *Server) initDispatch() {
+	s.local = backend.NewLocalBackend(s.cfg.Generators...)
+	s.local.ProfileWorkers = s.cfg.DefaultProfileWorkers
+	s.dispatcher = backend.NewDispatcher(backend.DispatcherConfig{
+		Local:          s.local,
+		AttemptTimeout: s.cfg.DispatchTimeout,
+		Retries:        s.cfg.DispatchRetries,
+		MaxQueue:       s.cfg.DispatchMaxQueue,
+		OnEvent:        s.onFleetEvent,
+	})
+	for _, u := range s.cfg.WorkerURLs {
+		if _, err := s.dispatcher.RegisterURL(backend.WorkerRegistration{URL: u}); err != nil {
+			s.logf("worker %s rejected: %v", u, err)
+		}
+	}
+	interval := s.cfg.WorkerHealthInterval
+	if interval <= 0 {
+		interval = 15 * time.Second
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.rootCtx.Done():
+				return
+			case <-t.C:
+				s.dispatcher.CheckHealth(s.rootCtx)
+			}
+		}
+	}()
+}
+
+// Dispatcher exposes the evaluation dispatcher (for tests and debug).
+func (s *Server) Dispatcher() *backend.Dispatcher { return s.dispatcher }
+
+// onFleetEvent reacts to fleet churn: one log line, plus a
+// worker.register / worker.deregister telemetry instant broadcast into every
+// running job's recorder so Perfetto timelines show when the fleet changed
+// under a search. Called without dispatcher locks held.
+func (s *Server) onFleetEvent(ev backend.FleetEvent) {
+	phase := telemetry.PhaseWorkerRegister
+	if ev.Type == backend.FleetDeregister {
+		phase = telemetry.PhaseWorkerDeregister
+	}
+	if ev.Reason != "" {
+		s.logf("fleet: %s worker %d (%s): %s", ev.Type, ev.ID, ev.Worker, ev.Reason)
+	} else {
+		s.logf("fleet: %s worker %d (%s)", ev.Type, ev.ID, ev.Worker)
+	}
+	attrs := map[string]float64{telemetry.AttrRemoteWorker: float64(ev.ID)}
+	for _, j := range s.Jobs() {
+		j.mu.Lock()
+		rec := j.recorder
+		running := j.state == JobRunning
+		j.mu.Unlock()
+		if running && rec.Enabled() {
+			rec.RecordSpan(phase, 0, 0, attrs)
+		}
+	}
+}
+
+// dispatchFor resolves a job's evaluation backend from its spec:
+//
+//	"local"         always evaluate in-process
+//	"remote"        always go through the dispatcher (which still falls
+//	                back local if the whole fleet fails mid-job)
+//	"" or "auto"    use the dispatcher only if workers are registered when
+//	                the job starts
+//
+// Returning nil selects the classic in-process path (cfg.Evaluator unset),
+// which is bit-identical to the dispatched one by the backend contract.
+func (s *Server) dispatchFor(spec JobSpec) backend.EvalBackend {
+	switch spec.Backend {
+	case "local":
+		return nil
+	case "remote":
+		return s.dispatcher
+	default: // "", "auto"
+		if s.dispatcher.HasWorkers() {
+			return s.dispatcher
+		}
+		return nil
+	}
+}
+
+// profileTarget measures a workload's hidden target profile, through the
+// dispatcher when the job runs remote (KindTarget requests resolve the
+// workload by name on the worker) and in-process otherwise.
+func (s *Server) profileTarget(ctx context.Context, spec JobSpec, profiler *profile.Profiler, w *harness.Workload) (*profile.Profile, error) {
+	if b := s.dispatchFor(spec); b != nil {
+		res, err := b.Evaluate(ctx, backend.EvalRequest{
+			Version:  backend.ProtocolVersion,
+			Kind:     backend.KindTarget,
+			Workload: w.Name,
+			Seed:     spec.Seed,
+			Profiler: backend.SpecOf(profiler),
+			Key:      core.EvalKey("target/"+w.Name, profiler, nil, spec.Seed),
+		})
+		if err != nil {
+			return nil, err
+		}
+		return res.Profile, nil
+	}
+	return profiler.ProfileContext(ctx, w.Target, spec.Seed)
+}
+
+// handleCacheGet serves the shared cache tier: GET /v1/cache/{key} returns
+// the profile stored under a content-addressed evaluation key, 404 on miss.
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	p, ok := s.cache.Get(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no cached profile for %q", key))
+		return
+	}
+	writeJSON(w, http.StatusOK, p)
+}
+
+// handleCachePut fills the shared cache tier: PUT /v1/cache/{key}. Keys are
+// content-addressed and profiles deterministic, so concurrent fills by
+// several workers are benign (every writer writes the same bytes).
+func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	var p profile.Profile
+	if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding profile: %w", err))
+		return
+	}
+	s.cache.Put(r.PathValue("key"), &p)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleWorkerAnnounce registers (or heartbeats) a worker: POST /v1/workers.
+func (s *Server) handleWorkerAnnounce(w http.ResponseWriter, r *http.Request) {
+	var reg backend.WorkerRegistration
+	if err := json.NewDecoder(r.Body).Decode(&reg); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding registration: %w", err))
+		return
+	}
+	id, err := s.dispatcher.RegisterURL(reg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"id": id})
+}
+
+// handleWorkerWithdraw deregisters a worker: DELETE /v1/workers?url=...
+func (s *Server) handleWorkerWithdraw(w http.ResponseWriter, r *http.Request) {
+	u := r.URL.Query().Get("url")
+	if u == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("url query parameter is required"))
+		return
+	}
+	if !s.dispatcher.Deregister(u, "withdrawn") {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no worker %q", u))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"url": u, "state": "withdrawn"})
+}
+
+// handleWorkerList snapshots the fleet: GET /v1/workers.
+func (s *Server) handleWorkerList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"workers": s.dispatcher.Workers(),
+		"queue":   s.dispatcher.QueueDepth(),
+	})
+}

@@ -1,89 +1,26 @@
 // Package service wraps Datamime's search loop in a long-running
 // benchmark-generation service: a bounded worker pool executes search jobs
 // submitted over HTTP/JSON, a content-addressed evaluation cache shares
-// profiling work across jobs, and per-job JSON checkpoints make every
-// in-flight search resumable after a crash or restart. cmd/datamimed is the
-// server binary.
+// profiling work across jobs (and, via /v1/cache, across a worker fleet),
+// per-job JSON checkpoints make every in-flight search resumable after a
+// crash or restart, and a dispatcher can shard candidate evaluations across
+// registered datamime-worker processes. cmd/datamimed is the server binary.
 package service
 
 import (
-	"container/list"
-	"sync"
-	"sync/atomic"
-
-	"datamime/internal/core"
-	"datamime/internal/profile"
+	"datamime/internal/backend"
 )
 
-// Cache is a bounded LRU implementation of core.EvalCache, shared by every
+// Cache is the coordinator's bounded LRU evaluation cache, shared by every
 // job a server runs: a resubmitted or warm-started search re-reads its
-// profiles here instead of re-simulating them. It also feeds the
-// /metrics hit and miss counters, which are atomics so readers never
-// contend with the structural lock.
-type Cache struct {
-	mu      sync.Mutex
-	cap     int
-	ll      *list.List // front = most recently used
-	entries map[string]*list.Element
-	hits    atomic.Uint64
-	misses  atomic.Uint64
-}
-
-type cacheEntry struct {
-	key  string
-	prof *profile.Profile
-}
+// profiles here instead of re-simulating them. It doubles as the fleet's
+// shared cache tier, served to workers at /v1/cache/{key}, and feeds the
+// /metrics hit/miss/eviction counters. It is the same implementation the
+// workers use locally (backend.LRU).
+type Cache = backend.LRU
 
 // NewCache builds a cache holding up to capacity profiles (<= 0 selects the
 // default of 4096).
 func NewCache(capacity int) *Cache {
-	if capacity <= 0 {
-		capacity = 4096
-	}
-	return &Cache{
-		cap:     capacity,
-		ll:      list.New(),
-		entries: make(map[string]*list.Element),
-	}
+	return backend.NewLRU(capacity)
 }
-
-// Get implements core.EvalCache.
-func (c *Cache) Get(key string) (*profile.Profile, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[key]
-	if !ok {
-		c.misses.Add(1)
-		return nil, false
-	}
-	c.hits.Add(1)
-	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).prof, true
-}
-
-// Put implements core.EvalCache.
-func (c *Cache) Put(key string, p *profile.Profile) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.entries[key]; ok {
-		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).prof = p
-		return
-	}
-	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, prof: p})
-	for c.ll.Len() > c.cap {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
-	}
-}
-
-// Stats returns the cumulative hit and miss counts and the current size.
-func (c *Cache) Stats() (hits, misses uint64, size int) {
-	c.mu.Lock()
-	n := c.ll.Len()
-	c.mu.Unlock()
-	return c.hits.Load(), c.misses.Load(), n
-}
-
-var _ core.EvalCache = (*Cache)(nil)

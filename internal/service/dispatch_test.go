@@ -1,0 +1,229 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"reflect"
+	"testing"
+
+	"datamime/internal/backend"
+	"datamime/internal/datagen"
+	"datamime/internal/profile"
+)
+
+// newFleetWorker starts an in-process datamime-worker over httptest,
+// registered with the test generator.
+func newFleetWorker(t *testing.T, name string) (*backend.Worker, *httptest.Server) {
+	t.Helper()
+	w := backend.NewWorker(backend.WorkerConfig{
+		Name:           name,
+		Capacity:       1,
+		ProfileWorkers: 1,
+		Generators:     []datagen.Generator{testGenerator()},
+	})
+	ts := httptest.NewServer(w.Handler())
+	t.Cleanup(ts.Close)
+	return w, ts
+}
+
+// newFleetServer builds a service with statically registered workers.
+func newFleetServer(t *testing.T, urls []string) *Server {
+	t.Helper()
+	s, err := New(Config{
+		Workers:    1,
+		Generators: []datagen.Generator{testGenerator()},
+		WorkerURLs: urls,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestServiceFleetBitIdentity is the subsystem's acceptance test: the same
+// seeded job run against a 2-worker fleet and run purely in-process must
+// produce bit-identical results and iteration traces.
+func TestServiceFleetBitIdentity(t *testing.T) {
+	spec := testSpec(12, 21)
+	spec.Backend = "local"
+	ref := runToCompletion(t, newTestServer(t, ""), spec)
+
+	w1, ts1 := newFleetWorker(t, "fleet-a")
+	w2, ts2 := newFleetWorker(t, "fleet-b")
+	svc := newFleetServer(t, []string{ts1.URL, ts2.URL})
+	defer svc.Close()
+
+	remoteSpec := testSpec(12, 21)
+	remoteSpec.Backend = "remote"
+	job, err := svc.Submit(remoteSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-job.Done()
+	got := job.status(0)
+	if got.State != JobSucceeded {
+		t.Fatalf("fleet job %s: %s", got.State, got.Error)
+	}
+	if got.Backend != "dispatch" {
+		t.Fatalf("job backend = %q, want dispatch", got.Backend)
+	}
+
+	// Bit-identity: result and full per-iteration trace.
+	if got.Result.BestError != ref.Result.BestError ||
+		!reflect.DeepEqual(got.Result.BestParams, ref.Result.BestParams) ||
+		got.Result.BestValues != ref.Result.BestValues {
+		t.Fatalf("fleet result diverged:\nfleet %+v\nlocal %+v", got.Result, ref.Result)
+	}
+	if !reflect.DeepEqual(got.Trace, ref.Trace) {
+		t.Fatal("fleet iteration trace diverged from the local run")
+	}
+	if got.Result.CacheHits != ref.Result.CacheHits {
+		t.Fatalf("cache hits diverged: fleet %d, local %d", got.Result.CacheHits, ref.Result.CacheHits)
+	}
+
+	// The fleet actually served the evaluations.
+	served := w1.Health().Evals + w2.Health().Evals
+	if served == 0 {
+		t.Fatal("no evaluation reached the fleet")
+	}
+	c := svc.Dispatcher().Counters()
+	if c.RemoteEvals == 0 || c.LocalEvals != 0 {
+		t.Fatalf("dispatch counters = %+v, want all-remote", c)
+	}
+}
+
+// TestServiceFleetWorkerKilledMidJob kills the only worker while a remote
+// job is running: the dispatcher must degrade to local fallback and the job
+// must still finish, bit-identical to a local run.
+func TestServiceFleetWorkerKilledMidJob(t *testing.T) {
+	spec := testSpec(24, 33)
+	spec.Backend = "local"
+	ref := runToCompletion(t, newTestServer(t, ""), spec)
+
+	_, ts := newFleetWorker(t, "doomed")
+	svc := newFleetServer(t, []string{ts.URL})
+	defer svc.Close()
+
+	remoteSpec := testSpec(24, 33)
+	remoteSpec.Backend = "remote"
+	job, err := svc.Submit(remoteSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "job to make progress on the fleet", func() bool {
+		return job.status(0).Iterations >= 4
+	})
+	ts.CloseClientConnections()
+	ts.Close() // the fleet is gone mid-job
+
+	<-job.Done()
+	got := job.status(0)
+	if got.State != JobSucceeded {
+		t.Fatalf("job with killed worker %s: %s", got.State, got.Error)
+	}
+	if got.Result.BestError != ref.Result.BestError ||
+		!reflect.DeepEqual(got.Result.BestParams, ref.Result.BestParams) {
+		t.Fatalf("degraded result diverged:\ngot %+v\nref %+v", got.Result, ref.Result)
+	}
+	if !reflect.DeepEqual(got.Trace, ref.Trace) {
+		t.Fatal("degraded iteration trace diverged from the local run")
+	}
+	c := svc.Dispatcher().Counters()
+	if c.RemoteEvals == 0 {
+		t.Fatal("job never reached the fleet before the kill")
+	}
+	if c.LocalEvals == 0 {
+		t.Fatal("job never fell back local after the kill")
+	}
+}
+
+// TestServiceFleetDeadWorkerAtStart: a fleet whose only URLs are
+// unreachable still runs jobs (local fallback) — a job never dies with its
+// fleet.
+func TestServiceFleetDeadWorkerAtStart(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+
+	svc := newFleetServer(t, []string{deadURL})
+	defer svc.Close()
+	spec := testSpec(6, 5)
+	spec.Backend = "remote"
+	job, err := svc.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-job.Done()
+	got := job.status(0)
+	if got.State != JobSucceeded {
+		t.Fatalf("job with dead fleet %s: %s", got.State, got.Error)
+	}
+	if c := svc.Dispatcher().Counters(); c.LocalEvals == 0 {
+		t.Fatalf("counters = %+v, want local fallbacks", c)
+	}
+}
+
+// TestServiceFleetHTTP covers the coordinator's fleet and shared-cache
+// protocol endpoints.
+func TestServiceFleetHTTP(t *testing.T) {
+	svc := newTestServer(t, "")
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	// Announce, heartbeat (same ID), list.
+	reg := backend.WorkerRegistration{URL: "http://203.0.113.9:9090", Name: "w0", Capacity: 2}
+	var first, second struct {
+		ID int `json:"id"`
+	}
+	if code := httpJSON(t, ts, "POST", "/v1/workers", reg, &first); code != http.StatusOK {
+		t.Fatalf("announce = %d", code)
+	}
+	if code := httpJSON(t, ts, "POST", "/v1/workers", reg, &second); code != http.StatusOK {
+		t.Fatalf("re-announce = %d", code)
+	}
+	if first.ID != second.ID {
+		t.Fatalf("heartbeat minted a new ID: %d then %d", first.ID, second.ID)
+	}
+	var list struct {
+		Workers []backend.WorkerInfo `json:"workers"`
+		Queue   int                  `json:"queue"`
+	}
+	httpJSON(t, ts, "GET", "/v1/workers", nil, &list)
+	if len(list.Workers) != 1 || list.Workers[0].Capacity != 2 || list.Workers[0].Name != "w0" {
+		t.Fatalf("fleet list = %+v", list)
+	}
+
+	// A protocol-mismatched registration is rejected.
+	bad := reg
+	bad.URL = "http://203.0.113.10:9090"
+	bad.Protocol = backend.ProtocolVersion + 1
+	if code := httpJSON(t, ts, "POST", "/v1/workers", bad, nil); code != http.StatusBadRequest {
+		t.Fatalf("mismatched announce = %d", code)
+	}
+
+	// Withdraw, then a second withdraw misses.
+	path := "/v1/workers?url=" + url.QueryEscape(reg.URL)
+	if code := httpJSON(t, ts, "DELETE", path, nil, nil); code != http.StatusOK {
+		t.Fatalf("withdraw = %d", code)
+	}
+	if code := httpJSON(t, ts, "DELETE", path, nil, nil); code != http.StatusNotFound {
+		t.Fatalf("double withdraw = %d", code)
+	}
+
+	// Shared cache tier: PUT → 204, GET round-trips, miss → 404.
+	cc := backend.NewCacheClient(ts.URL)
+	prof := &profile.Profile{Benchmark: "cached"}
+	if err := cc.Put(context.Background(), "cache-key", prof); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := cc.Get(context.Background(), "cache-key")
+	if err != nil || !ok || got.Benchmark != "cached" {
+		t.Fatalf("cache get = (%v, %v, %v)", got, ok, err)
+	}
+	if _, ok, err := cc.Get(context.Background(), "missing"); ok || err != nil {
+		t.Fatalf("cache miss = (%v, %v)", ok, err)
+	}
+}

@@ -25,8 +25,22 @@ import (
 //	POST /jobs/{id}/cancel   cancel a queued or running job
 //	GET  /metrics            Prometheus text-format metrics registry
 //	GET  /healthz            liveness probe
+//
+// The distributed evaluation plane (protocol v1, see internal/backend):
+//
+//	GET  /v1/cache/{key}     shared evaluation-cache tier (404 on miss)
+//	PUT  /v1/cache/{key}     publish a freshly measured profile
+//	POST /v1/workers         worker self-registration (idempotent on URL;
+//	                         re-announcements are heartbeats)
+//	DELETE /v1/workers?url=  clean worker withdrawal
+//	GET  /v1/workers         fleet snapshot + dispatch queue depth
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheGet)
+	mux.HandleFunc("PUT /v1/cache/{key}", s.handleCachePut)
+	mux.HandleFunc("POST /v1/workers", s.handleWorkerAnnounce)
+	mux.HandleFunc("DELETE /v1/workers", s.handleWorkerWithdraw)
+	mux.HandleFunc("GET /v1/workers", s.handleWorkerList)
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)

@@ -86,6 +86,13 @@ type JobSpec struct {
 	// OnEvalError is "fail" (default) or "retry-skip" (retry a failed
 	// evaluation once with a perturbed seed, then skip and record).
 	OnEvalError string `json:"on_eval_error,omitempty"`
+	// Backend selects where candidate evaluations run: "auto" (default —
+	// use registered datamime-worker processes when any exist), "local"
+	// (always in-process), or "remote" (always through the dispatcher,
+	// which still falls back in-process if the whole fleet fails). All
+	// choices produce bit-identical results for the same seed; the knob
+	// only moves where the simulations execute.
+	Backend string `json:"backend,omitempty"`
 	// Profiling overrides profiler budgets.
 	Profiling *ProfilingSpec `json:"profiling,omitempty"`
 }
@@ -120,6 +127,11 @@ func (s *JobSpec) Validate() error {
 	case "", "bayesopt", "random", "anneal":
 	default:
 		return fmt.Errorf("service: unknown optimizer %q (want bayesopt, random, or anneal)", s.Optimizer)
+	}
+	switch s.Backend {
+	case "", "auto", "local", "remote":
+	default:
+		return fmt.Errorf("service: unknown backend %q (want auto, local, or remote)", s.Backend)
 	}
 	if s.Profiling != nil && s.Profiling.ProfileWorkers < 0 {
 		return fmt.Errorf("service: profiling.profile_workers must be >= 0, got %d", s.Profiling.ProfileWorkers)
@@ -182,6 +194,10 @@ type JobStatus struct {
 	// ProfileWorkers is the effective intra-profile parallelism the job
 	// runs with (spec override or server default); 0 until the job starts.
 	ProfileWorkers int `json:"profile_workers,omitempty"`
+	// Backend is the evaluation plane the job resolved to when it started:
+	// "local" (in-process) or "dispatch" (sharded across the worker
+	// fleet). Empty until the job starts running.
+	Backend string `json:"backend,omitempty"`
 }
 
 // Job is one tracked search. All mutable fields are guarded by mu; the
@@ -214,6 +230,9 @@ type Job struct {
 	// profileWorkers is the effective intra-profile parallelism, resolved
 	// from the spec and server default when the job starts running.
 	profileWorkers int
+	// backend is the evaluation plane the job resolved to at start
+	// ("local" or "dispatch").
+	backend string
 
 	// canceled marks a client cancel request (distinguishes a canceled
 	// job from a server shutdown, which re-queues instead).
@@ -264,6 +283,7 @@ func (j *Job) status(since int) JobStatus {
 		Created:         j.created,
 		TelemetryEvents: j.recorder.Total(), // nil-safe when telemetry is off
 		ProfileWorkers:  j.profileWorkers,
+		Backend:         j.backend,
 	}
 	if len(j.trace) > 0 {
 		st.BestError = j.trace[len(j.trace)-1].BestError
@@ -407,7 +427,7 @@ func (s *Server) buildSearch(ctx context.Context, spec JobSpec) (core.SearchConf
 		key := core.EvalKey("target/"+w.Name, profiler, nil, spec.Seed)
 		target, ok := s.cache.Get(key)
 		if !ok {
-			target, err = profiler.ProfileContext(ctx, w.Target, spec.Seed)
+			target, err = s.profileTarget(ctx, spec, profiler, w)
 			if err != nil {
 				return cfg, fmt.Errorf("profiling target %s: %w", w.Name, err)
 			}

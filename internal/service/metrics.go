@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"time"
 
+	"datamime/internal/backend"
 	"datamime/internal/telemetry"
 )
 
@@ -43,6 +44,11 @@ type serverMetrics struct {
 	// phaseHist aggregates search-phase latencies across all jobs;
 	// populated only when telemetry is on.
 	phaseHist *telemetry.HistogramVec
+
+	// dispatchHist observes end-to-end dispatched-evaluation latency by
+	// serving side ("remote", "local"); fed by observeDispatch from each
+	// job's SearchEvaluator.
+	dispatchHist *telemetry.HistogramVec
 }
 
 // newServerMetrics builds the registry. Collector callbacks close over the
@@ -66,11 +72,13 @@ func newServerMetrics(s *Server) *serverMetrics {
 	m.workersBusy = reg.NewGauge("datamimed_workers_busy", "Workers currently running a job.")
 
 	reg.NewCounterFunc("datamimed_eval_cache_hits_total", "Evaluation-cache hits.",
-		func() float64 { hits, _, _ := s.cache.Stats(); return float64(hits) })
+		func() float64 { return float64(s.cache.Stats().Hits) })
 	reg.NewCounterFunc("datamimed_eval_cache_misses_total", "Evaluation-cache misses.",
-		func() float64 { _, misses, _ := s.cache.Stats(); return float64(misses) })
+		func() float64 { return float64(s.cache.Stats().Misses) })
+	reg.NewCounterFunc("datamimed_eval_cache_evictions_total", "Profiles evicted from the evaluation cache.",
+		func() float64 { return float64(s.cache.Stats().Evictions) })
 	reg.NewGaugeFunc("datamimed_eval_cache_entries", "Profiles currently cached.",
-		func() float64 { _, _, size := s.cache.Stats(); return float64(size) })
+		func() float64 { return float64(s.cache.Stats().Entries) })
 
 	m.evalsTotal = reg.NewCounter("datamimed_evaluations_total",
 		"Fresh candidate evaluations completed.")
@@ -100,6 +108,58 @@ func newServerMetrics(s *Server) *serverMetrics {
 
 	m.phaseHist = reg.NewHistogramVec("datamimed_phase_seconds",
 		"Search phase latency, by phase.", "phase", nil)
+
+	// Distributed evaluation plane: admission-control queue depth, fleet
+	// composition and per-worker load (read from the dispatcher at scrape
+	// time), dispatch outcome counters, and end-to-end dispatch latency.
+	reg.NewGaugeFunc("datamimed_dispatch_queue_depth",
+		"Evaluations waiting for a remote worker slot.",
+		func() float64 { return float64(s.dispatcher.QueueDepth()) })
+	reg.NewCounterFunc("datamimed_dispatch_remote_evals_total",
+		"Candidate evaluations served by remote workers.",
+		func() float64 { return float64(s.dispatcher.Counters().RemoteEvals) })
+	reg.NewCounterFunc("datamimed_dispatch_local_evals_total",
+		"Dispatched evaluations served by the in-process fallback.",
+		func() float64 { return float64(s.dispatcher.Counters().LocalEvals) })
+	reg.NewCounterFunc("datamimed_dispatch_retries_total",
+		"Failed remote attempts that were re-dispatched.",
+		func() float64 { return float64(s.dispatcher.Counters().Retries) })
+	reg.NewCounterFunc("datamimed_dispatch_fallbacks_total",
+		"Evaluations that fell back local after remote attempts failed.",
+		func() float64 { return float64(s.dispatcher.Counters().Fallbacks) })
+	reg.NewCounterFunc("datamimed_dispatch_sheds_total",
+		"Evaluations shed to the local backend by admission control.",
+		func() float64 { return float64(s.dispatcher.Counters().Sheds) })
+	reg.NewCounterFunc("datamimed_fleet_registered_total",
+		"Workers that joined the fleet.",
+		func() float64 { return float64(s.dispatcher.Counters().Registered) })
+	reg.NewCounterFunc("datamimed_fleet_deregistered_total",
+		"Workers that left the fleet (withdrawn or evicted).",
+		func() float64 { return float64(s.dispatcher.Counters().Deregistered) })
+	reg.NewCollector("datamimed_fleet_worker_inflight",
+		"In-flight evaluations per registered worker.",
+		"gauge", []string{"worker"}, func() []telemetry.Sample {
+			var out []telemetry.Sample
+			for _, w := range s.dispatcher.Workers() {
+				out = append(out, telemetry.Sample{Labels: []string{w.Name}, Value: float64(w.Inflight)})
+			}
+			return out
+		})
+	reg.NewCollector("datamimed_fleet_worker_healthy",
+		"Health of each registered worker (1 healthy, 0 failing).",
+		"gauge", []string{"worker"}, func() []telemetry.Sample {
+			var out []telemetry.Sample
+			for _, w := range s.dispatcher.Workers() {
+				v := 0.0
+				if w.Healthy {
+					v = 1
+				}
+				out = append(out, telemetry.Sample{Labels: []string{w.Name}, Value: v})
+			}
+			return out
+		})
+	m.dispatchHist = reg.NewHistogramVec("datamimed_dispatch_seconds",
+		"End-to-end dispatched-evaluation latency, by serving side.", "side", nil)
 
 	reg.NewCollector("datamimed_job_iterations_done",
 		"Finished iterations of each active job.",
@@ -135,6 +195,20 @@ func newServerMetrics(s *Server) *serverMetrics {
 		func() float64 { return time.Since(s.started).Seconds() })
 
 	return m
+}
+
+// observeDispatch feeds one dispatched evaluation's outcome into the
+// dispatch latency histogram. Runs on the search goroutines (the
+// SearchEvaluator's OnResult is synchronous).
+func (m *serverMetrics) observeDispatch(res backend.EvalResult, err error, d time.Duration) {
+	if err != nil {
+		return
+	}
+	side := "local"
+	if res.Remote {
+		side = "remote"
+	}
+	m.dispatchHist.Observe(side, d)
 }
 
 // observeSpan feeds one job span into the contention metrics: phase latency

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"datamime/internal/backend"
 	"datamime/internal/buildinfo"
 	"datamime/internal/core"
 	"datamime/internal/datagen"
@@ -55,6 +56,22 @@ type Config struct {
 	// 4096). Dropping never blocks the search goroutine; the subscriber
 	// receives a "dropped" SSE frame carrying the count.
 	SSEMaxBacklog int
+	// WorkerURLs statically registers remote datamime-worker endpoints at
+	// startup (cmd/datamimed -worker). Workers may also self-register at
+	// runtime via POST /v1/workers.
+	WorkerURLs []string
+	// DispatchTimeout bounds one remote evaluation attempt (default 5m).
+	DispatchTimeout time.Duration
+	// DispatchRetries is the number of additional remote attempts after a
+	// failure before an evaluation falls back to in-process execution
+	// (default 2).
+	DispatchRetries int
+	// DispatchMaxQueue bounds evaluations waiting for a remote slot;
+	// beyond it admission control sheds work to the local backend
+	// (default 64).
+	DispatchMaxQueue int
+	// WorkerHealthInterval is the fleet health-probe period (default 15s).
+	WorkerHealthInterval time.Duration
 }
 
 // Server schedules and tracks search jobs. Create with New, serve its
@@ -64,6 +81,14 @@ type Server struct {
 	cfg   Config
 	cache *Cache
 	gens  map[string]datagen.Generator
+
+	// local is the in-process evaluation backend; dispatcher shards
+	// evaluations across registered datamime-worker processes, falling back
+	// to local so a job never dies with the fleet. With no workers
+	// registered, jobs take the classic in-process path (bit-identical by
+	// the backend contract).
+	local      *backend.LocalBackend
+	dispatcher *backend.Dispatcher
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -112,7 +137,6 @@ func New(cfg Config) (*Server, error) {
 		rootCancel: cancel,
 		started:    time.Now(),
 	}
-	s.metrics = newServerMetrics(s)
 	if cfg.Log != nil {
 		s.logger = telemetry.NewLineLogger(cfg.Log)
 	}
@@ -122,6 +146,8 @@ func New(cfg Config) (*Server, error) {
 	for _, g := range cfg.Generators {
 		s.gens[g.Name] = g
 	}
+	s.initDispatch()
+	s.metrics = newServerMetrics(s)
 	if err := s.loadCheckpoints(); err != nil {
 		cancel()
 		return nil, err
@@ -286,8 +312,22 @@ func (s *Server) runJob(job *Job) {
 		return
 	}
 	cfg.Cache = s.cache
+	var dispatchEv *backend.SearchEvaluator
+	if b := s.dispatchFor(spec); b != nil {
+		// Shard cache-missing candidate evaluations across the fleet. The
+		// coordinator-side cache lookup, keys, seeds, and scoring stay in
+		// core, so a dispatched job's counters and artifacts stay
+		// bit-identical to an in-process run of the same seed.
+		dispatchEv = backend.NewSearchEvaluator(b, cfg.Generator.Name, cfg.Profiler)
+		dispatchEv.OnResult = s.metrics.observeDispatch
+		cfg.Evaluator = dispatchEv
+	}
 	job.mu.Lock()
 	job.profileWorkers = cfg.ProfileWorkers
+	job.backend = "local"
+	if dispatchEv != nil {
+		job.backend = "dispatch"
+	}
 	job.mu.Unlock()
 	if po, ok := cfg.Objective.(core.ProfileObjective); ok {
 		job.mu.Lock()
@@ -313,6 +353,9 @@ func (s *Server) runJob(job *Job) {
 		job.mu.Unlock()
 		cfg.Telemetry = rec
 		cfg.Profiler.Telemetry = rec
+		if dispatchEv != nil {
+			dispatchEv.Telemetry = rec
+		}
 	}
 	if len(resume.Entries) > 0 {
 		job.mu.Lock()
@@ -450,15 +493,20 @@ func (s *Server) logf(format string, args ...interface{}) {
 // DebugVars snapshots the server's operational state for expvar publication
 // (cmd/datamimed -debug exposes it at /debug/vars under "datamimed").
 func (s *Server) DebugVars() interface{} {
-	hits, misses, size := s.cache.Stats()
+	cs := s.cache.Stats()
+	dc := s.dispatcher.Counters()
 	return map[string]interface{}{
 		"build":             buildinfo.Read().Vars(),
 		"jobs":              s.jobCounts(),
 		"workers":           s.cfg.Workers,
 		"workers_busy":      int64(s.metrics.workersBusy.Value()),
-		"cache_hits":        hits,
-		"cache_misses":      misses,
-		"cache_entries":     size,
+		"cache_hits":        cs.Hits,
+		"cache_misses":      cs.Misses,
+		"cache_evictions":   cs.Evictions,
+		"cache_entries":     cs.Entries,
+		"fleet_workers":     len(s.dispatcher.Workers()),
+		"dispatch_queue":    s.dispatcher.QueueDepth(),
+		"dispatch":          dc,
 		"evaluations_total": int64(s.metrics.evalsTotal.Value()),
 		"skipped_total":     int64(s.metrics.skippedTotal.Value()),
 		"retried_total":     int64(s.metrics.retriedTotal.Value()),

@@ -354,9 +354,12 @@ func TestCacheLRU(t *testing.T) {
 	if _, ok := c.Get("a"); !ok {
 		t.Fatal("a evicted out of LRU order")
 	}
-	hits, misses, size := c.Stats()
-	if hits != 2 || misses != 1 || size != 2 {
-		t.Fatalf("stats = %d hits, %d misses, %d entries", hits, misses, size)
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %d hits, %d misses, %d entries", st.Hits, st.Misses, st.Entries)
+	}
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
 	}
 }
 

@@ -64,7 +64,7 @@ func TestDRRIPInsertsAtDistantInterval(t *testing.T) {
 func resident(c *Cache, set int, tag uint64) bool {
 	base := set * c.ways
 	for i := base; i < base+c.partWays; i++ {
-		if c.lines[i].valid && c.lines[i].tag == tag {
+		if c.lines[i].gen == c.gen && c.lines[i].tag == tag {
 			return true
 		}
 	}
@@ -80,7 +80,7 @@ func TestBRRIPDeRating(t *testing.T) {
 		for i := base; i < base+c.partWays; i++ {
 			lineAddr := tag*uint64(c.sets) + uint64(set)
 			_ = lineAddr
-			if c.lines[i].valid && c.lines[i].tag == tag {
+			if c.lines[i].gen == c.gen && c.lines[i].tag == tag {
 				return c.lines[i].meta, true
 			}
 		}

@@ -32,6 +32,14 @@ const (
 	// way allocation it measured (0 = the full-cache main run).
 	AttrWorker = "worker"
 	AttrWays   = "ways"
+	// AttrRemoteWorker, AttrRetries, and AttrRemote ride on PhaseRemoteEval
+	// spans and the fleet-churn instants: the dispatcher-assigned integer ID
+	// of the fleet worker involved, how many failed dispatch attempts
+	// preceded this result, and whether the evaluation actually ran remotely
+	// (0 = the dispatcher's local fallback served it).
+	AttrRemoteWorker = "remote_worker"
+	AttrRetries      = "retries"
+	AttrRemote       = "remote"
 	// AttrCholeskyAppends, AttrCholeskyRebuilds, and AttrJitterLevelMax
 	// ride on PhaseGPFit spans: how many incremental O(n²) factor appends
 	// vs O(n³) refactorization fallbacks the surrogate update needed, and

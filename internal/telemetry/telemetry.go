@@ -45,6 +45,21 @@ const (
 	PhaseBudgetWait = "budget.wait"
 	// PhaseObserve covers feeding a batch's results back to the optimizer.
 	PhaseObserve = "observe"
+	// PhaseRemoteEval covers one candidate evaluation dispatched through an
+	// eval backend (a remote worker, or the dispatcher's local fallback).
+	// Spans carry AttrRemoteWorker/AttrRetries/AttrRemote attributes and get
+	// their own per-worker lanes in the trace-event export.
+	PhaseRemoteEval = "eval.remote"
+	// PhaseWorkerRegister, PhaseWorkerDeregister, and PhaseDispatchRetry are
+	// zero-duration fleet-churn markers emitted by the evaluation dispatcher:
+	// a worker joining or leaving the fleet, and a failed dispatch attempt
+	// being retried elsewhere. PhaseDispatchFallback marks an evaluation
+	// falling back to the local backend after exhausting the fleet. All four
+	// render as instants on the "fleet" track of the Perfetto export.
+	PhaseWorkerRegister   = "worker.register"
+	PhaseWorkerDeregister = "worker.deregister"
+	PhaseDispatchRetry    = "dispatch.retry"
+	PhaseDispatchFallback = "dispatch.fallback"
 )
 
 // Event types.

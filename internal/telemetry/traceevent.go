@@ -22,12 +22,24 @@ import (
 //	                           profile.run, profile.curves), greedily
 //	                           packed into as few non-overlapping lanes
 //	                           as the run's parallelism needed
+//	tid 3      "fleet"       — instant events for fleet churn (worker
+//	                           registrations and deregistrations) and for
+//	                           dispatch retries/fallbacks; present only
+//	                           when the run dispatched to remote workers
+//	tid 10+L   "eval lane L" — per-candidate spans (generate, profile,
+//	                           profile.run, profile.curves), greedily
+//	                           packed into as few non-overlapping lanes
+//	                           as the run's parallelism needed
 //	tid 100+   "worker W"    — one track per profiler-pool worker, carrying
 //	                           its profile.sim spans; budget-semaphore
 //	                           waits appear as instant events. When
 //	                           concurrent candidates make one worker's
 //	                           spans overlap, extra "(+k)" lanes absorb
 //	                           the overflow.
+//	tid 10000+ "remote worker W" — one track per remote evaluation worker,
+//	                           carrying its eval.remote round-trip spans;
+//	                           evaluations that fell back in-process land
+//	                           on a "remote fallback" track.
 //
 // Timestamps are microseconds from the earliest event in the stream, so
 // traces from different runs all start at zero. The exporter is a pure
@@ -37,8 +49,12 @@ const (
 	tracePID          = 1
 	traceTIDSearch    = 1
 	traceTIDOptimizer = 2
+	traceTIDFleet     = 3
 	traceTIDEvalBase  = 10
 	traceTIDWorker    = 100
+	// traceTIDRemote bases the remote-worker lanes high enough that no
+	// realistic profiler-pool worker index collides with them.
+	traceTIDRemote = 10000
 	// workerLaneStride spaces per-worker overflow lanes; lanes beyond it
 	// fold into the last one (overlap is legal in the format).
 	workerLaneStride = 8
@@ -123,6 +139,8 @@ func WriteTrace(w io.Writer, events []Event) error {
 
 	var evalSpans []spanInterval
 	workerSpans := map[int][]spanInterval{}
+	remoteSpans := map[int][]spanInterval{}
+	fleetUsed := false
 	for _, ev := range events {
 		if ev.TimeNS == 0 {
 			continue
@@ -171,6 +189,13 @@ func WriteTrace(w io.Writer, events []Event) error {
 						"worker":  wkr,
 						"iter":    ev.Iter,
 					})
+			case PhaseRemoteEval:
+				wkr := int(ev.Attrs[AttrRemoteWorker])
+				remoteSpans[wkr] = append(remoteSpans[wkr], iv)
+			case PhaseWorkerRegister, PhaseWorkerDeregister,
+				PhaseDispatchRetry, PhaseDispatchFallback:
+				fleetUsed = true
+				instant(traceTIDFleet, ev.Phase, ev.TimeNS, spanArgs(ev))
 			default:
 				// Unknown phases land on the search track so nothing a
 				// future instrumentation site emits silently disappears.
@@ -217,6 +242,43 @@ func WriteTrace(w io.Writer, events []Event) error {
 		meta(base, fmt.Sprintf("worker %d", wkr), base)
 		for l := 1; l <= maxL; l++ {
 			meta(base+l, fmt.Sprintf("worker %d (+%d)", wkr, l), base+l)
+		}
+	}
+
+	// Remote evaluation lanes: one track per remote worker ID (a dispatched
+	// run's eval.remote round trips), with the local-fallback lane (worker
+	// ID -1) named distinctly. The fleet track appears only when the run
+	// recorded fleet or dispatch activity.
+	if fleetUsed {
+		meta(traceTIDFleet, "fleet", traceTIDFleet)
+	}
+	remotes := make([]int, 0, len(remoteSpans))
+	for wkr := range remoteSpans {
+		remotes = append(remotes, wkr)
+	}
+	sort.Ints(remotes)
+	for slot, wkr := range remotes {
+		ivs := remoteSpans[wkr]
+		ls := assignLanes(ivs)
+		maxL := 0
+		trackBase := traceTIDRemote + slot*workerLaneStride
+		for i, iv := range ivs {
+			lane := ls[i]
+			if lane >= workerLaneStride {
+				lane = workerLaneStride - 1
+			}
+			if lane > maxL {
+				maxL = lane
+			}
+			span(trackBase+lane, iv, spanArgs(iv.ev))
+		}
+		name := fmt.Sprintf("remote worker %d", wkr)
+		if wkr < 0 {
+			name = "remote fallback"
+		}
+		meta(trackBase, name, trackBase)
+		for l := 1; l <= maxL; l++ {
+			meta(trackBase+l, fmt.Sprintf("%s (+%d)", name, l), trackBase+l)
 		}
 	}
 
@@ -280,9 +342,11 @@ type TraceStats struct {
 	Spans    int
 	Instants int
 	// Tracks counts named thread tracks; WorkerTracks the "worker N" subset
-	// (overflow "(+k)" lanes excluded).
+	// and RemoteTracks the "remote worker N" / "remote fallback" subset
+	// (overflow "(+k)" lanes excluded from both).
 	Tracks       int
 	WorkerTracks int
+	RemoteTracks int
 }
 
 // ValidateTrace parses trace-event JSON (the object form WriteTrace emits)
@@ -332,9 +396,15 @@ func ValidateTrace(r io.Reader) (TraceStats, error) {
 	}
 	for _, name := range named {
 		st.Tracks++
+		if containsPlus(name) {
+			continue
+		}
 		var w int
-		if n, _ := fmt.Sscanf(name, "worker %d", &w); n == 1 && !containsPlus(name) {
+		if n, _ := fmt.Sscanf(name, "worker %d", &w); n == 1 {
 			st.WorkerTracks++
+		}
+		if n, _ := fmt.Sscanf(name, "remote worker %d", &w); n == 1 || name == "remote fallback" {
+			st.RemoteTracks++
 		}
 	}
 	return st, nil
