@@ -84,8 +84,8 @@ cat > spec-fleet.json <<'EOF'
 EOF
 sed 's/"backend": "remote"/"backend": "local"/' spec-fleet.json > spec-local.json
 
-echo "== starting coordinator A (fleet) on $COORD_A"
-bin/datamimed -addr "$COORD_A" -workers 1 -quiet &
+echo "== starting coordinator A (fleet, telemetry on) on $COORD_A"
+bin/datamimed -addr "$COORD_A" -workers 1 -quiet -telemetry -federation-interval 2s &
 PIDS+=($!)
 wait_http "http://$COORD_A/healthz"
 
@@ -105,6 +105,18 @@ echo "== running the seeded search on the fleet (worker 2 dies mid-job)"
 FLEET_JOB=$(run_job "$COORD_A" spec-fleet.json run-fleet.jsonl)
 echo "== fleet job $FLEET_JOB succeeded"
 curl -fs "http://$COORD_A/v1/workers"
+
+echo "== fleet health view"
+curl -fs "http://$COORD_A/v1/fleet"
+echo "== federated metrics (datamime_worker_* families)"
+curl -fs "http://$COORD_A/metrics" | grep '^datamime_worker_' || {
+  echo "no federated worker metrics in coordinator /metrics" >&2; exit 1; }
+
+echo "== exporting and validating the unified fleet trace"
+curl -fs "http://$COORD_A/jobs/$FLEET_JOB/trace" > fleet-trace.json
+bin/datamime-inspect timeline -artifact run-fleet.jsonl -trace fleet-trace.json
+grep -q '"fleet worker' fleet-trace.json || {
+  echo "fleet trace has no per-worker process tracks" >&2; exit 1; }
 
 echo "== starting coordinator B (local backend) on $COORD_B"
 bin/datamimed -addr "$COORD_B" -workers 1 -quiet &

@@ -209,8 +209,11 @@ func runTimeline(args []string) error {
 		if err != nil {
 			return fmt.Errorf("timeline: %s: %w", *trace, err)
 		}
-		fmt.Printf("\ntrace %s ok: %d events (%d spans, %d instants) on %d tracks (%d workers)\n",
-			*trace, st.Events, st.Spans, st.Instants, st.Tracks, st.WorkerTracks)
+		fmt.Printf("\ntrace %s ok: %d events (%d spans, %d instants) on %d tracks (%d workers) across %d processes (%d fleet)\n",
+			*trace, st.Events, st.Spans, st.Instants, st.Tracks, st.WorkerTracks, st.Processes, st.FleetProcesses)
+		if st.DroppedUnstamped > 0 {
+			fmt.Printf("trace %s: %d unstamped events were dropped at export\n", *trace, st.DroppedUnstamped)
+		}
 	}
 	if *minSpeedup > 0 {
 		if len(tl.Workers) == 0 {

@@ -83,6 +83,9 @@ func run(addr, name string, capacity, backlog, profWorkers, cacheCapacity int, c
 		ProfileWorkers: profWorkers,
 		CacheCapacity:  cacheCapacity,
 		Coordinator:    coordinator,
+		// Heartbeats and health probes carry the build identity, so the
+		// coordinator's /v1/workers and /v1/fleet surface version skew.
+		Version: buildinfo.Read().String(),
 	})
 
 	httpSrv := &http.Server{Addr: addr, Handler: w.Handler()}

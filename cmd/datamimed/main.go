@@ -63,6 +63,7 @@ func main() {
 		dispatchRetries = flag.Int("dispatch-retries", 2, "remote attempts after a failure before an evaluation falls back in-process")
 		dispatchQueue   = flag.Int("dispatch-max-queue", 64, "evaluations waiting for a remote slot before admission control sheds to local")
 		healthInterval  = flag.Duration("worker-health-interval", 15*time.Second, "fleet health-probe period")
+		fedInterval     = flag.Duration("federation-interval", 15*time.Second, "worker /metrics scrape period for the federated datamime_worker_* families (negative disables)")
 	)
 	var workerURLs workerList
 	flag.Var(&workerURLs, "worker", "datamime-worker base URL to dispatch evaluations to (repeatable; workers may also self-register via POST /v1/workers)")
@@ -91,6 +92,7 @@ func main() {
 		dispatchRetries: *dispatchRetries,
 		dispatchQueue:   *dispatchQueue,
 		healthInterval:  *healthInterval,
+		fedInterval:     *fedInterval,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "datamimed:", err)
 		os.Exit(1)
@@ -113,6 +115,7 @@ type options struct {
 	dispatchRetries int
 	dispatchQueue   int
 	healthInterval  time.Duration
+	fedInterval     time.Duration
 }
 
 // workerList accumulates repeated -worker flags.
@@ -141,6 +144,7 @@ func run(o options) error {
 		DispatchRetries:       o.dispatchRetries,
 		DispatchMaxQueue:      o.dispatchQueue,
 		WorkerHealthInterval:  o.healthInterval,
+		FederationInterval:    o.fedInterval,
 	}
 	if !o.quiet {
 		cfg.Log = os.Stdout

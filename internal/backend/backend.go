@@ -32,7 +32,15 @@ import (
 // and workers. Both sides reject mismatched versions outright: a silently
 // reinterpreted field could break bit-identity, the one failure mode this
 // subsystem must never have.
-const ProtocolVersion = 1
+//
+// Version history:
+//
+//	1 — PR 6's evaluation plane: EvalRequest/EvalResult, /v1/healthz,
+//	    /v1/cache, /v1/workers.
+//	2 — trace-context propagation: EvalRequest.TraceID, the EvalResponse
+//	    envelope with shipped spans and worker wall-clock, WorkerHealth
+//	    time/version fields, WorkerRegistration version/inflight fields.
+const ProtocolVersion = 2
 
 // Evaluation kinds.
 const (
@@ -117,6 +125,12 @@ type EvalRequest struct {
 	// workers consult their two-tier cache under it before simulating and
 	// publish fresh measurements back to the shared tier.
 	Key string `json:"key,omitempty"`
+	// TraceID, when set, asks the serving side to capture its telemetry
+	// spans (profile.sim, budget.wait, cache probes) for this evaluation and
+	// ship them back in the response envelope. It is pure trace context:
+	// deliberately excluded from core.EvalKey and ignored by the cache, it
+	// can never change what is measured.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Validate reports requests no backend can serve.
@@ -169,6 +183,53 @@ type EvalResult struct {
 	// Fallback reports that remote attempts failed and the local backend
 	// served the evaluation instead.
 	Fallback bool `json:"-"`
+	// Spans holds the serving side's captured telemetry spans when the
+	// request carried a TraceID. On remote evaluations they arrive via the
+	// EvalResponse envelope — never inside EvalResult's own wire form — and
+	// their timestamps are in the *worker's* clock until rebased with
+	// RebaseSpans(Spans, ClockOffsetNS).
+	Spans []WireSpan `json:"-"`
+	// ClockOffsetNS and ClockErrNS are the serving worker's estimated clock
+	// offset (worker minus coordinator, midpoint method) and its half-RTT
+	// uncertainty; ClockOffsetOK reports whether an estimate existed. All
+	// zero for locally served evaluations, whose spans need no rebasing.
+	ClockOffsetNS int64 `json:"-"`
+	ClockErrNS    int64 `json:"-"`
+	ClockOffsetOK bool  `json:"-"`
+}
+
+// WireSpan is one captured telemetry span as shipped in an EvalResponse
+// envelope: just enough to replay the remote execution on the coordinator's
+// unified timeline. TimeNS is the span's *end* in the worker's wall clock
+// (the telemetry convention); DurNS is monotonic-clock duration and needs no
+// alignment.
+type WireSpan struct {
+	Phase  string             `json:"phase"`
+	Iter   int                `json:"iter,omitempty"`
+	DurNS  int64              `json:"dur_ns"`
+	TimeNS int64              `json:"time_ns"`
+	Attrs  map[string]float64 `json:"attrs,omitempty"`
+}
+
+// MaxWireSpans bounds how many spans one evaluation ships back; beyond it
+// the serving side keeps the earliest spans and drops the rest (the count of
+// sim runs per evaluation is budget-bounded, so the cap is generous).
+const MaxWireSpans = 4096
+
+// EvalResponse is the /v1/evaluate 200 body: the deterministic EvalResult
+// plus observability sidecars that must never enter search state. Keeping
+// them outside EvalResult's marshaled form — rather than as more json:"-"
+// fields — makes the separation structural: EvalResult's wire shape simply
+// has no slot for non-deterministic data.
+type EvalResponse struct {
+	EvalResult
+	// Spans is the worker's captured telemetry for this evaluation (present
+	// only when the request carried a TraceID), stamped in the worker's
+	// clock.
+	Spans []WireSpan `json:"spans,omitempty"`
+	// TimeNS is the worker's wall clock (UnixNano) when the response was
+	// built — a free clock-offset sample for every evaluation round trip.
+	TimeNS int64 `json:"time_ns,omitempty"`
 }
 
 // EvalBackend measures candidates. Implementations must uphold the

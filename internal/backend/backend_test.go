@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -129,12 +130,12 @@ func TestRequestValidation(t *testing.T) {
 	}
 }
 
-// TestProtocolGoldenRequest pins the v1 request wire format. Changing this
+// TestProtocolGoldenRequest pins the v2 request wire format. Changing this
 // encoding requires a ProtocolVersion bump: a silently reinterpreted field
 // could break bit-identity between coordinator and worker.
 func TestProtocolGoldenRequest(t *testing.T) {
 	req := EvalRequest{
-		Version:   1,
+		Version:   2,
 		Kind:      KindCandidate,
 		Generator: "g",
 		Params:    []float64{0.5, 3},
@@ -145,30 +146,76 @@ func TestProtocolGoldenRequest(t *testing.T) {
 			Windows:      3,
 			SkipCurves:   true,
 		},
-		Key: "k",
+		Key:     "k",
+		TraceID: "t1",
 	}
 	got, err := json.Marshal(&req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := `{"version":1,"kind":"candidate","generator":"g","params":[0.5,3],"seed":42,` +
+	want := `{"version":2,"kind":"candidate","generator":"g","params":[0.5,3],"seed":42,` +
 		`"profiler":{"machine":"broadwell","window_cycles":60000,"windows":3,"warmup_windows":0,` +
-		`"curve_windows":0,"curve_points":0,"max_requests_per_run":0,"skip_curves":true},"key":"k"}`
+		`"curve_windows":0,"curve_points":0,"max_requests_per_run":0,"skip_curves":true},"key":"k",` +
+		`"trace_id":"t1"}`
 	if string(got) != want {
 		t.Fatalf("request encoding drifted:\n got %s\nwant %s", got, want)
 	}
 }
 
-// TestProtocolGoldenHealth pins the v1 handshake wire format.
+// TestProtocolGoldenHealth pins the v2 handshake wire format.
 func TestProtocolGoldenHealth(t *testing.T) {
-	h := WorkerHealth{Protocol: 1, Name: "w1", Capacity: 4, Inflight: 2, Evals: 17}
+	h := WorkerHealth{Protocol: 2, Name: "w1", Capacity: 4, Inflight: 2, Evals: 17,
+		Version: "abc123", TimeNS: 99}
 	got, err := json.Marshal(&h)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := `{"protocol":1,"name":"w1","capacity":4,"inflight":2,"evals_total":17}`
+	want := `{"protocol":2,"name":"w1","capacity":4,"inflight":2,"evals_total":17,` +
+		`"version":"abc123","time_ns":99}`
 	if string(got) != want {
 		t.Fatalf("health encoding drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestProtocolGoldenResponse pins the v2 /v1/evaluate envelope: the
+// deterministic EvalResult fields plus the spans/time_ns sidecars — and,
+// crucially, that EvalResult's routing, span, and clock fields (json:"-")
+// never leak into the wire form.
+func TestProtocolGoldenResponse(t *testing.T) {
+	resp := EvalResponse{
+		EvalResult: EvalResult{
+			Profile:    &profile.Profile{Benchmark: "b"},
+			Worker:     "w1",
+			CacheTier:  TierShared,
+			DurationNS: 5,
+			// Coordinator-side-only fields: must not appear in the JSON.
+			WorkerID: 7, Retries: 1, Remote: true, Fallback: true,
+			Spans:         []WireSpan{{Phase: "leaked-span"}},
+			ClockOffsetNS: 123, ClockErrNS: 45, ClockOffsetOK: true,
+		},
+		Spans: []WireSpan{{Phase: "profile.sim", DurNS: 10, TimeNS: 20,
+			Attrs: map[string]float64{"worker": 0}}},
+		TimeNS: 30,
+	}
+	got, err := json.Marshal(&resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(got)
+	for _, leak := range []string{"leaked-span", "worker_id", "retries", "fallback", "clock_offset"} {
+		if strings.Contains(s, leak) {
+			t.Fatalf("envelope leaked %q: %s", leak, s)
+		}
+	}
+	profJSON, err := json.Marshal(resp.Profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"profile":` + string(profJSON) + `,"worker":"w1","cache_tier":"shared",` +
+		`"duration_ns":5,"spans":[{"phase":"profile.sim","dur_ns":10,"time_ns":20,` +
+		`"attrs":{"worker":0}}],"time_ns":30}`
+	if s != want {
+		t.Fatalf("envelope encoding drifted:\n got %s\nwant %s", s, want)
 	}
 }
 

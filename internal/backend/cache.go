@@ -202,12 +202,26 @@ func NewTieredCache(local core.EvalCache, remote *CacheClient) *TieredCache {
 	return &TieredCache{local: local, remote: remote}
 }
 
+// Cache tier names, as reported in EvalResult.CacheTier and cache.probe
+// telemetry.
+const (
+	TierWorker = "worker"
+	TierShared = "shared"
+)
+
 // Get implements core.EvalCache: local tier, then shared tier (filling
 // local on a remote hit).
 func (t *TieredCache) Get(key string) (*profile.Profile, bool) {
+	p, _, ok := t.GetTier(key)
+	return p, ok
+}
+
+// GetTier is Get plus which tier served the hit: TierWorker (the local
+// tier), TierShared (the coordinator's shared endpoint), or "" on a miss.
+func (t *TieredCache) GetTier(key string) (*profile.Profile, string, bool) {
 	if p, ok := t.local.Get(key); ok {
 		t.localHits.Add(1)
-		return p, true
+		return p, TierWorker, true
 	}
 	if t.remote != nil {
 		p, ok, err := t.remote.Get(context.Background(), key)
@@ -216,11 +230,11 @@ func (t *TieredCache) Get(key string) (*profile.Profile, bool) {
 		} else if ok {
 			t.remoteHits.Add(1)
 			t.local.Put(key, p)
-			return p, true
+			return p, TierShared, true
 		}
 	}
 	t.misses.Add(1)
-	return nil, false
+	return nil, "", false
 }
 
 // Put implements core.EvalCache: fill the local tier and publish to the

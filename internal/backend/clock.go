@@ -1,0 +1,86 @@
+package backend
+
+import "sync"
+
+// Clock alignment: workers stamp their shipped spans with their own wall
+// clock, which may be arbitrarily skewed from the coordinator's. Every
+// health probe and evaluation round trip yields an NTP-style midpoint
+// sample — the worker reports its clock at some instant between the
+// coordinator's send (t0) and receive (t2), so
+//
+//	offset = worker − (t0+t2)/2,  uncertainty = (t2−t0)/2
+//
+// bounds the true offset to offset ± uncertainty. The filter keeps the
+// minimum-uncertainty (minimum-RTT) sample seen, the classic defense
+// against queueing delay inflating the estimate. Rebasing subtracts the
+// offset from every worker timestamp; it is order-preserving by
+// construction, so a monotonic worker-side span stream stays monotonic on
+// the coordinator timeline.
+
+// ClockEstimate is a worker-clock offset estimate with its error bound.
+type ClockEstimate struct {
+	// OffsetNS estimates worker clock minus coordinator clock.
+	OffsetNS int64 `json:"offset_ns"`
+	// UncertaintyNS is the half-RTT error bound: the true offset lies in
+	// OffsetNS ± UncertaintyNS (assuming symmetric network delay).
+	UncertaintyNS int64 `json:"uncertainty_ns"`
+	// Samples counts round trips observed since the backend was built.
+	Samples int `json:"samples"`
+}
+
+// clockFilter accumulates round-trip samples and keeps the best estimate.
+type clockFilter struct {
+	mu   sync.Mutex
+	best ClockEstimate
+	ok   bool
+}
+
+// MidpointOffset computes one sample: t0 and t2 are the coordinator's
+// clock before send and after receive, workerNS the worker clock reported
+// in between.
+func MidpointOffset(t0, t2, workerNS int64) (offsetNS, uncertaintyNS int64) {
+	mid := t0 + (t2-t0)/2
+	return workerNS - mid, (t2 - t0) / 2
+}
+
+// observe folds one round-trip sample into the filter. Samples without a
+// worker timestamp (workerNS == 0, e.g. a pre-v2 peer) are ignored.
+func (c *clockFilter) observe(t0, t2, workerNS int64) {
+	if workerNS == 0 || t2 < t0 {
+		return
+	}
+	off, unc := MidpointOffset(t0, t2, workerNS)
+	c.mu.Lock()
+	c.best.Samples++
+	if !c.ok || unc < c.best.UncertaintyNS {
+		c.best.OffsetNS, c.best.UncertaintyNS = off, unc
+		c.ok = true
+	}
+	c.mu.Unlock()
+}
+
+// estimate returns the current best estimate and whether one exists.
+func (c *clockFilter) estimate() (ClockEstimate, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.best, c.ok
+}
+
+// RebaseSpans maps worker-stamped spans onto the coordinator timeline by
+// subtracting offsetNS from every wall-clock stamp. The input is not
+// mutated. Rebasing is deterministic and order-preserving: it applies one
+// fixed translation, so spans that were monotonic in the worker's clock
+// remain monotonic, whatever the skew.
+func RebaseSpans(spans []WireSpan, offsetNS int64) []WireSpan {
+	if len(spans) == 0 || offsetNS == 0 {
+		return spans
+	}
+	out := make([]WireSpan, len(spans))
+	copy(out, spans)
+	for i := range out {
+		if out[i].TimeNS != 0 {
+			out[i].TimeNS -= offsetNS
+		}
+	}
+	return out
+}

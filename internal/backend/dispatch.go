@@ -86,6 +86,19 @@ type WorkerInfo struct {
 	Healthy  bool   `json:"healthy"`
 	Evals    uint64 `json:"evals"`
 	Failures int    `json:"consecutive_failures"`
+	// Version is the worker's self-reported build version (heartbeat or
+	// health probe) — the fleet's version-skew signal.
+	Version string `json:"version,omitempty"`
+	// ReportedInflight is the worker's own load snapshot from its last
+	// heartbeat; Inflight above is the dispatcher's accounting of work *it*
+	// has in flight there, which misses load from other coordinators.
+	ReportedInflight int `json:"reported_inflight,omitempty"`
+	// LastSeenAgeMS is how long ago the worker last proved liveness
+	// (registration, heartbeat, successful probe, or served evaluation).
+	LastSeenAgeMS int64 `json:"last_seen_age_ms"`
+	// Clock is the worker's estimated clock offset (nil until a stamped
+	// round trip has been observed).
+	Clock *ClockEstimate `json:"clock,omitempty"`
 }
 
 // workerState is the dispatcher's bookkeeping for one registered worker.
@@ -97,6 +110,8 @@ type workerState struct {
 	fails    int
 	healthy  bool
 	evals    uint64
+	reported int       // inflight self-reported on the last heartbeat
+	lastSeen time.Time // last registration/heartbeat/probe/eval success
 }
 
 func (w *workerState) capacity() int {
@@ -204,22 +219,33 @@ func (d *Dispatcher) RegisterURL(reg WorkerRegistration) (int, error) {
 	if reg.Capacity > 0 {
 		rb.SetCapacity(reg.Capacity)
 	}
-	return d.register(rb, rb.URL()), nil
+	rb.SetVersion(reg.Version)
+	return d.registerWith(rb, rb.URL(), reg.Inflight), nil
 }
 
 // register implements Register/RegisterURL; dedupKey "" dedups by name.
 func (d *Dispatcher) register(b EvalBackend, dedupKey string) int {
+	return d.registerWith(b, dedupKey, 0)
+}
+
+func (d *Dispatcher) registerWith(b EvalBackend, dedupKey string, reported int) int {
 	d.mu.Lock()
 	for _, w := range d.workers {
 		same := (dedupKey != "" && w.url == dedupKey) ||
 			(dedupKey == "" && w.url == "" && w.backend.Name() == b.Name())
 		if same {
-			// Heartbeat re-registration: refresh liveness and capacity.
+			// Heartbeat re-registration: refresh liveness, capacity, load
+			// snapshot, and version.
 			w.healthy = true
 			w.fails = 0
+			w.reported = reported
+			w.lastSeen = time.Now()
 			if rb, ok := w.backend.(*RemoteBackend); ok {
 				if c := b.Capacity(); c > 0 {
 					rb.SetCapacity(c)
+				}
+				if nrb, ok := b.(*RemoteBackend); ok {
+					rb.SetVersion(nrb.Version())
 				}
 			}
 			id := w.id
@@ -228,7 +254,8 @@ func (d *Dispatcher) register(b EvalBackend, dedupKey string) int {
 			return id
 		}
 	}
-	w := &workerState{id: d.nextID, backend: b, url: dedupKey, healthy: true}
+	w := &workerState{id: d.nextID, backend: b, url: dedupKey, healthy: true,
+		reported: reported, lastSeen: time.Now()}
 	d.nextID++
 	d.workers = append(d.workers, w)
 	d.registered.Add(1)
@@ -267,18 +294,31 @@ func (d *Dispatcher) HasWorkers() bool {
 func (d *Dispatcher) Workers() []WorkerInfo {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	now := time.Now()
 	out := make([]WorkerInfo, 0, len(d.workers))
 	for _, w := range d.workers {
-		out = append(out, WorkerInfo{
-			ID:       w.id,
-			Name:     w.backend.Name(),
-			URL:      w.url,
-			Capacity: w.capacity(),
-			Inflight: w.inflight,
-			Healthy:  w.healthy,
-			Evals:    w.evals,
-			Failures: w.fails,
-		})
+		info := WorkerInfo{
+			ID:               w.id,
+			Name:             w.backend.Name(),
+			URL:              w.url,
+			Capacity:         w.capacity(),
+			Inflight:         w.inflight,
+			Healthy:          w.healthy,
+			Evals:            w.evals,
+			Failures:         w.fails,
+			ReportedInflight: w.reported,
+		}
+		if !w.lastSeen.IsZero() {
+			info.LastSeenAgeMS = now.Sub(w.lastSeen).Milliseconds()
+		}
+		if rb, ok := w.backend.(*RemoteBackend); ok {
+			info.Version = rb.Version()
+			if est, ok := rb.Clock(); ok {
+				c := est
+				info.Clock = &c
+			}
+		}
+		out = append(out, info)
 	}
 	return out
 }
@@ -322,6 +362,7 @@ func (d *Dispatcher) CheckHealth(ctx context.Context) {
 			d.mu.Lock()
 			w.healthy = true
 			w.fails = 0
+			w.lastSeen = time.Now()
 			d.cond.Broadcast()
 			d.mu.Unlock()
 			continue
@@ -423,6 +464,7 @@ func (d *Dispatcher) release(w *workerState, ok bool) {
 		w.fails = 0
 		w.healthy = true
 		w.evals++
+		w.lastSeen = time.Now()
 	}
 	d.cond.Broadcast()
 	d.mu.Unlock()

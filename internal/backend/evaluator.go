@@ -57,6 +57,12 @@ func (e *SearchEvaluator) Evaluate(ctx context.Context, x []float64, seed uint64
 		Profiler:  e.spec,
 		Key:       core.EvalKey(e.Generator, e.Profiler, x, seed),
 	}
+	if e.Telemetry.Enabled() {
+		// Trace context: the content address doubles as the trace ID — it is
+		// deterministic, unique per evaluation, and already on the request.
+		// The serving side captures and ships its spans only when set.
+		req.TraceID = req.Key
+	}
 	start := time.Now()
 	res, err := e.Backend.Evaluate(ctx, req)
 	d := time.Since(start)
@@ -71,7 +77,42 @@ func (e *SearchEvaluator) Evaluate(ctx context.Context, x []float64, seed uint64
 		if res.Remote {
 			attrs[telemetry.AttrRemote] = 1
 		}
+		if res.DurationNS > 0 {
+			// Worker-side evaluation time: round trip minus this is the
+			// dispatch overhead (serialization, network, queueing).
+			attrs[telemetry.AttrWorkerNS] = float64(res.DurationNS)
+		}
+		if res.ClockOffsetOK {
+			attrs[telemetry.AttrClockOffsetNS] = float64(res.ClockOffsetNS)
+			attrs[telemetry.AttrClockErrNS] = float64(res.ClockErrNS)
+		}
 		rec.RecordSpan(telemetry.PhaseRemoteEval, 0, d, attrs)
+		// Replay the shipped worker spans onto the coordinator timeline:
+		// rebase their wall-clock stamps by the estimated offset and tag
+		// them with the fleet worker ID so the trace exporter and timeline
+		// report can attribute them. Locally served evaluations ship spans
+		// already in the coordinator's clock (offset 0).
+		if len(res.Spans) > 0 {
+			var offset int64
+			if res.ClockOffsetOK {
+				offset = res.ClockOffsetNS
+			}
+			for _, ws := range RebaseSpans(res.Spans, offset) {
+				sa := make(map[string]float64, len(ws.Attrs)+1)
+				for k, v := range ws.Attrs {
+					sa[k] = v
+				}
+				sa[telemetry.AttrFleetWorker] = float64(res.WorkerID)
+				rec.Emit(telemetry.Event{
+					Type:   telemetry.TypeSpan,
+					Iter:   ws.Iter,
+					Phase:  ws.Phase,
+					DurNS:  ws.DurNS,
+					TimeNS: ws.TimeNS,
+					Attrs:  sa,
+				})
+			}
+		}
 		if res.Retries > 0 {
 			rec.RecordSpan(telemetry.PhaseDispatchRetry, 0, 0, map[string]float64{
 				telemetry.AttrRemoteWorker: float64(res.WorkerID),

@@ -9,6 +9,7 @@ import (
 	"datamime/internal/datagen"
 	"datamime/internal/harness"
 	"datamime/internal/profile"
+	"datamime/internal/telemetry"
 	"datamime/internal/workload"
 )
 
@@ -96,6 +97,14 @@ func (l *LocalBackend) Evaluate(ctx context.Context, req EvalRequest) (EvalResul
 	}
 	pr.Workers = l.ProfileWorkers
 	pr.Budget = l.Budget
+	// Trace context: a TraceID asks for this evaluation's telemetry back.
+	// The collector hangs off the reconstructed profiler only — it observes
+	// the measurement, it cannot influence it.
+	var col *telemetry.Collector
+	if req.TraceID != "" {
+		col = &telemetry.Collector{}
+		pr.Telemetry = telemetry.New(telemetry.Options{Capacity: 1, OnEvent: col.Record})
+	}
 	bench, err := l.resolve(req)
 	if err != nil {
 		return EvalResult{}, err
@@ -105,11 +114,37 @@ func (l *LocalBackend) Evaluate(ctx context.Context, req EvalRequest) (EvalResul
 	if err != nil {
 		return EvalResult{}, err
 	}
-	return EvalResult{
+	res := EvalResult{
 		Profile:    p,
 		Worker:     l.Name(),
 		DurationNS: time.Since(start).Nanoseconds(),
-	}, nil
+	}
+	if col != nil {
+		res.Spans = wireSpans(col.Events())
+	}
+	return res, nil
+}
+
+// wireSpans converts captured telemetry spans to their wire form, capped at
+// MaxWireSpans (earliest kept).
+func wireSpans(events []telemetry.Event) []WireSpan {
+	var out []WireSpan
+	for _, ev := range events {
+		if ev.Type != telemetry.TypeSpan {
+			continue
+		}
+		out = append(out, WireSpan{
+			Phase:  ev.Phase,
+			Iter:   ev.Iter,
+			DurNS:  ev.DurNS,
+			TimeNS: ev.TimeNS,
+			Attrs:  ev.Attrs,
+		})
+		if len(out) >= MaxWireSpans {
+			break
+		}
+	}
+	return out
 }
 
 var _ EvalBackend = (*LocalBackend)(nil)

@@ -38,6 +38,12 @@ type WorkerHealth struct {
 	Capacity int    `json:"capacity"`
 	Inflight int    `json:"inflight"`
 	Evals    uint64 `json:"evals_total"`
+	// Version is the worker binary's build version (buildinfo), so version
+	// skew across a fleet is visible from the coordinator.
+	Version string `json:"version,omitempty"`
+	// TimeNS is the worker's wall clock (UnixNano) when the probe was
+	// answered — the clock-offset sample every health round trip yields.
+	TimeNS int64 `json:"time_ns,omitempty"`
 }
 
 // wireError is the JSON error body of every non-2xx protocol response.
@@ -54,6 +60,12 @@ type RemoteBackend struct {
 	// capacity is the worker's advertised concurrency, refreshed by every
 	// Health probe (0 until the first one answers).
 	capacity atomic.Int64
+	// version is the worker's self-reported build version, refreshed by
+	// every Health probe.
+	version atomic.Value // string
+	// clock accumulates midpoint clock-offset samples from health and
+	// evaluate round trips.
+	clock clockFilter
 }
 
 // NewRemoteBackend builds a client for the worker at baseURL (e.g.
@@ -85,6 +97,25 @@ func (r *RemoteBackend) Capacity() int { return int(r.capacity.Load()) }
 // message) before the first health probe.
 func (r *RemoteBackend) SetCapacity(n int) { r.capacity.Store(int64(n)) }
 
+// Version returns the worker's build version as of the last successful
+// health probe ("" until one answers).
+func (r *RemoteBackend) Version() string {
+	v, _ := r.version.Load().(string)
+	return v
+}
+
+// SetVersion seeds the reported version (e.g. from a registration message)
+// before the first health probe.
+func (r *RemoteBackend) SetVersion(v string) {
+	if v != "" {
+		r.version.Store(v)
+	}
+}
+
+// Clock returns the current worker-clock offset estimate and whether any
+// round trip has produced one yet.
+func (r *RemoteBackend) Clock() (ClockEstimate, bool) { return r.clock.estimate() }
+
 // Health implements EvalBackend: GET /v1/healthz, verifying the protocol
 // version and refreshing the advertised capacity.
 func (r *RemoteBackend) Health(ctx context.Context) error {
@@ -92,7 +123,9 @@ func (r *RemoteBackend) Health(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	t0 := time.Now().UnixNano()
 	resp, err := r.hc.Do(req)
+	t2 := time.Now().UnixNano()
 	if err != nil {
 		return fmt.Errorf("backend: health %s: %w", r.name, err)
 	}
@@ -110,6 +143,8 @@ func (r *RemoteBackend) Health(ctx context.Context) error {
 	if h.Capacity > 0 {
 		r.capacity.Store(int64(h.Capacity))
 	}
+	r.SetVersion(h.Version)
+	r.clock.observe(t0, t2, h.TimeNS)
 	return nil
 }
 
@@ -124,7 +159,9 @@ func (r *RemoteBackend) Evaluate(ctx context.Context, req EvalRequest) (EvalResu
 		return EvalResult{}, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	t0 := time.Now().UnixNano()
 	resp, err := r.hc.Do(hreq)
+	t2 := time.Now().UnixNano()
 	if err != nil {
 		return EvalResult{}, fmt.Errorf("backend: evaluate on %s: %w", r.name, err)
 	}
@@ -137,12 +174,24 @@ func (r *RemoteBackend) Evaluate(ctx context.Context, req EvalRequest) (EvalResu
 		return EvalResult{}, fmt.Errorf("backend: evaluate on %s: HTTP %d: %s",
 			r.name, resp.StatusCode, readWireError(resp.Body))
 	}
-	var res EvalResult
-	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+	var wire EvalResponse
+	if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
 		return EvalResult{}, fmt.Errorf("backend: evaluate on %s: decoding: %w", r.name, err)
 	}
-	if res.Profile == nil {
+	if wire.Profile == nil {
 		return EvalResult{}, fmt.Errorf("backend: evaluate on %s: result without a profile", r.name)
+	}
+	// The response envelope carries the observability sidecars; fold them
+	// into the in-memory (never-marshaled) EvalResult fields, and use the
+	// worker's response-time stamp as a clock sample. The evaluation itself
+	// makes a poor sample (RTT includes simulation time), but the filter
+	// keeps the minimum-uncertainty observation, so health probes dominate
+	// whenever they exist.
+	r.clock.observe(t0, t2, wire.TimeNS)
+	res := wire.EvalResult
+	res.Spans = wire.Spans
+	if est, ok := r.clock.estimate(); ok {
+		res.ClockOffsetNS, res.ClockErrNS, res.ClockOffsetOK = est.OffsetNS, est.UncertaintyNS, true
 	}
 	if res.Worker == "" {
 		res.Worker = r.name
@@ -163,6 +212,13 @@ type WorkerRegistration struct {
 	Capacity int `json:"capacity,omitempty"`
 	// Protocol is the worker's protocol version (ProtocolVersion).
 	Protocol int `json:"protocol,omitempty"`
+	// Version is the worker binary's build version (buildinfo), carried on
+	// every heartbeat so the coordinator can surface fleet version skew.
+	Version string `json:"build_version,omitempty"`
+	// Inflight is the worker's evaluation load at announce time — a
+	// heartbeat-grained load snapshot for /v1/workers and /v1/fleet even
+	// when the coordinator's health loop has not probed recently.
+	Inflight int `json:"inflight,omitempty"`
 }
 
 // Announce registers a worker with a coordinator: POST /v1/workers. Workers

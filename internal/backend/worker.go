@@ -37,6 +37,9 @@ type WorkerConfig struct {
 	Coordinator string
 	// Generators registers extra generators beyond the built-in set.
 	Generators []datagen.Generator
+	// Version is the worker binary's build version, reported in health
+	// probes and heartbeats so the coordinator can surface version skew.
+	Version string
 }
 
 // Worker is the evaluation server behind cmd/datamime-worker: a
@@ -138,6 +141,7 @@ func (w *Worker) buildMetrics() *telemetry.Registry {
 		func() float64 { return float64(w.cache.Stats().RemoteErrors) })
 	reg.NewGaugeFunc("datamime_worker_uptime_seconds", "Seconds since the worker started.",
 		func() float64 { return time.Since(w.started).Seconds() })
+	telemetry.RegisterRuntimeMetrics(reg, "datamime_worker")
 	return reg
 }
 
@@ -153,7 +157,8 @@ func (w *Worker) Handler() http.Handler {
 	return mux
 }
 
-// Health reports the worker's handshake body.
+// Health reports the worker's handshake body. The wall-clock stamp makes
+// every health round trip a clock-offset sample for the coordinator.
 func (w *Worker) Health() WorkerHealth {
 	return WorkerHealth{
 		Protocol: ProtocolVersion,
@@ -161,6 +166,8 @@ func (w *Worker) Health() WorkerHealth {
 		Capacity: w.cfg.Capacity,
 		Inflight: int(w.queued.Load()),
 		Evals:    w.evals.Load(),
+		Version:  w.cfg.Version,
+		TimeNS:   time.Now().UnixNano(),
 	}
 }
 
@@ -200,14 +207,36 @@ func (w *Worker) handleEvaluate(rw http.ResponseWriter, r *http.Request) {
 	}
 	defer func() { <-w.sem }()
 
+	// The cache probe is itself observable: when the request carries a
+	// TraceID, the lookup becomes a cache.probe span in the response
+	// envelope, hit or miss.
+	var spans []WireSpan
 	if req.Key != "" {
-		if p, ok := w.cache.Get(req.Key); ok {
+		probeStart := time.Now()
+		p, tier, ok := w.cache.GetTier(req.Key)
+		if req.TraceID != "" {
+			attrs := map[string]float64{telemetry.AttrCacheHit: 0}
+			if ok {
+				attrs[telemetry.AttrCacheHit] = 1
+				attrs[telemetry.AttrCacheTier] = 1
+				if tier == TierShared {
+					attrs[telemetry.AttrCacheTier] = 2
+				}
+			}
+			spans = append(spans, WireSpan{
+				Phase:  telemetry.PhaseCacheProbe,
+				DurNS:  time.Since(probeStart).Nanoseconds(),
+				TimeNS: time.Now().UnixNano(),
+				Attrs:  attrs,
+			})
+		}
+		if ok {
 			w.evals.Add(1)
-			writeWire(rw, http.StatusOK, EvalResult{
+			w.respond(rw, EvalResult{
 				Profile:   p,
 				Worker:    w.cfg.Name,
-				CacheTier: "worker",
-			})
+				CacheTier: tier,
+			}, spans, req.TraceID)
 			return
 		}
 	}
@@ -225,8 +254,23 @@ func (w *Worker) handleEvaluate(rw http.ResponseWriter, r *http.Request) {
 		w.cache.Put(req.Key, res.Profile)
 	}
 	res.Worker = w.cfg.Name
+	spans = append(spans, res.Spans...)
 	w.evals.Add(1)
-	writeWire(rw, http.StatusOK, res)
+	w.respond(rw, res, spans, req.TraceID)
+}
+
+// respond writes the /v1/evaluate envelope: the deterministic result plus —
+// only when trace context was propagated — the captured spans and the
+// worker's wall clock.
+func (w *Worker) respond(rw http.ResponseWriter, res EvalResult, spans []WireSpan, traceID string) {
+	resp := EvalResponse{EvalResult: res, TimeNS: time.Now().UnixNano()}
+	if traceID != "" {
+		if len(spans) > MaxWireSpans {
+			spans = spans[:MaxWireSpans]
+		}
+		resp.Spans = spans
+	}
+	writeWire(rw, http.StatusOK, resp)
 }
 
 // RunAnnouncer keeps the worker registered with a coordinator: announce
@@ -237,8 +281,16 @@ func (w *Worker) RunAnnouncer(ctx context.Context, coordinator, selfURL string, 
 	if interval <= 0 {
 		interval = 30 * time.Second
 	}
-	reg := WorkerRegistration{URL: selfURL, Name: w.cfg.Name, Capacity: w.cfg.Capacity}
+	reg := WorkerRegistration{
+		URL:      selfURL,
+		Name:     w.cfg.Name,
+		Capacity: w.cfg.Capacity,
+		Version:  w.cfg.Version,
+	}
 	announce := func() {
+		// Each heartbeat snapshots the current load so the coordinator's
+		// fleet listing tracks inflight even between health probes.
+		reg.Inflight = int(w.queued.Load())
 		if err := Announce(ctx, coordinator, reg); err != nil && onErr != nil {
 			onErr(err)
 		}

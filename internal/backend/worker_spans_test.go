@@ -1,0 +1,83 @@
+package backend
+
+import (
+	"context"
+	"testing"
+
+	"datamime/internal/telemetry"
+)
+
+// TestWorkerShipsSpansWithTraceContext: a request carrying a TraceID gets
+// the worker's captured telemetry back in the response envelope — sim spans
+// on a miss, a cache.probe span either way — while a request without trace
+// context gets none, keeping the default wire format span-free.
+func TestWorkerShipsSpansWithTraceContext(t *testing.T) {
+	_, rb, _ := newTestWorker(t, WorkerConfig{})
+	pr := testProfiler()
+	req := testRequest(pr)
+	req.Key = "span-key"
+	req.TraceID = "span-key"
+
+	res, err := rb.Evaluate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, ws := range res.Spans {
+		counts[ws.Phase]++
+		if ws.TimeNS == 0 {
+			t.Errorf("shipped %s span without a wall-clock stamp", ws.Phase)
+		}
+	}
+	if counts[telemetry.PhaseSimRun] == 0 {
+		t.Errorf("miss response shipped no %s spans: %v", telemetry.PhaseSimRun, counts)
+	}
+	if counts[telemetry.PhaseCacheProbe] != 1 {
+		t.Errorf("miss response shipped %d cache probes, want 1", counts[telemetry.PhaseCacheProbe])
+	}
+	probe := findSpan(res.Spans, telemetry.PhaseCacheProbe)
+	if probe.Attrs[telemetry.AttrCacheHit] != 0 {
+		t.Error("first probe reported a cache hit")
+	}
+
+	// The repeat is a worker-tier hit: only the probe span ships, attributed
+	// hit + tier 1.
+	res2, err := rb.Evaluate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.CacheTier != TierWorker {
+		t.Fatalf("repeat tier = %q, want %q", res2.CacheTier, TierWorker)
+	}
+	if len(res2.Spans) != 1 {
+		t.Fatalf("hit response shipped %d spans, want just the probe", len(res2.Spans))
+	}
+	probe = findSpan(res2.Spans, telemetry.PhaseCacheProbe)
+	if probe.Attrs[telemetry.AttrCacheHit] != 1 || probe.Attrs[telemetry.AttrCacheTier] != 1 {
+		t.Errorf("hit probe attrs = %v, want cache_hit=1 tier=1", probe.Attrs)
+	}
+
+	// Clock samples ride along once any round trip completes.
+	if !res2.ClockOffsetOK {
+		t.Error("no clock-offset estimate after two round trips")
+	}
+
+	// Without trace context the envelope stays lean.
+	req.Key, req.TraceID = "plain-key", ""
+	res3, err := rb.Evaluate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res3.Spans) != 0 {
+		t.Errorf("untraced response shipped %d spans, want 0", len(res3.Spans))
+	}
+}
+
+func findSpan(spans []WireSpan, phase string) WireSpan {
+	for _, ws := range spans {
+		if ws.Phase == phase {
+			return ws
+		}
+	}
+	return WireSpan{}
+}

@@ -94,8 +94,8 @@ func TestWorkerSharedCacheTier(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.CacheTier != "worker" {
-		t.Fatalf("tier = %q, want cache-served", res.CacheTier)
+	if res.CacheTier != TierShared {
+		t.Fatalf("tier = %q, want %q", res.CacheTier, TierShared)
 	}
 	got, _ := json.Marshal(res.Profile)
 	want, _ := json.Marshal(seeded)

@@ -305,26 +305,70 @@ func (r *Report) writePhasesHTML(b *strings.Builder) {
 // summary. Omitted when the artifact carries no timed simulation spans.
 func (r *Report) writeTimelineHTML(b *strings.Builder) {
 	tl := NewTimeline(r.Run)
-	if len(tl.Workers) == 0 {
+	if len(tl.Workers) == 0 && len(tl.Fleet) == 0 {
 		return
 	}
-	b.WriteString("<h2>Profiler utilization</h2>\n")
-	fmt.Fprintf(b, "<p class=\"sub\">%s simulated across %d workers over %s of wall-clock — speedup %.2f×, parallel efficiency %s, single-worker share %s.</p>\n",
-		fms(tl.BusyNS), len(tl.Workers), fms(tl.WallNS), tl.Speedup(), fpct(tl.Efficiency()), fpct(tl.SerialShare()))
-	b.WriteString("<table>\n<thead><tr><th>worker</th><th class=\"num\">runs</th><th class=\"num\">busy</th><th class=\"num\">occupancy</th><th>utilization</th></tr></thead>\n<tbody>\n")
-	for _, ws := range tl.Workers {
+	if len(tl.Workers) > 0 {
+		b.WriteString("<h2>Profiler utilization</h2>\n")
+		fmt.Fprintf(b, "<p class=\"sub\">%s simulated across %d workers over %s of wall-clock — speedup %.2f×, parallel efficiency %s, single-worker share %s.</p>\n",
+			fms(tl.BusyNS), len(tl.Workers), fms(tl.WallNS), tl.Speedup(), fpct(tl.Efficiency()), fpct(tl.SerialShare()))
+		b.WriteString("<table>\n<thead><tr><th>worker</th><th class=\"num\">runs</th><th class=\"num\">busy</th><th class=\"num\">occupancy</th><th>utilization</th></tr></thead>\n<tbody>\n")
+		for _, ws := range tl.Workers {
+			occ := 0.0
+			if tl.WallNS > 0 {
+				occ = float64(ws.BusyNS) / float64(tl.WallNS)
+			}
+			strip := fmt.Sprintf(`<div class="bandstrip"><span style="width:%.1f%%;background:%s"></span></div>`,
+				occ*100, bandRamp[4])
+			fmt.Fprintf(b, "<tr><td>worker %d</td><td class=\"num\">%d</td><td class=\"num\">%s</td><td class=\"num\">%s</td><td>%s</td></tr>\n",
+				ws.Worker, ws.Runs, fms(ws.BusyNS), fpct(occ), strip)
+		}
+		b.WriteString("</tbody>\n</table>\n")
+		if tl.BudgetWaits > 0 {
+			fmt.Fprintf(b, "<p class=\"sub\">Budget-semaphore stalls: %d totaling %s.</p>\n",
+				tl.BudgetWaits, fms(tl.BudgetWaitNS))
+		}
+	}
+	r.writeFleetHTML(b, tl)
+}
+
+// writeFleetHTML renders the fleet observability section: per-fleet-worker
+// simulation occupancy from shipped spans, the fleet-wide occupancy figure,
+// and the dispatch-overhead summary. Omitted for runs without fleet spans.
+func (r *Report) writeFleetHTML(b *strings.Builder, tl *Timeline) {
+	if len(tl.Fleet) == 0 {
+		return
+	}
+	b.WriteString("<h2>Fleet utilization</h2>\n")
+	fmt.Fprintf(b, "<p class=\"sub\">%s simulated on %d fleet processes — fleet-wide occupancy %s over %s covered wall, remote share %s.</p>\n",
+		fms(tl.FleetBusyNS), len(tl.Fleet), fpct(tl.FleetOccupancy()), fms(tl.FleetWallNS), fpct(tl.RemoteShare()))
+	b.WriteString("<table>\n<thead><tr><th>process</th><th class=\"num\">sims</th><th class=\"num\">busy</th><th class=\"num\">lanes</th><th class=\"num\">efficiency</th><th>utilization</th></tr></thead>\n<tbody>\n")
+	for _, fs := range tl.Fleet {
+		name := fmt.Sprintf("fleet worker %d", fs.Worker)
+		if fs.Worker < 0 {
+			name = "fleet fallback"
+		}
 		occ := 0.0
-		if tl.WallNS > 0 {
-			occ = float64(ws.BusyNS) / float64(tl.WallNS)
+		if tl.FleetWallNS > 0 {
+			occ = float64(fs.BusyNS) / float64(tl.FleetWallNS)
 		}
 		strip := fmt.Sprintf(`<div class="bandstrip"><span style="width:%.1f%%;background:%s"></span></div>`,
-			occ*100, bandRamp[4])
-		fmt.Fprintf(b, "<tr><td>worker %d</td><td class=\"num\">%d</td><td class=\"num\">%s</td><td class=\"num\">%s</td><td>%s</td></tr>\n",
-			ws.Worker, ws.Runs, fms(ws.BusyNS), fpct(occ), strip)
+			occ*100, bandRamp[2])
+		fmt.Fprintf(b, "<tr><td>%s</td><td class=\"num\">%d</td><td class=\"num\">%s</td><td class=\"num\">%d</td><td class=\"num\">%s</td><td>%s</td></tr>\n",
+			htmlEscape(name), fs.Sims, fms(fs.BusyNS), fs.Lanes, fpct(fs.Efficiency()), strip)
 	}
 	b.WriteString("</tbody>\n</table>\n")
-	if tl.BudgetWaits > 0 {
-		fmt.Fprintf(b, "<p class=\"sub\">Budget-semaphore stalls: %d totaling %s.</p>\n",
-			tl.BudgetWaits, fms(tl.BudgetWaitNS))
+	var notes []string
+	if tl.DispatchOverheadNS > 0 {
+		notes = append(notes, fmt.Sprintf("dispatch overhead %s", fms(tl.DispatchOverheadNS)))
+	}
+	if tl.CacheProbes > 0 {
+		notes = append(notes, fmt.Sprintf("%d worker cache probes (%d hits)", tl.CacheProbes, tl.CacheProbeHits))
+	}
+	if tl.FleetBudgetWaits > 0 {
+		notes = append(notes, fmt.Sprintf("%d remote budget stalls totaling %s", tl.FleetBudgetWaits, fms(tl.FleetBudgetWaitNS)))
+	}
+	if len(notes) > 0 {
+		fmt.Fprintf(b, "<p class=\"sub\">%s.</p>\n", htmlEscape(strings.Join(notes, "; ")))
 	}
 }

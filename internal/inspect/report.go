@@ -169,9 +169,15 @@ func (r *Report) RenderText(w io.Writer) error {
 		r.renderAttributionText(&b)
 	}
 	r.renderPhasesText(&b)
-	if tl := NewTimeline(run); len(tl.Workers) > 0 {
-		fmt.Fprintf(&b, "\nprofiler utilization: %d workers, speedup %.2fx, parallel efficiency %s\n",
-			len(tl.Workers), tl.Speedup(), fpct(tl.Efficiency()))
+	if tl := NewTimeline(run); len(tl.Workers) > 0 || len(tl.Fleet) > 0 {
+		if len(tl.Workers) > 0 {
+			fmt.Fprintf(&b, "\nprofiler utilization: %d workers, speedup %.2fx, parallel efficiency %s\n",
+				len(tl.Workers), tl.Speedup(), fpct(tl.Efficiency()))
+		}
+		if len(tl.Fleet) > 0 {
+			fmt.Fprintf(&b, "fleet: %d processes, occupancy %s, remote share %s\n",
+				len(tl.Fleet), fpct(tl.FleetOccupancy()), fpct(tl.RemoteShare()))
+		}
 	}
 	fmt.Fprintf(&b, "\neval cache: %d hits, %d misses%s\n",
 		c.CacheHits, c.Misses, hitRateSuffix(c))

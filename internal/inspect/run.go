@@ -67,6 +67,11 @@ type Run struct {
 	// SpanLog holds the timed spans in stream order, feeding NewTimeline's
 	// worker-occupancy and parallel-efficiency analysis.
 	SpanLog []SpanRecord
+	// UnstampedSpans counts span events without a wall-clock stamp
+	// (synthesized artifacts of disk-restored jobs). They still aggregate
+	// into Phases, but carry no position on any timeline — a nonzero count
+	// explains a sparse or empty occupancy analysis.
+	UnstampedSpans int
 	// Malformed counts skipped lines that did not parse as events (e.g. a
 	// line truncated by a dying writer).
 	Malformed int
@@ -115,6 +120,8 @@ func LoadRun(r io.Reader) (*Run, error) {
 					EndNS:   ev.TimeNS,
 					Attrs:   ev.Attrs,
 				})
+			} else {
+				run.UnstampedSpans++
 			}
 		case telemetry.TypeEval:
 			rec, err := evalRecord(ev)

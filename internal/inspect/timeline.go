@@ -50,6 +50,35 @@ type Timeline struct {
 	Remote            []RemoteStat
 	DispatchRetries   int
 	DispatchFallbacks int
+
+	// Fleet lists per-fleet-worker simulation occupancy, built from the
+	// spans remote workers shipped back (rebased onto the coordinator
+	// clock and tagged with the fleet worker ID). Empty for runs without
+	// span shipping.
+	Fleet []FleetStat
+	// FleetBusyNS is the summed remote simulation time across the fleet;
+	// BusyNS above covers only this process's profiler pool, so the two
+	// together are the run's total simulation work.
+	FleetBusyNS int64
+	// FleetWallNS is the union extent of all simulation intervals — local
+	// and remote — on the rebased shared timeline: the denominator of the
+	// fleet-wide occupancy figure.
+	FleetWallNS int64
+	// FleetBudgetWaits / FleetBudgetWaitNS total the budget-semaphore
+	// stalls observed on remote workers.
+	FleetBudgetWaits  int
+	FleetBudgetWaitNS int64
+	// CacheProbes / CacheProbeHits count the worker-side cache lookups
+	// shipped back as cache.probe spans.
+	CacheProbes    int
+	CacheProbeHits int
+	// DispatchOverheadNS sums, over eval.remote round trips that carried a
+	// worker-side duration, the round trip minus the worker's own
+	// evaluation time — serialization, network, and queueing overhead.
+	DispatchOverheadNS int64
+	// UnstampedSpans counts span events the artifact carried without
+	// wall-clock stamps; they are invisible to every figure above.
+	UnstampedSpans int
 }
 
 // RemoteStat is one remote evaluation worker's lane over the run.
@@ -65,16 +94,76 @@ type RemoteStat struct {
 	Retries int
 }
 
+// FleetStat is one fleet worker's simulation occupancy, from shipped spans.
+type FleetStat struct {
+	// Worker is the dispatcher-assigned fleet worker ID (-1 = spans from
+	// evaluations the dispatcher served via the local fallback).
+	Worker int
+	// Sims counts profile.sim spans the worker executed.
+	Sims int
+	// BusyNS is the summed simulation time.
+	BusyNS int64
+	// WallNS is the union extent of this worker's simulation intervals.
+	WallNS int64
+	// Lanes is the number of distinct profiler-pool lanes observed on the
+	// worker — its effective intra-evaluation parallelism.
+	Lanes int
+}
+
+// Efficiency is the worker's parallel efficiency: busy time divided by its
+// covered wall-clock per observed lane (1.0 = every lane always busy).
+func (f FleetStat) Efficiency() float64 {
+	if f.WallNS <= 0 || f.Lanes <= 0 {
+		return 0
+	}
+	return float64(f.BusyNS) / float64(f.WallNS) / float64(f.Lanes)
+}
+
+// boundary is one interval edge for the union sweeps.
+type boundary struct {
+	at    int64
+	delta int
+}
+
+// sweep measures the union length of the intervals behind bounds (covered)
+// and the portion covered by exactly one interval (serial). Ends sort before
+// starts at the same instant so zero-length touching intervals don't inflate
+// depth.
+func sweep(bounds []boundary) (covered, serial int64) {
+	sort.Slice(bounds, func(i, j int) bool {
+		if bounds[i].at != bounds[j].at {
+			return bounds[i].at < bounds[j].at
+		}
+		return bounds[i].delta < bounds[j].delta
+	})
+	depth := 0
+	var prev int64
+	for _, bd := range bounds {
+		if depth > 0 {
+			covered += bd.at - prev
+		}
+		if depth == 1 {
+			serial += bd.at - prev
+		}
+		depth += bd.delta
+		prev = bd.at
+	}
+	return covered, serial
+}
+
 // NewTimeline builds the utilization analysis from a run's retained spans.
+// Spans shipped back from fleet workers (tagged with the fleet-worker
+// attribute, already rebased onto the coordinator clock) feed the Fleet
+// figures and are kept out of the local pool's — each process's occupancy is
+// measured against its own lanes.
 func NewTimeline(run *Run) *Timeline {
-	t := &Timeline{}
+	t := &Timeline{UnstampedSpans: run.UnstampedSpans}
 	byWorker := make(map[int]*WorkerStat)
 	byRemote := make(map[int]*RemoteStat)
-	type boundary struct {
-		at    int64
-		delta int
-	}
-	var bounds []boundary
+	byFleet := make(map[int]*FleetStat)
+	fleetBounds := make(map[int][]boundary)
+	fleetLanes := make(map[int]map[int]bool)
+	var bounds, simBounds []boundary
 	var lo, hi int64
 	for i, sp := range run.SpanLog {
 		if i == 0 || sp.StartNS < lo {
@@ -84,8 +173,27 @@ func NewTimeline(run *Run) *Timeline {
 			hi = sp.EndNS
 		}
 		t.SpanNS = hi - lo
+		fw, fleet := sp.Attrs[telemetry.AttrFleetWorker]
 		switch sp.Phase {
 		case telemetry.PhaseSimRun:
+			d := sp.EndNS - sp.StartNS
+			simBounds = append(simBounds, boundary{sp.StartNS, 1}, boundary{sp.EndNS, -1})
+			if fleet {
+				id := int(fw)
+				fs := byFleet[id]
+				if fs == nil {
+					fs = &FleetStat{Worker: id}
+					byFleet[id] = fs
+					fleetLanes[id] = make(map[int]bool)
+				}
+				fs.Sims++
+				fs.BusyNS += d
+				t.FleetBusyNS += d
+				fleetLanes[id][int(sp.Attrs[telemetry.AttrWorker])] = true
+				fleetBounds[id] = append(fleetBounds[id],
+					boundary{sp.StartNS, 1}, boundary{sp.EndNS, -1})
+				continue
+			}
 			w := int(sp.Attrs[telemetry.AttrWorker])
 			ws := byWorker[w]
 			if ws == nil {
@@ -93,12 +201,22 @@ func NewTimeline(run *Run) *Timeline {
 				byWorker[w] = ws
 			}
 			ws.Runs++
-			ws.BusyNS += sp.EndNS - sp.StartNS
-			t.BusyNS += sp.EndNS - sp.StartNS
+			ws.BusyNS += d
+			t.BusyNS += d
 			bounds = append(bounds, boundary{sp.StartNS, 1}, boundary{sp.EndNS, -1})
 		case telemetry.PhaseBudgetWait:
+			if fleet {
+				t.FleetBudgetWaits++
+				t.FleetBudgetWaitNS += sp.EndNS - sp.StartNS
+				continue
+			}
 			t.BudgetWaits++
 			t.BudgetWaitNS += sp.EndNS - sp.StartNS
+		case telemetry.PhaseCacheProbe:
+			t.CacheProbes++
+			if sp.Attrs[telemetry.AttrCacheHit] > 0 {
+				t.CacheProbeHits++
+			}
 		case telemetry.PhaseRemoteEval:
 			w := int(sp.Attrs[telemetry.AttrRemoteWorker])
 			rs := byRemote[w]
@@ -109,6 +227,11 @@ func NewTimeline(run *Run) *Timeline {
 			rs.Evals++
 			rs.BusyNS += sp.EndNS - sp.StartNS
 			rs.Retries += int(sp.Attrs[telemetry.AttrRetries])
+			if wns := int64(sp.Attrs[telemetry.AttrWorkerNS]); wns > 0 {
+				if over := (sp.EndNS - sp.StartNS) - wns; over > 0 {
+					t.DispatchOverheadNS += over
+				}
+			}
 		case telemetry.PhaseDispatchRetry:
 			t.DispatchRetries++
 		case telemetry.PhaseDispatchFallback:
@@ -123,29 +246,36 @@ func NewTimeline(run *Run) *Timeline {
 		t.Workers = append(t.Workers, *ws)
 	}
 	sort.Slice(t.Workers, func(i, j int) bool { return t.Workers[i].Worker < t.Workers[j].Worker })
-
-	// Sweep the simulation interval boundaries to measure the covered union
-	// and its single-worker (serial) share. Ends sort before starts at the
-	// same instant so zero-length touching intervals don't inflate depth.
-	sort.Slice(bounds, func(i, j int) bool {
-		if bounds[i].at != bounds[j].at {
-			return bounds[i].at < bounds[j].at
-		}
-		return bounds[i].delta < bounds[j].delta
-	})
-	depth := 0
-	var prev int64
-	for _, bd := range bounds {
-		if depth > 0 {
-			t.WallNS += bd.at - prev
-		}
-		if depth == 1 {
-			t.SerialNS += bd.at - prev
-		}
-		depth += bd.delta
-		prev = bd.at
+	for id, fs := range byFleet {
+		fs.WallNS, _ = sweep(fleetBounds[id])
+		fs.Lanes = len(fleetLanes[id])
+		t.Fleet = append(t.Fleet, *fs)
 	}
+	sort.Slice(t.Fleet, func(i, j int) bool { return t.Fleet[i].Worker < t.Fleet[j].Worker })
+
+	t.WallNS, t.SerialNS = sweep(bounds)
+	t.FleetWallNS, _ = sweep(simBounds)
 	return t
+}
+
+// FleetOccupancy is the fleet-wide simulation occupancy: total simulation
+// time (local pool + shipped remote spans) over the union wall-clock of all
+// simulation intervals on the shared timeline.
+func (t *Timeline) FleetOccupancy() float64 {
+	if t.FleetWallNS <= 0 {
+		return 0
+	}
+	return float64(t.BusyNS+t.FleetBusyNS) / float64(t.FleetWallNS)
+}
+
+// RemoteShare is the fraction of total simulation time executed on fleet
+// workers rather than this process's pool.
+func (t *Timeline) RemoteShare() float64 {
+	total := t.BusyNS + t.FleetBusyNS
+	if total <= 0 {
+		return 0
+	}
+	return float64(t.FleetBusyNS) / float64(total)
 }
 
 // Speedup is the parallel speedup the pool achieved over running the same
@@ -175,33 +305,39 @@ func (t *Timeline) SerialShare() float64 {
 }
 
 // RenderText writes the terminal utilization report: per-worker occupancy
-// with bars, then the pool-level overlap summary.
+// with bars, the pool-level overlap summary, then the dispatch lanes and —
+// for runs with shipped fleet spans — the fleet-wide occupancy section.
 func (t *Timeline) RenderText(w io.Writer) error {
 	var b strings.Builder
-	if len(t.Workers) == 0 {
+	if len(t.Workers) == 0 && len(t.Fleet) == 0 {
 		b.WriteString("no timed profile.sim spans in the artifact\n")
 		b.WriteString("(record the run live with -trace/-artifact; restored jobs carry no timings)\n")
+		if t.UnstampedSpans > 0 {
+			fmt.Fprintf(&b, "%d span events carried no wall-clock stamp\n", t.UnstampedSpans)
+		}
 		_, err := io.WriteString(w, b.String())
 		return err
 	}
-	fmt.Fprintf(&b, "profiler worker occupancy (%d workers, %s simulated over %s wall):\n",
-		len(t.Workers), fms(t.BusyNS), fms(t.WallNS))
-	fmt.Fprintf(&b, "  %-10s %6s %12s %10s\n", "worker", "runs", "busy", "occupancy")
-	for _, ws := range t.Workers {
-		occ := 0.0
-		if t.WallNS > 0 {
-			occ = float64(ws.BusyNS) / float64(t.WallNS)
+	if len(t.Workers) > 0 {
+		fmt.Fprintf(&b, "profiler worker occupancy (%d workers, %s simulated over %s wall):\n",
+			len(t.Workers), fms(t.BusyNS), fms(t.WallNS))
+		fmt.Fprintf(&b, "  %-10s %6s %12s %10s\n", "worker", "runs", "busy", "occupancy")
+		for _, ws := range t.Workers {
+			occ := 0.0
+			if t.WallNS > 0 {
+				occ = float64(ws.BusyNS) / float64(t.WallNS)
+			}
+			fmt.Fprintf(&b, "  %-10s %6d %12s %10s  |%s|\n",
+				fmt.Sprintf("worker %d", ws.Worker), ws.Runs, fms(ws.BusyNS), fpct(occ), asciiBar(occ, 24))
 		}
-		fmt.Fprintf(&b, "  %-10s %6d %12s %10s  |%s|\n",
-			fmt.Sprintf("worker %d", ws.Worker), ws.Runs, fms(ws.BusyNS), fpct(occ), asciiBar(occ, 24))
+		fmt.Fprintf(&b, "\nspeedup %.2fx over %d workers — parallel efficiency %s\n",
+			t.Speedup(), len(t.Workers), fpct(t.Efficiency()))
+		fmt.Fprintf(&b, "single-worker (serial) share of sim wall-clock: %s\n", fpct(t.SerialShare()))
 	}
-	fmt.Fprintf(&b, "\nspeedup %.2fx over %d workers — parallel efficiency %s\n",
-		t.Speedup(), len(t.Workers), fpct(t.Efficiency()))
-	fmt.Fprintf(&b, "single-worker (serial) share of sim wall-clock: %s\n", fpct(t.SerialShare()))
 	if t.BudgetWaits > 0 {
 		fmt.Fprintf(&b, "budget-semaphore stalls: %d totaling %s\n", t.BudgetWaits, fms(t.BudgetWaitNS))
 	}
-	if t.SpanNS > 0 {
+	if t.SpanNS > 0 && len(t.Workers) > 0 {
 		fmt.Fprintf(&b, "simulation covers %s of the run's %s span extent\n",
 			fpct(float64(t.WallNS)/float64(t.SpanNS)), fms(t.SpanNS))
 	}
@@ -224,6 +360,36 @@ func (t *Timeline) RenderText(w io.Writer) error {
 			fmt.Fprintf(&b, "dispatch churn: %d retried evaluations, %d local fallbacks\n",
 				t.DispatchRetries, t.DispatchFallbacks)
 		}
+		if t.DispatchOverheadNS > 0 {
+			fmt.Fprintf(&b, "dispatch overhead (round trip minus worker eval time): %s\n",
+				fms(t.DispatchOverheadNS))
+		}
+	}
+	if len(t.Fleet) > 0 {
+		fmt.Fprintf(&b, "\nfleet simulation occupancy (%d fleet processes, %s remote sim):\n",
+			len(t.Fleet), fms(t.FleetBusyNS))
+		fmt.Fprintf(&b, "  %-18s %6s %12s %6s %11s\n", "process", "sims", "busy", "lanes", "efficiency")
+		for _, fs := range t.Fleet {
+			name := fmt.Sprintf("fleet worker %d", fs.Worker)
+			if fs.Worker < 0 {
+				name = "fleet fallback"
+			}
+			fmt.Fprintf(&b, "  %-18s %6d %12s %6d %11s\n",
+				name, fs.Sims, fms(fs.BusyNS), fs.Lanes, fpct(fs.Efficiency()))
+		}
+		fmt.Fprintf(&b, "fleet-wide occupancy: %s over %s covered sim wall (remote share %s)\n",
+			fpct(t.FleetOccupancy()), fms(t.FleetWallNS), fpct(t.RemoteShare()))
+		if t.FleetBudgetWaits > 0 {
+			fmt.Fprintf(&b, "remote budget-semaphore stalls: %d totaling %s\n",
+				t.FleetBudgetWaits, fms(t.FleetBudgetWaitNS))
+		}
+		if t.CacheProbes > 0 {
+			fmt.Fprintf(&b, "worker cache probes: %d (%d hits)\n", t.CacheProbes, t.CacheProbeHits)
+		}
+	}
+	if t.UnstampedSpans > 0 {
+		fmt.Fprintf(&b, "\n%d span events carried no wall-clock stamp and are excluded above\n",
+			t.UnstampedSpans)
 	}
 	_, err := io.WriteString(w, b.String())
 	return err

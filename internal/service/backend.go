@@ -54,7 +54,35 @@ func (s *Server) initDispatch() {
 			}
 		}
 	}()
+
+	// Federated metrics: scrape each worker's /metrics on its own cadence
+	// so one coordinator scrape observes the whole fleet. Strictly
+	// observability-plane — scrape failures never touch routing.
+	s.federation = newFederation()
+	fedInterval := s.cfg.FederationInterval
+	if fedInterval == 0 {
+		fedInterval = 15 * time.Second
+	}
+	if fedInterval > 0 {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			t := time.NewTicker(fedInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-s.rootCtx.Done():
+					return
+				case <-t.C:
+					s.federation.Scrape(s.rootCtx, s.dispatcher.Workers())
+				}
+			}
+		}()
+	}
 }
+
+// Federation exposes the federated-metrics scraper (for tests and debug).
+func (s *Server) Federation() *Federation { return s.federation }
 
 // Dispatcher exposes the evaluation dispatcher (for tests and debug).
 func (s *Server) Dispatcher() *backend.Dispatcher { return s.dispatcher }

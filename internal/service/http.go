@@ -34,6 +34,9 @@ import (
 //	                         re-announcements are heartbeats)
 //	DELETE /v1/workers?url=  clean worker withdrawal
 //	GET  /v1/workers         fleet snapshot + dispatch queue depth
+//	GET  /v1/fleet           unified fleet health: per-worker routing state,
+//	                         clock offset, scraped cache hit rate and
+//	                         runtime health, dispatch counters
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheGet)
@@ -41,6 +44,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/workers", s.handleWorkerAnnounce)
 	mux.HandleFunc("DELETE /v1/workers", s.handleWorkerWithdraw)
 	mux.HandleFunc("GET /v1/workers", s.handleWorkerList)
+	mux.HandleFunc("GET /v1/fleet", s.handleFleet)
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)

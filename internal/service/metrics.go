@@ -49,6 +49,15 @@ type serverMetrics struct {
 	// serving side ("remote", "local"); fed by observeDispatch from each
 	// job's SearchEvaluator.
 	dispatchHist *telemetry.HistogramVec
+
+	// Fleet-span metrics: spans shipped back from remote workers (tagged
+	// with the fleet-worker attribute) are accounted here, NOT in the local
+	// pool families above — mixing remote simulation time into the local
+	// profiler-pool gauges would corrupt both views.
+	fleetSimRuns           *telemetry.Counter
+	fleetBusySeconds       *telemetry.CounterVec
+	fleetBudgetWaitSeconds *telemetry.Counter
+	fleetCacheProbes       *telemetry.CounterVec
 }
 
 // newServerMetrics builds the registry. Collector callbacks close over the
@@ -161,6 +170,19 @@ func newServerMetrics(s *Server) *serverMetrics {
 	m.dispatchHist = reg.NewHistogramVec("datamimed_dispatch_seconds",
 		"End-to-end dispatched-evaluation latency, by serving side.", "side", nil)
 
+	// Fleet observability: remote-shipped span accounting plus the
+	// coordinator's own Go runtime health (workers export the matching
+	// datamime_worker_go_* families, federated below the registry).
+	m.fleetSimRuns = reg.NewCounter("datamimed_fleet_sim_runs_total",
+		"Partition simulations executed on remote workers (from shipped spans).")
+	m.fleetBusySeconds = reg.NewCounterVec("datamimed_fleet_worker_busy_seconds_total",
+		"Remote simulation time per fleet worker ID (from shipped spans).", "worker")
+	m.fleetBudgetWaitSeconds = reg.NewCounter("datamimed_fleet_budget_wait_seconds_total",
+		"Remote budget-semaphore wait time (from shipped spans).")
+	m.fleetCacheProbes = reg.NewCounterVec("datamimed_fleet_cache_probes_total",
+		"Worker cache probes observed via shipped spans, by result.", "result")
+	telemetry.RegisterRuntimeMetrics(reg, "datamimed")
+
 	reg.NewCollector("datamimed_job_iterations_done",
 		"Finished iterations of each active job.",
 		"gauge", []string{"job"}, func() []telemetry.Sample {
@@ -215,6 +237,12 @@ func (m *serverMetrics) observeDispatch(res backend.EvalResult, err error, d tim
 // always, plus the phase-specific families. Runs on the search goroutines
 // (the recorder's OnEvent is synchronous), so it only touches atomics.
 func (m *serverMetrics) observeSpan(ev telemetry.Event) {
+	if _, fleet := ev.Attrs[telemetry.AttrFleetWorker]; fleet {
+		// Shipped remote spans get their own families; the local phase
+		// histogram and pool gauges must reflect this process only.
+		m.observeFleetSpan(ev)
+		return
+	}
 	m.phaseHist.Observe(ev.Phase, time.Duration(ev.DurNS))
 	secs := float64(ev.DurNS) / 1e9
 	switch ev.Phase {
@@ -229,6 +257,27 @@ func (m *serverMetrics) observeSpan(ev telemetry.Event) {
 		if lvl := ev.Attrs[telemetry.AttrJitterLevelMax]; lvl > m.gpJitterLevel.Value() {
 			m.gpJitterLevel.Set(lvl)
 		}
+	}
+}
+
+// observeFleetSpan accounts one remote-shipped span (already rebased onto
+// the coordinator clock and tagged with the fleet worker ID, -1 for the
+// local fallback).
+func (m *serverMetrics) observeFleetSpan(ev telemetry.Event) {
+	secs := float64(ev.DurNS) / 1e9
+	wid := strconv.Itoa(int(ev.Attrs[telemetry.AttrFleetWorker]))
+	switch ev.Phase {
+	case telemetry.PhaseSimRun:
+		m.fleetSimRuns.Inc()
+		m.fleetBusySeconds.With(wid).Add(secs)
+	case telemetry.PhaseBudgetWait:
+		m.fleetBudgetWaitSeconds.Add(secs)
+	case telemetry.PhaseCacheProbe:
+		result := "miss"
+		if ev.Attrs[telemetry.AttrCacheHit] > 0 {
+			result = "hit"
+		}
+		m.fleetCacheProbes.With(result).Inc()
 	}
 }
 
@@ -265,8 +314,11 @@ func (s *Server) activeJobRows() []activeJobRow {
 }
 
 // handleMetrics serves the registry in the Prometheus text exposition
-// format.
+// format, followed by the federated datamime_worker_* families scraped from
+// the fleet (prefix-disjoint from the registry's datamimed_ families, so the
+// concatenation is itself a valid exposition).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.reg.WritePrometheus(w)
+	s.federation.WritePrometheus(w)
 }

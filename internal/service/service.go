@@ -72,6 +72,11 @@ type Config struct {
 	DispatchMaxQueue int
 	// WorkerHealthInterval is the fleet health-probe period (default 15s).
 	WorkerHealthInterval time.Duration
+	// FederationInterval is the period of the federated-metrics scrape:
+	// how often the coordinator pulls each worker's /metrics and refreshes
+	// the datamime_worker_*{worker=...} re-export (default 15s; negative
+	// disables scraping — the families simply stay absent).
+	FederationInterval time.Duration
 }
 
 // Server schedules and tracks search jobs. Create with New, serve its
@@ -89,6 +94,10 @@ type Server struct {
 	// the backend contract).
 	local      *backend.LocalBackend
 	dispatcher *backend.Dispatcher
+
+	// federation scrapes the fleet's worker /metrics endpoints and
+	// re-exports them (worker-labeled) after the registry in /metrics.
+	federation *Federation
 
 	mu     sync.Mutex
 	jobs   map[string]*Job

@@ -40,6 +40,26 @@ const (
 	AttrRemoteWorker = "remote_worker"
 	AttrRetries      = "retries"
 	AttrRemote       = "remote"
+	// AttrFleetWorker marks a span that executed on a remote fleet worker
+	// and was shipped back in the /v1/evaluate response envelope, carrying
+	// the dispatcher-assigned worker ID (-1 = the local fallback backend).
+	// The trace exporter routes such spans onto per-worker *process* tracks
+	// and the timeline report folds them into fleet-wide statistics.
+	AttrFleetWorker = "fleet_worker"
+	// AttrWorkerNS rides on PhaseRemoteEval spans: the worker-side
+	// evaluation duration, so dispatch overhead (round trip minus remote
+	// compute) is recoverable from the artifact alone.
+	AttrWorkerNS = "worker_ns"
+	// AttrClockOffsetNS and AttrClockErrNS ride on PhaseRemoteEval spans of
+	// remotely served evaluations: the estimated worker-clock offset applied
+	// when rebasing shipped spans onto the coordinator timeline, and the
+	// half-RTT uncertainty of that estimate.
+	AttrClockOffsetNS = "clock_offset_ns"
+	AttrClockErrNS    = "clock_err_ns"
+	// AttrCacheTier rides on PhaseCacheProbe spans next to AttrCacheHit:
+	// 0 = miss, 1 = the worker's local LRU served it, 2 = the coordinator's
+	// shared tier served it.
+	AttrCacheTier = "cache_tier"
 	// AttrCholeskyAppends, AttrCholeskyRebuilds, and AttrJitterLevelMax
 	// ride on PhaseGPFit spans: how many incremental O(n²) factor appends
 	// vs O(n³) refactorization fallbacks the surrogate update needed, and

@@ -1,0 +1,42 @@
+package telemetry
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestRegisterRuntimeMetrics: the runtime collectors expose every family
+// under the given prefix with live (nonzero where guaranteed) values.
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg, "testproc")
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	out := buf.String()
+
+	for _, fam := range []string{
+		"testproc_go_goroutines",
+		"testproc_go_gomaxprocs",
+		"testproc_go_heap_alloc_bytes",
+		"testproc_go_gc_pause_seconds_total",
+		"testproc_go_gc_cycles_total",
+	} {
+		if !strings.Contains(out, "# TYPE "+fam+" ") {
+			t.Errorf("exposition missing family %s", fam)
+		}
+	}
+	// A running test binary always has at least one goroutine and a heap.
+	for _, fam := range []string{"testproc_go_goroutines", "testproc_go_gomaxprocs", "testproc_go_heap_alloc_bytes"} {
+		m := regexp.MustCompile(`(?m)^` + fam + ` (\S+)$`).FindStringSubmatch(out)
+		if m == nil {
+			t.Fatalf("no sample line for %s in:\n%s", fam, out)
+		}
+		v, err := strconv.ParseFloat(m[1], 64)
+		if err != nil || v <= 0 {
+			t.Errorf("%s = %q, want a positive number", fam, m[1])
+		}
+	}
+}

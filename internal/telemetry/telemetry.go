@@ -60,6 +60,11 @@ const (
 	PhaseWorkerDeregister = "worker.deregister"
 	PhaseDispatchRetry    = "dispatch.retry"
 	PhaseDispatchFallback = "dispatch.fallback"
+	// PhaseCacheProbe is a worker-side span covering the evaluation-cache
+	// lookup (local LRU, then the coordinator's shared tier) that preceded a
+	// dispatched evaluation. It ships back to the coordinator in the
+	// /v1/evaluate response envelope with AttrCacheHit/AttrCacheTier attrs.
+	PhaseCacheProbe = "cache.probe"
 )
 
 // Event types.

@@ -11,17 +11,13 @@ import (
 // Chrome/Perfetto trace-event JSON object format, loadable in
 // https://ui.perfetto.dev or chrome://tracing.
 //
-// Track layout (all under pid 1 "datamime"):
+// Track layout of the coordinator process (pid 1 "datamime"):
 //
 //	tid 1      "search"      — propose/observe spans; instant events for
 //	                           each finished eval and each cache hit
 //	tid 2      "optimizer"   — gp_fit/acquisition spans; instant events
 //	                           when a GP fit fell back to a Cholesky
 //	                           refactorization
-//	tid 10+L   "eval lane L" — per-candidate spans (generate, profile,
-//	                           profile.run, profile.curves), greedily
-//	                           packed into as few non-overlapping lanes
-//	                           as the run's parallelism needed
 //	tid 3      "fleet"       — instant events for fleet churn (worker
 //	                           registrations and deregistrations) and for
 //	                           dispatch retries/fallbacks; present only
@@ -41,9 +37,20 @@ import (
 //	                           evaluations that fell back in-process land
 //	                           on a "remote fallback" track.
 //
+// Spans that executed on a remote fleet worker and were shipped back in the
+// /v1/evaluate response envelope (marked by AttrFleetWorker, rebased onto
+// the coordinator clock before emission) render as separate *processes*:
+// pid 100+W "fleet worker W" (pid 99 "fleet fallback" for the local
+// fallback backend), each with its own sim-worker tracks, eval lanes, and
+// budget-wait instants — one Perfetto file shows coordinator scheduling and
+// remote execution side by side.
+//
 // Timestamps are microseconds from the earliest event in the stream, so
 // traces from different runs all start at zero. The exporter is a pure
-// function of the event stream: it never touches the search.
+// function of the event stream: it never touches the search. Events without
+// wall-clock stamps (TimeNS == 0, e.g. evals synthesized from a restored
+// checkpoint) cannot be placed on a timeline; they are counted in the
+// trace's otherData.dropped_unstamped metadata rather than silently lost.
 
 const (
 	tracePID          = 1
@@ -58,6 +65,9 @@ const (
 	// workerLaneStride spaces per-worker overflow lanes; lanes beyond it
 	// fold into the last one (overlap is legal in the format).
 	workerLaneStride = 8
+	// traceFleetPIDBase maps fleet worker W to pid traceFleetPIDBase+W; the
+	// dispatcher's local fallback (worker ID -1) lands on the pid just below.
+	traceFleetPIDBase = 100
 )
 
 // traceEvent is one entry of the trace-event JSON array.
@@ -73,8 +83,9 @@ type traceEvent struct {
 }
 
 type traceFile struct {
-	TraceEvents     []traceEvent `json:"traceEvents"`
-	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent           `json:"traceEvents"`
+	DisplayTimeUnit string                 `json:"displayTimeUnit"`
+	OtherData       map[string]interface{} `json:"otherData,omitempty"`
 }
 
 // spanInterval is a span event with resolved start/end nanoseconds.
@@ -87,14 +98,22 @@ func spanBounds(ev Event) spanInterval {
 	return spanInterval{ev: ev, start: ev.TimeNS - ev.DurNS, end: ev.TimeNS}
 }
 
+// fleetProc accumulates the spans shipped back from one fleet worker.
+type fleetProc struct {
+	sims  map[int][]spanInterval // profiler-pool worker index → profile.sim
+	evals []spanInterval         // profile.run/profile.curves/cache.probe/...
+	waits []Event                // budget.wait instants
+}
+
 // WriteTrace renders events (a run artifact's stream, in any order) as
-// trace-event JSON. Events without wall-clock stamps (TimeNS == 0, e.g.
-// evals synthesized from a restored checkpoint) are dropped — they have no
-// place on a timeline.
+// trace-event JSON. Events without wall-clock stamps (TimeNS == 0) are
+// omitted from the timeline and counted in otherData.dropped_unstamped.
 func WriteTrace(w io.Writer, events []Event) error {
 	var base int64 = -1
+	dropped := 0
 	for _, ev := range events {
 		if ev.TimeNS == 0 {
+			dropped++
 			continue
 		}
 		start := ev.TimeNS
@@ -111,28 +130,35 @@ func WriteTrace(w io.Writer, events []Event) error {
 	us := func(ns int64) float64 { return float64(ns-base) / 1e3 }
 
 	var out []traceEvent
-	meta := func(tid int, name string, sortIndex int) {
+	meta := func(pid, tid int, name string, sortIndex int) {
 		out = append(out,
-			traceEvent{Name: "thread_name", Phase: "M", PID: tracePID, TID: tid,
+			traceEvent{Name: "thread_name", Phase: "M", PID: pid, TID: tid,
 				Args: map[string]interface{}{"name": name}},
-			traceEvent{Name: "thread_sort_index", Phase: "M", PID: tracePID, TID: tid,
+			traceEvent{Name: "thread_sort_index", Phase: "M", PID: pid, TID: tid,
 				Args: map[string]interface{}{"sort_index": sortIndex}},
 		)
 	}
-	out = append(out, traceEvent{Name: "process_name", Phase: "M", PID: tracePID,
-		Args: map[string]interface{}{"name": "datamime"}})
-	meta(traceTIDSearch, "search", traceTIDSearch)
-	meta(traceTIDOptimizer, "optimizer", traceTIDOptimizer)
+	process := func(pid int, name string) {
+		out = append(out,
+			traceEvent{Name: "process_name", Phase: "M", PID: pid,
+				Args: map[string]interface{}{"name": name}},
+			traceEvent{Name: "process_sort_index", Phase: "M", PID: pid,
+				Args: map[string]interface{}{"sort_index": pid}},
+		)
+	}
+	process(tracePID, "datamime")
+	meta(tracePID, traceTIDSearch, "search", traceTIDSearch)
+	meta(tracePID, traceTIDOptimizer, "optimizer", traceTIDOptimizer)
 
-	span := func(tid int, iv spanInterval, args map[string]interface{}) {
+	span := func(pid, tid int, iv spanInterval, args map[string]interface{}) {
 		out = append(out, traceEvent{
-			Name: iv.ev.Phase, Phase: "X", PID: tracePID, TID: tid,
+			Name: iv.ev.Phase, Phase: "X", PID: pid, TID: tid,
 			TS: us(iv.start), Dur: float64(iv.ev.DurNS) / 1e3, Args: args,
 		})
 	}
-	instant := func(tid int, name string, ns int64, args map[string]interface{}) {
+	instant := func(pid, tid int, name string, ns int64, args map[string]interface{}) {
 		out = append(out, traceEvent{
-			Name: name, Phase: "i", PID: tracePID, TID: tid,
+			Name: name, Phase: "i", PID: pid, TID: tid,
 			TS: us(ns), Scope: "t", Args: args,
 		})
 	}
@@ -140,6 +166,7 @@ func WriteTrace(w io.Writer, events []Event) error {
 	var evalSpans []spanInterval
 	workerSpans := map[int][]spanInterval{}
 	remoteSpans := map[int][]spanInterval{}
+	fleetProcs := map[int]*fleetProc{}
 	fleetUsed := false
 	for _, ev := range events {
 		if ev.TimeNS == 0 {
@@ -157,20 +184,39 @@ func WriteTrace(w io.Writer, events []Event) error {
 			if ev.Skipped {
 				args["skipped"] = true
 			}
-			instant(traceTIDSearch, "eval", ev.TimeNS, args)
+			instant(tracePID, traceTIDSearch, "eval", ev.TimeNS, args)
 			if ev.Attrs[AttrCacheHit] > 0 {
-				instant(traceTIDSearch, "cache hit", ev.TimeNS,
+				instant(tracePID, traceTIDSearch, "cache hit", ev.TimeNS,
 					map[string]interface{}{"iter": ev.Iter})
 			}
 		case TypeSpan:
 			iv := spanBounds(ev)
+			if fw, remote := ev.Attrs[AttrFleetWorker]; remote {
+				// A span shipped back from a fleet worker: route it to that
+				// worker's process rather than the coordinator's tracks.
+				fp := fleetProcs[int(fw)]
+				if fp == nil {
+					fp = &fleetProc{sims: map[int][]spanInterval{}}
+					fleetProcs[int(fw)] = fp
+				}
+				switch ev.Phase {
+				case PhaseSimRun:
+					wkr := int(ev.Attrs[AttrWorker])
+					fp.sims[wkr] = append(fp.sims[wkr], iv)
+				case PhaseBudgetWait:
+					fp.waits = append(fp.waits, ev)
+				default:
+					fp.evals = append(fp.evals, iv)
+				}
+				continue
+			}
 			switch ev.Phase {
 			case PhasePropose, PhaseObserve:
-				span(traceTIDSearch, iv, spanArgs(ev))
+				span(tracePID, traceTIDSearch, iv, spanArgs(ev))
 			case PhaseGPFit, PhaseAcquisition:
-				span(traceTIDOptimizer, iv, spanArgs(ev))
+				span(tracePID, traceTIDOptimizer, iv, spanArgs(ev))
 				if ev.Phase == PhaseGPFit && ev.Attrs[AttrCholeskyRebuilds] > 0 {
-					instant(traceTIDOptimizer, "cholesky refactorization", ev.TimeNS,
+					instant(tracePID, traceTIDOptimizer, "cholesky refactorization", ev.TimeNS,
 						map[string]interface{}{
 							"rebuilds":         ev.Attrs[AttrCholeskyRebuilds],
 							"jitter_level_max": ev.Attrs[AttrJitterLevelMax],
@@ -183,7 +229,7 @@ func WriteTrace(w io.Writer, events []Event) error {
 				workerSpans[wkr] = append(workerSpans[wkr], iv)
 			case PhaseBudgetWait:
 				wkr := int(ev.Attrs[AttrWorker])
-				instant(traceTIDWorker+wkr*workerLaneStride, "budget wait", iv.start,
+				instant(tracePID, traceTIDWorker+wkr*workerLaneStride, "budget wait", iv.start,
 					map[string]interface{}{
 						"wait_ms": float64(ev.DurNS) / 1e6,
 						"worker":  wkr,
@@ -195,12 +241,32 @@ func WriteTrace(w io.Writer, events []Event) error {
 			case PhaseWorkerRegister, PhaseWorkerDeregister,
 				PhaseDispatchRetry, PhaseDispatchFallback:
 				fleetUsed = true
-				instant(traceTIDFleet, ev.Phase, ev.TimeNS, spanArgs(ev))
+				instant(tracePID, traceTIDFleet, ev.Phase, ev.TimeNS, spanArgs(ev))
 			default:
 				// Unknown phases land on the search track so nothing a
 				// future instrumentation site emits silently disappears.
-				span(traceTIDSearch, iv, spanArgs(ev))
+				span(tracePID, traceTIDSearch, iv, spanArgs(ev))
 			}
+		}
+	}
+
+	// laneTracks packs intervals into non-overlapping lanes under one pid and
+	// emits them with per-lane thread metadata named via nameFor.
+	laneTracks := func(pid, tidBase int, ivs []spanInterval, nameFor func(lane int) string) {
+		ls := assignLanes(ivs)
+		maxL := -1
+		for i, iv := range ivs {
+			lane := ls[i]
+			if lane >= workerLaneStride {
+				lane = workerLaneStride - 1
+			}
+			if lane > maxL {
+				maxL = lane
+			}
+			span(pid, tidBase+lane, iv, spanArgs(iv.ev))
+		}
+		for l := 0; l <= maxL; l++ {
+			meta(pid, tidBase+l, nameFor(l), tidBase+l)
 		}
 	}
 
@@ -211,46 +277,39 @@ func WriteTrace(w io.Writer, events []Event) error {
 		if lanes[i] > maxLane {
 			maxLane = lanes[i]
 		}
-		span(traceTIDEvalBase+lanes[i], iv, spanArgs(iv.ev))
+		span(tracePID, traceTIDEvalBase+lanes[i], iv, spanArgs(iv.ev))
 	}
 	for l := 0; l <= maxLane; l++ {
-		meta(traceTIDEvalBase+l, fmt.Sprintf("eval lane %d", l), traceTIDEvalBase+l)
+		meta(tracePID, traceTIDEvalBase+l, fmt.Sprintf("eval lane %d", l), traceTIDEvalBase+l)
 	}
 
 	// Worker tracks: one per pool worker, overflow lanes per worker when
 	// concurrent candidates overlap the same worker index.
-	workers := make([]int, 0, len(workerSpans))
-	for wkr := range workerSpans {
-		workers = append(workers, wkr)
-	}
-	sort.Ints(workers)
-	for _, wkr := range workers {
-		ivs := workerSpans[wkr]
-		ls := assignLanes(ivs)
-		maxL := 0
-		for i, iv := range ivs {
-			lane := ls[i]
-			if lane >= workerLaneStride {
-				lane = workerLaneStride - 1
-			}
-			if lane > maxL {
-				maxL = lane
-			}
-			span(traceTIDWorker+wkr*workerLaneStride+lane, iv, spanArgs(iv.ev))
+	emitWorkerTracks := func(pid int, spans map[int][]spanInterval) {
+		workers := make([]int, 0, len(spans))
+		for wkr := range spans {
+			workers = append(workers, wkr)
 		}
-		base := traceTIDWorker + wkr*workerLaneStride
-		meta(base, fmt.Sprintf("worker %d", wkr), base)
-		for l := 1; l <= maxL; l++ {
-			meta(base+l, fmt.Sprintf("worker %d (+%d)", wkr, l), base+l)
+		sort.Ints(workers)
+		for _, wkr := range workers {
+			base := traceTIDWorker + wkr*workerLaneStride
+			w := wkr
+			laneTracks(pid, base, spans[wkr], func(lane int) string {
+				if lane == 0 {
+					return fmt.Sprintf("worker %d", w)
+				}
+				return fmt.Sprintf("worker %d (+%d)", w, lane)
+			})
 		}
 	}
+	emitWorkerTracks(tracePID, workerSpans)
 
 	// Remote evaluation lanes: one track per remote worker ID (a dispatched
 	// run's eval.remote round trips), with the local-fallback lane (worker
 	// ID -1) named distinctly. The fleet track appears only when the run
 	// recorded fleet or dispatch activity.
 	if fleetUsed {
-		meta(traceTIDFleet, "fleet", traceTIDFleet)
+		meta(tracePID, traceTIDFleet, "fleet", traceTIDFleet)
 	}
 	remotes := make([]int, 0, len(remoteSpans))
 	for wkr := range remoteSpans {
@@ -258,32 +317,63 @@ func WriteTrace(w io.Writer, events []Event) error {
 	}
 	sort.Ints(remotes)
 	for slot, wkr := range remotes {
-		ivs := remoteSpans[wkr]
-		ls := assignLanes(ivs)
-		maxL := 0
 		trackBase := traceTIDRemote + slot*workerLaneStride
-		for i, iv := range ivs {
-			lane := ls[i]
-			if lane >= workerLaneStride {
-				lane = workerLaneStride - 1
-			}
-			if lane > maxL {
-				maxL = lane
-			}
-			span(trackBase+lane, iv, spanArgs(iv.ev))
-		}
 		name := fmt.Sprintf("remote worker %d", wkr)
 		if wkr < 0 {
 			name = "remote fallback"
 		}
-		meta(trackBase, name, trackBase)
-		for l := 1; l <= maxL; l++ {
-			meta(trackBase+l, fmt.Sprintf("%s (+%d)", name, l), trackBase+l)
+		laneTracks(tracePID, trackBase, remoteSpans[wkr], func(lane int) string {
+			if lane == 0 {
+				return name
+			}
+			return fmt.Sprintf("%s (+%d)", name, lane)
+		})
+	}
+
+	// Fleet worker processes: spans shipped back over the wire, one process
+	// per dispatcher worker ID, mirroring the coordinator's internal layout
+	// (eval lanes + per-pool-worker sim tracks + budget-wait instants).
+	fleetIDs := make([]int, 0, len(fleetProcs))
+	for fw := range fleetProcs {
+		fleetIDs = append(fleetIDs, fw)
+	}
+	sort.Ints(fleetIDs)
+	for _, fw := range fleetIDs {
+		fp := fleetProcs[fw]
+		pid := traceFleetPIDBase + fw
+		name := fmt.Sprintf("fleet worker %d", fw)
+		if fw < 0 {
+			name = "fleet fallback"
+		}
+		process(pid, name)
+		laneTracks(pid, traceTIDEvalBase, fp.evals, func(lane int) string {
+			return fmt.Sprintf("eval lane %d", lane)
+		})
+		emitWorkerTracks(pid, fp.sims)
+		namedWaitTracks := map[int]bool{}
+		for _, ev := range fp.waits {
+			wkr := int(ev.Attrs[AttrWorker])
+			instant(pid, traceTIDWorker+wkr*workerLaneStride, "budget wait",
+				ev.TimeNS-ev.DurNS, map[string]interface{}{
+					"wait_ms": float64(ev.DurNS) / 1e6,
+					"worker":  wkr,
+					"iter":    ev.Iter,
+				})
+			// An instant needs a named track even if the worker ran no sims.
+			if len(fp.sims[wkr]) == 0 && !namedWaitTracks[wkr] {
+				namedWaitTracks[wkr] = true
+				meta(pid, traceTIDWorker+wkr*workerLaneStride,
+					fmt.Sprintf("worker %d", wkr), traceTIDWorker+wkr*workerLaneStride)
+			}
 		}
 	}
 
+	tf := traceFile{TraceEvents: out, DisplayTimeUnit: "ms"}
+	if dropped > 0 {
+		tf.OtherData = map[string]interface{}{"dropped_unstamped": dropped}
+	}
 	enc := json.NewEncoder(w)
-	return enc.Encode(traceFile{TraceEvents: out, DisplayTimeUnit: "ms"})
+	return enc.Encode(tf)
 }
 
 // spanArgs copies a span's iteration and attributes into trace args.
@@ -347,12 +437,21 @@ type TraceStats struct {
 	Tracks       int
 	WorkerTracks int
 	RemoteTracks int
+	// Processes counts named processes; FleetProcesses the "fleet worker N" /
+	// "fleet fallback" subset carrying spans shipped from remote workers.
+	Processes      int
+	FleetProcesses int
+	// DroppedUnstamped is the exporter's count of events it could not place
+	// on the timeline (no wall-clock stamp), read from the trace metadata.
+	DroppedUnstamped int
 }
 
 // ValidateTrace parses trace-event JSON (the object form WriteTrace emits)
 // and checks structural invariants: every event has a phase type, complete
-// events have non-negative timestamps and durations, and every referenced
-// track is named by a metadata event. It is the CI timeline gate's checker.
+// events have non-negative timestamps and durations, every referenced
+// (pid, tid) track is named by a thread_name metadata event, and every
+// referenced pid is named by a process_name metadata event. It is the CI
+// timeline and fleet gates' checker.
 func ValidateTrace(r io.Reader) (TraceStats, error) {
 	var tf traceFile
 	dec := json.NewDecoder(r)
@@ -361,37 +460,51 @@ func ValidateTrace(r io.Reader) (TraceStats, error) {
 	}
 	var st TraceStats
 	st.Events = len(tf.TraceEvents)
-	named := map[int]string{}
-	used := map[int]bool{}
+	if v, ok := tf.OtherData["dropped_unstamped"].(float64); ok {
+		st.DroppedUnstamped = int(v)
+	}
+	type track struct{ pid, tid int }
+	named := map[track]string{}
+	procNamed := map[int]string{}
+	used := map[track]bool{}
 	for i, ev := range tf.TraceEvents {
 		switch ev.Phase {
 		case "M":
-			if ev.Name == "thread_name" {
-				name, _ := ev.Args["name"].(string)
+			name, _ := ev.Args["name"].(string)
+			switch ev.Name {
+			case "thread_name":
 				if name == "" {
 					return st, fmt.Errorf("telemetry: trace event %d: thread_name without a name", i)
 				}
-				named[ev.TID] = name
+				named[track{ev.PID, ev.TID}] = name
+			case "process_name":
+				if name == "" {
+					return st, fmt.Errorf("telemetry: trace event %d: process_name without a name", i)
+				}
+				procNamed[ev.PID] = name
 			}
 		case "X":
 			st.Spans++
 			if ev.TS < 0 || ev.Dur < 0 {
 				return st, fmt.Errorf("telemetry: trace event %d (%s): negative ts or dur", i, ev.Name)
 			}
-			used[ev.TID] = true
+			used[track{ev.PID, ev.TID}] = true
 		case "i":
 			st.Instants++
 			if ev.TS < 0 {
 				return st, fmt.Errorf("telemetry: trace event %d (%s): negative ts", i, ev.Name)
 			}
-			used[ev.TID] = true
+			used[track{ev.PID, ev.TID}] = true
 		case "":
 			return st, fmt.Errorf("telemetry: trace event %d (%s): missing ph", i, ev.Name)
 		}
 	}
-	for tid := range used {
-		if _, ok := named[tid]; !ok {
-			return st, fmt.Errorf("telemetry: track %d carries events but has no thread_name", tid)
+	for tr := range used {
+		if _, ok := named[tr]; !ok {
+			return st, fmt.Errorf("telemetry: track pid %d tid %d carries events but has no thread_name", tr.pid, tr.tid)
+		}
+		if _, ok := procNamed[tr.pid]; !ok {
+			return st, fmt.Errorf("telemetry: process %d carries events but has no process_name", tr.pid)
 		}
 	}
 	for _, name := range named {
@@ -405,6 +518,13 @@ func ValidateTrace(r io.Reader) (TraceStats, error) {
 		}
 		if n, _ := fmt.Sscanf(name, "remote worker %d", &w); n == 1 || name == "remote fallback" {
 			st.RemoteTracks++
+		}
+	}
+	for _, name := range procNamed {
+		st.Processes++
+		var w int
+		if n, _ := fmt.Sscanf(name, "fleet worker %d", &w); n == 1 || name == "fleet fallback" {
+			st.FleetProcesses++
 		}
 	}
 	return st, nil

@@ -88,6 +88,73 @@ func TestWriteTraceDropsUnstampedEvents(t *testing.T) {
 	if st.Spans != 0 || st.Instants != 0 {
 		t.Errorf("unstamped events leaked into the trace: %+v", st)
 	}
+	// The drops are counted, not silent: the exporter records them in the
+	// trace metadata and the validator reads them back.
+	if st.DroppedUnstamped != 2 {
+		t.Errorf("DroppedUnstamped = %d, want 2", st.DroppedUnstamped)
+	}
+	if !strings.Contains(buf.String(), `"dropped_unstamped":2`) {
+		t.Error("trace metadata missing the dropped_unstamped count")
+	}
+}
+
+// TestWriteTraceFleetProcesses: spans tagged with the fleet-worker attribute
+// render as separate Perfetto processes — per-worker sim tracks, eval lanes,
+// and budget-wait instants — while untagged spans stay on the coordinator's
+// pid.
+func TestWriteTraceFleetProcesses(t *testing.T) {
+	ms := func(n int64) int64 { return n * int64(time.Millisecond) }
+	fleet := func(fw float64, extra map[string]float64) map[string]float64 {
+		attrs := map[string]float64{AttrFleetWorker: fw}
+		for k, v := range extra {
+			attrs[k] = v
+		}
+		return attrs
+	}
+	events := []Event{
+		// Coordinator-local sim span: stays on pid 1.
+		{Type: TypeSpan, Phase: PhaseSimRun, TimeNS: ms(10), DurNS: ms(10),
+			Attrs: map[string]float64{AttrWorker: 0}},
+		// Fleet worker 1: two sim lanes, a budget wait, and a cache probe.
+		{Type: TypeSpan, Phase: PhaseSimRun, Iter: 3, TimeNS: ms(20), DurNS: ms(8),
+			Attrs: fleet(1, map[string]float64{AttrWorker: 0})},
+		{Type: TypeSpan, Phase: PhaseSimRun, Iter: 3, TimeNS: ms(21), DurNS: ms(8),
+			Attrs: fleet(1, map[string]float64{AttrWorker: 1})},
+		{Type: TypeSpan, Phase: PhaseBudgetWait, Iter: 3, TimeNS: ms(13), DurNS: ms(1),
+			Attrs: fleet(1, map[string]float64{AttrWorker: 2})},
+		{Type: TypeSpan, Phase: PhaseCacheProbe, Iter: 3, TimeNS: ms(12), DurNS: ms(1),
+			Attrs: fleet(1, map[string]float64{AttrCacheHit: 0})},
+		// Dispatcher fallback (-1): its shipped spans get their own process.
+		{Type: TypeSpan, Phase: PhaseSimRun, Iter: 4, TimeNS: ms(30), DurNS: ms(5),
+			Attrs: fleet(-1, map[string]float64{AttrWorker: 0})},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ValidateTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Processes != 3 {
+		t.Errorf("Processes = %d, want 3 (datamime + fleet worker 1 + fleet fallback)", st.Processes)
+	}
+	if st.FleetProcesses != 2 {
+		t.Errorf("FleetProcesses = %d, want 2", st.FleetProcesses)
+	}
+	// 4 fleet-routed spans + 1 local sim + 1 cache probe span = 5 "X"
+	// (budget wait renders as an instant).
+	if st.Spans != 5 {
+		t.Errorf("Spans = %d, want 5", st.Spans)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"fleet worker 1"`, `"fleet fallback"`, `"budget wait"`, `"cache.probe"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace JSON missing %s", want)
+		}
+	}
 }
 
 func TestWriteTraceTimestampsRelativeToBase(t *testing.T) {
