@@ -84,8 +84,10 @@ cat > spec-fleet.json <<'EOF'
 EOF
 sed 's/"backend": "remote"/"backend": "local"/' spec-fleet.json > spec-local.json
 
-echo "== starting coordinator A (fleet, telemetry on) on $COORD_A"
-bin/datamimed -addr "$COORD_A" -workers 1 -quiet -telemetry -federation-interval 2s &
+echo "== starting coordinator A (fleet, telemetry on, corpus in corpus-a) on $COORD_A"
+rm -rf corpus-a
+bin/datamimed -addr "$COORD_A" -workers 1 -quiet -telemetry -federation-interval 2s \
+  -corpus-dir corpus-a &
 PIDS+=($!)
 wait_http "http://$COORD_A/healthz"
 
@@ -117,6 +119,38 @@ curl -fs "http://$COORD_A/jobs/$FLEET_JOB/trace" > fleet-trace.json
 bin/datamime-inspect timeline -artifact run-fleet.jsonl -trace fleet-trace.json
 grep -q '"fleet worker' fleet-trace.json || {
   echo "fleet trace has no per-worker process tracks" >&2; exit 1; }
+
+echo "== corpus gate: re-run the same seed on coordinator A and compare records"
+FLEET_JOB_2=$(run_job "$COORD_A" spec-fleet.json run-fleet-2.jsonl)
+echo "== second fleet job $FLEET_JOB_2 succeeded (cache-served re-run)"
+curl -fs "http://$COORD_A/v1/corpus" > corpus-list.json
+python3 - corpus-list.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+runs = doc["runs"]
+assert len(runs) == 2 and doc["total"] == 2, f"corpus has {len(runs)}/{doc['total']} runs, want 2"
+a, b = runs
+assert a["scenario"] == b["scenario"], f"scenario hashes differ: {a['scenario']} vs {b['scenario']}"
+assert a["best_error"] == b["best_error"], f"best error drifted: {a['best_error']} vs {b['best_error']}"
+assert a["trajectory_hash"] == b["trajectory_hash"], "trajectories not bit-identical"
+assert a["verdict"] == "baseline" and b["verdict"] == "identical", \
+    f"verdicts {a['verdict']}/{b['verdict']}, want baseline/identical"
+print(f"corpus ok: 2 runs of scenario {a['scenario']}, best error {a['best_error']}, verdict identical")
+EOF
+curl -fs "http://$COORD_A/metrics" > corpus-metrics.txt
+grep -q '^datamimed_corpus_runs_indexed_total 2$' corpus-metrics.txt || {
+  echo "corpus indexed-runs counter is not 2:" >&2
+  grep corpus corpus-metrics.txt >&2 || true; exit 1; }
+grep -q '^datamimed_corpus_regressions_total 0$' corpus-metrics.txt || {
+  echo "corpus regression watchdog fired on identical runs:" >&2
+  grep corpus corpus-metrics.txt >&2 || true; exit 1; }
+
+echo "== rendering the corpus trends + HTML scoreboard"
+bin/datamime-inspect corpus list -dir corpus-a
+bin/datamime-inspect corpus trends -dir corpus-a -title "fleet gate" -html scoreboard.html
+grep -q 'datamime corpus scoreboard' scoreboard.html || {
+  echo "scoreboard.html missing its header" >&2; exit 1; }
 
 echo "== starting coordinator B (local backend) on $COORD_B"
 bin/datamimed -addr "$COORD_B" -workers 1 -quiet &

@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	datamime-inspect report -artifact run.jsonl [-profiles profiles.json] [-html report.html]
+//	datamime-inspect report -artifact run.jsonl [-profiles profiles.json] [-html report.html] [-json]
 //	datamime-inspect diff -a baseline.jsonl -b candidate.jsonl [-exact] [-json]
-//	datamime-inspect timeline -artifact run.jsonl [-trace trace.json] [-min-efficiency 1.3]
+//	datamime-inspect timeline -artifact run.jsonl [-trace trace.json] [-min-efficiency 1.3] [-corpus dir]
+//	datamime-inspect corpus list|compare|trends -dir corpus [...]
 //	datamime-inspect tail -server http://localhost:8080 -job job-1
 //
 // Exit codes: 0 success; 1 the diff crossed a regression threshold (any
@@ -50,6 +51,8 @@ func main() {
 		err = runDiff(args[1:])
 	case "timeline":
 		err = runTimeline(args[1:])
+	case "corpus":
+		err = runCorpus(args[1:])
 	case "tail":
 		err = runTail(args[1:])
 	default:
@@ -74,6 +77,9 @@ commands:
   diff      compare two run artifacts; exit 1 on regression (CI gate)
   timeline  profiler utilization report from a run's timed spans; validates
             a -trace file and gates on -min-efficiency (CI gate)
+  corpus    query the coordinator's run corpus: list indexed runs, compare
+            two runs by ID, or render per-scenario trends and the HTML
+            scoreboard
   tail      follow a live datamimed job's SSE event stream
 
 run "datamime-inspect <command> -h" for command flags.
@@ -91,6 +97,7 @@ func runReport(args []string) error {
 	htmlOut := fs.String("html", "", "also write the self-contained HTML report to this file")
 	title := fs.String("title", "", "report title (default: the artifact's job ID)")
 	quiet := fs.Bool("quiet", false, "suppress the terminal summary (useful with -html)")
+	asJSON := fs.Bool("json", false, "emit the machine-readable run summary JSON instead of text")
 	_ = fs.Parse(args)
 	if *artifact == "" {
 		return fmt.Errorf("report: -artifact is required")
@@ -111,7 +118,11 @@ func runReport(args []string) error {
 		}
 	}
 	report := inspect.NewReport(run, doc, inspect.ReportOptions{Title: *title})
-	if !*quiet {
+	if *asJSON {
+		if err := inspect.NewRunSummary(report).WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	} else if !*quiet {
 		if err := report.RenderText(os.Stdout); err != nil {
 			return err
 		}
@@ -187,6 +198,8 @@ func runTimeline(args []string) error {
 	artifact := fs.String("artifact", "", "run artifact (JSONL) with timed spans (required)")
 	trace := fs.String("trace", "", "also validate this Chrome/Perfetto trace-event JSON file")
 	minSpeedup := fs.Float64("min-efficiency", 0, "fail (exit 1) when the profiler pool's speedup over serial falls below this factor")
+	corpusDir := fs.String("corpus", "", "run corpus directory: add 'vs. corpus median' context after the report")
+	scenario := fs.String("scenario", "", "scenario hash for the -corpus context (default: the scenario with the most runs)")
 	_ = fs.Parse(args)
 	if *artifact == "" {
 		return fmt.Errorf("timeline: -artifact is required")
@@ -198,6 +211,11 @@ func runTimeline(args []string) error {
 	tl := inspect.NewTimeline(run)
 	if err := tl.RenderText(os.Stdout); err != nil {
 		return err
+	}
+	if *corpusDir != "" {
+		if err := printCorpusContext(tl, run, *corpusDir, *scenario); err != nil {
+			return err
+		}
 	}
 	if *trace != "" {
 		f, err := os.Open(*trace)

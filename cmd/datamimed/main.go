@@ -20,6 +20,7 @@
 //	curl localhost:8080/jobs/job-1/profiles   # target + best profiles (JSON)
 //	curl localhost:8080/jobs/job-1/trace      # Chrome/Perfetto trace-event JSON
 //	curl -X POST localhost:8080/jobs/job-1/cancel
+//	curl localhost:8080/v1/corpus             # indexed run history (needs -corpus-dir)
 //	curl localhost:8080/metrics               # Prometheus text metrics
 //
 // -telemetry enables per-job phase spans (feeding the /metrics latency
@@ -52,6 +53,7 @@ func main() {
 		workers       = flag.Int("workers", 2, "concurrent search jobs")
 		queueDepth    = flag.Int("queue-depth", 1024, "maximum queued jobs")
 		checkpointDir = flag.String("checkpoint-dir", "", "directory for job checkpoints (empty disables persistence and resume)")
+		corpusDir     = flag.String("corpus-dir", "", "directory for the run corpus: every finished job is indexed with its artifact, served at /v1/corpus, and watched for regressions against its scenario baseline (empty disables)")
 		cacheCapacity = flag.Int("cache-capacity", 4096, "evaluation-cache capacity (profiles)")
 		profWorkers   = flag.Int("profile-workers", runtime.GOMAXPROCS(0), "default concurrent simulator runs per profile for jobs that do not set profiling.profile_workers; profiles are bit-identical at any setting")
 		quiet         = flag.Bool("quiet", false, "suppress job lifecycle logs")
@@ -82,6 +84,7 @@ func main() {
 		workers:         *workers,
 		queueDepth:      *queueDepth,
 		checkpointDir:   *checkpointDir,
+		corpusDir:       *corpusDir,
 		cacheCapacity:   *cacheCapacity,
 		profWorkers:     *profWorkers,
 		quiet:           *quiet,
@@ -104,6 +107,7 @@ type options struct {
 	workers       int
 	queueDepth    int
 	checkpointDir string
+	corpusDir     string
 	cacheCapacity int
 	profWorkers   int
 	quiet         bool
@@ -136,6 +140,7 @@ func run(o options) error {
 		Workers:               o.workers,
 		QueueDepth:            o.queueDepth,
 		CheckpointDir:         o.checkpointDir,
+		CorpusDir:             o.corpusDir,
 		CacheCapacity:         o.cacheCapacity,
 		DefaultProfileWorkers: o.profWorkers,
 		Telemetry:             o.telemetry,
@@ -168,6 +173,9 @@ func run(o options) error {
 	fmt.Printf("datamimed listening on %s (workers=%d", o.addr, o.workers)
 	if o.checkpointDir != "" {
 		fmt.Printf(", checkpoints in %s", o.checkpointDir)
+	}
+	if o.corpusDir != "" {
+		fmt.Printf(", corpus in %s", o.corpusDir)
 	}
 	if n := len(o.workerURLs); n > 0 {
 		fmt.Printf(", fleet of %d", n)

@@ -1,0 +1,145 @@
+package corpus
+
+import (
+	"fmt"
+	"time"
+)
+
+// Watchdog verdicts for a finished run judged against its scenario baseline.
+// The rules (documented in DESIGN §3g): with no prior run of the scenario the
+// run IS the baseline; otherwise the best-error delta decides — worse than the
+// baseline by more than the tolerance is regressed, better is improved, and
+// within tolerance the trajectory hash splits identical (bit-for-bit same
+// convergence) from neutral (same destination, different path).
+const (
+	VerdictBaseline  = "baseline"
+	VerdictIdentical = "identical"
+	VerdictImproved  = "improved"
+	VerdictNeutral   = "neutral"
+	VerdictRegressed = "regressed"
+)
+
+// DefaultTolerance is the absolute best-error tolerance used when Assess is
+// given a non-positive one. It matches inspect.DiffOptions' default: spec
+// changes should dominate float noise by many orders of magnitude.
+const DefaultTolerance = 1e-9
+
+// Assessment is the watchdog's judgment of one run against its baseline.
+type Assessment struct {
+	Verdict    string `json:"verdict"`
+	BaselineID string `json:"baseline_id,omitempty"`
+	// Delta is candidate best error minus baseline best error (positive is
+	// worse; zero for a baseline verdict).
+	Delta float64 `json:"delta"`
+	// TrajectoryMatch reports bit-identical best-error trajectories.
+	TrajectoryMatch bool     `json:"trajectory_match"`
+	Reasons         []string `json:"reasons,omitempty"`
+}
+
+// Regressed reports whether the verdict is a regression.
+func (a Assessment) Regressed() bool { return a.Verdict == VerdictRegressed }
+
+// Assess judges candidate against baseline (nil when the scenario has no
+// prior run) with the given absolute best-error tolerance (<= 0 uses
+// DefaultTolerance).
+func Assess(baseline *Record, candidate Record, tol float64) Assessment {
+	if tol <= 0 {
+		tol = DefaultTolerance
+	}
+	if baseline == nil {
+		return Assessment{
+			Verdict: VerdictBaseline,
+			Reasons: []string{"first indexed run of this scenario"},
+		}
+	}
+	a := Assessment{
+		BaselineID: baseline.ID,
+		Delta:      candidate.BestError - baseline.BestError,
+		TrajectoryMatch: baseline.TrajectoryHash != "" &&
+			baseline.TrajectoryHash == candidate.TrajectoryHash,
+	}
+	switch {
+	case a.Delta > tol:
+		a.Verdict = VerdictRegressed
+		a.Reasons = append(a.Reasons, fmt.Sprintf(
+			"best error %g worsened by %g vs baseline %s (%g)",
+			candidate.BestError, a.Delta, baseline.ID, baseline.BestError))
+	case a.Delta < -tol:
+		a.Verdict = VerdictImproved
+		a.Reasons = append(a.Reasons, fmt.Sprintf(
+			"best error %g improved by %g vs baseline %s (%g)",
+			candidate.BestError, -a.Delta, baseline.ID, baseline.BestError))
+	case a.TrajectoryMatch:
+		a.Verdict = VerdictIdentical
+		a.Reasons = append(a.Reasons, "best-error trajectory bit-identical to baseline")
+	default:
+		a.Verdict = VerdictNeutral
+		a.Reasons = append(a.Reasons,
+			"best error within tolerance of baseline, trajectory differs")
+	}
+	return a
+}
+
+// TrendPoint is one run's contribution to a scenario's longitudinal series.
+type TrendPoint struct {
+	ID          string    `json:"id"`
+	FinishedAt  time.Time `json:"finished_at"`
+	BestError   float64   `json:"best_error"`
+	WallSeconds float64   `json:"wall_seconds"`
+	Evals       int       `json:"evals"`
+	Seed        uint64    `json:"seed"`
+	Backend     string    `json:"backend,omitempty"`
+	Verdict     string    `json:"verdict,omitempty"`
+}
+
+// Trend is the best-error and duration series of one scenario across runs,
+// with medians for "vs. corpus median" context.
+type Trend struct {
+	Scenario          string       `json:"scenario"`
+	Target            string       `json:"target,omitempty"`
+	Generator         string       `json:"generator,omitempty"`
+	Runs              int          `json:"runs"`
+	Points            []TrendPoint `json:"points"`
+	MedianBestError   float64      `json:"median_best_error"`
+	MedianWallSeconds float64      `json:"median_wall_seconds"`
+	BestError         float64      `json:"best_error"` // best across all runs
+	Regressions       int          `json:"regressions"`
+}
+
+// Trend builds the longitudinal series for one scenario from the index, in
+// index (completion) order.
+func (c *Corpus) Trend(scenario string) Trend {
+	recs := c.Select(Filter{Scenario: scenario})
+	t := Trend{Scenario: scenario, Runs: len(recs)}
+	if len(recs) == 0 {
+		return t
+	}
+	t.Target = recs[0].Target
+	t.Generator = recs[0].Generator
+	t.BestError = recs[0].BestError
+	errs := make([]float64, 0, len(recs))
+	walls := make([]float64, 0, len(recs))
+	for _, rec := range recs {
+		t.Points = append(t.Points, TrendPoint{
+			ID:          rec.ID,
+			FinishedAt:  rec.FinishedAt,
+			BestError:   rec.BestError,
+			WallSeconds: rec.WallSeconds,
+			Evals:       rec.Evals,
+			Seed:        rec.Seed,
+			Backend:     rec.Backend,
+			Verdict:     rec.Verdict,
+		})
+		errs = append(errs, rec.BestError)
+		walls = append(walls, rec.WallSeconds)
+		if rec.BestError < t.BestError {
+			t.BestError = rec.BestError
+		}
+		if rec.Verdict == VerdictRegressed {
+			t.Regressions++
+		}
+	}
+	t.MedianBestError = Median(errs)
+	t.MedianWallSeconds = Median(walls)
+	return t
+}

@@ -1,0 +1,96 @@
+package inspect
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"datamime/internal/corpus"
+)
+
+func scoreboardFixture() []ScoreboardRun {
+	t0 := time.Date(2026, 8, 1, 10, 0, 0, 0, time.UTC)
+	return []ScoreboardRun{
+		{
+			Record: corpus.Record{
+				ID: "job-1", Scenario: "abc123", Target: "memcached",
+				Seed: 42, Backend: "process", BestError: 0.31, Evals: 12,
+				WallSeconds: 4.2, Verdict: corpus.VerdictBaseline,
+				FinishedAt: t0,
+			},
+			Trajectory: []float64{0.9, 0.5, 0.31},
+		},
+		{
+			Record: corpus.Record{
+				ID: "job-2", Scenario: "abc123", Target: "memcached",
+				Seed: 42, Backend: "process", BestError: 0.44, Evals: 12,
+				WallSeconds: 4.8, Verdict: corpus.VerdictRegressed,
+				FinishedAt: t0.Add(time.Hour),
+			},
+			Trajectory: []float64{0.9, 0.7, 0.44},
+		},
+	}
+}
+
+func TestRenderScoreboard(t *testing.T) {
+	var b strings.Builder
+	if err := RenderScoreboard(&b, "nightly", scoreboardFixture()); err != nil {
+		t.Fatal(err)
+	}
+	html := b.String()
+
+	for _, want := range []string{
+		"<!doctype html>",
+		"datamime corpus scoreboard — nightly",
+		"2 runs, 1 scenarios",
+		"<td>job-1</td>",
+		"<td>job-2</td>",
+		`<td class="warn">regressed</td>`,
+		"Scenario abc123",
+		"Cross-run convergence",
+		"Best error across runs",
+		"Duration across runs",
+		"2026-08-01T10:00:00Z",
+	} {
+		if !strings.Contains(html, want) {
+			t.Fatalf("scoreboard missing %q:\n%s", want, html)
+		}
+	}
+	// One overlay step path per run with a trajectory.
+	if n := strings.Count(html, `stroke:#2a78d6;stroke-width:1.6" d="M`); n < 1 {
+		t.Fatalf("no overlay path for first run (count %d)", n)
+	}
+	if !strings.Contains(html, "stroke:#d6722a") {
+		t.Fatal("second run's overlay color missing")
+	}
+	// No scripts, no external fetches: the scoreboard must stay
+	// self-contained.
+	for _, banned := range []string{"<script", "http://", "https://"} {
+		if strings.Contains(html, banned) {
+			t.Fatalf("scoreboard is not self-contained: found %q", banned)
+		}
+	}
+}
+
+func TestRenderScoreboardDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	if err := RenderScoreboard(&a, "nightly", scoreboardFixture()); err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderScoreboard(&b, "nightly", scoreboardFixture()); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("scoreboard output is not deterministic")
+	}
+}
+
+func TestRenderScoreboardEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := RenderScoreboard(&b, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "0 runs, 0 scenarios") {
+		t.Fatalf("empty scoreboard unexpected:\n%s", b.String())
+	}
+}

@@ -75,7 +75,16 @@ type Timeline struct {
 	// DispatchOverheadNS sums, over eval.remote round trips that carried a
 	// worker-side duration, the round trip minus the worker's own
 	// evaluation time — serialization, network, and queueing overhead.
+	// When a worker's clock-offset uncertainty exceeds the measured round
+	// trip, a sample can come out negative; such samples are floored at
+	// zero (and counted in DispatchOverheadClamped) rather than allowed to
+	// cancel real overhead out of the sum.
 	DispatchOverheadNS int64
+	// DispatchOverheadSamples counts round trips that carried a worker-side
+	// duration; DispatchOverheadClamped counts how many of them were
+	// floored at zero.
+	DispatchOverheadSamples int
+	DispatchOverheadClamped int
 	// UnstampedSpans counts span events the artifact carried without
 	// wall-clock stamps; they are invisible to every figure above.
 	UnstampedSpans int
@@ -228,8 +237,11 @@ func NewTimeline(run *Run) *Timeline {
 			rs.BusyNS += sp.EndNS - sp.StartNS
 			rs.Retries += int(sp.Attrs[telemetry.AttrRetries])
 			if wns := int64(sp.Attrs[telemetry.AttrWorkerNS]); wns > 0 {
+				t.DispatchOverheadSamples++
 				if over := (sp.EndNS - sp.StartNS) - wns; over > 0 {
 					t.DispatchOverheadNS += over
+				} else if over < 0 {
+					t.DispatchOverheadClamped++
 				}
 			}
 		case telemetry.PhaseDispatchRetry:
@@ -360,9 +372,14 @@ func (t *Timeline) RenderText(w io.Writer) error {
 			fmt.Fprintf(&b, "dispatch churn: %d retried evaluations, %d local fallbacks\n",
 				t.DispatchRetries, t.DispatchFallbacks)
 		}
-		if t.DispatchOverheadNS > 0 {
-			fmt.Fprintf(&b, "dispatch overhead (round trip minus worker eval time): %s\n",
-				fms(t.DispatchOverheadNS))
+		if t.DispatchOverheadSamples > 0 {
+			fmt.Fprintf(&b, "dispatch overhead (round trip minus worker eval time): %s over %d samples",
+				fms(t.DispatchOverheadNS), t.DispatchOverheadSamples)
+			if t.DispatchOverheadClamped > 0 {
+				fmt.Fprintf(&b, " (%d clamped at zero: clock uncertainty exceeded the round trip)",
+					t.DispatchOverheadClamped)
+			}
+			b.WriteString("\n")
 		}
 	}
 	if len(t.Fleet) > 0 {

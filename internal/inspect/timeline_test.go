@@ -1,0 +1,80 @@
+package inspect
+
+import (
+	"strings"
+	"testing"
+
+	"datamime/internal/telemetry"
+)
+
+// remoteEvalRun builds a Run whose artifact carries eval.remote round trips
+// with worker-reported durations: one with normal positive overhead and one
+// whose worker-side time exceeds the measured round trip (the negative
+// sample clock misalignment can produce).
+func remoteEvalRun(t *testing.T) *Run {
+	t.Helper()
+	artifact := `{"type":"log","job":"job-1","time_ns":1000,"msg":"datamime run artifact"}
+{"type":"span","job":"job-1","iter":0,"phase":"profile.sim","dur_ns":500000,"time_ns":1800000,"attrs":{"worker":0,"ways":8}}
+{"type":"span","job":"job-1","iter":0,"phase":"eval.remote","dur_ns":1000000,"time_ns":2000000,"attrs":{"remote_worker":0,"worker_ns":600000}}
+{"type":"span","job":"job-1","iter":1,"phase":"eval.remote","dur_ns":500000,"time_ns":3000000,"attrs":{"remote_worker":0,"worker_ns":900000}}
+{"type":"eval","job":"job-1","iter":0,"time_ns":2100000,"params":[0.5],"attrs":{"error":0.4,"best_error":0.4}}
+{"type":"eval","job":"job-1","iter":1,"time_ns":3100000,"params":[0.6],"attrs":{"error":0.3,"best_error":0.3}}
+`
+	run, err := LoadRun(strings.NewReader(artifact))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+func TestTimelineClampsNegativeDispatchOverhead(t *testing.T) {
+	tl := NewTimeline(remoteEvalRun(t))
+	if tl.DispatchOverheadSamples != 2 {
+		t.Fatalf("samples = %d, want 2", tl.DispatchOverheadSamples)
+	}
+	// Round trip 1ms, worker 0.6ms → 0.4ms overhead. Round trip 0.5ms,
+	// worker 0.9ms → negative, clamped: the sum must stay at 0.4ms instead
+	// of collapsing to 0.
+	if tl.DispatchOverheadNS != 400000 {
+		t.Fatalf("overhead = %d ns, want 400000", tl.DispatchOverheadNS)
+	}
+	if tl.DispatchOverheadClamped != 1 {
+		t.Fatalf("clamped = %d, want 1", tl.DispatchOverheadClamped)
+	}
+
+	var b strings.Builder
+	if err := tl.RenderText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if !strings.Contains(text, "dispatch overhead") ||
+		!strings.Contains(text, "2 samples") ||
+		!strings.Contains(text, "1 clamped at zero") {
+		t.Fatalf("RenderText does not surface clamped samples:\n%s", text)
+	}
+
+	_ = telemetry.AttrWorkerNS // keep the import honest about what the artifact encodes
+}
+
+func TestTimelineNoClampNote(t *testing.T) {
+	artifact := `{"type":"log","job":"job-1","time_ns":1000,"msg":"datamime run artifact"}
+{"type":"span","job":"job-1","iter":0,"phase":"profile.sim","dur_ns":500000,"time_ns":1800000,"attrs":{"worker":0,"ways":8}}
+{"type":"span","job":"job-1","iter":0,"phase":"eval.remote","dur_ns":1000000,"time_ns":2000000,"attrs":{"remote_worker":0,"worker_ns":600000}}
+{"type":"eval","job":"job-1","iter":0,"time_ns":2100000,"params":[0.5],"attrs":{"error":0.4,"best_error":0.4}}
+`
+	run, err := LoadRun(strings.NewReader(artifact))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := NewTimeline(run)
+	if tl.DispatchOverheadClamped != 0 || tl.DispatchOverheadSamples != 1 {
+		t.Fatalf("samples=%d clamped=%d, want 1/0", tl.DispatchOverheadSamples, tl.DispatchOverheadClamped)
+	}
+	var b strings.Builder
+	if err := tl.RenderText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if text := b.String(); strings.Contains(text, "clamped at zero") {
+		t.Fatalf("clamp note rendered with nothing clamped:\n%s", text)
+	}
+}

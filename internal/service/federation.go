@@ -40,6 +40,12 @@ type workerScrape struct {
 	url  string
 	up   bool
 	at   time.Time
+	// dur is how long the last scrape attempt took (success or failure):
+	// a slow-but-up worker /metrics endpoint is visible through it.
+	dur time.Duration
+	// okAt is the time of the last successful scrape, carried across
+	// failed attempts so staleness keeps growing while a worker is down.
+	okAt time.Time
 	fams map[string]*fedFamily
 	// values indexes label-less sample values by metric name, for the
 	// /v1/fleet summary (cache hit rate, inflight, goroutines).
@@ -96,7 +102,8 @@ func (f *Federation) Scrape(ctx context.Context, workers []backend.WorkerInfo) {
 
 // scrapeOne fetches and parses one worker's /metrics.
 func (f *Federation) scrapeOne(ctx context.Context, name, url string) {
-	sc := &workerScrape{url: url, at: time.Now(),
+	start := time.Now()
+	sc := &workerScrape{url: url, at: start,
 		fams: make(map[string]*fedFamily), values: make(map[string]float64)}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/metrics", nil)
 	if err == nil {
@@ -112,10 +119,16 @@ func (f *Federation) scrapeOne(ctx context.Context, name, url string) {
 			resp.Body.Close()
 		}
 	}
+	sc.dur = time.Since(start)
 	f.mu.Lock()
 	f.total++
 	if err != nil {
 		f.errors++
+	}
+	if sc.up {
+		sc.okAt = sc.at
+	} else if prev := f.scrapes[name]; prev != nil {
+		sc.okAt = prev.okAt // staleness keeps growing across failures
 	}
 	f.scrapes[name] = sc
 	f.mu.Unlock()
@@ -252,6 +265,29 @@ func (f *Federation) WritePrometheus(w io.Writer) {
 		}
 		fmt.Fprintf(w, "datamime_worker_up{worker=%q} %d\n", n, v)
 	}
+	fmt.Fprintf(w, "# HELP datamime_worker_scrape_duration_seconds How long the last federation scrape of the worker's /metrics took.\n")
+	fmt.Fprintf(w, "# TYPE datamime_worker_scrape_duration_seconds gauge\n")
+	for _, n := range names {
+		fmt.Fprintf(w, "datamime_worker_scrape_duration_seconds{worker=%q} %s\n",
+			n, strconv.FormatFloat(f.scrapes[n].dur.Seconds(), 'g', -1, 64))
+	}
+	// Staleness: seconds since the last successful scrape. Workers that have
+	// never been scraped successfully have no series — up=0 already marks
+	// them, and an unbounded fake staleness would only skew dashboards.
+	staleHeaded := false
+	for _, n := range names {
+		okAt := f.scrapes[n].okAt
+		if okAt.IsZero() {
+			continue
+		}
+		if !staleHeaded {
+			fmt.Fprintf(w, "# HELP datamime_worker_scrape_staleness_seconds Seconds since the worker's last successful federation scrape.\n")
+			fmt.Fprintf(w, "# TYPE datamime_worker_scrape_staleness_seconds gauge\n")
+			staleHeaded = true
+		}
+		fmt.Fprintf(w, "datamime_worker_scrape_staleness_seconds{worker=%q} %s\n",
+			n, strconv.FormatFloat(time.Since(okAt).Seconds(), 'g', -1, 64))
+	}
 
 	for _, fn := range sorted {
 		headed := false
@@ -365,6 +401,9 @@ type FleetStatus struct {
 	Queue      int                      `json:"queue"`
 	Dispatch   backend.DispatchCounters `json:"dispatch"`
 	Federation FederationStats          `json:"federation"`
+	// Corpus summarizes the persistent run index per scenario (latest run
+	// beside the corpus median); null when -corpus-dir is not set.
+	Corpus *CorpusSummary `json:"corpus,omitempty"`
 }
 
 // fleetStatus joins the dispatcher and federation views per worker.
@@ -375,6 +414,7 @@ func (s *Server) fleetStatus() FleetStatus {
 		Queue:      s.dispatcher.QueueDepth(),
 		Dispatch:   s.dispatcher.Counters(),
 		Federation: s.federation.Stats(),
+		Corpus:     s.corpusSummary(),
 	}
 	for _, info := range infos {
 		row := FleetWorkerStatus{WorkerInfo: info}

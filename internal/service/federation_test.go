@@ -66,6 +66,39 @@ datamime_worker_evaluations_total 7
 
 	var buf bytes.Buffer
 	fed.WritePrometheus(&buf)
+
+	// The scrape-duration and staleness gauges carry wall-clock values, so
+	// they are asserted structurally and then filtered out before the
+	// byte-exact comparison of the deterministic remainder.
+	var stable []string
+	durWorkers := map[string]bool{}
+	staleWorkers := map[string]bool{}
+	for _, line := range strings.SplitAfter(buf.String(), "\n") {
+		switch {
+		case strings.HasPrefix(line, "datamime_worker_scrape_duration_seconds{"):
+			durWorkers[line[strings.Index(line, `"`)+1:strings.LastIndex(line, `"`)]] = true
+		case strings.HasPrefix(line, "datamime_worker_scrape_staleness_seconds{"):
+			staleWorkers[line[strings.Index(line, `"`)+1:strings.LastIndex(line, `"`)]] = true
+		case strings.HasPrefix(line, "# HELP datamime_worker_scrape_") ||
+			strings.HasPrefix(line, "# TYPE datamime_worker_scrape_"):
+		case line != "":
+			stable = append(stable, line)
+		}
+	}
+	// Every scraped worker has a duration sample (including the failed
+	// scrape); only workers with a successful scrape have staleness.
+	for _, w := range []string{"worker-a", "worker-b", "worker-dead"} {
+		if !durWorkers[w] {
+			t.Errorf("no scrape-duration sample for %s", w)
+		}
+	}
+	if !staleWorkers["worker-a"] || !staleWorkers["worker-b"] {
+		t.Errorf("staleness samples missing for reachable workers: %v", staleWorkers)
+	}
+	if staleWorkers["worker-dead"] {
+		t.Error("never-scraped-successfully worker has a staleness sample")
+	}
+
 	want := `# HELP datamime_worker_up Whether the last federation scrape of the worker's /metrics succeeded.
 # TYPE datamime_worker_up gauge
 datamime_worker_up{worker="worker-a"} 1
@@ -86,7 +119,7 @@ datamime_worker_eval_seconds_count{worker="worker-b"} 5
 datamime_worker_evaluations_total{worker="worker-a"} 42
 datamime_worker_evaluations_total{worker="worker-b"} 7
 `
-	if got := buf.String(); got != want {
+	if got := strings.Join(stable, ""); got != want {
 		t.Errorf("federated exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
 

@@ -36,9 +36,20 @@ import (
 //	GET  /v1/workers         fleet snapshot + dispatch queue depth
 //	GET  /v1/fleet           unified fleet health: per-worker routing state,
 //	                         clock offset, scraped cache hit rate and
-//	                         runtime health, dispatch counters
+//	                         runtime health, dispatch counters, corpus
+//	                         rollup (latest run vs. corpus median)
+//
+// The run corpus (requires Config.CorpusDir / datamimed -corpus-dir):
+//
+//	GET  /v1/corpus                     indexed run records (filter with
+//	                                    scenario=, target=, since=, until=
+//	                                    RFC 3339, limit=N most recent)
+//	GET  /v1/corpus/{scenario}/trends   best-error + duration series across
+//	                                    the scenario's runs, with medians
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/corpus", s.handleCorpus)
+	mux.HandleFunc("GET /v1/corpus/{scenario}/trends", s.handleCorpusTrends)
 	mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheGet)
 	mux.HandleFunc("PUT /v1/cache/{key}", s.handleCachePut)
 	mux.HandleFunc("POST /v1/workers", s.handleWorkerAnnounce)

@@ -58,6 +58,13 @@ type serverMetrics struct {
 	fleetBusySeconds       *telemetry.CounterVec
 	fleetBudgetWaitSeconds *telemetry.Counter
 	fleetCacheProbes       *telemetry.CounterVec
+
+	// Run-corpus watchdog metrics (incremented by indexRun on every job
+	// completion when Config.CorpusDir enables the corpus).
+	corpusIndexed       *telemetry.Counter
+	corpusRegressions   *telemetry.Counter
+	corpusVerdicts      *telemetry.CounterVec
+	corpusBaselineDelta *telemetry.Gauge
 }
 
 // newServerMetrics builds the registry. Collector callbacks close over the
@@ -169,6 +176,27 @@ func newServerMetrics(s *Server) *serverMetrics {
 		})
 	m.dispatchHist = reg.NewHistogramVec("datamimed_dispatch_seconds",
 		"End-to-end dispatched-evaluation latency, by serving side.", "side", nil)
+
+	// Run-corpus watchdog. The gauge reads the on-disk index size so a
+	// coordinator restart doesn't zero it; the counters are this process's
+	// indexing/watchdog activity. All families exist even with the corpus
+	// disabled (they just stay at zero) so dashboards never 404.
+	reg.NewGaugeFunc("datamimed_corpus_runs",
+		"Run records in the persistent corpus index.",
+		func() float64 {
+			if s.corpus == nil {
+				return 0
+			}
+			return float64(s.corpus.Len())
+		})
+	m.corpusIndexed = reg.NewCounter("datamimed_corpus_runs_indexed_total",
+		"Finished jobs indexed into the run corpus by this process.")
+	m.corpusRegressions = reg.NewCounter("datamimed_corpus_regressions_total",
+		"Finished jobs the corpus watchdog judged regressed vs their scenario baseline.")
+	m.corpusVerdicts = reg.NewCounterVec("datamimed_corpus_verdicts_total",
+		"Corpus watchdog verdicts for indexed runs, by verdict.", "verdict")
+	m.corpusBaselineDelta = reg.NewGauge("datamimed_corpus_baseline_delta",
+		"Best-error delta of the most recently indexed run vs its scenario baseline (positive is worse).")
 
 	// Fleet observability: remote-shipped span accounting plus the
 	// coordinator's own Go runtime health (workers export the matching

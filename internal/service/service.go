@@ -11,6 +11,7 @@ import (
 	"datamime/internal/backend"
 	"datamime/internal/buildinfo"
 	"datamime/internal/core"
+	"datamime/internal/corpus"
 	"datamime/internal/datagen"
 	"datamime/internal/telemetry"
 )
@@ -77,6 +78,14 @@ type Config struct {
 	// the datamime_worker_*{worker=...} re-export (default 15s; negative
 	// disables scraping — the families simply stay absent).
 	FederationInterval time.Duration
+	// CorpusDir, when non-empty, enables the persistent run corpus: every
+	// finished job is indexed there (summary record + content-addressed
+	// JSONL artifact), the regression watchdog judges it against the
+	// scenario baseline, and GET /v1/corpus serves longitudinal queries.
+	CorpusDir string
+	// CorpusTolerance is the absolute best-error tolerance of the corpus
+	// regression watchdog (<= 0 uses corpus.DefaultTolerance, 1e-9).
+	CorpusTolerance float64
 }
 
 // Server schedules and tracks search jobs. Create with New, serve its
@@ -98,6 +107,10 @@ type Server struct {
 	// federation scrapes the fleet's worker /metrics endpoints and
 	// re-exports them (worker-labeled) after the registry in /metrics.
 	federation *Federation
+
+	// corpus is the persistent run index (nil unless Config.CorpusDir is
+	// set); indexRun appends to it on every job completion.
+	corpus *corpus.Corpus
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -156,6 +169,17 @@ func New(cfg Config) (*Server, error) {
 		s.gens[g.Name] = g
 	}
 	s.initDispatch()
+	if cfg.CorpusDir != "" {
+		// Open (and, if the last shutdown truncated the index tail,
+		// compact) the run corpus before the metrics registry so its
+		// scrape-time collectors can close over it.
+		c, err := corpus.Open(cfg.CorpusDir)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.corpus = c
+	}
 	s.metrics = newServerMetrics(s)
 	if err := s.loadCheckpoints(); err != nil {
 		cancel()
@@ -275,6 +299,9 @@ func (s *Server) Close() {
 	s.rootCancel()
 	close(s.queue)
 	s.wg.Wait()
+	if s.corpus != nil {
+		s.corpus.Close()
+	}
 }
 
 // worker pulls jobs off the queue until shutdown.
@@ -431,6 +458,10 @@ func (s *Server) runJob(job *Job) {
 		job.result = result
 		job.bestProf = res.BestProfile
 		job.mu.Unlock()
+		// Index into the run corpus (and run the regression watchdog)
+		// before finish: a corpus.regression event appended here still
+		// reaches SSE subscribers ahead of the terminal "done" frame.
+		s.indexRun(job)
 		s.finish(job, JobSucceeded, "")
 	case ctx.Err() != nil:
 		s.endInterrupted(job, ctx)

@@ -75,6 +75,11 @@ const (
 	TypeEval = "eval"
 	// TypeLog is a free-form message.
 	TypeLog = "log"
+	// TypeCorpusRegression is emitted by the coordinator's corpus watchdog
+	// when a finished run converges worse than its scenario baseline. It is
+	// streamed over SSE and appended to the artifact; consumers that don't
+	// know it (inspect.LoadRun, ReplayBestTrace) skip it by design.
+	TypeCorpusRegression = "corpus.regression"
 )
 
 // Event is one telemetry record: a closed span, a finished evaluation, or a
