@@ -3,11 +3,13 @@ package profile
 import (
 	"context"
 	"reflect"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
 
 	"datamime/internal/sim"
+	"datamime/internal/telemetry"
 )
 
 // TestParallelProfileMatchesSerial is the tentpole determinism guarantee:
@@ -25,6 +27,7 @@ func TestParallelProfileMatchesSerial(t *testing.T) {
 	for _, workers := range []int{2, 4, 16} {
 		pr := fastProfiler()
 		pr.Workers = workers
+		pr.disableWorkerClamp = true // exercise the pool path even on 1-CPU hosts
 		got, err := pr.Profile(b, 7)
 		if err != nil {
 			t.Fatal(err)
@@ -37,6 +40,7 @@ func TestParallelProfileMatchesSerial(t *testing.T) {
 	// change results either.
 	pr := fastProfiler()
 	pr.Workers = 4
+	pr.disableWorkerClamp = true
 	pr.Budget = NewBudget(2)
 	got, err := pr.Profile(b, 7)
 	if err != nil {
@@ -47,11 +51,55 @@ func TestParallelProfileMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestWorkerClampToGOMAXPROCS: asking for more workers than the host can
+// schedule silently clamps the pool to runtime.GOMAXPROCS(0), the run
+// telemetry records the effective count (not the requested one), and the
+// clamped sweep still matches the serial profile bit-for-bit.
+func TestWorkerClampToGOMAXPROCS(t *testing.T) {
+	b := kvBenchmark(256, 60_000)
+	want, err := fastProfiler().Profile(b, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var collector telemetry.Collector
+	pr := fastProfiler()
+	jobs := 1 + len(pr.curveWays())
+	pr.Workers = runtime.GOMAXPROCS(0) + jobs + 8 // absurd ask: clamp must engage
+	pr.Telemetry = telemetry.New(telemetry.Options{OnEvent: collector.Record})
+	got, err := pr.Profile(b, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("clamped profile diverged from serial")
+	}
+
+	effective := runtime.GOMAXPROCS(0)
+	if jobs < effective {
+		effective = jobs
+	}
+	found := false
+	for _, ev := range collector.Events() {
+		if ev.Type != telemetry.TypeSpan || ev.Phase != telemetry.PhaseProfileRun {
+			continue
+		}
+		found = true
+		if w, ok := ev.Attrs["workers"]; !ok || int(w) != effective {
+			t.Errorf("run span workers attr = %v, want effective count %d (requested %d)", w, effective, pr.Workers)
+		}
+	}
+	if !found {
+		t.Fatal("no profile.run span recorded")
+	}
+}
+
 // TestParallelProfileCancellation: a canceled context aborts the parallel
 // sweep with the context's error.
 func TestParallelProfileCancellation(t *testing.T) {
 	pr := fastProfiler()
 	pr.Workers = 4
+	pr.disableWorkerClamp = true
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	if _, err := pr.ProfileContext(ctx, kvBenchmark(256, 60_000), 7); err != context.Canceled {

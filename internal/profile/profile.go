@@ -9,6 +9,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -178,6 +179,12 @@ type Profiler struct {
 	// attributes. It is deliberately excluded from evaluation cache keys
 	// (see core.EvalKey) and has no effect on measurements.
 	Telemetry *telemetry.Recorder
+
+	// disableWorkerClamp lifts the GOMAXPROCS clamp on the worker pool.
+	// Only tests that must exercise pool scheduling and span attribution on
+	// hosts with fewer CPUs than workers set it; production sweeps never
+	// benefit from more workers than schedulable threads.
+	disableWorkerClamp bool
 }
 
 // New returns a Profiler with the defaults used throughout the evaluation.
@@ -287,6 +294,14 @@ func (pr *Profiler) ProfileContext(ctx context.Context, b workload.Benchmark, se
 	}
 	if workers > len(jobs) {
 		workers = len(jobs)
+	}
+	// More workers than schedulable threads cannot run concurrently; they
+	// only add goroutine churn and contended claims on the job cursor. Clamp
+	// to reality and report the effective count in the run attributes, so
+	// traces and the timeline parallel-efficiency report describe the pool
+	// that actually executed.
+	if p := runtime.GOMAXPROCS(0); workers > p && !pr.disableWorkerClamp {
+		workers = p
 	}
 
 	runSpan := pr.Telemetry.StartSpan(telemetry.PhaseProfileRun, 0)
@@ -408,17 +423,28 @@ func (pr *Profiler) execute(ctx context.Context, b workload.Benchmark, seed uint
 		}
 		return results, nil
 	}
-	var next atomic.Int64
+	// The shared job cursor sits alone on its cache line: every claim is a
+	// contended atomic RMW, and without padding it false-shares with
+	// whatever the allocator places next to it. (results needs no padding:
+	// runResult is exactly 64 bytes, so workers completing adjacent jobs
+	// write disjoint lines.)
+	next := &paddedCursor{}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			m := sim.NewMachine(pr.Machine, pr.WindowCycles)
+			// The worker-local machine is built lazily on the first claimed
+			// job: a worker that never wins a claim (more workers than jobs
+			// remaining) skips the multi-megabyte cache-slab allocation.
+			var m *sim.Machine
 			for {
-				i := int(next.Add(1)) - 1
+				i := int(next.n.Add(1)) - 1
 				if i >= len(jobs) || ctx.Err() != nil {
 					return
+				}
+				if m == nil {
+					m = sim.NewMachine(pr.Machine, pr.WindowCycles)
 				}
 				results[i] = pr.runInstrumented(m, b, seed, jobs[i], worker)
 			}
@@ -495,6 +521,14 @@ func (pr *Profiler) runOn(m *sim.Machine, b workload.Benchmark, seed uint64, job
 		requests: res.Requests,
 		ratio:    ratio,
 	}
+}
+
+// paddedCursor is the sweep's shared job counter, padded to its own cache
+// line on both sides so claim traffic never false-shares with neighbors.
+type paddedCursor struct {
+	_ [64]byte
+	n atomic.Int64
+	_ [56]byte
 }
 
 func maxInt(a, b int) int {

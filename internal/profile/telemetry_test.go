@@ -21,6 +21,7 @@ func TestParallelTelemetrySimSpans(t *testing.T) {
 	var collector telemetry.Collector
 	pr := fastProfiler()
 	pr.Workers = 3
+	pr.disableWorkerClamp = true // the span assertions need a real pool even on 1-CPU hosts
 	pr.Budget = NewBudget(2)
 	pr.Telemetry = telemetry.New(telemetry.Options{OnEvent: collector.Record})
 	got, err := pr.Profile(b, 7)

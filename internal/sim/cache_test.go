@@ -333,3 +333,45 @@ func TestBranchPredictorPanicsOnBadConfig(t *testing.T) {
 	}()
 	NewBranchPredictor(BranchConfig{TableBits: 0})
 }
+
+// TestFlushGenerationWraparound forces the latent uint32 generation-counter
+// wrap: after 2^32 flushes the counter would land back on 0, where every
+// freshly-zeroed (never-written) line — whose gen is 0 — would suddenly read
+// as valid. Flush must detect the wrap, erase stale lines for real, and
+// restart at generation 1 so nothing aliases.
+func TestFlushGenerationWraparound(t *testing.T) {
+	c := NewCache(CacheConfig{Name: "L", SizeBytes: 4096, Ways: 4, Policy: LRU})
+	// Simulate 2^32-2 intervening flushes, then install lines at the final
+	// pre-wrap generation.
+	c.gen = ^uint32(0)
+	for i := 0; i < 16; i++ {
+		c.Access(uint64(i * trace.LineSize))
+	}
+	c.Flush()
+	if c.gen != 1 {
+		t.Fatalf("gen %d after wrapping flush, want 1", c.gen)
+	}
+	for i, ln := range c.lines {
+		if ln != (cacheLine{}) {
+			t.Fatalf("stale line %d survived the wrapping flush: %+v", i, ln)
+		}
+	}
+	// The aliasing hazard itself: address 0 was resident pre-flush with tag
+	// 0 — exactly what a zeroed line holds. It must miss now.
+	if c.Access(0) {
+		t.Fatal("stale line read as valid after generation wrap")
+	}
+	// And a machine-level wrap: Reset must leave the kernel path coherent.
+	m := NewMachine(Broadwell(), 1e9)
+	m.Load(0, 8)
+	m.l1d.gen = ^uint32(0)
+	m.Reset()
+	if m.l1d.gen != 1 || m.kern.l1d.gen != 1 {
+		t.Fatalf("post-wrap generations: cache %d kernel %d, want 1/1",
+			m.l1d.gen, m.kern.l1d.gen)
+	}
+	m.Load(0, 8)
+	if _, miss := m.l1d.Stats(); miss != 1 {
+		t.Fatalf("post-wrap load should miss once, got %d misses", miss)
+	}
+}

@@ -81,6 +81,23 @@ type Machine struct {
 	totalIdle float64
 	baseCPI   float64
 	burstMiss int // index of the miss within the current access burst (MLP)
+
+	// kern is the packed batched-access kernel state (see kernel.go); scalar
+	// routes events through the reference walk instead, either because the
+	// configuration is outside the kernel's fast-path envelope or because a
+	// test forced it (forceScalar). lastDataLine/lastInstrLine track the most
+	// recent line touched on each side for same-line coalescing.
+	kern            machKernel
+	scalar          bool
+	forceScalar     bool
+	lastDataLine    uint64
+	lastInstrLine   uint64
+	lastDataPage    uint64
+	lastInstrPage   uint64
+	lastDataValid   bool
+	lastInstrValid  bool
+	lastDataPageOK  bool
+	lastInstrPageOK bool
 }
 
 // NewMachine builds a machine with the given counter-window length in
@@ -107,6 +124,7 @@ func NewMachine(cfg MachineConfig, windowCycles float64) *Machine {
 	if cfg.L3 != nil {
 		m.l3 = NewCache(*cfg.L3)
 	}
+	m.syncKernel()
 	return m
 }
 
@@ -122,9 +140,10 @@ func (m *Machine) WindowCycles() float64 { return m.windowCycles }
 func (m *Machine) SetLLCPartition(ways int) {
 	if m.l3 != nil {
 		m.l3.SetPartition(ways)
-		return
+	} else {
+		m.l2.SetPartition(ways)
 	}
-	m.l2.SetPartition(ways)
+	m.syncKernel()
 }
 
 // LLCPartitionBytes returns the capacity currently available in the
@@ -161,6 +180,7 @@ func (m *Machine) Reset() {
 	m.wallSamples = m.wallSamples[:0]
 	m.totalBusy, m.totalIdle = 0, 0
 	m.burstMiss = 0
+	m.syncKernel()
 }
 
 // ReserveSamples grows the sample buffers to hold at least windows entries
@@ -227,8 +247,12 @@ func (m *Machine) missPenalty(latency float64) {
 	m.busy(p)
 }
 
-// dataAccess walks the data-side hierarchy for every line the access spans.
-func (m *Machine) dataAccess(addr uint64, size int) {
+// scalarDataAccess walks the data-side hierarchy one line at a time through
+// the general-purpose Cache/TLB methods. It is the reference implementation
+// the batched kernel (kernel.go) must match bit for bit, and the fallback
+// for configurations outside the kernel's fast-path envelope (non-power-of-
+// two set counts, pages smaller than cache lines).
+func (m *Machine) scalarDataAccess(addr uint64, size int) {
 	if size <= 0 {
 		return
 	}
@@ -268,15 +292,36 @@ func (m *Machine) dataAccess(addr uint64, size int) {
 }
 
 // Load implements trace.Collector.
-func (m *Machine) Load(addr uint64, size int) { m.dataAccess(addr, size) }
+func (m *Machine) Load(addr uint64, size int) {
+	if m.scalar {
+		m.scalarDataAccess(addr, size)
+		return
+	}
+	m.batchData(addr, size)
+}
 
 // Store implements trace.Collector. Stores and loads traverse the same
 // hierarchy; write-allocate means a store miss also fetches the line.
-func (m *Machine) Store(addr uint64, size int) { m.dataAccess(addr, size) }
+func (m *Machine) Store(addr uint64, size int) {
+	if m.scalar {
+		m.scalarDataAccess(addr, size)
+		return
+	}
+	m.batchData(addr, size)
+}
 
 // Exec implements trace.Collector: it fetches the instruction lines the
 // execution touches and accounts the dynamic instructions.
 func (m *Machine) Exec(r *trace.CodeRegion, instrs int) {
+	if m.scalar {
+		m.scalarExec(r, instrs)
+		return
+	}
+	m.batchInstr(r, instrs)
+}
+
+// scalarExec is the reference instruction-side walk; see scalarDataAccess.
+func (m *Machine) scalarExec(r *trace.CodeRegion, instrs int) {
 	if instrs <= 0 {
 		return
 	}

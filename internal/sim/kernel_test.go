@@ -1,0 +1,342 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"datamime/internal/trace"
+)
+
+// The batched kernel must be observationally identical to the scalar
+// reference walk: identical window samples, wall samples, cycle totals,
+// per-level access/miss statistics, and identical cache/TLB residency.
+// Internal LRU clock values are allowed to differ (coalescing elides
+// re-touches of already-MRU lines, which skips clock increments without
+// changing recency order); everything observable is pinned bit for bit.
+
+// kernelEvent is one replayable trace event.
+type kernelEvent struct {
+	kind int // 0 load, 1 store, 2 exec, 3 branch, 4 ops, 5 idle
+	addr uint64
+	size int
+	reg  int
+	val  int
+}
+
+// genKernelEvents builds a deterministic mixed stream exercising every path
+// the kernel specializes: multi-line accesses, repeated same-line accesses
+// (coalescing), LLC-pressure random traffic, instruction loops over tiny
+// and large regions, branches, idle gaps.
+func genKernelEvents(n int, seed int64) []kernelEvent {
+	rng := rand.New(rand.NewSource(seed))
+	evs := make([]kernelEvent, 0, n)
+	const hot = uint64(1 << 20)
+	for len(evs) < n {
+		switch rng.Intn(12) {
+		case 0, 1, 2: // random loads across 32 MB: L2/LLC/memory pressure
+			evs = append(evs, kernelEvent{kind: 0, addr: uint64(rng.Intn(32 << 20)), size: 8 + rng.Intn(64)})
+		case 3: // back-to-back same-line accesses: coalescing fodder
+			a := hot + uint64(rng.Intn(256)&^7)
+			evs = append(evs,
+				kernelEvent{kind: 0, addr: a, size: 8},
+				kernelEvent{kind: 0, addr: a, size: 8},
+				kernelEvent{kind: 1, addr: a + 4, size: 4},
+			)
+		case 4: // same line leading a multi-line access: partial coalesce
+			a := hot + uint64(rng.Intn(4096)&^63)
+			evs = append(evs,
+				kernelEvent{kind: 0, addr: a, size: 8},
+				kernelEvent{kind: 0, addr: a, size: 192},
+			)
+		case 5: // multi-line store bursts (MLP path)
+			evs = append(evs, kernelEvent{kind: 1, addr: uint64(rng.Intn(1 << 20)), size: 64 + rng.Intn(512)})
+		case 6, 7: // instruction fetch over a random region
+			evs = append(evs, kernelEvent{kind: 2, reg: rng.Intn(4), val: 8 + rng.Intn(640)})
+		case 8: // tight loop on the one-line region: instruction coalescing
+			evs = append(evs,
+				kernelEvent{kind: 2, reg: 0, val: 8},
+				kernelEvent{kind: 2, reg: 0, val: 8},
+				kernelEvent{kind: 2, reg: 0, val: 8},
+			)
+		case 9:
+			evs = append(evs, kernelEvent{kind: 3, addr: uint64(rng.Intn(64)) * 8, val: rng.Intn(2)})
+		case 10:
+			evs = append(evs, kernelEvent{kind: 4, val: 1 + rng.Intn(50)})
+		case 11:
+			evs = append(evs, kernelEvent{kind: 5, val: rng.Intn(3000)})
+		}
+	}
+	return evs[:n]
+}
+
+// kernelTestRegions builds a fresh region set per machine: regions carry a
+// mutable cursor, so the two replays must not share them.
+func kernelTestRegions() []*trace.CodeRegion {
+	cl := trace.NewCodeLayout()
+	return []*trace.CodeRegion{
+		cl.Region("loop1", 1),      // one line: every fetch re-touches it
+		cl.Region("small", 3*64),   // wraps quickly
+		cl.Region("mid", 40*64),    // L1I-resident
+		cl.Region("large", 900*64), // exceeds the 512-line L1I
+	}
+}
+
+func replayKernelEvents(m *Machine, regions []*trace.CodeRegion, evs []kernelEvent) {
+	for _, e := range evs {
+		switch e.kind {
+		case 0:
+			m.Load(e.addr, e.size)
+		case 1:
+			m.Store(e.addr, e.size)
+		case 2:
+			m.Exec(regions[e.reg], e.val)
+		case 3:
+			m.Branch(e.addr, e.val == 1)
+		case 4:
+			m.Ops(e.val)
+		case 5:
+			m.Idle(float64(e.val))
+		}
+	}
+}
+
+// assertCachesMatch compares everything observable about two caches: stats
+// and residency (valid ways and their tags). LRU stamps may legitimately
+// differ under coalescing; DRRIP metadata may not (RRPVs are a pure
+// function of the access stream, which elision never changes).
+func assertCachesMatch(t *testing.T, name string, a, b *Cache) {
+	t.Helper()
+	aAcc, aMiss := a.Stats()
+	bAcc, bMiss := b.Stats()
+	if aAcc != bAcc || aMiss != bMiss {
+		t.Errorf("%s stats diverge: batched %d/%d scalar %d/%d", name, aAcc, aMiss, bAcc, bMiss)
+	}
+	if len(a.lines) != len(b.lines) {
+		t.Fatalf("%s line slab sizes differ", name)
+	}
+	for i := range a.lines {
+		av := a.lines[i].gen == a.gen
+		bv := b.lines[i].gen == b.gen
+		if av != bv {
+			t.Fatalf("%s line %d validity diverges: batched %v scalar %v", name, i, av, bv)
+		}
+		if av && a.lines[i].tag != b.lines[i].tag {
+			t.Fatalf("%s line %d tag diverges: batched %#x scalar %#x", name, i, a.lines[i].tag, b.lines[i].tag)
+		}
+		if av && a.isDRRIP && a.lines[i].meta != b.lines[i].meta {
+			t.Fatalf("%s line %d RRPV diverges: batched %d scalar %d", name, i, a.lines[i].meta, b.lines[i].meta)
+		}
+	}
+	if a.psel != b.psel || a.brripCount != b.brripCount {
+		t.Errorf("%s dueling state diverges: psel %d/%d brrip %d/%d", name, a.psel, b.psel, a.brripCount, b.brripCount)
+	}
+}
+
+func assertTLBsMatch(t *testing.T, name string, a, b *TLB) {
+	t.Helper()
+	aAcc, aMiss := a.Stats()
+	bAcc, bMiss := b.Stats()
+	if aAcc != bAcc || aMiss != bMiss {
+		t.Errorf("%s stats diverge: batched %d/%d scalar %d/%d", name, aAcc, aMiss, bAcc, bMiss)
+	}
+	for i := range a.entries {
+		if a.entries[i].valid != b.entries[i].valid {
+			t.Fatalf("%s entry %d validity diverges", name, i)
+		}
+		if a.entries[i].valid && a.entries[i].tag != b.entries[i].tag {
+			t.Fatalf("%s entry %d tag diverges: batched %#x scalar %#x",
+				name, i, a.entries[i].tag, b.entries[i].tag)
+		}
+	}
+}
+
+// assertMachinesMatch pins every observable output of the two machines.
+func assertMachinesMatch(t *testing.T, batched, scalar *Machine) {
+	t.Helper()
+	if !reflect.DeepEqual(batched.Samples(), scalar.Samples()) {
+		t.Errorf("window samples diverge: batched %d windows, scalar %d windows",
+			len(batched.Samples()), len(scalar.Samples()))
+		for i := range batched.Samples() {
+			if i < len(scalar.Samples()) && batched.Samples()[i] != scalar.Samples()[i] {
+				t.Fatalf("first divergence at window %d:\n  batched %+v\n  scalar  %+v",
+					i, batched.Samples()[i], scalar.Samples()[i])
+			}
+		}
+	}
+	if !reflect.DeepEqual(batched.WallSamples(), scalar.WallSamples()) {
+		t.Errorf("wall samples diverge")
+	}
+	if batched.TotalCycles() != scalar.TotalCycles() || batched.BusyCycles() != scalar.BusyCycles() {
+		t.Errorf("cycle totals diverge: batched %g/%g scalar %g/%g",
+			batched.BusyCycles(), batched.TotalCycles(), scalar.BusyCycles(), scalar.TotalCycles())
+	}
+	if batched.win != scalar.win {
+		t.Errorf("open window counters diverge:\n  batched %+v\n  scalar  %+v", batched.win, scalar.win)
+	}
+	assertCachesMatch(t, "L1I", batched.l1i, scalar.l1i)
+	assertCachesMatch(t, "L1D", batched.l1d, scalar.l1d)
+	assertCachesMatch(t, "L2", batched.l2, scalar.l2)
+	if batched.l3 != nil {
+		assertCachesMatch(t, "L3", batched.l3, scalar.l3)
+	}
+	assertTLBsMatch(t, "ITLB", batched.itlb, scalar.itlb)
+	assertTLBsMatch(t, "DTLB", batched.dtlb, scalar.dtlb)
+}
+
+// equivalenceConfigs is the test matrix: all three Table II machines as
+// configured (Broadwell's L3 is DRRIP, the rest LRU), plus policy-flipped
+// LLC variants so both policies are exercised on every topology, plus a
+// DRRIP-L1D variant that must disable data-side coalescing.
+func equivalenceConfigs() map[string]MachineConfig {
+	broadwellLRU := Broadwell()
+	broadwellLRU.Name = "broadwell-lru-llc"
+	broadwellLRU.L3.Policy = LRU
+
+	zen2DRRIP := Zen2()
+	zen2DRRIP.Name = "zen2-drrip-llc"
+	zen2DRRIP.L3.Policy = DRRIP
+
+	silvermontDRRIP := Silvermont()
+	silvermontDRRIP.Name = "silvermont-drrip-l2"
+	silvermontDRRIP.L2.Policy = DRRIP
+
+	drripL1 := Broadwell()
+	drripL1.Name = "broadwell-drrip-l1d"
+	drripL1.L1D.Policy = DRRIP
+	drripL1.L1I.Policy = DRRIP
+
+	return map[string]MachineConfig{
+		"broadwell":          Broadwell(),
+		"zen2":               Zen2(),
+		"silvermont":         Silvermont(),
+		broadwellLRU.Name:    broadwellLRU,
+		zen2DRRIP.Name:       zen2DRRIP,
+		silvermontDRRIP.Name: silvermontDRRIP,
+		drripL1.Name:         drripL1,
+	}
+}
+
+// TestBatchedMatchesScalar drives identical event streams through a
+// batched-kernel machine and a forced-scalar machine across the full
+// machine × policy × partition matrix, including a warm re-measure (the
+// profiler's FlushSamples between warmup and measurement) and a Reset replay
+// (the sweep's machine reuse). Subtests run in parallel so the -race CI pass
+// exercises concurrent kernel machines.
+func TestBatchedMatchesScalar(t *testing.T) {
+	const windowCycles = 5000
+	evs := genKernelEvents(6000, 42)
+	for name, cfg := range equivalenceConfigs() {
+		for _, part := range []int{0, 2} { // full LLC, 2-way CAT partition
+			cfg, part := cfg, part
+			label := name + "/full"
+			if part > 0 {
+				label = name + "/part2"
+			}
+			t.Run(label, func(t *testing.T) {
+				t.Parallel()
+				batched := NewMachine(cfg, windowCycles)
+				scalar := NewMachine(cfg, windowCycles)
+				scalar.setScalarPath(true)
+				if batched.scalar {
+					t.Fatalf("kernel path unexpectedly ineligible for %s", cfg.Name)
+				}
+
+				run := func(m *Machine) {
+					if part > 0 {
+						m.SetLLCPartition(part)
+					}
+					regions := kernelTestRegions()
+					replayKernelEvents(m, regions, evs[:3000])
+					m.FlushSamples() // profiler warmup boundary, state stays warm
+					replayKernelEvents(m, regions, evs[3000:])
+				}
+				run(batched)
+				run(scalar)
+				assertMachinesMatch(t, batched, scalar)
+
+				// Reset and replay: the sweep reuses machines across runs.
+				batched.Reset()
+				scalar.Reset()
+				run(batched)
+				run(scalar)
+				assertMachinesMatch(t, batched, scalar)
+			})
+		}
+	}
+}
+
+// TestKernelCoalescingElidesProbes proves the fast path actually engages:
+// back-to-back same-line loads must skip the redundant DTLB/L1D probes
+// (visible as a lower LRU clock) while still counting as accesses.
+func TestKernelCoalescingElidesProbes(t *testing.T) {
+	batched := NewMachine(Broadwell(), 1e9)
+	scalar := NewMachine(Broadwell(), 1e9)
+	scalar.setScalarPath(true)
+	if !batched.kern.coalesceData {
+		t.Fatal("data-side coalescing should be enabled on Broadwell (LRU L1D)")
+	}
+	for _, m := range []*Machine{batched, scalar} {
+		m.Load(0x1000, 8)
+		m.Load(0x1000, 8)
+		m.Load(0x1008, 8)
+	}
+	bAcc, bMiss := batched.l1d.Stats()
+	sAcc, sMiss := scalar.l1d.Stats()
+	if bAcc != sAcc || bMiss != sMiss {
+		t.Fatalf("stats diverge: batched %d/%d scalar %d/%d", bAcc, bMiss, sAcc, sMiss)
+	}
+	if bAcc != 3 || bMiss != 1 {
+		t.Fatalf("want 3 accesses / 1 miss, got %d/%d", bAcc, bMiss)
+	}
+	// Scalar re-touches the MRU line twice (clock 1+2+3 = 3 bumps); the
+	// kernel installs once and elides both re-touches.
+	if batched.l1d.lruClock >= scalar.l1d.lruClock {
+		t.Fatalf("coalescing did not elide probes: batched clock %d, scalar clock %d",
+			batched.l1d.lruClock, scalar.l1d.lruClock)
+	}
+}
+
+// TestKernelDisabledOnDRRIPL1 pins the coalescing guard: a DRRIP L1's hit
+// promotion (RRPV to 0) is not elidable, so coalescing must be off while
+// the flattened walk stays on.
+func TestKernelDisabledOnDRRIPL1(t *testing.T) {
+	cfg := Broadwell()
+	cfg.L1D.Policy = DRRIP
+	cfg.L1I.Policy = DRRIP
+	m := NewMachine(cfg, 1e9)
+	if m.scalar {
+		t.Fatal("flattened walk should remain eligible with a DRRIP L1")
+	}
+	if m.kern.coalesceData || m.kern.coalesceInstr {
+		t.Fatal("coalescing must be disabled for DRRIP L1 caches")
+	}
+}
+
+// TestKernelFallsBackOnExoticConfigs pins the fast-path envelope: non-pow2
+// cache set counts and sub-line page sizes route every event through the
+// scalar reference walk.
+func TestKernelFallsBackOnExoticConfigs(t *testing.T) {
+	nonPow2 := Broadwell()
+	nonPow2.L2 = CacheConfig{Name: "L2", SizeBytes: 96 << 10, Ways: 8, Policy: LRU, LatencyCyc: 12}
+	if got := NewCache(nonPow2.L2).setShift; got >= 0 {
+		t.Fatalf("test config is not exotic: setShift %d", got)
+	}
+	m := NewMachine(nonPow2, 1e9)
+	if !m.scalar {
+		t.Fatal("non-power-of-two set count must fall back to the scalar walk")
+	}
+
+	tinyPages := Broadwell()
+	tinyPages.ITLB.PageBytes = 32 // smaller than a cache line
+	tinyPages.DTLB.PageBytes = 32
+	m = NewMachine(tinyPages, 1e9)
+	if !m.scalar {
+		t.Fatal("sub-line pages must fall back to the scalar walk")
+	}
+	// The fallback must still be a working machine.
+	m.Load(0x2000, 128)
+	if acc, _ := m.l1d.Stats(); acc != 2 {
+		t.Fatalf("scalar fallback walked %d lines, want 2", acc)
+	}
+}

@@ -116,9 +116,9 @@ func TestResetRestoresPartitionAndClocks(t *testing.T) {
 	if tl.clock != 0 {
 		t.Fatalf("TLB clock %d after Reset, want 0", tl.clock)
 	}
-	for i, s := range tl.stamps {
-		if s != 0 {
-			t.Fatalf("TLB stamp[%d] = %d after Reset", i, s)
+	for i, e := range tl.entries {
+		if e.stamp != 0 {
+			t.Fatalf("TLB stamp[%d] = %d after Reset", i, e.stamp)
 		}
 	}
 }
