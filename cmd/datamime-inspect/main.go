@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	datamime-inspect report -artifact run.jsonl [-profiles profiles.json] [-html report.html] [-json]
+//	datamime-inspect report -artifact run.jsonl [-profiles profiles.json] [-html report.html] [-json] [-diagnostics diag.json]
 //	datamime-inspect diff -a baseline.jsonl -b candidate.jsonl [-exact] [-json]
 //	datamime-inspect timeline -artifact run.jsonl [-trace trace.json] [-min-efficiency 1.3] [-corpus dir]
 //	datamime-inspect corpus list|compare|trends -dir corpus [...]
@@ -98,6 +98,7 @@ func runReport(args []string) error {
 	title := fs.String("title", "", "report title (default: the artifact's job ID)")
 	quiet := fs.Bool("quiet", false, "suppress the terminal summary (useful with -html)")
 	asJSON := fs.Bool("json", false, "emit the machine-readable run summary JSON instead of text")
+	diagOut := fs.String("diagnostics", "", "also write the search-health diagnostics summary JSON to this file; unlike the full -json summary it carries no wall-clock figures, so identically-seeded runs write identical bytes (CI determinism gate)")
 	_ = fs.Parse(args)
 	if *artifact == "" {
 		return fmt.Errorf("report: -artifact is required")
@@ -140,6 +141,24 @@ func runReport(args []string) error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *htmlOut)
+	}
+	if *diagOut != "" {
+		f, err := os.Create(*diagOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		// A run with no diagnostics writes the literal "null" — still
+		// deterministic, still diffable.
+		if err := enc.Encode(inspect.NewDiagnosticsSummary(run)); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *diagOut)
 	}
 	return nil
 }

@@ -189,6 +189,9 @@ type EvalResult struct {
 	// their timestamps are in the *worker's* clock until rebased with
 	// RebaseSpans(Spans, ClockOffsetNS).
 	Spans []WireSpan `json:"-"`
+	// SpansTruncated counts spans the serving side dropped at the
+	// MaxWireSpans cap — nonzero means Spans is an incomplete prefix.
+	SpansTruncated int `json:"-"`
 	// ClockOffsetNS and ClockErrNS are the serving worker's estimated clock
 	// offset (worker minus coordinator, midpoint method) and its half-RTT
 	// uncertainty; ClockOffsetOK reports whether an estimate existed. All
@@ -230,6 +233,10 @@ type EvalResponse struct {
 	// TimeNS is the worker's wall clock (UnixNano) when the response was
 	// built — a free clock-offset sample for every evaluation round trip.
 	TimeNS int64 `json:"time_ns,omitempty"`
+	// SpansTruncated counts spans dropped at the MaxWireSpans cap, so the
+	// coordinator knows its timeline for this evaluation is incomplete
+	// instead of silently seeing fewer spans.
+	SpansTruncated int `json:"spans_truncated,omitempty"`
 }
 
 // EvalBackend measures candidates. Implementations must uphold the

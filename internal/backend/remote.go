@@ -190,6 +190,7 @@ func (r *RemoteBackend) Evaluate(ctx context.Context, req EvalRequest) (EvalResu
 	r.clock.observe(t0, t2, wire.TimeNS)
 	res := wire.EvalResult
 	res.Spans = wire.Spans
+	res.SpansTruncated = wire.SpansTruncated
 	if est, ok := r.clock.estimate(); ok {
 		res.ClockOffsetNS, res.ClockErrNS, res.ClockOffsetOK = est.OffsetNS, est.UncertaintyNS, true
 	}

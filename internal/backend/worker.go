@@ -57,10 +57,11 @@ type Worker struct {
 	sem    chan struct{}
 	queued atomic.Int64
 
-	evals       atomic.Uint64
-	evalErrors  atomic.Uint64
-	busyRejects atomic.Uint64
-	started     time.Time
+	evals          atomic.Uint64
+	evalErrors     atomic.Uint64
+	busyRejects    atomic.Uint64
+	spansTruncated atomic.Uint64
+	started        time.Time
 }
 
 // NewWorker builds a worker.
@@ -131,6 +132,8 @@ func (w *Worker) buildMetrics() *telemetry.Registry {
 		func() float64 { return float64(w.evalErrors.Load()) })
 	reg.NewCounterFunc("datamime_worker_busy_rejects_total", "Requests shed with 503 at capacity.",
 		func() float64 { return float64(w.busyRejects.Load()) })
+	reg.NewCounterFunc("datamime_worker_spans_truncated_total", "Telemetry spans dropped at the MaxWireSpans response cap.",
+		func() float64 { return float64(w.spansTruncated.Load()) })
 	reg.NewCounterFunc("datamime_worker_cache_local_hits_total", "Evaluations served from the worker-local cache tier.",
 		func() float64 { return float64(w.cache.Stats().LocalHits) })
 	reg.NewCounterFunc("datamime_worker_cache_shared_hits_total", "Evaluations served from the coordinator's shared cache tier.",
@@ -266,6 +269,8 @@ func (w *Worker) respond(rw http.ResponseWriter, res EvalResult, spans []WireSpa
 	resp := EvalResponse{EvalResult: res, TimeNS: time.Now().UnixNano()}
 	if traceID != "" {
 		if len(spans) > MaxWireSpans {
+			resp.SpansTruncated = len(spans) - MaxWireSpans
+			w.spansTruncated.Add(uint64(resp.SpansTruncated))
 			spans = spans[:MaxWireSpans]
 		}
 		resp.Spans = spans

@@ -150,6 +150,14 @@ type IterationRecord struct {
 	// AttributedObjective; nil otherwise. It shows which metric drove the
 	// error at this iteration.
 	Components map[string]float64 `json:"emd_components,omitempty"`
+	// Diagnostics is the GP search-health snapshot of the surrogate fit
+	// that proposed this iteration (the first non-skipped iteration of each
+	// batch carries its batch's snapshot; initial-design iterations carry
+	// none). Derived read-only from factorizations the proposal already
+	// materialized, so it is present and bit-identical whether or not
+	// telemetry is enabled, and — like Components — it never enters
+	// EvalKey or checkpoints.
+	Diagnostics *opt.Diagnostics `json:"diagnostics,omitempty"`
 }
 
 // EvalEvent describes one finished iteration for live observers (the
@@ -440,21 +448,46 @@ func SearchContext(ctx context.Context, cfg SearchConfig) (*Result, error) {
 		}
 		proposeSpan := rec.StartSpan(telemetry.PhasePropose, it)
 		batch := opt.FallbackBatch(optimizer, space, k, batchRNG)
+		// Drain the search-health snapshot unconditionally: it is attached
+		// to the trace whether or not telemetry is on (it is deterministic
+		// and read-only, so both runs carry bit-equal values), and leaving
+		// it undrained would smear one batch's snapshot into the next.
+		var diag *opt.Diagnostics
+		if dr, ok := optimizer.(opt.DiagnosticsReporter); ok {
+			if d, ok := dr.TakeDiagnostics(); ok {
+				diag = &d
+			}
+		}
 		var proposeAttrs map[string]float64
 		if rec.Enabled() {
 			proposeAttrs = map[string]float64{"batch": float64(len(batch))}
 			if tr, ok := optimizer.(opt.TimingReporter); ok {
 				if t, ok := tr.TakeTimings(); ok {
-					rec.RecordSpan(telemetry.PhaseGPFit, it, t.GPFit, map[string]float64{
+					gpAttrs := map[string]float64{
 						telemetry.AttrCholeskyAppends:  float64(t.CholeskyAppends),
 						telemetry.AttrCholeskyRebuilds: float64(t.CholeskyRebuilds),
 						telemetry.AttrJitterLevelMax:   float64(t.MaxJitterLevel),
-					})
+					}
+					if diag != nil {
+						gpAttrs[telemetry.DiagLogMarginal] = diag.LogMarginal
+						gpAttrs[telemetry.DiagJitterLevel] = float64(diag.JitterLevel)
+						gpAttrs[telemetry.DiagCondition] = diag.Condition
+					}
+					rec.RecordSpan(telemetry.PhaseGPFit, it, t.GPFit, gpAttrs)
 					rec.RecordSpan(telemetry.PhaseAcquisition, it, t.Acquisition,
 						map[string]float64{"proposals": float64(t.Proposals)})
 					proposeAttrs["gp_fit_ns"] = float64(t.GPFit.Nanoseconds())
 					proposeAttrs["acquisition_ns"] = float64(t.Acquisition.Nanoseconds())
 				}
+			}
+			if diag != nil {
+				proposeAttrs[telemetry.DiagChosenEI] = diag.ChosenEI
+				proposeAttrs[telemetry.DiagPoolMeanEI] = diag.PoolMeanEI
+				rec.Emit(telemetry.Event{
+					Type:  telemetry.TypeSearchDiagnostics,
+					Iter:  it,
+					Attrs: diagAttrs(*diag),
+				})
 			}
 		}
 		proposeSpan.End(proposeAttrs)
@@ -523,6 +556,12 @@ func SearchContext(ctx context.Context, cfg SearchConfig) (*Result, error) {
 			} else {
 				optimizer.Observe(u, r.e)
 				record(gi, r.x, r.prof, r.e, r.retried, r.comps)
+				if diag != nil {
+					// The batch's snapshot rides on its first recorded
+					// iteration (the proposal the diagnosed fit chose).
+					res.Trace[len(res.Trace)-1].Diagnostics = diag
+					diag = nil
+				}
 				if r.cacheHit {
 					res.CacheHits++
 				}
@@ -581,6 +620,31 @@ func iterSeed(seed uint64, it int, retry bool) uint64 {
 		return stats.HashSeed(seed, fmt.Sprintf("retry-%d", it))
 	}
 	return stats.HashSeed(seed, fmt.Sprintf("iter-%d", it))
+}
+
+// diagAttrs flattens one search-health snapshot into telemetry attributes
+// for the TypeSearchDiagnostics artifact/SSE event. Only deterministic
+// model-derived values enter the map — no clocks, no durations — so two
+// identically-seeded runs emit byte-equal diagnostics.
+func diagAttrs(d opt.Diagnostics) map[string]float64 {
+	return map[string]float64{
+		telemetry.DiagLengthScale:  d.LengthScale,
+		telemetry.DiagNoiseFrac:    d.NoiseFrac,
+		telemetry.DiagSignalVar:    d.SignalVar,
+		telemetry.DiagLogMarginal:  d.LogMarginal,
+		telemetry.DiagObservations: float64(d.Observations),
+		telemetry.DiagJitterLevel:  float64(d.JitterLevel),
+		telemetry.DiagCondition:    d.Condition,
+		telemetry.DiagLOORMSE:      d.LOORMSE,
+		telemetry.DiagLOOMaxZ:      d.LOOMaxZ,
+		telemetry.DiagCoverage1:    d.Coverage1,
+		telemetry.DiagCoverage2:    d.Coverage2,
+		telemetry.DiagCandidates:   float64(d.Candidates),
+		telemetry.DiagChosenEI:     d.ChosenEI,
+		telemetry.DiagPoolMeanEI:   d.PoolMeanEI,
+		telemetry.DiagExploitEI:    d.ExploitEI,
+		telemetry.DiagExploreEI:    d.ExploreEI,
+	}
 }
 
 // replayErr reconstructs the recorded error of a skipped checkpoint entry.

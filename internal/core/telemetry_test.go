@@ -33,17 +33,43 @@ func TestTelemetryDoesNotPerturbSearch(t *testing.T) {
 		t.Fatal("telemetry perturbed the checkpoint")
 	}
 
-	// Every pipeline phase must have produced spans, and every iteration an
-	// eval event.
+	// Search-health diagnostics are computed whether or not telemetry is on
+	// (DeepEqual above already proved both runs attach identical blocks);
+	// the surrogate-backed iterations past the initial design must carry one.
+	withDiag := 0
+	for _, r := range plain.Trace {
+		if r.Diagnostics != nil {
+			withDiag++
+			if r.Diagnostics.Observations == 0 || r.Diagnostics.Candidates == 0 {
+				t.Fatalf("iteration %d diagnostics incomplete: %+v", r.Iteration, *r.Diagnostics)
+			}
+		}
+	}
+	if withDiag == 0 {
+		t.Fatal("no trace record carries GP diagnostics")
+	}
+
+	// Every pipeline phase must have produced spans, every iteration an eval
+	// event, and every diagnostics-bearing iteration a search.diagnostics
+	// event.
 	phases := make(map[string]int)
-	evals := 0
+	evals, diagEvents := 0, 0
 	for _, ev := range rec.Recent() {
 		switch ev.Type {
 		case telemetry.TypeSpan:
 			phases[ev.Phase]++
 		case telemetry.TypeEval:
 			evals++
+		case telemetry.TypeSearchDiagnostics:
+			diagEvents++
+			if ev.Attrs[telemetry.DiagObservations] == 0 {
+				t.Fatalf("search.diagnostics event without observations: %+v", ev)
+			}
 		}
+	}
+	if diagEvents != withDiag {
+		t.Errorf("recorded %d search.diagnostics events, want %d (one per diagnostics-bearing iteration)",
+			diagEvents, withDiag)
 	}
 	for _, want := range []string{
 		telemetry.PhasePropose, telemetry.PhaseGenerate, telemetry.PhaseProfile,

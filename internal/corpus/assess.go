@@ -90,6 +90,10 @@ type TrendPoint struct {
 	Seed        uint64    `json:"seed"`
 	Backend     string    `json:"backend,omitempty"`
 	Verdict     string    `json:"verdict,omitempty"`
+	// ModelHealth carries the run's GP search-health rollup (nil for runs
+	// without surrogate diagnostics), so trend consumers can plot calibration
+	// drift beside best error.
+	ModelHealth *ModelHealth `json:"model_health,omitempty"`
 }
 
 // Trend is the best-error and duration series of one scenario across runs,
@@ -104,6 +108,12 @@ type Trend struct {
 	MedianWallSeconds float64      `json:"median_wall_seconds"`
 	BestError         float64      `json:"best_error"` // best across all runs
 	Regressions       int          `json:"regressions"`
+	// MedianCoverage1 is the median 1σ LOO calibration coverage across the
+	// runs that carry model health (0 when none do); ModelUnhealthy counts
+	// runs whose search-health verdict flagged a problem. Together they make
+	// calibration drift visible at the scenario level.
+	MedianCoverage1 float64 `json:"median_coverage1,omitempty"`
+	ModelUnhealthy  int     `json:"model_unhealthy,omitempty"`
 }
 
 // Trend builds the longitudinal series for one scenario from the index, in
@@ -119,6 +129,7 @@ func (c *Corpus) Trend(scenario string) Trend {
 	t.BestError = recs[0].BestError
 	errs := make([]float64, 0, len(recs))
 	walls := make([]float64, 0, len(recs))
+	var covs []float64
 	for _, rec := range recs {
 		t.Points = append(t.Points, TrendPoint{
 			ID:          rec.ID,
@@ -129,6 +140,7 @@ func (c *Corpus) Trend(scenario string) Trend {
 			Seed:        rec.Seed,
 			Backend:     rec.Backend,
 			Verdict:     rec.Verdict,
+			ModelHealth: rec.ModelHealth,
 		})
 		errs = append(errs, rec.BestError)
 		walls = append(walls, rec.WallSeconds)
@@ -138,8 +150,17 @@ func (c *Corpus) Trend(scenario string) Trend {
 		if rec.Verdict == VerdictRegressed {
 			t.Regressions++
 		}
+		if mh := rec.ModelHealth; mh != nil {
+			covs = append(covs, mh.MeanCoverage1)
+			if !mh.Healthy {
+				t.ModelUnhealthy++
+			}
+		}
 	}
 	t.MedianBestError = Median(errs)
 	t.MedianWallSeconds = Median(walls)
+	if len(covs) > 0 {
+		t.MedianCoverage1 = Median(covs)
+	}
 	return t
 }

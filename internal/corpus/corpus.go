@@ -80,7 +80,31 @@ type Record struct {
 	BaselineID    string  `json:"baseline_id,omitempty"`
 	BaselineDelta float64 `json:"baseline_delta,omitempty"`
 
+	// ModelHealth summarizes the run's GP search-health diagnostics (nil for
+	// runs without surrogate fits: random/anneal optimizers, pre-diagnostics
+	// builds). It lets trends track calibration drift across runs of a
+	// scenario without reloading artifacts.
+	ModelHealth *ModelHealth `json:"model_health,omitempty"`
+
 	FinishedAt time.Time `json:"finished_at"`
+}
+
+// ModelHealth is a run's surrogate-model health rollup: the figures the
+// optimizer observatory judges a search by (see inspect.SearchHealth), frozen
+// into the index so longitudinal calibration drift is queryable.
+type ModelHealth struct {
+	// Snapshots counts the per-iteration diagnostics records the run emitted.
+	Snapshots int `json:"snapshots"`
+	// MeanCoverage1/MeanCoverage2 are the settled-half LOO calibration
+	// coverages (nominal 0.683 / 0.954).
+	MeanCoverage1 float64 `json:"mean_coverage1"`
+	MeanCoverage2 float64 `json:"mean_coverage2"`
+	// FinalLogMarginal is the last fit's log evidence.
+	FinalLogMarginal float64 `json:"final_log_marginal"`
+	// MaxJitterLevel is the worst jitter escalation any fit needed.
+	MaxJitterLevel int `json:"max_jitter_level"`
+	// Healthy reports whether no search-health verdict flag fired.
+	Healthy bool `json:"healthy"`
 }
 
 // Filter selects records from the index. Zero fields match everything.

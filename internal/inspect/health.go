@@ -1,0 +1,371 @@
+package inspect
+
+// Search-health analysis: the optimizer-observatory view of a run. The raw
+// material is the artifact's search.diagnostics events (one opt.Diagnostics
+// snapshot per surrogate-backed proposal); this file distills them into a
+// SearchHealth aggregate with a heuristic verdict, and renders the "Search
+// health" section of the text and HTML reports. Everything is a pure
+// function of the parsed run — no clocks — so identically-seeded runs
+// render identical bytes.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"datamime/internal/opt"
+	"datamime/internal/telemetry"
+)
+
+// DiagRecord is one iteration's GP search-health snapshot reconstructed
+// from a search.diagnostics artifact event (see opt.Diagnostics for the
+// semantics of each figure).
+type DiagRecord struct {
+	Iter         int     `json:"iter"`
+	LengthScale  float64 `json:"length_scale"`
+	NoiseFrac    float64 `json:"noise_frac"`
+	SignalVar    float64 `json:"signal_var"`
+	LogMarginal  float64 `json:"log_marginal"`
+	Observations int     `json:"observations"`
+	JitterLevel  int     `json:"jitter_level"`
+	Condition    float64 `json:"condition"`
+	LOORMSE      float64 `json:"loo_rmse"`
+	LOOMaxZ      float64 `json:"loo_max_z"`
+	Coverage1    float64 `json:"coverage1"`
+	Coverage2    float64 `json:"coverage2"`
+	Candidates   int     `json:"candidates"`
+	ChosenEI     float64 `json:"chosen_ei"`
+	PoolMeanEI   float64 `json:"pool_mean_ei"`
+	ExploitEI    float64 `json:"exploit_ei"`
+	ExploreEI    float64 `json:"explore_ei"`
+}
+
+// AcqGap is the chosen-vs-pool-mean EI spread: how peaked the acquisition
+// surface still is. A gap collapsing toward zero means every candidate
+// looks alike to the optimizer — the stagnation signal.
+func (d DiagRecord) AcqGap() float64 { return d.ChosenEI - d.PoolMeanEI }
+
+// NewDiagRecord wraps a trace-attached opt.Diagnostics as a DiagRecord. It
+// lets callers holding a live convergence trace (the service's job store)
+// build the search-health view without round-tripping through an artifact —
+// trace records carry diagnostics even when telemetry is off.
+func NewDiagRecord(iter int, d opt.Diagnostics) DiagRecord {
+	return DiagRecord{
+		Iter:         iter,
+		LengthScale:  d.LengthScale,
+		NoiseFrac:    d.NoiseFrac,
+		SignalVar:    d.SignalVar,
+		LogMarginal:  d.LogMarginal,
+		Observations: d.Observations,
+		JitterLevel:  d.JitterLevel,
+		Condition:    d.Condition,
+		LOORMSE:      d.LOORMSE,
+		LOOMaxZ:      d.LOOMaxZ,
+		Coverage1:    d.Coverage1,
+		Coverage2:    d.Coverage2,
+		Candidates:   d.Candidates,
+		ChosenEI:     d.ChosenEI,
+		PoolMeanEI:   d.PoolMeanEI,
+		ExploitEI:    d.ExploitEI,
+		ExploreEI:    d.ExploreEI,
+	}
+}
+
+// diagRecord converts one search.diagnostics event back into typed fields.
+func diagRecord(ev telemetry.Event) DiagRecord {
+	a := ev.Attrs
+	return DiagRecord{
+		Iter:         ev.Iter,
+		LengthScale:  a[telemetry.DiagLengthScale],
+		NoiseFrac:    a[telemetry.DiagNoiseFrac],
+		SignalVar:    a[telemetry.DiagSignalVar],
+		LogMarginal:  a[telemetry.DiagLogMarginal],
+		Observations: int(a[telemetry.DiagObservations]),
+		JitterLevel:  int(a[telemetry.DiagJitterLevel]),
+		Condition:    a[telemetry.DiagCondition],
+		LOORMSE:      a[telemetry.DiagLOORMSE],
+		LOOMaxZ:      a[telemetry.DiagLOOMaxZ],
+		Coverage1:    a[telemetry.DiagCoverage1],
+		Coverage2:    a[telemetry.DiagCoverage2],
+		Candidates:   int(a[telemetry.DiagCandidates]),
+		ChosenEI:     a[telemetry.DiagChosenEI],
+		PoolMeanEI:   a[telemetry.DiagPoolMeanEI],
+		ExploitEI:    a[telemetry.DiagExploitEI],
+		ExploreEI:    a[telemetry.DiagExploreEI],
+	}
+}
+
+// Nominal Gaussian band coverages the calibration figures are judged
+// against: P(|z| ≤ 1) and P(|z| ≤ 2).
+const (
+	NominalCoverage1 = 0.6827
+	NominalCoverage2 = 0.9545
+)
+
+// SearchHealth aggregates a run's diagnostics snapshots into the headline
+// model-health figures and a heuristic verdict.
+type SearchHealth struct {
+	// Records are the per-iteration snapshots, in stream order.
+	Records []DiagRecord
+
+	// MeanCoverage1/MeanCoverage2 average the 1σ/2σ LOO band coverages
+	// over the second half of the snapshots (early fits have too few
+	// observations to judge calibration on).
+	MeanCoverage1 float64
+	MeanCoverage2 float64
+	// FinalLogMarginal is the last fit's log evidence; FirstLogMarginal
+	// the first, for the trend.
+	FirstLogMarginal float64
+	FinalLogMarginal float64
+	// MaxJitterLevel and MaxCondition are the worst conditioning any
+	// snapshot reported.
+	MaxJitterLevel int
+	MaxCondition   float64
+	// FinalGap and MaxGap track the chosen-vs-pool-mean EI spread.
+	FinalGap float64
+	MaxGap   float64
+	// ExploreShare is the exploration term's share of the last chosen EI.
+	ExploreShare float64
+
+	// Verdicts are the heuristic flags raised (empty = healthy).
+	Verdicts []string
+}
+
+// Healthy reports whether no heuristic flag fired.
+func (h *SearchHealth) Healthy() bool { return len(h.Verdicts) == 0 }
+
+// VerdictLine renders the verdict as one line.
+func (h *SearchHealth) VerdictLine() string {
+	if h == nil || len(h.Records) == 0 {
+		return "no diagnostics recorded"
+	}
+	if h.Healthy() {
+		return "healthy: calibration near nominal, conditioning clean, acquisition surface still informative"
+	}
+	return strings.Join(h.Verdicts, "; ")
+}
+
+// NewSearchHealth distills a run's diagnostics snapshots. Returns nil when
+// the artifact carries none (telemetry off, or a pre-diagnostics artifact).
+func NewSearchHealth(run *Run) *SearchHealth {
+	if len(run.Diagnostics) == 0 {
+		return nil
+	}
+	recs := run.Diagnostics
+	h := &SearchHealth{
+		Records:          recs,
+		FirstLogMarginal: recs[0].LogMarginal,
+		FinalLogMarginal: recs[len(recs)-1].LogMarginal,
+		FinalGap:         recs[len(recs)-1].AcqGap(),
+	}
+	// Judge calibration on the settled half of the search.
+	settled := recs[len(recs)/2:]
+	for _, d := range settled {
+		h.MeanCoverage1 += d.Coverage1
+		h.MeanCoverage2 += d.Coverage2
+	}
+	h.MeanCoverage1 /= float64(len(settled))
+	h.MeanCoverage2 /= float64(len(settled))
+	for _, d := range recs {
+		if d.JitterLevel > h.MaxJitterLevel {
+			h.MaxJitterLevel = d.JitterLevel
+		}
+		if d.Condition > h.MaxCondition {
+			h.MaxCondition = d.Condition
+		}
+		if g := d.AcqGap(); g > h.MaxGap {
+			h.MaxGap = g
+		}
+	}
+	if last := recs[len(recs)-1]; last.ChosenEI > 0 {
+		h.ExploreShare = last.ExploreEI / last.ChosenEI
+	}
+	h.Verdicts = verdicts(h)
+	return h
+}
+
+// verdicts applies the heuristic health checks. Thresholds are deliberately
+// loose — the verdict is a triage pointer, not a gate — and every flag
+// names the figure that tripped it so the reader can judge.
+func verdicts(h *SearchHealth) []string {
+	var out []string
+	n := len(h.Records)
+	// Calibration needs enough observations per fit to mean anything.
+	if enough := h.Records[n-1].Observations >= 8; enough {
+		switch {
+		case h.MeanCoverage1 < 0.45 || h.MeanCoverage2 < 0.80:
+			out = append(out, fmt.Sprintf(
+				"miscalibrated (overconfident): LOO coverage %s inside 1σ / %s inside 2σ (nominal %s / %s)",
+				fpct(h.MeanCoverage1), fpct(h.MeanCoverage2),
+				fpct(NominalCoverage1), fpct(NominalCoverage2)))
+		case h.MeanCoverage1 > 0.95 && h.MeanCoverage2 > 0.99:
+			out = append(out, fmt.Sprintf(
+				"miscalibrated (underconfident): LOO coverage %s inside 1σ (nominal %s) — predictive bands too wide",
+				fpct(h.MeanCoverage1), fpct(NominalCoverage1)))
+		}
+	}
+	if h.MaxJitterLevel >= 2 {
+		out = append(out, fmt.Sprintf(
+			"ill-conditioned covariance: jitter escalated to level %d (base ×10^%d)",
+			h.MaxJitterLevel, h.MaxJitterLevel))
+	} else if h.MaxCondition > 1e12 {
+		out = append(out, fmt.Sprintf(
+			"ill-conditioned covariance: condition estimate %.2g", h.MaxCondition))
+	}
+	if n >= 3 && h.MaxGap > 0 && h.FinalGap < 0.02*h.MaxGap {
+		out = append(out, fmt.Sprintf(
+			"stagnating acquisition: chosen-vs-pool EI gap collapsed to %s of its peak (%.3g of %.3g)",
+			fpct(h.FinalGap/h.MaxGap), h.FinalGap, h.MaxGap))
+	}
+	return out
+}
+
+// SimpleRegret returns the simple-regret series of the run's convergence
+// trace: best-so-far error minus the run's final best, per evaluation. The
+// canonical "is the search still making progress" curve.
+func SimpleRegret(trace []float64) []float64 {
+	if len(trace) == 0 {
+		return nil
+	}
+	final := trace[len(trace)-1]
+	out := make([]float64, len(trace))
+	for i, v := range trace {
+		out[i] = v - final
+	}
+	return out
+}
+
+// renderHealthText writes the terminal "search health" section.
+func (r *Report) renderHealthText(b *strings.Builder) {
+	h := NewSearchHealth(r.Run)
+	if h == nil {
+		return
+	}
+	recs := h.Records
+	last := recs[len(recs)-1]
+	fmt.Fprintf(b, "\nsearch health (%d GP diagnostics snapshots):\n", len(recs))
+	lmls := make([]float64, len(recs))
+	gaps := make([]float64, len(recs))
+	cov1 := make([]float64, len(recs))
+	for i, d := range recs {
+		lmls[i] = d.LogMarginal
+		gaps[i] = d.AcqGap()
+		cov1[i] = d.Coverage1
+	}
+	fmt.Fprintf(b, "  gp fit: length scale %s, noise frac %s, log marginal %s -> %s  |%s|\n",
+		fnum(last.LengthScale), fnum(last.NoiseFrac),
+		fnum(h.FirstLogMarginal), fnum(h.FinalLogMarginal), sparkline(lmls, 32))
+	fmt.Fprintf(b, "  calibration: 1σ coverage %s (nominal %s), 2σ %s (nominal %s)  |%s|\n",
+		fpct(h.MeanCoverage1), fpct(NominalCoverage1),
+		fpct(h.MeanCoverage2), fpct(NominalCoverage2), sparkline(cov1, 32))
+	fmt.Fprintf(b, "  loo residuals: rmse %s, max |z| %s over %d observations\n",
+		fnum(last.LOORMSE), fnum(last.LOOMaxZ), last.Observations)
+	fmt.Fprintf(b, "  conditioning: max jitter level %d, condition estimate %.3g\n",
+		h.MaxJitterLevel, h.MaxCondition)
+	fmt.Fprintf(b, "  acquisition: chosen EI %s vs pool mean %s (gap trend |%s|), explore share %s\n",
+		fnum(last.ChosenEI), fnum(last.PoolMeanEI), sparkline(gaps, 32), fpct(h.ExploreShare))
+	fmt.Fprintf(b, "  verdict: %s\n", h.VerdictLine())
+}
+
+// writeSearchHealthHTML renders the HTML "Search health" section: the
+// calibration-coverage plot against nominal bands, the simple-regret curve,
+// and the hyperparameter / acquisition-gap trajectories, plus the verdict.
+func (r *Report) writeSearchHealthHTML(b *strings.Builder) {
+	h := NewSearchHealth(r.Run)
+	if h == nil {
+		return
+	}
+	recs := h.Records
+	iters := make([]float64, len(recs))
+	cov1 := make([]float64, len(recs))
+	cov2 := make([]float64, len(recs))
+	lmls := make([]float64, len(recs))
+	gaps := make([]float64, len(recs))
+	lens := make([]float64, len(recs))
+	for i, d := range recs {
+		iters[i] = float64(d.Iter)
+		cov1[i] = d.Coverage1
+		cov2[i] = d.Coverage2
+		lmls[i] = d.LogMarginal
+		gaps[i] = d.AcqGap()
+		lens[i] = d.LengthScale
+	}
+	b.WriteString("<h2>Search health</h2>\n")
+	cls := "sub"
+	if !h.Healthy() {
+		cls = "warn"
+	}
+	fmt.Fprintf(b, "<p class=\"%s\">Verdict: %s.</p>\n", cls, htmlEscape(h.VerdictLine()))
+	fmt.Fprintf(b, "<p class=\"sub\">%d GP diagnostics snapshots — leave-one-out calibration, model evidence, and acquisition-surface health, all derived from the search's own factorizations.</p>\n", len(recs))
+	b.WriteString(`<div class="grid2">` + "\n")
+
+	// Calibration: observed 1σ/2σ coverage against the nominal Gaussian
+	// bands (dashed grid lines at 68.3% and 95.4%).
+	b.WriteString("<div><h2>LOO calibration coverage</h2>\n")
+	b.WriteString(`<div class="legend"><span class="t"><i></i>within 1σ</span><span class="b"><i></i>within 2σ</span></div>` + "\n")
+	g := defaultGeom(440, 200)
+	xr := rangeOf(iters).pad()
+	yr := axisRange{0, 1}
+	g.openSVG(b, "leave-one-out calibration coverage per iteration vs nominal Gaussian bands")
+	g.writeAxes(b, xr, yr, "iteration", "coverage")
+	for _, nominal := range []float64{NominalCoverage1, NominalCoverage2} {
+		_, py := g.xy(xr, yr, xr.Lo, nominal)
+		fmt.Fprintf(b, `<line class="axis" stroke-dasharray="4 3" x1="%s" y1="%s" x2="%s" y2="%s"/>`,
+			coord(g.MarginL), coord(py), coord(g.W-g.MarginR), coord(py))
+	}
+	fmt.Fprintf(b, `<path class="target" d="%s"/>`, g.linePath(xr, yr, iters, cov1))
+	fmt.Fprintf(b, `<path class="best" d="%s"/>`, g.linePath(xr, yr, iters, cov2))
+	b.WriteString("</svg>\n</div>\n")
+
+	// Simple regret: best-so-far minus final best, over evaluations.
+	if trace := r.Run.BestTrace(); len(trace) > 1 {
+		regret := SimpleRegret(trace)
+		xs := make([]float64, len(regret))
+		for i := range xs {
+			xs[i] = float64(i)
+		}
+		b.WriteString("<div><h2>Simple regret</h2>\n")
+		g := defaultGeom(440, 200)
+		xr := rangeOf(xs).pad()
+		yr := rangeOf(regret).pad()
+		g.openSVG(b, "simple regret: best-so-far error minus final best, per evaluation")
+		g.writeAxes(b, xr, yr, "evaluation", "regret")
+		fmt.Fprintf(b, `<path class="target" d="%s"/>`, g.stepPath(xr, yr, xs, regret))
+		b.WriteString("</svg>\n</div>\n")
+	}
+
+	// Model evidence trajectory.
+	b.WriteString("<div><h2>Log marginal likelihood</h2>\n")
+	g = defaultGeom(440, 200)
+	xr = rangeOf(iters).pad()
+	yr = rangeOf(lmls).pad()
+	g.openSVG(b, "GP log marginal likelihood of the selected hyperparameters per iteration")
+	g.writeAxes(b, xr, yr, "iteration", "log marginal")
+	fmt.Fprintf(b, `<path class="target" d="%s"/>`, g.linePath(xr, yr, iters, lmls))
+	b.WriteString("</svg>\n</div>\n")
+
+	// Hyperparameter trajectory: the ML-selected length scale (log10).
+	logLens := make([]float64, len(lens))
+	for i, v := range lens {
+		logLens[i] = math.Log10(v)
+	}
+	b.WriteString("<div><h2>Selected length scale</h2>\n")
+	g = defaultGeom(440, 200)
+	yr = rangeOf(logLens).pad()
+	g.openSVG(b, "ML-selected kernel length scale per iteration, log10")
+	g.writeAxes(b, xr, yr, "iteration", "log10 length scale")
+	fmt.Fprintf(b, `<path class="target" d="%s"/>`, g.linePath(xr, yr, iters, logLens))
+	b.WriteString("</svg>\n</div>\n")
+
+	// Acquisition gap: chosen EI vs the candidate-pool mean.
+	b.WriteString("<div><h2>Acquisition gap</h2>\n")
+	b.WriteString(`<div class="legend"><span class="t"><i></i>chosen − pool mean EI</span></div>` + "\n")
+	g = defaultGeom(440, 200)
+	yr = rangeOf(gaps).pad()
+	g.openSVG(b, "acquisition gap: chosen candidate EI minus pool mean, per iteration")
+	g.writeAxes(b, xr, yr, "iteration", "EI gap")
+	fmt.Fprintf(b, `<path class="target" d="%s"/>`, g.linePath(xr, yr, iters, gaps))
+	b.WriteString("</svg>\n</div>\n")
+
+	b.WriteString("</div>\n")
+}

@@ -74,6 +74,7 @@ func (r *Report) RenderHTML(w io.Writer) error {
 	}
 	r.writeSummaryHTML(&b)
 	r.writeConvergenceHTML(&b)
+	r.writeSearchHealthHTML(&b)
 	r.writeAttributionHTML(&b)
 	r.writeOverlaysHTML(&b)
 	r.writePhasesHTML(&b)

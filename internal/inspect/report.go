@@ -168,6 +168,7 @@ func (r *Report) RenderText(w io.Writer) error {
 	if len(r.Attribution) > 0 {
 		r.renderAttributionText(&b)
 	}
+	r.renderHealthText(&b)
 	r.renderPhasesText(&b)
 	if tl := NewTimeline(run); len(tl.Workers) > 0 || len(tl.Fleet) > 0 {
 		if len(tl.Workers) > 0 {

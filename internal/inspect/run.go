@@ -72,6 +72,9 @@ type Run struct {
 	// into Phases, but carry no position on any timeline — a nonzero count
 	// explains a sparse or empty occupancy analysis.
 	UnstampedSpans int
+	// Diagnostics holds the GP search-health snapshots (search.diagnostics
+	// events) in stream order, feeding the "Search health" report section.
+	Diagnostics []DiagRecord
 	// Malformed counts skipped lines that did not parse as events (e.g. a
 	// line truncated by a dying writer).
 	Malformed int
@@ -129,6 +132,8 @@ func LoadRun(r io.Reader) (*Run, error) {
 				return nil, fmt.Errorf("inspect: artifact line %d: %w", line, err)
 			}
 			run.Evals = append(run.Evals, rec)
+		case telemetry.TypeSearchDiagnostics:
+			run.Diagnostics = append(run.Diagnostics, diagRecord(ev))
 		}
 	}
 	if err := sc.Err(); err != nil {

@@ -1,0 +1,188 @@
+package opt
+
+import (
+	"math"
+
+	"datamime/internal/opt/linalg"
+)
+
+// Diagnostics is one proposal's GP search-health snapshot: which
+// hyperparameters won the marginal-likelihood grid, how well-calibrated the
+// surrogate's uncertainty is against its own training set (leave-one-out
+// residuals), how close the covariance came to losing positive-definiteness,
+// and what the acquisition surface looked like when the proposal was chosen.
+//
+// Everything here is derived read-only from state the proposal already
+// materialized — the winning Cholesky factor, alpha vector, and EI score
+// pool — so collecting it cannot perturb the proposal stream: an
+// instrumented search is bit-identical to an uninstrumented one.
+type Diagnostics struct {
+	// Fit: the grid winner and its evidence.
+	LengthScale  float64 `json:"length_scale"`
+	NoiseFrac    float64 `json:"noise_frac"`
+	SignalVar    float64 `json:"signal_var"`
+	LogMarginal  float64 `json:"log_marginal"`
+	Observations int     `json:"observations"`
+	// JitterLevel is the winning candidate's jitter-escalation level
+	// (0 = factorized at base jitter); Condition estimates the covariance
+	// condition number as (max/min Cholesky diagonal)².
+	JitterLevel int     `json:"jitter_level"`
+	Condition   float64 `json:"condition"`
+
+	// Leave-one-out calibration: residuals of each training point predicted
+	// from the other n−1, standardized by the model's own predictive spread.
+	// Coverage1/Coverage2 are the fractions inside the 1σ/2σ bands — a
+	// calibrated model sits near 0.68/0.95; far below means overconfident,
+	// far above means underconfident.
+	LOORMSE   float64 `json:"loo_rmse"`
+	LOOMaxZ   float64 `json:"loo_max_z"`
+	Coverage1 float64 `json:"coverage1"`
+	Coverage2 float64 `json:"coverage2"`
+
+	// Acquisition: the chosen candidate's EI against the scored pool, and
+	// the exploration-vs-exploitation split of the chosen EI's two terms.
+	// A collapsing chosen-vs-mean gap means the EI surface has flattened
+	// (stagnation); an exploit share near 1 means the search has stopped
+	// valuing uncertainty.
+	Candidates int     `json:"candidates"`
+	ChosenEI   float64 `json:"chosen_ei"`
+	PoolMeanEI float64 `json:"pool_mean_ei"`
+	ExploitEI  float64 `json:"exploit_ei"`
+	ExploreEI  float64 `json:"explore_ei"`
+}
+
+// DiagnosticsReporter is implemented by optimizers that can report
+// per-proposal search-health diagnostics. Like TimingReporter, collection
+// must not perturb the proposal stream: implementations only read state the
+// proposal already computed.
+type DiagnosticsReporter interface {
+	// TakeDiagnostics returns the diagnostics captured since the previous
+	// call and resets them; ok is false when no surrogate-backed proposal
+	// ran. When several proposals ran in the window (constant-liar
+	// batches), the snapshot describes the first — the only one fit purely
+	// on real observations, before lie rows entered the history.
+	TakeDiagnostics() (d Diagnostics, ok bool)
+}
+
+var _ DiagnosticsReporter = (*BayesOpt)(nil)
+
+// TakeDiagnostics implements DiagnosticsReporter.
+func (b *BayesOpt) TakeDiagnostics() (Diagnostics, bool) {
+	d, ok := b.diag, b.diagOK
+	b.diag, b.diagOK = Diagnostics{}, false
+	return d, ok
+}
+
+// captureDiagnostics fills the pending diagnostics snapshot after a
+// surrogate-backed proposal. Only the first proposal per drain window is
+// captured (later constant-liar proposals are fit on lied observations).
+// All inputs were materialized by the proposal itself; nothing here touches
+// the RNG or mutates optimizer state beyond the snapshot fields.
+func (b *BayesOpt) captureDiagnostics(gp *GP, eis []float64, chosen int, x []float64, bestY float64) {
+	if b.diagOK {
+		return
+	}
+	d := Diagnostics{Observations: len(gp.ys)}
+	if sel := b.cache.lastFit; sel.ok {
+		d.LengthScale = sel.ls
+		d.NoiseFrac = sel.nf
+		d.SignalVar = sel.signalVar
+		d.LogMarginal = sel.lml
+		d.JitterLevel = sel.level
+	}
+	d.Condition = choleskyCondition(gp.chol)
+	d.LOORMSE, d.LOOMaxZ, d.Coverage1, d.Coverage2 = gp.looStats()
+
+	d.Candidates = len(eis)
+	d.ChosenEI = eis[chosen]
+	var sum float64
+	for _, ei := range eis {
+		sum += ei
+	}
+	d.PoolMeanEI = sum / float64(len(eis))
+	d.ExploitEI, d.ExploreEI = eiTermsAt(gp, x, bestY, b.xi)
+	b.diag, b.diagOK = d, true
+}
+
+// eiTermsAt splits EI(x) into its exploitation term (expected improvement of
+// the posterior mean over the incumbent) and exploration term (value of the
+// posterior spread), mirroring ExpectedImprovement's arithmetic exactly.
+func eiTermsAt(gp *GP, x []float64, best, xi float64) (exploit, explore float64) {
+	mu, s2 := gp.Predict(x)
+	s := math.Sqrt(s2 + gp.noiseVar)
+	imp := best - xi - mu
+	if s < 1e-12 {
+		if imp > 0 {
+			return imp, 0
+		}
+		return 0, 0
+	}
+	z := imp / s
+	return imp * normCDF(z), s * normPDF(z)
+}
+
+// looStats computes leave-one-out residual statistics from the already
+// factorized covariance (Rasmussen & Williams eq. 5.10–5.12): with
+// K = L·Lᵀ, (K⁻¹)ᵢᵢ = ‖L⁻¹eᵢ‖², the LOO residual is αᵢ/(K⁻¹)ᵢᵢ and the LOO
+// predictive variance 1/(K⁻¹)ᵢᵢ. O(n³) total over the cached factor — no
+// refits, no mutation.
+func (g *GP) looStats() (rmse, maxAbsZ, cov1, cov2 float64) {
+	n := len(g.ys)
+	if n == 0 {
+		return 0, 0, 0, 0
+	}
+	e := make([]float64, n)
+	var sumSq float64
+	in1, in2 := 0, 0
+	for i := 0; i < n; i++ {
+		for j := range e {
+			e[j] = 0
+		}
+		e[i] = 1
+		v := linalg.SolveLower(g.chol, e)
+		kinv := linalg.Dot(v, v)
+		if kinv <= 0 || math.IsNaN(kinv) {
+			continue
+		}
+		resid := g.alpha[i] / kinv
+		sumSq += resid * resid
+		z := math.Abs(resid) * math.Sqrt(kinv)
+		if z > maxAbsZ {
+			maxAbsZ = z
+		}
+		if z <= 1 {
+			in1++
+		}
+		if z <= 2 {
+			in2++
+		}
+	}
+	rmse = math.Sqrt(sumSq / float64(n))
+	cov1 = float64(in1) / float64(n)
+	cov2 = float64(in2) / float64(n)
+	return rmse, maxAbsZ, cov1, cov2
+}
+
+// choleskyCondition estimates the covariance condition number from the
+// factor's diagonal: cond(K) ⪆ (max dᵢ / min dᵢ)². A cheap lower bound, but
+// it tracks exactly the failure mode jitter escalation fights.
+func choleskyCondition(l *linalg.Matrix) float64 {
+	if l == nil || l.Rows == 0 {
+		return 0
+	}
+	minD, maxD := math.Inf(1), 0.0
+	for i := 0; i < l.Rows; i++ {
+		d := math.Abs(l.At(i, i))
+		if d < minD {
+			minD = d
+		}
+		if d > maxD {
+			maxD = d
+		}
+	}
+	if minD <= 0 {
+		return math.Inf(1)
+	}
+	r := maxD / minD
+	return r * r
+}

@@ -52,6 +52,19 @@ type surrogateCache struct {
 	appends  int
 	rebuilds int
 	maxLevel int
+	// lastFit records which grid candidate won the most recent fit, for
+	// the DiagnosticsReporter snapshot. Selection metadata only — never
+	// read by the fit itself.
+	lastFit fitSelection
+}
+
+// fitSelection is the winning hyperparameter candidate of one surrogate fit.
+type fitSelection struct {
+	ls, nf    float64
+	signalVar float64
+	lml       float64
+	level     int
+	ok        bool
 }
 
 func newSurrogateCache() *surrogateCache {
@@ -198,6 +211,7 @@ func (c *surrogateCache) fit(xs [][]float64, ys []float64) (*GP, error) {
 	sd := math.Sqrt(varY)
 	var best *GP
 	bestLML := math.Inf(-1)
+	c.lastFit = fitSelection{}
 	for i := range c.entries {
 		e := &c.entries[i]
 		if !e.ok {
@@ -212,6 +226,10 @@ func (c *surrogateCache) fit(xs [][]float64, ys []float64) (*GP, error) {
 		if lml := gp.LogMarginalLikelihood(); lml > bestLML {
 			bestLML = lml
 			best = gp
+			c.lastFit = fitSelection{
+				ls: e.ls, nf: e.nf, signalVar: varY,
+				lml: lml, level: e.level, ok: true,
+			}
 		}
 	}
 	if best == nil {
@@ -225,9 +243,9 @@ func (c *surrogateCache) fit(xs [][]float64, ys []float64) (*GP, error) {
 // maximum, i.e. exactly the winner the serial consider() loop used to pick.
 // Candidates were generated before scoring starts, so the RNG draw order
 // and the chosen proposal are identical at any worker count.
-func (b *BayesOpt) argmaxEI(gp *GP, cands [][]float64, bestY float64) int {
+func (b *BayesOpt) argmaxEI(gp *GP, cands [][]float64, bestY float64) (int, []float64) {
 	if len(cands) == 0 {
-		return -1
+		return -1, nil
 	}
 	eis := make([]float64, len(cands))
 	workers := b.workers
@@ -271,5 +289,5 @@ func (b *BayesOpt) argmaxEI(gp *GP, cands [][]float64, bestY float64) int {
 			best = i
 		}
 	}
-	return best
+	return best, eis
 }

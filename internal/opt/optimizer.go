@@ -109,6 +109,10 @@ type BayesOpt struct {
 	pending    [][]float64
 	timings    Timings
 	cache      *surrogateCache
+	// Pending search-health snapshot for DiagnosticsReporter: the first
+	// surrogate-backed proposal since the last TakeDiagnostics drain.
+	diag   Diagnostics
+	diagOK bool
 }
 
 // BayesOptConfig tunes the optimizer. Zero values select defaults.
@@ -211,7 +215,11 @@ func (b *BayesOpt) Next() []float64 {
 			}
 		}
 	}
-	if idx := b.argmaxEI(gp, cands, bestY); idx >= 0 {
+	if idx, eis := b.argmaxEI(gp, cands, bestY); idx >= 0 {
+		// Snapshot search health from state this proposal already
+		// materialized (factor, alpha, EI pool) — read-only, so the
+		// proposal stream is unchanged whether anyone drains it or not.
+		b.captureDiagnostics(gp, eis, idx, cands[idx], bestY)
 		return cands[idx]
 	}
 	return b.space.Sample(b.rng)

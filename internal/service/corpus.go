@@ -136,6 +136,17 @@ func (s *Server) indexRun(job *Job) {
 	started := job.started
 	backendName := job.backend
 	result := job.result
+	// Diagnostics ride on trace records whether or not the job ran with
+	// telemetry; fall back to them when the artifact carries no
+	// search.diagnostics events so model health still reaches the index.
+	if len(run.Diagnostics) == 0 {
+		for _, trec := range job.trace {
+			if trec.Diagnostics != nil {
+				run.Diagnostics = append(run.Diagnostics,
+					inspect.NewDiagRecord(trec.Iteration, *trec.Diagnostics))
+			}
+		}
+	}
 	job.mu.Unlock()
 
 	rec := corpus.Record{
@@ -174,6 +185,16 @@ func (s *Server) indexRun(job *Job) {
 	rec.BusySeconds = float64(tl.BusyNS+tl.FleetBusyNS) / 1e9
 	rec.FleetProcesses = len(tl.Fleet)
 	rec.RemoteShare = tl.RemoteShare()
+	if ds := inspect.NewDiagnosticsSummary(run); ds != nil {
+		rec.ModelHealth = &corpus.ModelHealth{
+			Snapshots:        ds.Snapshots,
+			MeanCoverage1:    ds.MeanCoverage1,
+			MeanCoverage2:    ds.MeanCoverage2,
+			FinalLogMarginal: ds.FinalLogMarginal,
+			MaxJitterLevel:   ds.MaxJitterLevel,
+			Healthy:          ds.Healthy,
+		}
+	}
 
 	var baseline *corpus.Record
 	if bl, ok := s.corpus.Baseline(rec.Scenario, rec.ID); ok && rec.Scenario != "" {
@@ -298,6 +319,11 @@ type CorpusScenarioSummary struct {
 	LastBestError     float64 `json:"last_best_error"`
 	LastVerdict       string  `json:"last_verdict,omitempty"`
 	Regressions       int     `json:"regressions"`
+	// MedianCoverage1 and ModelUnhealthy mirror the trend's calibration-drift
+	// figures: median 1σ LOO coverage across runs with model health, and how
+	// many runs the search-health verdict flagged.
+	MedianCoverage1 float64 `json:"median_coverage1,omitempty"`
+	ModelUnhealthy  int     `json:"model_unhealthy,omitempty"`
 }
 
 // CorpusSummary is the corpus section of the GET /v1/fleet response.
@@ -335,6 +361,8 @@ func (s *Server) corpusSummary() *CorpusSummary {
 			LastBestError:     last.BestError,
 			LastVerdict:       last.Verdict,
 			Regressions:       tr.Regressions,
+			MedianCoverage1:   tr.MedianCoverage1,
+			ModelUnhealthy:    tr.ModelUnhealthy,
 		})
 	}
 	return out

@@ -166,9 +166,12 @@ func TestCorpusWatchdogFlagsRegression(t *testing.T) {
 		t.Fatalf("stream did not end with done: %+v", last)
 	}
 	regressionFrames := 0
-	for _, fr := range frames {
+	for i, fr := range frames {
 		if fr.event == telemetry.TypeCorpusRegression {
 			regressionFrames++
+			if i >= len(frames)-1 {
+				t.Fatalf("corpus.regression frame %d not before the done frame", i)
+			}
 		}
 	}
 	if regressionFrames != 1 {
@@ -187,6 +190,54 @@ func TestCorpusWatchdogFlagsRegression(t *testing.T) {
 	}
 	if rec.BaselineDelta <= 0 {
 		t.Fatalf("baseline delta = %g, want > 0", rec.BaselineDelta)
+	}
+}
+
+// TestCorpusRecordsModelHealth: a GP-backed job indexes with a model-health
+// rollup (built from trace-attached diagnostics — no telemetry needed), and
+// the rollup surfaces through the trend points and the fleet scoreboard for
+// calibration-drift tracking.
+func TestCorpusRecordsModelHealth(t *testing.T) {
+	svc := newCorpusServer(t, t.TempDir(), t.TempDir())
+	defer svc.Close()
+
+	spec := testSpec(9, 42)
+	spec.Optimizer = "" // default bayesopt: the only optimizer with a surrogate
+	st := submitAndWait(t, svc, spec)
+
+	rec, ok := svc.Corpus().Find(st.ID)
+	if !ok {
+		t.Fatalf("run %s not indexed", st.ID)
+	}
+	if rec.ModelHealth == nil {
+		t.Fatal("GP run indexed without a model-health rollup")
+	}
+	if rec.ModelHealth.Snapshots == 0 || rec.ModelHealth.MeanCoverage1 < 0 || rec.ModelHealth.MeanCoverage1 > 1 {
+		t.Fatalf("model health implausible: %+v", rec.ModelHealth)
+	}
+
+	trend := svc.Corpus().Trend(rec.Scenario)
+	if len(trend.Points) != 1 || trend.Points[0].ModelHealth == nil {
+		t.Fatalf("trend point lacks model health: %+v", trend.Points)
+	}
+	if trend.MedianCoverage1 != rec.ModelHealth.MeanCoverage1 {
+		t.Fatalf("trend median coverage %g != record coverage %g",
+			trend.MedianCoverage1, rec.ModelHealth.MeanCoverage1)
+	}
+
+	sum := svc.corpusSummary()
+	if len(sum.Scenarios) != 1 || sum.Scenarios[0].MedianCoverage1 != trend.MedianCoverage1 {
+		t.Fatalf("scoreboard rollup missing calibration figures: %+v", sum.Scenarios)
+	}
+
+	// A surrogate-free optimizer indexes with no model health.
+	st2 := submitAndWait(t, svc, testSpec(6, 42))
+	rec2, ok := svc.Corpus().Find(st2.ID)
+	if !ok {
+		t.Fatalf("run %s not indexed", st2.ID)
+	}
+	if rec2.ModelHealth != nil {
+		t.Fatalf("random-search run carries model health: %+v", rec2.ModelHealth)
 	}
 }
 

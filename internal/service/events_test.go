@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"datamime/internal/datagen"
+	"datamime/internal/inspect"
 	"datamime/internal/telemetry"
 )
 
@@ -133,6 +134,93 @@ func TestSSEStreamsEventsInOrder(t *testing.T) {
 	}
 	if spans == 0 {
 		t.Fatal("no phase spans streamed with telemetry enabled")
+	}
+}
+
+// bayesSpec is testSpec with the default (GP) optimizer, so the search emits
+// search.diagnostics snapshots once past the initial design.
+func bayesSpec(iterations int, seed uint64) JobSpec {
+	spec := testSpec(iterations, seed)
+	spec.Optimizer = ""
+	return spec
+}
+
+// TestSSEDiagnosticsFramesPrecedeDone: a GP-backed job's event stream carries
+// search.diagnostics frames, every one of them strictly before the terminal
+// done frame, and GET /jobs/{id}/diagnostics serves the matching summary.
+func TestSSEDiagnosticsFramesPrecedeDone(t *testing.T) {
+	svc := newTelemetryServer(t, "")
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	var submitted struct {
+		ID string `json:"id"`
+	}
+	if code := httpJSON(t, ts, "POST", "/jobs", bayesSpec(10, 7), &submitted); code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	resp, err := ts.Client().Get(ts.URL + "/jobs/" + submitted.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := readSSE(t, resp)
+	doneIdx := -1
+	var diagIdx []int
+	for i, fr := range frames {
+		switch fr.event {
+		case "done":
+			doneIdx = i
+		case telemetry.TypeSearchDiagnostics:
+			diagIdx = append(diagIdx, i)
+			var ev telemetry.Event
+			if err := json.Unmarshal([]byte(fr.data), &ev); err != nil {
+				t.Fatalf("diagnostics frame %q: %v", fr.data, err)
+			}
+			if ev.Attrs[telemetry.DiagObservations] == 0 || ev.Attrs[telemetry.DiagCandidates] == 0 {
+				t.Fatalf("diagnostics frame incomplete: %+v", ev)
+			}
+		}
+	}
+	if len(diagIdx) == 0 {
+		t.Fatal("no search.diagnostics frames streamed")
+	}
+	if doneIdx != len(frames)-1 {
+		t.Fatalf("done frame at %d of %d, want last", doneIdx, len(frames))
+	}
+	for _, i := range diagIdx {
+		if i >= doneIdx {
+			t.Fatalf("search.diagnostics frame %d not before done frame %d", i, doneIdx)
+		}
+	}
+
+	// The diagnostics endpoint serves the same snapshots from the trace.
+	var diag struct {
+		ID          string `json:"id"`
+		State       JobState
+		Diagnostics *inspect.DiagnosticsSummary `json:"diagnostics"`
+	}
+	if code := httpJSON(t, ts, "GET", "/jobs/"+submitted.ID+"/diagnostics", nil, &diag); code != http.StatusOK {
+		t.Fatalf("GET diagnostics = %d", code)
+	}
+	if diag.Diagnostics == nil {
+		t.Fatal("diagnostics endpoint returned null for a GP job")
+	}
+	if diag.Diagnostics.Snapshots != len(diagIdx) {
+		t.Fatalf("endpoint has %d snapshots, stream carried %d frames",
+			diag.Diagnostics.Snapshots, len(diagIdx))
+	}
+	if len(diag.Diagnostics.Records) != diag.Diagnostics.Snapshots {
+		t.Fatalf("summary records %d != snapshots %d",
+			len(diag.Diagnostics.Records), diag.Diagnostics.Snapshots)
+	}
+	if code := httpJSON(t, ts, "GET", "/jobs/nope/diagnostics", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("missing job diagnostics = %d, want 404", code)
+	}
+
+	// The gp_* metric families saw the snapshots.
+	if svc.metrics.gpLogMarginal.Value() == 0 && svc.metrics.gpCoverage2.Value() == 0 {
+		t.Fatal("diagnostics metrics never updated")
 	}
 }
 

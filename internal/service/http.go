@@ -21,6 +21,10 @@ import (
 //	                         the job's spans (open at ui.perfetto.dev)
 //	GET  /jobs/{id}/report   self-contained HTML run report (convergence
 //	                         plot, EMD attribution, eCDF overlays)
+//	GET  /jobs/{id}/diagnostics
+//	                         GP search-health summary + per-iteration
+//	                         model diagnostics (calibration, evidence,
+//	                         conditioning, acquisition health)
 //	GET  /jobs/{id}/profiles target + best-candidate profiles as JSON
 //	POST /jobs/{id}/cancel   cancel a queued or running job
 //	GET  /metrics            Prometheus text-format metrics registry
@@ -64,6 +68,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/artifact", s.handleArtifact)
 	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /jobs/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /jobs/{id}/diagnostics", s.handleDiagnostics)
 	mux.HandleFunc("GET /jobs/{id}/profiles", s.handleProfiles)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)

@@ -41,6 +41,14 @@ type serverMetrics struct {
 	gpRebuilds        *telemetry.Counter
 	gpJitterLevel     *telemetry.Gauge
 
+	// Search-health diagnostics, fed from search.diagnostics events by
+	// observeDiagnostics: the latest fit's log evidence and LOO calibration
+	// coverage, plus a counter of fits that needed escalated jitter.
+	gpLogMarginal       *telemetry.Gauge
+	gpCoverage1         *telemetry.Gauge
+	gpCoverage2         *telemetry.Gauge
+	gpJitterEscalations *telemetry.Counter
+
 	// phaseHist aggregates search-phase latencies across all jobs;
 	// populated only when telemetry is on.
 	phaseHist *telemetry.HistogramVec
@@ -121,6 +129,14 @@ func newServerMetrics(s *Server) *serverMetrics {
 		"GP surrogate factor updates falling back to full refactorization.")
 	m.gpJitterLevel = reg.NewGauge("datamimed_gp_jitter_level_max",
 		"Highest GP jitter-escalation level observed (conditioning diagnostic).")
+	m.gpLogMarginal = reg.NewGauge("datamimed_gp_log_marginal_likelihood",
+		"Log marginal likelihood of the most recent GP surrogate fit.")
+	m.gpCoverage1 = reg.NewGauge("datamimed_gp_loo_coverage_1sigma",
+		"Fraction of leave-one-out residuals inside the 1-sigma predictive band in the most recent fit (nominal 0.683).")
+	m.gpCoverage2 = reg.NewGauge("datamimed_gp_loo_coverage_2sigma",
+		"Fraction of leave-one-out residuals inside the 2-sigma predictive band in the most recent fit (nominal 0.954).")
+	m.gpJitterEscalations = reg.NewCounter("datamimed_gp_jitter_escalations_total",
+		"Surrogate fits whose winning hyperparameters needed escalated jitter to factorize.")
 
 	m.phaseHist = reg.NewHistogramVec("datamimed_phase_seconds",
 		"Search phase latency, by phase.", "phase", nil)
@@ -285,6 +301,17 @@ func (m *serverMetrics) observeSpan(ev telemetry.Event) {
 		if lvl := ev.Attrs[telemetry.AttrJitterLevelMax]; lvl > m.gpJitterLevel.Value() {
 			m.gpJitterLevel.Set(lvl)
 		}
+	}
+}
+
+// observeDiagnostics feeds one search-health snapshot into the gp_* families.
+// Runs on the search goroutines (the recorder's OnEvent is synchronous).
+func (m *serverMetrics) observeDiagnostics(ev telemetry.Event) {
+	m.gpLogMarginal.Set(ev.Attrs[telemetry.DiagLogMarginal])
+	m.gpCoverage1.Set(ev.Attrs[telemetry.DiagCoverage1])
+	m.gpCoverage2.Set(ev.Attrs[telemetry.DiagCoverage2])
+	if ev.Attrs[telemetry.DiagJitterLevel] > 0 {
+		m.gpJitterEscalations.Inc()
 	}
 }
 

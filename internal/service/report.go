@@ -102,6 +102,44 @@ func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.jobProfiles(j))
 }
 
+// jobDiagnostics is the GET /jobs/{id}/diagnostics response: the job's
+// search-health summary with the per-iteration snapshot records. Diagnostics
+// is null until the optimizer's first surrogate-backed proposal (random
+// bootstrap iterations, non-GP optimizers), and always for optimizers that
+// never fit a surrogate.
+type jobDiagnostics struct {
+	ID          string                      `json:"id"`
+	State       JobState                    `json:"state"`
+	Diagnostics *inspect.DiagnosticsSummary `json:"diagnostics"`
+}
+
+// handleDiagnostics serves GET /jobs/{id}/diagnostics: per-iteration GP
+// search-health records plus the SearchHealth aggregates and verdict. It
+// reads the live convergence trace (diagnostics ride on trace records whether
+// or not the job runs with telemetry), so it works mid-run and after restore.
+func (s *Server) handleDiagnostics(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+		return
+	}
+	j.mu.Lock()
+	state := j.state
+	var recs []inspect.DiagRecord
+	for _, rec := range j.trace {
+		if rec.Diagnostics != nil {
+			recs = append(recs, inspect.NewDiagRecord(rec.Iteration, *rec.Diagnostics))
+		}
+	}
+	j.mu.Unlock()
+	run := &inspect.Run{Job: j.ID(), Diagnostics: recs}
+	writeJSON(w, http.StatusOK, jobDiagnostics{
+		ID:          j.ID(),
+		State:       state,
+		Diagnostics: inspect.NewDiagnosticsSummary(run),
+	})
+}
+
 // handleReport serves GET /jobs/{id}/report: the self-contained HTML run
 // report (convergence plot, quantile-band EMD attribution, target-vs-best
 // eCDF overlays) rendered from the job's artifact and profiles.

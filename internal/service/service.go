@@ -375,13 +375,18 @@ func (s *Server) runJob(job *Job) {
 			Capacity: s.cfg.TelemetryRingCapacity,
 			OnEvent: func(ev telemetry.Event) {
 				// Eval events are built uniformly in OnEval below (they
-				// flow with telemetry off too); only spans pass through.
-				if ev.Type != telemetry.TypeSpan {
-					return
+				// flow with telemetry off too); spans and search-health
+				// diagnostics pass through.
+				switch ev.Type {
+				case telemetry.TypeSpan:
+					ev.Job = job.id
+					s.metrics.observeSpan(ev)
+					job.appendEvent(ev)
+				case telemetry.TypeSearchDiagnostics:
+					ev.Job = job.id
+					s.metrics.observeDiagnostics(ev)
+					job.appendEvent(ev)
 				}
-				ev.Job = job.id
-				s.metrics.observeSpan(ev)
-				job.appendEvent(ev)
 			},
 		})
 		job.mu.Lock()

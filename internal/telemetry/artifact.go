@@ -68,6 +68,27 @@ const (
 	AttrCholeskyAppends  = "cholesky_appends"
 	AttrCholeskyRebuilds = "cholesky_rebuilds"
 	AttrJitterLevelMax   = "jitter_level_max"
+	// Diag* keys flatten one opt.Diagnostics snapshot into the Attrs of a
+	// TypeSearchDiagnostics event (and a subset onto the matching
+	// PhaseGPFit/PhasePropose spans). All values are derived read-only from
+	// factorizations the proposal already materialized, so two
+	// identically-seeded runs carry bit-equal values.
+	DiagLengthScale  = "gp_length_scale"
+	DiagNoiseFrac    = "gp_noise_frac"
+	DiagSignalVar    = "gp_signal_var"
+	DiagLogMarginal  = "gp_log_marginal"
+	DiagObservations = "gp_observations"
+	DiagJitterLevel  = "gp_jitter_level"
+	DiagCondition    = "gp_condition"
+	DiagLOORMSE      = "loo_rmse"
+	DiagLOOMaxZ      = "loo_max_z"
+	DiagCoverage1    = "loo_coverage1"
+	DiagCoverage2    = "loo_coverage2"
+	DiagCandidates   = "acq_candidates"
+	DiagChosenEI     = "acq_chosen_ei"
+	DiagPoolMeanEI   = "acq_pool_mean_ei"
+	DiagExploitEI    = "acq_exploit_ei"
+	DiagExploreEI    = "acq_explore_ei"
 	// EMDPrefix prefixes per-component EMD attribution attributes
 	// ("emd_l1d_mpki", "emd_ipc_curve", ...).
 	EMDPrefix = "emd_"

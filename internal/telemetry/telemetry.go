@@ -80,6 +80,12 @@ const (
 	// streamed over SSE and appended to the artifact; consumers that don't
 	// know it (inspect.LoadRun, ReplayBestTrace) skip it by design.
 	TypeCorpusRegression = "corpus.regression"
+	// TypeSearchDiagnostics is one iteration's GP search-health snapshot
+	// (opt.Diagnostics flattened into Attrs under the Diag* keys in
+	// artifact.go). Emitted once per surrogate-backed proposal, streamed
+	// over SSE before `done`, and appended to the artifact; like
+	// corpus.regression, consumers that predate it skip it by design.
+	TypeSearchDiagnostics = "search.diagnostics"
 )
 
 // Event is one telemetry record: a closed span, a finished evaluation, or a
